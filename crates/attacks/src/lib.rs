@@ -1,0 +1,26 @@
+//! # hfl-attacks
+//!
+//! Byzantine attacks against federated learning, implementing the taxonomy
+//! of the paper's Table I:
+//!
+//! | Target | Attack | Module |
+//! |---|---|---|
+//! | Training data | Label flipping (Type I: all → 9; Type II: random) | [`data_poison`] |
+//! | Training data | Feature noise | [`data_poison`] |
+//! | Training data | Backdoor trigger | [`data_poison`] |
+//! | Model updates | Gaussian noise | [`model_poison`] |
+//! | Model updates | Sign flip (SF) | [`model_poison`] |
+//! | Model updates | A Little Is Enough (ALIE) | [`model_poison`] |
+//! | Model updates | Inner-Product Manipulation (IPM) | [`model_poison`] |
+//!
+//! [`adversary`] chooses *which* clients are malicious (the paper's
+//! evaluation varies the malicious proportion from 0 % to 65 % over
+//! clients ordered by id).
+
+pub mod adversary;
+pub mod data_poison;
+pub mod model_poison;
+
+pub use adversary::{malicious_mask, Placement};
+pub use data_poison::DataAttack;
+pub use model_poison::ModelAttack;

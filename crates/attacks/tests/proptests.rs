@@ -1,0 +1,114 @@
+//! Property-based tests for the attack implementations: the attack
+//! contracts hold on arbitrary datasets and honest-update sets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hfl_attacks::{malicious_mask, DataAttack, ModelAttack, Placement};
+use hfl_ml::Dataset;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..6, 1usize..40).prop_flat_map(|(dim, n)| {
+        (
+            Just(dim),
+            prop::collection::vec(-10.0f32..10.0, n * dim),
+            prop::collection::vec(0u8..10, n),
+        )
+            .prop_map(|(dim, xs, ys)| Dataset::from_parts(dim, 10, xs, ys))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn type_i_flips_every_label(mut ds in arb_dataset(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DataAttack::type_i().apply(&mut ds, &mut rng);
+        prop_assert!(ds.labels().iter().all(|y| *y == 9));
+    }
+
+    #[test]
+    fn type_ii_keeps_labels_in_range(mut ds in arb_dataset(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DataAttack::type_ii().apply(&mut ds, &mut rng);
+        prop_assert!(ds.labels().iter().all(|y| (*y as usize) < ds.num_classes()));
+    }
+
+    #[test]
+    fn data_attacks_preserve_sample_count(mut ds in arb_dataset(), seed in 0u64..100) {
+        let n = ds.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        DataAttack::FeatureNoise { std: 1.0 }.apply(&mut ds, &mut rng);
+        prop_assert_eq!(ds.len(), n);
+    }
+
+    #[test]
+    fn crafted_updates_have_honest_dimension(
+        honest in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 6), 2..8),
+        seed in 0u64..50,
+    ) {
+        let refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        for attack in [
+            ModelAttack::SignFlip { scale: 2.0 },
+            ModelAttack::GaussianNoise { std: 1.0 },
+            ModelAttack::Alie { z: 1.0 },
+            ModelAttack::Ipm { epsilon: 0.5 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let crafted = attack.craft(&refs, &mut rng);
+            prop_assert_eq!(crafted.len(), 6);
+            prop_assert!(crafted.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sign_flip_and_ipm_oppose_the_mean(
+        honest in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 4), 2..8),
+        seed in 0u64..50,
+    ) {
+        let refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        let mut mean = vec![0.0f32; 4];
+        hfl_tensor::ops::mean_of(&refs, &mut mean);
+        prop_assume!(hfl_tensor::ops::norm(&mean) > 1e-3);
+        for attack in [
+            ModelAttack::SignFlip { scale: 2.0 },
+            ModelAttack::Ipm { epsilon: 0.7 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let crafted = attack.craft(&refs, &mut rng);
+            prop_assert!(hfl_tensor::ops::dot(&crafted, &mean) < 0.0,
+                "{attack:?} does not oppose the honest mean");
+        }
+    }
+
+    #[test]
+    fn mask_count_matches_proportion(
+        n in 1usize..200,
+        numer in 0usize..=100,
+        seed in 0u64..100,
+    ) {
+        let p = numer as f64 / 100.0;
+        for placement in [Placement::Prefix, Placement::Random, Placement::Spread] {
+            let mask = malicious_mask(n, p, placement, seed);
+            let k = mask.iter().filter(|m| **m).count();
+            prop_assert_eq!(
+                k,
+                ((p * n as f64).round() as usize).min(n),
+                "{:?} wrong count",
+                placement
+            );
+        }
+    }
+
+    #[test]
+    fn spread_never_double_marks(n in 1usize..100, numer in 0usize..=100) {
+        // Spread computes i*n/k indices; they must be distinct (no lost
+        // adversaries to collisions).
+        let p = numer as f64 / 100.0;
+        let mask = malicious_mask(n, p, Placement::Spread, 0);
+        let k = mask.iter().filter(|m| **m).count();
+        prop_assert_eq!(k, ((p * n as f64).round() as usize).min(n));
+    }
+}

@@ -1,0 +1,75 @@
+//! Benchmarks every Byzantine-robust aggregation rule (Table II) across
+//! the two input shapes of the evaluation: a cluster (n = 4) and the
+//! vanilla star (n = 64), at the linear-model dimension.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hfl_robust::AggregatorKind;
+use hfl_tensor::init;
+
+const D: usize = 650;
+
+fn make_updates(n: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|_| {
+            let mut v = vec![0.0f32; D];
+            init::gaussian(&mut rng, 0.0, 1.0, &mut v);
+            v
+        })
+        .collect()
+}
+
+fn kinds(n: usize) -> Vec<(&'static str, AggregatorKind)> {
+    let f = (n / 4).max(1);
+    vec![
+        ("fedavg", AggregatorKind::FedAvg),
+        ("krum", AggregatorKind::Krum { f }),
+        ("multi-krum", AggregatorKind::MultiKrum { f, m: n - f }),
+        ("median", AggregatorKind::Median),
+        ("trimmed-mean", AggregatorKind::TrimmedMean { ratio: 0.25 }),
+        ("geomed", AggregatorKind::GeoMed),
+        (
+            "centered-clip",
+            AggregatorKind::CenteredClip { tau: 1.0, iters: 3 },
+        ),
+        (
+            "cosine-clustering",
+            AggregatorKind::CosineClustering { threshold: 0.0 },
+        ),
+    ]
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    for n in [4usize, 64] {
+        let updates = make_updates(n);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let mut g = c.benchmark_group(format!("aggregate_n{n}_d{D}"));
+        for (name, kind) in kinds(n) {
+            let agg = kind.build();
+            g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| agg.aggregate(black_box(&refs), None))
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Krum's O(n²·d) distance matrix is the scaling bottleneck; sweep n.
+fn bench_krum_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("krum_scaling_d650");
+    for n in [8usize, 16, 32, 64, 128] {
+        let updates = make_updates(n);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let agg = AggregatorKind::Krum { f: n / 4 }.build();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| agg.aggregate(black_box(&refs), None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregators, bench_krum_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks the consensus mechanisms (Table II, CBA rows): decision
+//! latency and the reported message/byte cost at the paper's top-level
+//! size (n = 4) and larger committees.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hfl_consensus::{ConsensusKind, DistanceEvaluator};
+use hfl_tensor::init;
+
+const D: usize = 650;
+
+fn proposals(n: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let mut v = vec![0.0f32; D];
+            init::gaussian(&mut rng, 0.0, 0.1, &mut v);
+            v
+        })
+        .collect()
+}
+
+fn kinds() -> Vec<(&'static str, ConsensusKind)> {
+    vec![
+        ("vote-majority", ConsensusKind::VoteMajority),
+        (
+            "committee",
+            ConsensusKind::Committee {
+                size: 3,
+                exclude: 1,
+            },
+        ),
+        ("pbft", ConsensusKind::Pbft),
+        (
+            "approx-agreement",
+            ConsensusKind::Approx {
+                epsilon: 1e-3,
+                trim: 1,
+            },
+        ),
+    ]
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    for n in [4usize, 16] {
+        let props = proposals(n);
+        let refs: Vec<&[f32]> = props.iter().map(|p| p.as_slice()).collect();
+        let eval = DistanceEvaluator::new(&props);
+        let byz = vec![false; n];
+        let mut g = c.benchmark_group(format!("consensus_n{n}_d{D}"));
+        for (name, kind) in kinds() {
+            let mech = kind.build();
+            g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    mech.decide(black_box(&refs), &byz, &eval, &mut rng)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

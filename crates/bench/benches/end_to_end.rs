@@ -1,0 +1,52 @@
+//! End-to-end benchmark: one full global round (64 clients training +
+//! hierarchical aggregation + consensus + evaluation) for ABD-HFL vs the
+//! vanilla star — the cost comparison behind Table IV's qualitative
+//! "communication cost" column, in compute terms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::{run_prepared, Experiment};
+use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla_prepared};
+use hfl_ml::synth::SynthConfig;
+
+fn one_round_cfg(seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::paper_iid(AttackCfg::None, seed);
+    cfg.rounds = 1;
+    cfg.eval_every = 1;
+    cfg.data = SynthConfig {
+        train_samples: 6_400,
+        test_samples: 1_000,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+fn bench_abd_round(c: &mut Criterion) {
+    let exp = Experiment::prepare(&one_round_cfg(1));
+    c.bench_function("abd_hfl_one_round", |b| {
+        b.iter(|| black_box(run_prepared(&exp)))
+    });
+}
+
+fn bench_vanilla_round(c: &mut Criterion) {
+    let exp = Experiment::prepare(&one_round_cfg(2));
+    c.bench_function("vanilla_one_round", |b| {
+        b.iter(|| black_box(run_vanilla_prepared(&exp, paper_vanilla_aggregator(true, 64))))
+    });
+}
+
+fn bench_client_training_only(c: &mut Criterion) {
+    let exp = Experiment::prepare(&one_round_cfg(3));
+    let global = exp.template.params().to_vec();
+    c.bench_function("train_64_clients_parallel", |b| {
+        b.iter(|| black_box(exp.train_round(&global, 0)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_abd_round, bench_vanilla_round, bench_client_training_only
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks the discrete-event engine itself (events/second on the
+//! paper topology) and the pipeline driver end to end for a short run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
+use hfl_ml::synth::SynthConfig;
+use hfl_simnet::engine::{Actor, Ctx, NodeId, Simulation};
+use hfl_simnet::DelayModel;
+
+/// A token-ring actor: engine overhead measurement with trivial handlers.
+struct Ring {
+    next: NodeId,
+    hops_left: u32,
+}
+
+impl Actor<u32> for Ring {
+    fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+        if ctx.me() == 0 {
+            ctx.send(self.next, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<u32>, _src: NodeId, msg: u32) {
+        if self.hops_left == 0 {
+            ctx.stop();
+        } else {
+            self.hops_left -= 1;
+            ctx.send(self.next, msg + 1);
+        }
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let n = 64;
+            let actors: Vec<Ring> = (0..n)
+                .map(|i| Ring {
+                    next: (i + 1) % n,
+                    hops_left: 100_000 / n as u32,
+                })
+                .collect();
+            let mut sim = Simulation::new(
+                actors,
+                DelayModel::Uniform { lo: 1, hi: 100 },
+                7,
+                |_| 4,
+            );
+            black_box(sim.run(200_000))
+        })
+    });
+}
+
+fn bench_pipeline_round(c: &mut Criterion) {
+    let mut cfg = HflConfig::quick(AttackCfg::None, 5);
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 500,
+        ..SynthConfig::default()
+    };
+    let pcfg = PipelineConfig {
+        rounds: 2,
+        ..PipelineConfig::default()
+    };
+    c.bench_function("pipeline_2_rounds_64_clients", |b| {
+        b.iter(|| black_box(run_pipeline(&cfg, &pcfg)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_throughput, bench_pipeline_round
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the hot tensor kernels (axpy, dot, distance,
+//! coordinate statistics) across the dimensions the system actually uses:
+//! 650 (linear model), ~4k (small MLP), 65k (a larger model).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hfl_tensor::{init, ops, stats};
+
+const DIMS: [usize; 3] = [650, 4_096, 65_536];
+
+fn make_vec(d: usize, seed: u64) -> Vec<f32> {
+    let mut v = vec![0.0f32; d];
+    init::gaussian(&mut StdRng::seed_from_u64(seed), 0.0, 1.0, &mut v);
+    v
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("axpy");
+    for d in DIMS {
+        let x = make_vec(d, 1);
+        let mut y = make_vec(d, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| ops::axpy(black_box(0.5), black_box(&x), black_box(&mut y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    for d in DIMS {
+        let x = make_vec(d, 3);
+        let y = make_vec(d, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| ops::dot(black_box(&x), black_box(&y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dist_sq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist_sq");
+    for d in DIMS {
+        let x = make_vec(d, 5);
+        let y = make_vec(d, 6);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| ops::dist_sq(black_box(&x), black_box(&y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_coordinate_median(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coordinate_median_n64");
+    for d in [650usize, 4_096] {
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| make_vec(d, 100 + i)).collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0.0f32; d];
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| stats::coordinate_median(black_box(&refs), black_box(&mut out)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_axpy,
+    bench_dot,
+    bench_dist_sq,
+    bench_coordinate_median
+);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Minimal CLI-flag parsing shared by the reproduction binaries (no
+//! external dependency; the flags are few and uniform).
+
+/// Common harness options.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Reduced rounds/reps for a fast smoke run.
+    pub quick: bool,
+    /// Override global rounds.
+    pub rounds: Option<usize>,
+    /// Override repetition count.
+    pub reps: Option<usize>,
+    /// CSV output directory.
+    pub out_dir: String,
+    /// Optional substring filter on experiment cells.
+    pub filter: Option<String>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            rounds: None,
+            reps: None,
+            out_dir: "results".to_string(),
+            filter: None,
+            seed: 42,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    /// On malformed flags (the binaries are developer tools; failing fast
+    /// beats guessing).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Self::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--quick" => args.quick = true,
+                "--rounds" => {
+                    args.rounds = Some(
+                        it.next()
+                            .expect("--rounds needs a value")
+                            .parse()
+                            .expect("--rounds must be an integer"),
+                    )
+                }
+                "--reps" => {
+                    args.reps = Some(
+                        it.next()
+                            .expect("--reps needs a value")
+                            .parse()
+                            .expect("--reps must be an integer"),
+                    )
+                }
+                "--out" => {
+                    args.out_dir = it.next().expect("--out needs a directory");
+                }
+                "--filter" => {
+                    args.filter = Some(it.next().expect("--filter needs a substring"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                other => panic!("unknown flag: {other}"),
+            }
+        }
+        args
+    }
+
+    /// Effective rounds: explicit override > quick default > full default.
+    pub fn effective_rounds(&self, full: usize, quick: usize) -> usize {
+        self.rounds.unwrap_or(if self.quick { quick } else { full })
+    }
+
+    /// Effective repetitions.
+    pub fn effective_reps(&self, full: usize, quick: usize) -> usize {
+        self.reps.unwrap_or(if self.quick { quick } else { full })
+    }
+
+    /// True when the cell label passes the filter.
+    pub fn matches(&self, label: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| label.contains(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert!(!a.quick);
+        assert_eq!(a.out_dir, "results");
+        assert_eq!(a.effective_rounds(200, 40), 200);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let a = parse("--quick");
+        assert_eq!(a.effective_rounds(200, 40), 40);
+        assert_eq!(a.effective_reps(5, 2), 2);
+    }
+
+    #[test]
+    fn explicit_overrides() {
+        let a = parse("--quick --rounds 7 --reps 3 --seed 9 --out /tmp/x");
+        assert_eq!(a.effective_rounds(200, 40), 7);
+        assert_eq!(a.effective_reps(5, 2), 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn filter_matching() {
+        let a = parse("--filter type1");
+        assert!(a.matches("iid/type1"));
+        assert!(!a.matches("iid/type2"));
+        assert!(parse("").matches("anything"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse("--wat");
+    }
+}

@@ -1,0 +1,164 @@
+//! Reproduces the **pipeline learning workflow** analysis (§III-D,
+//! Fig. 2, Eq. 2–3, Table VIII / Appendix E): the efficiency indicator
+//! ν = (σp + σg)/σ measured on the event simulator, swept over
+//! * the flag level ℓ_F, and
+//! * the four delay regimes of Table VIII (small/big partial-aggregation
+//!   delay τ′ × small/big global-aggregation delay τg).
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
+use hfl_bench::report::{markdown_table, write_csv};
+use hfl_bench::Args;
+use hfl_ml::synth::SynthConfig;
+use hfl_simnet::DelayModel;
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(8, 3);
+    eprintln!("Pipeline efficiency: {rounds} simulated rounds per cell");
+
+    let mut cfg = HflConfig::paper_iid(AttackCfg::None, args.seed);
+    cfg.data = SynthConfig {
+        train_samples: 6_400,
+        test_samples: 1_000,
+        ..SynthConfig::default()
+    };
+    cfg.rounds = rounds;
+
+    // --- Sweep 1: flag level (3-level hierarchy: ℓF ∈ {1, 2}) ----------
+    println!("## Flag-level trade-off (Eq. 3): σw vs ν\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for flag in [1usize, 2] {
+        let mut c = cfg.clone();
+        c.flag_level = flag;
+        let pcfg = PipelineConfig {
+            rounds,
+            ..PipelineConfig::default()
+        };
+        let res = run_pipeline(&c, &pcfg);
+        let mean = |f: fn(&abd_hfl_core::pipeline::RoundTiming) -> f64| {
+            res.rounds.iter().map(f).sum::<f64>() / res.rounds.len().max(1) as f64
+        };
+        rows.push(vec![
+            format!("ℓF = {flag}"),
+            format!("{:.1} ms", mean(|r| r.sigma_w) * 1e3),
+            format!("{:.1} ms", mean(|r| r.sigma) * 1e3),
+            format!("{:.3}", mean(|r| r.nu)),
+            format!("{:.1} ms", res.mean_period * 1e3),
+        ]);
+        for r in &res.rounds {
+            csv.push(format!(
+                "flag,{flag},default,{},{:.6},{:.6},{:.6},{:.6}",
+                r.round, r.sigma_w, r.sigma, r.sigma_pg, r.nu
+            ));
+        }
+        eprintln!("  flag {flag}: ν = {:.3}", mean(|r| r.nu));
+    }
+    println!(
+        "{}",
+        markdown_table(&["flag level", "σw", "σ", "ν", "round period"], &rows)
+    );
+
+    // --- Sweep 2: Table VIII delay regimes ------------------------------
+    println!("\n## Table VIII — delay regimes (big/small τ′ × τg)\n");
+    let small = DelayModel::Constant { micros: 1_000 };
+    let big = DelayModel::Constant { micros: 40_000 };
+    let mut rows = Vec::new();
+    for (name, agg, cba_factor) in [
+        ("small τ′ – small τg", small.clone(), 2.0),
+        ("small τ′ – big τg", small.clone(), 80.0),
+        ("big τ′ – small τg", big.clone(), 1.0),
+        ("big τ′ – big τg", big.clone(), 4.0),
+    ] {
+        if !args.matches(name) {
+            continue;
+        }
+        let pcfg = PipelineConfig {
+            agg_delay: agg,
+            cba_delay_factor: cba_factor,
+            rounds,
+            ..PipelineConfig::default()
+        };
+        let res = run_pipeline(&cfg, &pcfg);
+        let mean_nu =
+            res.rounds.iter().map(|r| r.nu).sum::<f64>() / res.rounds.len().max(1) as f64;
+        let mean_w = res.rounds.iter().map(|r| r.sigma_w).sum::<f64>()
+            / res.rounds.len().max(1) as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1} ms", mean_w * 1e3),
+            format!("{:.3}", mean_nu),
+            format!("{:.1} ms", res.mean_period * 1e3),
+        ]);
+        for r in &res.rounds {
+            csv.push(format!(
+                "regime,{},{name},{},{:.6},{:.6},{:.6},{:.6}",
+                cfg.flag_level, r.round, r.sigma_w, r.sigma, r.sigma_pg, r.nu
+            ));
+        }
+        eprintln!("  {name}: ν = {mean_nu:.3}");
+    }
+    println!(
+        "{}",
+        markdown_table(&["delay regime", "σw", "ν", "round period"], &rows)
+    );
+
+    // --- Sweep 3: Appendix E — leaf-uplink bandwidth -------------------
+    println!("\n## Appendix E — leaf-device uplink bandwidth\n");
+    let mut rows = Vec::new();
+    for (name, leaf) in [
+        ("uniform links", None),
+        (
+            "leaf uplink 5× slower",
+            Some(DelayModel::Uniform {
+                lo: 5_000,
+                hi: 25_000,
+            }),
+        ),
+        (
+            "leaf uplink 20× slower",
+            Some(DelayModel::Uniform {
+                lo: 20_000,
+                hi: 100_000,
+            }),
+        ),
+    ] {
+        if !args.matches(name) {
+            continue;
+        }
+        let pcfg = PipelineConfig {
+            rounds,
+            leaf_uplink: leaf,
+            ..PipelineConfig::default()
+        };
+        let res = run_pipeline(&cfg, &pcfg);
+        let nrounds = res.rounds.len().max(1) as f64;
+        let mean_w = res.rounds.iter().map(|r| r.sigma_w).sum::<f64>() / nrounds;
+        let mean_nu = res.rounds.iter().map(|r| r.nu).sum::<f64>() / nrounds;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1} ms", mean_w * 1e3),
+            format!("{mean_nu:.3}"),
+            format!("{:.1} ms", res.mean_period * 1e3),
+        ]);
+        for r in &res.rounds {
+            csv.push(format!(
+                "bandwidth,{},{name},{},{:.6},{:.6},{:.6},{:.6}",
+                cfg.flag_level, r.round, r.sigma_w, r.sigma, r.sigma_pg, r.nu
+            ));
+        }
+        eprintln!("  bandwidth/{name}: σw {:.1} ms", mean_w * 1e3);
+    }
+    println!(
+        "{}",
+        markdown_table(&["leaf uplink", "σw", "ν", "round period"], &rows)
+    );
+
+    write_csv(
+        &args.out_dir,
+        "efficiency",
+        "sweep,flag_or_level,regime,round,sigma_w,sigma,sigma_pg,nu",
+        &csv,
+    );
+}

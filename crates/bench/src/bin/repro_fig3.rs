@@ -1,0 +1,102 @@
+//! Reproduces **Figure 3** — convergence curves (test accuracy vs global
+//! round) with 5-run confidence bands, ABD-HFL vs vanilla FL, for the
+//! data-poisoning scenarios of the paper.
+//!
+//! Emits one CSV per scenario with columns
+//! `round,abd_mean,abd_lo,abd_hi,vanilla_mean,vanilla_lo,vanilla_hi`.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla};
+use hfl_attacks::{DataAttack, Placement};
+use hfl_bench::ci::summarize_series;
+use hfl_bench::report::write_csv;
+use hfl_bench::Args;
+use hfl_ml::rng::derive_seed;
+
+/// The scenarios Figure 3 plots (proportions of malicious clients).
+const SCENARIOS: [f64; 4] = [0.0, 0.30, 0.50, 0.65];
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(200, 40);
+    let reps = args.effective_reps(5, 2);
+    let eval_every = if rounds >= 100 { 5 } else { 1 };
+    eprintln!("Figure 3 reproduction: {rounds} rounds, {reps} runs per curve");
+
+    for iid in [true, false] {
+        for type_i in [true, false] {
+            let dist = if iid { "iid" } else { "noniid" };
+            let atk = if type_i { "type1" } else { "type2" };
+            for &p in &SCENARIOS {
+                let label = format!("{dist}/{atk}/p{}", (p * 100.0) as u32);
+                if !args.matches(&label) {
+                    continue;
+                }
+                let attack = if p == 0.0 {
+                    AttackCfg::None
+                } else {
+                    AttackCfg::Data {
+                        attack: if type_i {
+                            DataAttack::type_i()
+                        } else {
+                            DataAttack::type_ii()
+                        },
+                        proportion: p,
+                        placement: Placement::Prefix,
+                    }
+                };
+                let mut abd_runs = Vec::new();
+                let mut van_runs = Vec::new();
+                let mut round_axis = Vec::new();
+                for rep in 0..reps {
+                    let seed = derive_seed(args.seed, 0xF163 + ((rep as u64) << 8));
+                    let base = if iid {
+                        HflConfig::paper_iid(attack.clone(), seed)
+                    } else {
+                        HflConfig::paper_noniid(attack.clone(), seed)
+                    };
+                    let cfg = HflConfig {
+                        rounds,
+                        eval_every,
+                        ..base
+                    };
+                    let abd = run_abd_hfl(&cfg);
+                    let van = run_vanilla(&cfg, paper_vanilla_aggregator(iid, 64));
+                    if round_axis.is_empty() {
+                        round_axis = abd.accuracy.iter().map(|(r, _)| *r).collect();
+                    }
+                    abd_runs.push(abd.accuracy.iter().map(|(_, a)| *a).collect::<Vec<_>>());
+                    van_runs.push(van.accuracy.iter().map(|(_, a)| *a).collect::<Vec<_>>());
+                    eprintln!(
+                        "  {label} rep {rep}: abd {:.3} vanilla {:.3}",
+                        abd.final_accuracy, van.final_accuracy
+                    );
+                }
+                let abd_band = summarize_series(&abd_runs);
+                let van_band = summarize_series(&van_runs);
+                let rows: Vec<String> = round_axis
+                    .iter()
+                    .zip(abd_band.iter().zip(&van_band))
+                    .map(|(r, (a, v))| {
+                        format!(
+                            "{r},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                            a.mean,
+                            a.lo(),
+                            a.hi(),
+                            v.mean,
+                            v.lo(),
+                            v.hi()
+                        )
+                    })
+                    .collect();
+                write_csv(
+                    &args.out_dir,
+                    &format!("fig3_{dist}_{atk}_p{}", (p * 100.0) as u32),
+                    "round,abd_mean,abd_lo,abd_hi,vanilla_mean,vanilla_lo,vanilla_hi",
+                    &rows,
+                );
+            }
+        }
+    }
+}

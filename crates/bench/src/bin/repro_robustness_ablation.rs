@@ -1,0 +1,185 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Vote policy** — the paper's "fewest positive votes" read as
+//!    majority-survival vs a fixed exclude-1 top consensus, across the
+//!    malicious sweep (why the top level must exclude *all* suspicious
+//!    proposals once two subtrees are compromised).
+//! 2. **Quorum φ** — accuracy and per-round cost as leaders wait for a
+//!    smaller fraction of their cluster (straggler mitigation knob of
+//!    Algorithm 4).
+//! 3. **Churn** — Assumption 3 stress: rising leave probability.
+//! 4. **Partial-aggregation rule** — Multi-Krum vs Median vs GeoMed vs
+//!    Trimmed-Mean vs AutoGM inside the hierarchy at a fixed attack.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl_core::runner::run_abd_hfl;
+use hfl_attacks::{DataAttack, Placement};
+use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::Args;
+use hfl_consensus::ConsensusKind;
+use hfl_ml::rng::derive_seed;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+
+fn base_cfg(proportion: f64, rounds: usize, seed: u64) -> HflConfig {
+    let attack = if proportion == 0.0 {
+        AttackCfg::None
+    } else {
+        AttackCfg::Data {
+            attack: DataAttack::type_i(),
+            proportion,
+            placement: Placement::Prefix,
+        }
+    };
+    let mut cfg = HflConfig::paper_iid(attack, seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = rounds;
+    cfg.data = SynthConfig {
+        train_samples: 19_200,
+        test_samples: 4_000,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(80, 25);
+    let mut csv = Vec::new();
+
+    // ----- 1. Vote policy ablation --------------------------------------
+    if args.matches("vote") {
+        println!("## Ablation 1 — top-level vote policy (Type I sweep)\n");
+        let mut rows = Vec::new();
+        for (name, kind) in [
+            ("majority-survival (paper reading)", ConsensusKind::VoteMajority),
+            ("fixed exclude-1", ConsensusKind::Vote { exclude: 1 }),
+        ] {
+            let mut row = vec![name.to_string()];
+            for p in [0.3, 0.45, 0.578] {
+                let mut cfg = base_cfg(p, rounds, derive_seed(args.seed, 0xAB1));
+                cfg.levels[0] = LevelAgg::Cba(kind.clone());
+                let r = run_abd_hfl(&cfg);
+                row.push(pct(r.final_accuracy));
+                csv.push(format!("vote,{name},{p},{:.4}", r.final_accuracy));
+                eprintln!("  vote/{name} p={p}: {}", pct(r.final_accuracy));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            markdown_table(&["vote policy", "30%", "45%", "57.8%"], &rows)
+        );
+    }
+
+    // ----- 2. Quorum sweep ----------------------------------------------
+    if args.matches("quorum") {
+        println!("\n## Ablation 2 — collection quorum φ (clean + 30 % Type I)\n");
+        let mut rows = Vec::new();
+        for quorum in [1.0, 0.75, 0.5] {
+            let mut row = vec![format!("φ = {quorum}")];
+            for p in [0.0, 0.3] {
+                let mut cfg = base_cfg(p, rounds, derive_seed(args.seed, 0xAB2));
+                cfg.quorum = quorum;
+                let r = run_abd_hfl(&cfg);
+                row.push(pct(r.final_accuracy));
+                csv.push(format!("quorum,{quorum},{p},{:.4}", r.final_accuracy));
+                eprintln!("  quorum {quorum} p={p}: {}", pct(r.final_accuracy));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            markdown_table(&["quorum", "clean", "30% Type I"], &rows)
+        );
+    }
+
+    // ----- 3. Churn sweep -------------------------------------------------
+    if args.matches("churn") {
+        println!("\n## Ablation 3 — client churn (Assumption 3), clean runs\n");
+        let mut rows = Vec::new();
+        for leave in [0.0, 0.1, 0.3, 0.5] {
+            let mut cfg = base_cfg(0.0, rounds, derive_seed(args.seed, 0xAB3));
+            cfg.churn_leave_prob = leave;
+            let r = run_abd_hfl(&cfg);
+            rows.push(vec![
+                format!("{:.0}%", leave * 100.0),
+                pct(r.final_accuracy),
+                r.absent_total.to_string(),
+            ]);
+            csv.push(format!("churn,{leave},0.0,{:.4}", r.final_accuracy));
+            eprintln!("  churn {leave}: {}", pct(r.final_accuracy));
+        }
+        println!(
+            "{}",
+            markdown_table(&["leave prob", "accuracy", "total absences"], &rows)
+        );
+    }
+
+    // ----- 4. Partial-aggregation rule inside the hierarchy --------------
+    if args.matches("bra") {
+        println!("\n## Ablation 4 — partial-aggregation BRA rule (30 % Type I)\n");
+        let mut rows = Vec::new();
+        for (name, kind) in [
+            ("multi-krum f=1", AggregatorKind::MultiKrum { f: 1, m: 3 }),
+            ("median", AggregatorKind::Median),
+            ("trimmed-mean 25%", AggregatorKind::TrimmedMean { ratio: 0.25 }),
+            ("geomed", AggregatorKind::GeoMed),
+            ("autogm", AggregatorKind::AutoGm { kappa: 3.0 }),
+            ("centered-clip", AggregatorKind::CenteredClip { tau: 1.0, iters: 3 }),
+            ("fedavg (none)", AggregatorKind::FedAvg),
+        ] {
+            let mut cfg = base_cfg(0.3, rounds, derive_seed(args.seed, 0xAB4));
+            cfg.levels[1] = LevelAgg::Bra(kind.clone());
+            cfg.levels[2] = LevelAgg::Bra(kind.clone());
+            let r = run_abd_hfl(&cfg);
+            rows.push(vec![name.to_string(), pct(r.final_accuracy)]);
+            csv.push(format!("bra,{name},0.3,{:.4}", r.final_accuracy));
+            eprintln!("  bra/{name}: {}", pct(r.final_accuracy));
+        }
+        println!("{}", markdown_table(&["partial rule", "accuracy"], &rows));
+    }
+
+    // ----- 5. Model-poisoning sweep (extension of Table V) ----------------
+    if args.matches("modelattack") {
+        println!("\n## Ablation 5 — model poisoning (sign-flip ×4), ABD-HFL vs vanilla\n");
+        let mut rows = Vec::new();
+        for p in [0.1, 0.25, 0.4, 0.5] {
+            let attack = AttackCfg::Model {
+                attack: hfl_attacks::ModelAttack::SignFlip { scale: 4.0 },
+                proportion: p,
+                placement: Placement::Spread,
+            };
+            let mut cfg = base_cfg(0.0, rounds, derive_seed(args.seed, 0xAB5));
+            cfg.attack = attack;
+            let abd = run_abd_hfl(&cfg);
+            let vanilla = abd_hfl_core::vanilla::run_vanilla(
+                &cfg,
+                abd_hfl_core::vanilla::paper_vanilla_aggregator(true, 64),
+            );
+            rows.push(vec![
+                format!("{:.0}%", p * 100.0),
+                pct(abd.final_accuracy),
+                pct(vanilla.final_accuracy),
+            ]);
+            csv.push(format!("modelattack,abd,{p},{:.4}", abd.final_accuracy));
+            csv.push(format!("modelattack,vanilla,{p},{:.4}", vanilla.final_accuracy));
+            eprintln!(
+                "  modelattack p={p}: abd {} vanilla {}",
+                pct(abd.final_accuracy),
+                pct(vanilla.final_accuracy)
+            );
+        }
+        println!(
+            "{}",
+            markdown_table(&["malicious", "ABD-HFL", "vanilla multi-krum"], &rows)
+        );
+    }
+
+    write_csv(
+        &args.out_dir,
+        "ablations",
+        "ablation,setting,attack_proportion,final_accuracy",
+        &csv,
+    );
+}

@@ -1,0 +1,100 @@
+//! Reproduces **Tables III / IV** — the four BRA/CBA scheme combinations,
+//! measured on the same workload: final accuracy under a fixed Type I
+//! attack (robustness) and total communication cost (messages / bytes).
+//!
+//! The paper gives these qualitatively; this harness quantifies them so
+//! the ranking can be checked (Scheme 4 most robust & most expensive,
+//! Scheme 3 cheapest).
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::scheme::Scheme;
+use hfl_attacks::{DataAttack, Placement};
+use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::Args;
+use hfl_consensus::ConsensusKind;
+use hfl_ml::rng::derive_seed;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(100, 30);
+    let reps = args.effective_reps(3, 1);
+    let attack_p = 0.4;
+    eprintln!("Scheme comparison: Type I at {attack_p}, {rounds} rounds × {reps} reps");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for scheme in Scheme::ALL {
+        let label = format!("{scheme:?}");
+        if !args.matches(&label) {
+            continue;
+        }
+        let mut accs = Vec::new();
+        let mut msgs = Vec::new();
+        let mut bytes = Vec::new();
+        for rep in 0..reps {
+            let seed = derive_seed(args.seed, 0x5C4E + ((rep as u64) << 8));
+            let mut cfg = HflConfig::paper_iid(
+                AttackCfg::Data {
+                    attack: DataAttack::type_i(),
+                    proportion: attack_p,
+                    placement: Placement::Prefix,
+                },
+                seed,
+            );
+            cfg.levels = scheme.level_aggs(
+                3,
+                AggregatorKind::MultiKrum { f: 1, m: 3 },
+                ConsensusKind::VoteMajority,
+            );
+            cfg.rounds = rounds;
+            cfg.eval_every = rounds;
+            cfg.data = SynthConfig {
+                train_samples: 19_200,
+                test_samples: 4_000,
+                ..SynthConfig::default()
+            };
+            let r = run_abd_hfl(&cfg);
+            accs.push(r.final_accuracy);
+            msgs.push(r.messages as f64);
+            bytes.push(r.bytes as f64);
+            csv.push(format!(
+                "{label},{rep},{:.4},{},{}",
+                r.final_accuracy, r.messages, r.bytes
+            ));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        rows.push(vec![
+            scheme.name().to_string(),
+            pct(mean(&accs)),
+            format!("{:.0}", mean(&msgs)),
+            format!("{:.1} MiB", mean(&bytes) / (1024.0 * 1024.0)),
+            scheme.robustness_rank().to_string(),
+            scheme.cost_rank().to_string(),
+        ]);
+        eprintln!("  {}: acc {}", scheme.name(), pct(mean(&accs)));
+    }
+    println!("\n## Tables III/IV — scheme combinations (Type I @ 40 % malicious)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scheme",
+                "accuracy",
+                "messages",
+                "bytes",
+                "robustness rank (Table IV)",
+                "cost rank (Table IV)"
+            ],
+            &rows
+        )
+    );
+    write_csv(
+        &args.out_dir,
+        "schemes",
+        "scheme,rep,final_accuracy,messages,bytes",
+        &csv,
+    );
+}

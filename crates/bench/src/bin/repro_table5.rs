@@ -1,0 +1,116 @@
+//! Reproduces **Table V** — final testing accuracy of ABD-HFL vs vanilla
+//! FL under data-poisoning attacks.
+//!
+//! Grid: {IID, non-IID} × {Type I, Type II} × {ABD-HFL, Vanilla} ×
+//! malicious proportion ∈ {0, 5, 10, 20, 30, 40, 50, 57.8, 65} %, five
+//! repetitions each (the paper's protocol).
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin repro_table5            # full
+//! cargo run --release -p hfl-bench --bin repro_table5 -- --quick # smoke
+//! ```
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla};
+use hfl_attacks::{DataAttack, Placement};
+use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::{Args, Summary};
+use hfl_ml::rng::derive_seed;
+
+/// The paper's malicious-proportion grid.
+const PROPORTIONS: [f64; 9] = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.578, 0.65];
+
+fn attack_cfg(type_i: bool, proportion: f64) -> AttackCfg {
+    if proportion == 0.0 {
+        return AttackCfg::None;
+    }
+    let attack = if type_i {
+        DataAttack::type_i()
+    } else {
+        DataAttack::type_ii()
+    };
+    AttackCfg::Data {
+        attack,
+        proportion,
+        placement: Placement::Prefix,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(200, 40);
+    let reps = args.effective_reps(5, 2);
+    eprintln!("Table V reproduction: {rounds} rounds × {reps} repetitions per cell");
+
+    let mut csv_rows = Vec::new();
+    let mut table_rows = Vec::new();
+
+    for iid in [true, false] {
+        for type_i in [true, false] {
+            let dist = if iid { "iid" } else { "noniid" };
+            let atk = if type_i { "type1" } else { "type2" };
+            for abd in [true, false] {
+                let model = if abd { "abd-hfl" } else { "vanilla" };
+                let label = format!("{dist}/{atk}/{model}");
+                if !args.matches(&label) {
+                    continue;
+                }
+                let mut cells = Vec::new();
+                for &p in &PROPORTIONS {
+                    let accs: Vec<f64> = (0..reps)
+                        .map(|rep| {
+                            let seed = derive_seed(
+                                args.seed,
+                                (rep as u64) << 32
+                                    | (p * 1000.0) as u64
+                                    | u64::from(iid) << 20
+                                    | u64::from(type_i) << 21,
+                            );
+                            let base = if iid {
+                                HflConfig::paper_iid(attack_cfg(type_i, p), seed)
+                            } else {
+                                HflConfig::paper_noniid(attack_cfg(type_i, p), seed)
+                            };
+                            let cfg = HflConfig {
+                                rounds,
+                                eval_every: rounds, // final accuracy only
+                                ..base
+                            };
+                            let acc = if abd {
+                                run_abd_hfl(&cfg).final_accuracy
+                            } else {
+                                run_vanilla(&cfg, paper_vanilla_aggregator(iid, 64))
+                                    .final_accuracy
+                            };
+                            csv_rows.push(format!(
+                                "{dist},{atk},{model},{p},{rep},{acc:.4}"
+                            ));
+                            acc
+                        })
+                        .collect();
+                    let s = Summary::of(&accs);
+                    cells.push(pct(s.mean));
+                    eprintln!("  {label} p={p:>5}: {} (±{:.1})", pct(s.mean), s.std * 100.0);
+                }
+                let mut row = vec![dist.to_string(), atk.to_string(), model.to_string()];
+                row.extend(cells);
+                table_rows.push(row);
+            }
+        }
+    }
+
+    let mut headers = vec!["dist", "attack", "model"];
+    let prop_labels: Vec<String> =
+        PROPORTIONS.iter().map(|p| format!("{:.1}%", p * 100.0)).collect();
+    headers.extend(prop_labels.iter().map(|s| s.as_str()));
+    println!("\n## Table V — final testing accuracy on global models\n");
+    println!("{}", markdown_table(&headers, &table_rows));
+
+    write_csv(
+        &args.out_dir,
+        "table5",
+        "distribution,attack,model,proportion,rep,final_accuracy",
+        &csv_rows,
+    );
+}

@@ -1,0 +1,149 @@
+//! Reproduces the **Theorem 2 tolerance analysis** (§IV-B, §V-A) and
+//! **Corollary 3** (more levels ⇒ more tolerance), and verifies the
+//! 57.8125 % bound empirically: accuracy as the malicious proportion
+//! crosses the bound, for 2/3/4-level hierarchies over the same 64
+//! clients.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
+use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::theory;
+use hfl_attacks::{DataAttack, Placement};
+use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::Args;
+use hfl_ml::rng::derive_seed;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(100, 30);
+    let reps = args.effective_reps(3, 1);
+
+    // --- Analytic table: Theorem 2 across levels -----------------------
+    println!("## Theorem 2 — maximum tolerated Byzantine proportion (γ1 = γ2 = 25 %)\n");
+    let mut rows = Vec::new();
+    for level in 0..5usize {
+        rows.push(vec![
+            level.to_string(),
+            format!(
+                "{:.4}%",
+                theory::theorem2_max_byzantine_ratio(0.25, 0.25, level) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                theory::theorem2_max_byzantine_count(4, 4, 0.25, 0.25, level)
+            ),
+            theory::corollary1_level_size(4, 4, level).to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["level ℓ", "max ratio", "max count (Nt=4, m=4)", "level size"], &rows)
+    );
+    println!(
+        "Paper's §V-A bound at the bottom (ℓ = 2): {:.4} %\n",
+        theory::paper_tolerance_bound() * 100.0
+    );
+
+    // --- Theorem 2 / Corollary 3, empirically --------------------------
+    // Same 64 clients in shapes (levels, m, n_top) with n_top·m^L = 64.
+    // Adversaries are placed per Definition 4 (p-ratio trees): γ1·Nt top
+    // subtrees fully Byzantine, ⌊γ2·m⌋ Byzantine members per honest
+    // cluster. "At bound" saturates Theorem 2 exactly; "beyond" pushes
+    // one extra Byzantine member into every honest cluster, violating γ2.
+    // The top level uses BRA too (Scheme 3): a validation-vote top with
+    // clean test shards would rescue any topology and mask the structure.
+    let shapes: [(usize, usize, usize); 3] = [(2, 16, 4), (3, 4, 4), (4, 2, 8)];
+
+    println!("## Theorem 2 / Corollary 3 — Definition 4 placement, Type I attack\n");
+    let mut csv = Vec::new();
+    let mut rows = Vec::new();
+    for (levels, m, n_top) in shapes {
+        let label = format!("{levels}-level");
+        if !args.matches(&label) {
+            continue;
+        }
+        let topo = TopologyCfg::Ecsm {
+            total_levels: levels,
+            m,
+            n_top,
+        };
+        let h = topo.build(0);
+        let top_byz = n_top / 4;
+        let per_cluster = m / 4;
+        let mut cells = vec![label.clone()];
+        for (case, pc) in [("at-bound", per_cluster), ("beyond", per_cluster + 1)] {
+            if pc >= m {
+                cells.push("—".to_string());
+                cells.push("—".to_string());
+                continue;
+            }
+            let mask = theory::definition4_placement(&h, top_byz, pc);
+            let proportion =
+                mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
+            let mut accs = Vec::new();
+            for rep in 0..reps {
+                let seed =
+                    derive_seed(args.seed, 0x701 + ((rep as u64) << 16) + levels as u64);
+                let mut cfg = HflConfig::paper_iid(
+                    AttackCfg::Data {
+                        attack: DataAttack::type_i(),
+                        proportion,
+                        placement: Placement::Prefix,
+                    },
+                    seed,
+                );
+                cfg.malicious_override = Some(mask.clone());
+                cfg.topology = topo.clone();
+                let top_f = (n_top / 4).max(1);
+                cfg.levels = vec![LevelAgg::Bra(AggregatorKind::MultiKrum {
+                    f: top_f,
+                    m: n_top - top_f,
+                })];
+                let f = (m / 4).max(1);
+                cfg.levels.extend(std::iter::repeat_n(
+                    LevelAgg::Bra(AggregatorKind::MultiKrum { f, m: m - f }),
+                    levels - 1,
+                ));
+                cfg.flag_level = 1;
+                cfg.rounds = rounds;
+                cfg.eval_every = rounds;
+                cfg.data = SynthConfig {
+                    train_samples: 19_200,
+                    test_samples: 4_000,
+                    ..SynthConfig::default()
+                };
+                let r = run_abd_hfl(&cfg);
+                accs.push(r.final_accuracy);
+                csv.push(format!(
+                    "{levels},{m},{n_top},{case},{proportion:.4},{rep},{:.4}",
+                    r.final_accuracy
+                ));
+            }
+            let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+            cells.push(format!("{:.1}%", proportion * 100.0));
+            cells.push(pct(mean));
+            eprintln!("  {label} {case} (p={proportion:.3}): {}", pct(mean));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "structure",
+                "at-bound proportion",
+                "at-bound accuracy",
+                "beyond proportion",
+                "beyond accuracy"
+            ],
+            &rows
+        )
+    );
+    write_csv(
+        &args.out_dir,
+        "tolerance",
+        "levels,m,n_top,case,proportion,rep,final_accuracy",
+        &csv,
+    );
+}

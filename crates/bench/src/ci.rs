@@ -1,0 +1,105 @@
+//! Repeated-run statistics: the paper reports 5-run averages (Table V)
+//! and confidence bands (Figure 3).
+
+/// Mean / standard deviation / 95 % confidence half-width of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95 % confidence interval.
+    pub ci95: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    /// On an empty sample.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+        };
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * std / (n as f64).sqrt()
+        };
+        Self { mean, std, ci95, n }
+    }
+
+    /// Lower edge of the confidence band.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the confidence band.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// Per-index summaries across runs of equal-length series — the
+/// shaded-band construction of Figure 3.
+///
+/// # Panics
+/// If series lengths differ or the input is empty.
+pub fn summarize_series(runs: &[Vec<f64>]) -> Vec<Summary> {
+    assert!(!runs.is_empty(), "no runs to summarize");
+    let len = runs[0].len();
+    assert!(
+        runs.iter().all(|r| r.len() == len),
+        "series length mismatch"
+    );
+    (0..len)
+        .map(|i| {
+            let col: Vec<f64> = runs.iter().map(|r| r[i]).collect();
+            Summary::of(&col)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[0.9]);
+        assert_eq!(s.mean, 0.9);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-9);
+        assert!(s.lo() < s.mean && s.mean < s.hi());
+    }
+
+    #[test]
+    fn series_bands() {
+        let runs = vec![vec![0.1, 0.5, 0.9], vec![0.3, 0.5, 0.7]];
+        let bands = summarize_series(&runs);
+        assert_eq!(bands.len(), 3);
+        assert!((bands[0].mean - 0.2).abs() < 1e-12);
+        assert_eq!(bands[1].std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_series_panics() {
+        summarize_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

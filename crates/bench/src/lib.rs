@@ -1,0 +1,27 @@
+//! # hfl-bench
+//!
+//! Experiment harness reproducing every table and figure of the ABD-HFL
+//! paper's evaluation (see DESIGN.md §3 for the experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `repro_table5` | Table V — final test accuracy grid |
+//! | `repro_fig3` | Figure 3 — convergence curves with confidence bands |
+//! | `repro_tolerance` | Theorem 2 / Corollary 3 — tolerance bounds vs. empirical |
+//! | `repro_schemes` | Tables III–IV — the four scheme combinations |
+//! | `repro_efficiency` | §III-D / Fig. 2 — pipeline efficiency indicator ν |
+//! | `repro_attacks` | Table I — per-attack damage under plain averaging |
+//! | `repro_defenses` | Table II — per-defense robustness head-to-head |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+//!
+//! All binaries accept `--quick` (reduced rounds/repetitions for smoke
+//! runs), `--rounds N`, `--reps N`, and `--out DIR` (CSV output
+//! directory, default `results/`).
+
+pub mod args;
+pub mod ci;
+pub mod report;
+
+pub use args::Args;
+pub use ci::Summary;

@@ -1,0 +1,91 @@
+//! Report emission: CSV files under the output directory plus markdown
+//! tables on stdout (the format EXPERIMENTS.md quotes).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes CSV rows (with a header) to `dir/name.csv`, creating `dir`.
+///
+/// # Panics
+/// On I/O failure (harness binaries fail fast).
+pub fn write_csv(dir: &str, name: &str, header: &str, rows: &[String]) {
+    fs::create_dir_all(dir).expect("cannot create output directory");
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(f, "{header}").expect("CSV write failed");
+    for r in rows {
+        writeln!(f, "{r}").expect("CSV write failed");
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    assert!(!headers.is_empty(), "table needs headers");
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats an accuracy as the paper does ("89.9%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a mean ± CI pair.
+pub fn pct_ci(mean: f64, ci: f64) -> String {
+    format!("{:.1}%±{:.1}", mean * 100.0, ci * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.8991), "89.9%");
+        assert_eq!(pct_ci(0.8991, 0.012), "89.9%±1.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hfl_bench_test_csv");
+        let dir_s = dir.to_str().unwrap();
+        write_csv(dir_s, "t", "x,y", &["1,2".to_string()]);
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,105 @@
+//! Proposal evaluators: how an honest node scores a proposed model.
+
+use hfl_ml::{Dataset, Model};
+
+/// Scores a proposal from one node's local perspective (higher = better).
+pub trait ProposalEvaluator: Sync {
+    /// Score of `params` as judged by node `voter`.
+    fn score(&self, voter: usize, params: &[f32]) -> f64;
+}
+
+/// Accuracy-based evaluator (the paper's top-level mechanism): node `i`
+/// evaluates a proposal by loading it into a model and measuring accuracy
+/// on its private validation shard — the 10 000 MNIST test images split
+/// evenly over the top-level nodes (Appendix D.B).
+pub struct AccuracyEvaluator {
+    template: Box<dyn Model>,
+    shards: Vec<Dataset>,
+}
+
+impl AccuracyEvaluator {
+    /// Builds the evaluator from a model template (architecture donor)
+    /// and one validation shard per voter.
+    pub fn new(template: Box<dyn Model>, shards: Vec<Dataset>) -> Self {
+        assert!(!shards.is_empty(), "need at least one validation shard");
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "validation shards must be non-empty"
+        );
+        Self { template, shards }
+    }
+
+    /// Number of voters this evaluator can serve.
+    pub fn voters(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl ProposalEvaluator for AccuracyEvaluator {
+    fn score(&self, voter: usize, params: &[f32]) -> f64 {
+        assert!(voter < self.shards.len(), "voter index out of range");
+        let mut model = self.template.clone_box();
+        model.set_params(params);
+        hfl_ml::metrics::accuracy(model.as_ref(), &self.shards[voter])
+    }
+}
+
+/// Distance-based evaluator for tests and for deployments without local
+/// validation data: node `i` scores a proposal by proximity to its own
+/// proposal (negated distance).
+pub struct DistanceEvaluator {
+    own: Vec<Vec<f32>>,
+}
+
+impl DistanceEvaluator {
+    /// One reference vector per voter (typically each node's own
+    /// proposal).
+    pub fn new(own: &[Vec<f32>]) -> Self {
+        assert!(!own.is_empty(), "need at least one reference vector");
+        Self { own: own.to_vec() }
+    }
+}
+
+impl ProposalEvaluator for DistanceEvaluator {
+    fn score(&self, voter: usize, params: &[f32]) -> f64 {
+        assert!(voter < self.own.len(), "voter index out of range");
+        -hfl_tensor::ops::dist(&self.own[voter], params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_ml::LinearSoftmax;
+
+    #[test]
+    fn distance_evaluator_prefers_nearby() {
+        let own = vec![vec![0.0f32, 0.0]];
+        let ev = DistanceEvaluator::new(&own);
+        assert!(ev.score(0, &[0.1, 0.0]) > ev.score(0, &[5.0, 5.0]));
+    }
+
+    #[test]
+    fn accuracy_evaluator_scores_models() {
+        // A 1-dim 2-class task: class 1 iff x > 0.
+        let mut shard = Dataset::empty(1, 2);
+        shard.push(&[-1.0], 0);
+        shard.push(&[1.0], 1);
+        shard.push(&[-2.0], 0);
+        shard.push(&[2.0], 1);
+        let template: Box<dyn Model> = Box::new(LinearSoftmax::new(1, 2));
+        let ev = AccuracyEvaluator::new(template, vec![shard]);
+
+        let good = [-5.0f32, 5.0, 0.0, 0.0]; // predicts sign(x)
+        let bad = [5.0f32, -5.0, 0.0, 0.0]; // inverted
+        assert_eq!(ev.score(0, &good), 1.0);
+        assert_eq!(ev.score(0, &bad), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_voter_panics() {
+        let ev = DistanceEvaluator::new(&[vec![0.0f32]]);
+        ev.score(3, &[0.0]);
+    }
+}

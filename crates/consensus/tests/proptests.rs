@@ -1,0 +1,132 @@
+//! Property-based tests for the consensus mechanisms: safety contracts
+//! under arbitrary honest inputs and adversarial proposals.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hfl_consensus::{
+    ApproxAgreement, Consensus, DistanceEvaluator, PbftConsensus, VoteConsensus,
+};
+
+/// `n` honest proposals near the origin plus `n_bad < n/2` poisoned ones
+/// far away; voters' references are all honest.
+fn scenario() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<usize>)> {
+    (3usize..8).prop_flat_map(|n_good| {
+        let n_bad = (n_good - 1) / 2;
+        let honest = prop::collection::vec(
+            prop::collection::vec(-1.0f32..1.0, 3),
+            n_good,
+        );
+        let bad = prop::collection::vec(
+            prop::collection::vec(500.0f32..1000.0, 3),
+            n_bad,
+        );
+        (honest, bad).prop_map(|(h, b)| {
+            let n_good = h.len();
+            let mut all = h;
+            let bad_idx: Vec<usize> = (0..b.len()).map(|i| n_good + i).collect();
+            all.extend(b);
+            (all, bad_idx)
+        })
+    })
+}
+
+fn honest_refs(proposals: &[Vec<f32>], bad: &[usize]) -> Vec<Vec<f32>> {
+    // Voters score by distance to an honest reference (origin-ish).
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if bad.contains(&i) {
+                vec![0.0f32; p.len()]
+            } else {
+                p.clone()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vote_excludes_every_poisoned_proposal((proposals, bad) in scenario()) {
+        let refs: Vec<&[f32]> = proposals.iter().map(|p| p.as_slice()).collect();
+        let own = honest_refs(&proposals, &bad);
+        let eval = DistanceEvaluator::new(&own);
+        let byz = vec![false; proposals.len()];
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = VoteConsensus::paper_default().decide(&refs, &byz, &eval, &mut rng);
+        for b in &bad {
+            prop_assert!(out.excluded.contains(b),
+                "poisoned proposal {b} survived (excluded: {:?})", out.excluded);
+        }
+        // Decided model stays in the honest region.
+        prop_assert!(hfl_tensor::ops::norm(&out.decided) < 10.0);
+    }
+
+    #[test]
+    fn vote_never_excludes_everything((proposals, bad) in scenario()) {
+        let refs: Vec<&[f32]> = proposals.iter().map(|p| p.as_slice()).collect();
+        let own = honest_refs(&proposals, &bad);
+        let eval = DistanceEvaluator::new(&own);
+        // Even with ALL voters Byzantine the vote must decide something.
+        let byz = vec![true; proposals.len()];
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = VoteConsensus::paper_default().decide(&refs, &byz, &eval, &mut rng);
+        prop_assert!(out.excluded.len() < proposals.len());
+        prop_assert!(out.decided.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn pbft_decides_within_honest_envelope((proposals, bad) in scenario()) {
+        let refs: Vec<&[f32]> = proposals.iter().map(|p| p.as_slice()).collect();
+        let n = proposals.len();
+        // PBFT tolerates f < n/3 protocol-Byzantine nodes; mark at most
+        // that many of the *poisoned-proposal* nodes as protocol-Byzantine.
+        let f_max = PbftConsensus::max_faulty(n);
+        let mut byz = vec![false; n];
+        for b in bad.iter().take(f_max) {
+            byz[*b] = true;
+        }
+        let own = honest_refs(&proposals, &bad);
+        let eval = DistanceEvaluator::new(&own);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = PbftConsensus::default().decide(&refs, &byz, &eval, &mut rng);
+        prop_assert!(out.rounds >= 1);
+        prop_assert!(out.decided.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn approx_agreement_decides_in_hull(
+        proposals in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 3), 4..10),
+    ) {
+        let refs: Vec<&[f32]> = proposals.iter().map(|p| p.as_slice()).collect();
+        let byz = vec![false; proposals.len()];
+        let eval = DistanceEvaluator::new(&proposals);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = ApproxAgreement::new(1e-3, 0).decide(&refs, &byz, &eval, &mut rng);
+        // Decision lies inside the per-coordinate hull of the inputs —
+        // trimmed-mean iterations are hull-preserving.
+        for j in 0..3 {
+            let lo = proposals.iter().map(|p| p[j]).fold(f32::INFINITY, f32::min);
+            let hi = proposals.iter().map(|p| p[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out.decided[j] >= lo - 1e-2 && out.decided[j] <= hi + 1e-2,
+                "coordinate {j}: {} outside [{lo}, {hi}]", out.decided[j]);
+        }
+    }
+
+    #[test]
+    fn approx_agreement_message_count_matches_rounds(
+        proposals in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 2), 4..8),
+    ) {
+        let refs: Vec<&[f32]> = proposals.iter().map(|p| p.as_slice()).collect();
+        let n = proposals.len() as u64;
+        let byz = vec![false; proposals.len()];
+        let eval = DistanceEvaluator::new(&proposals);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = ApproxAgreement::new(1e-2, 0).decide(&refs, &byz, &eval, &mut rng);
+        prop_assert_eq!(out.messages, out.rounds as u64 * n * (n - 1));
+    }
+}

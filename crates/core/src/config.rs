@@ -1,0 +1,387 @@
+//! Experiment configuration: everything needed to reproduce a run from a
+//! single seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use hfl_attacks::{DataAttack, ModelAttack, Placement};
+use hfl_consensus::ConsensusKind;
+use hfl_ml::synth::SynthConfig;
+use hfl_ml::{LinearSoftmax, Mlp, Model, SgdConfig};
+use hfl_robust::AggregatorKind;
+use hfl_simnet::Hierarchy;
+
+use crate::correction::CorrectionPolicy;
+
+/// Which hierarchy to build.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TopologyCfg {
+    /// Equal Cluster Size Model: `total_levels` levels, cluster size `m`,
+    /// `n_top` top nodes (the paper's evaluation: 3 / 4 / 4 → 64 clients).
+    Ecsm {
+        /// Total levels `L + 1`.
+        total_levels: usize,
+        /// Cluster size `m`.
+        m: usize,
+        /// Top-level node count `N_t`.
+        n_top: usize,
+    },
+    /// Arbitrary Cluster Size Model with random cluster sizes.
+    AcsmRandom {
+        /// Bottom-level client count.
+        n_bottom: usize,
+        /// Total levels.
+        total_levels: usize,
+        /// Minimum cluster size.
+        min_size: usize,
+        /// Maximum cluster size.
+        max_size: usize,
+    },
+}
+
+impl TopologyCfg {
+    /// The paper's evaluation topology.
+    pub fn paper() -> Self {
+        TopologyCfg::Ecsm {
+            total_levels: 3,
+            m: 4,
+            n_top: 4,
+        }
+    }
+
+    /// Builds the hierarchy (ACSM uses `seed`).
+    pub fn build(&self, seed: u64) -> Hierarchy {
+        match *self {
+            TopologyCfg::Ecsm {
+                total_levels,
+                m,
+                n_top,
+            } => Hierarchy::ecsm(total_levels, m, n_top),
+            TopologyCfg::AcsmRandom {
+                n_bottom,
+                total_levels,
+                min_size,
+                max_size,
+            } => Hierarchy::acsm_random(n_bottom, total_levels, min_size, max_size, seed),
+        }
+    }
+}
+
+/// Model architecture.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelCfg {
+    /// Multinomial logistic regression.
+    Linear,
+    /// One-hidden-layer MLP ("DNN" in the paper's terms).
+    Mlp {
+        /// Hidden width.
+        hidden: usize,
+    },
+}
+
+impl ModelCfg {
+    /// Instantiates the model for a `dim`-dimensional `classes`-way task.
+    pub fn build(&self, dim: usize, classes: usize, seed: u64) -> Box<dyn Model> {
+        match *self {
+            ModelCfg::Linear => Box::new(LinearSoftmax::new(dim, classes)),
+            ModelCfg::Mlp { hidden } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                Box::new(Mlp::new(dim, hidden, classes, &mut rng))
+            }
+        }
+    }
+}
+
+/// Client data distribution (paper Appendix D).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DataDistribution {
+    /// IID: label-shuffled equal shards.
+    Iid,
+    /// Extreme non-IID: `labels_per_client` labels each, with the honest
+    /// coverage guarantee.
+    NonIid {
+        /// Distinct labels per client (the paper uses 2).
+        labels_per_client: usize,
+    },
+}
+
+/// Byzantine attack configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttackCfg {
+    /// All clients honest.
+    None,
+    /// Data poisoning: malicious clients train honestly on poisoned data.
+    Data {
+        /// The poisoning transformation.
+        attack: DataAttack,
+        /// Fraction of bottom-level clients poisoned.
+        proportion: f64,
+        /// Which clients are poisoned.
+        placement: Placement,
+    },
+    /// Model poisoning: malicious clients replace their trained update
+    /// with a crafted vector (colluding, omniscient within their cluster).
+    Model {
+        /// The update-crafting attack.
+        attack: ModelAttack,
+        /// Fraction of bottom-level clients malicious.
+        proportion: f64,
+        /// Which clients are malicious.
+        placement: Placement,
+    },
+}
+
+impl AttackCfg {
+    /// The malicious fraction (0 for `None`).
+    pub fn proportion(&self) -> f64 {
+        match self {
+            AttackCfg::None => 0.0,
+            AttackCfg::Data { proportion, .. } | AttackCfg::Model { proportion, .. } => {
+                *proportion
+            }
+        }
+    }
+
+    /// The placement strategy (`Prefix` for `None`, matching the paper).
+    pub fn placement(&self) -> Placement {
+        match self {
+            AttackCfg::None => Placement::Prefix,
+            AttackCfg::Data { placement, .. } | AttackCfg::Model { placement, .. } => {
+                *placement
+            }
+        }
+    }
+}
+
+/// Per-level aggregation choice (Algorithm 3's `BRA` / `CBA` switch).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LevelAgg {
+    /// Byzantine-robust aggregation: the cluster leader collects and
+    /// aggregates.
+    Bra(AggregatorKind),
+    /// Consensus-based aggregation: cluster members agree with no trusted
+    /// leader.
+    Cba(ConsensusKind),
+}
+
+/// Full experiment configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HflConfig {
+    /// Hierarchy shape.
+    pub topology: TopologyCfg,
+    /// Global rounds `R` (paper: 200).
+    pub rounds: usize,
+    /// Local iterations `T` per round (paper: 5).
+    pub local_iters: usize,
+    /// SGD hyper-parameters.
+    pub sgd: SgdConfig,
+    /// Model architecture.
+    pub model: ModelCfg,
+    /// Synthetic-task generator settings.
+    pub data: SynthConfig,
+    /// Client data distribution.
+    pub distribution: DataDistribution,
+    /// Aggregation rule per level, index = level (0 = top/global). Length
+    /// must equal the hierarchy's level count.
+    pub levels: Vec<LevelAgg>,
+    /// Collection quorum φ: the fraction of a cluster's models a leader
+    /// waits for before aggregating (Algorithm 4). The synchronous driver
+    /// uses all models when φ = 1.
+    pub quorum: f64,
+    /// Byzantine attack.
+    pub attack: AttackCfg,
+    /// Correction-factor policy (used by the asynchronous driver).
+    pub correction: CorrectionPolicy,
+    /// Flag level ℓ_F (used by the asynchronous driver; must be in
+    /// `1..=L−1`, or `1` for the paper's 3-level structure... any
+    /// intermediate level).
+    pub flag_level: usize,
+    /// Evaluate test accuracy every this many rounds (1 = every round).
+    pub eval_every: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Explicit malicious mask overriding `attack`'s proportion/placement
+    /// (used by the Theorem 2 / Definition 4 experiments, which place
+    /// adversaries structurally). Length must equal the client count.
+    #[serde(default)]
+    pub malicious_override: Option<Vec<bool>>,
+    /// Client churn (Assumption 3: nodes join/leave clusters, clusters
+    /// never split or merge): per round, each non-leader bottom client is
+    /// absent with this probability — its update never reaches its
+    /// leader. Leaders stay (they are the cluster's infrastructure role).
+    #[serde(default)]
+    pub churn_leave_prob: f64,
+}
+
+impl HflConfig {
+    /// The paper's Table V / Figure 3 configuration at a given attack:
+    /// 3 levels, m = 4, 4 top nodes, 200 rounds, 5 local iterations,
+    /// Scheme 1 (Multi-Krum partials at 25 % assumed malicious,
+    /// validation-vote consensus at the top).
+    pub fn paper_iid(attack: AttackCfg, seed: u64) -> Self {
+        Self {
+            topology: TopologyCfg::paper(),
+            rounds: 200,
+            local_iters: 5,
+            sgd: SgdConfig::default(),
+            model: ModelCfg::Linear,
+            data: SynthConfig::default(),
+            distribution: DataDistribution::Iid,
+            levels: vec![
+                // Top: consensus (Scheme 1).
+                LevelAgg::Cba(ConsensusKind::VoteMajority),
+                // Intermediate + bottom-cluster aggregation: Multi-Krum
+                // with the paper's assumed 25 % malicious (f = 1 of 4,
+                // averaging the best 3).
+                LevelAgg::Bra(AggregatorKind::MultiKrum { f: 1, m: 3 }),
+                LevelAgg::Bra(AggregatorKind::MultiKrum { f: 1, m: 3 }),
+            ],
+            quorum: 1.0,
+            attack,
+            correction: CorrectionPolicy::default(),
+            flag_level: 1,
+            eval_every: 1,
+            seed,
+            malicious_override: None,
+            churn_leave_prob: 0.0,
+        }
+    }
+
+    /// The paper's non-IID configuration: Median partial aggregation.
+    pub fn paper_noniid(attack: AttackCfg, seed: u64) -> Self {
+        Self {
+            distribution: DataDistribution::NonIid {
+                labels_per_client: 2,
+            },
+            levels: vec![
+                LevelAgg::Cba(ConsensusKind::VoteMajority),
+                LevelAgg::Bra(AggregatorKind::Median),
+                LevelAgg::Bra(AggregatorKind::Median),
+            ],
+            ..Self::paper_iid(attack, seed)
+        }
+    }
+
+    /// A fast configuration for tests and examples: 3 levels but a small
+    /// synthetic task and few rounds.
+    pub fn quick(attack: AttackCfg, seed: u64) -> Self {
+        Self {
+            rounds: 30,
+            data: SynthConfig {
+                train_samples: 6_400,
+                test_samples: 1_000,
+                ..SynthConfig::default()
+            },
+            eval_every: 5,
+            ..Self::paper_iid(attack, seed)
+        }
+    }
+
+    /// Validates internal consistency against the built hierarchy.
+    ///
+    /// # Panics
+    /// On inconsistency (wrong `levels` length, flag level out of range,
+    /// quorum out of `(0, 1]`, zero rounds...).
+    pub fn validate(&self, hierarchy: &Hierarchy) {
+        assert!(self.rounds > 0, "rounds must be positive");
+        assert!(self.local_iters > 0, "local_iters must be positive");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+        assert!(
+            self.quorum > 0.0 && self.quorum <= 1.0,
+            "quorum must be in (0, 1]"
+        );
+        assert_eq!(
+            self.levels.len(),
+            hierarchy.num_levels(),
+            "levels config length must match hierarchy depth"
+        );
+        assert!(
+            self.flag_level >= 1 && self.flag_level < hierarchy.num_levels(),
+            "flag level must be an intermediate-or-bottom aggregation level"
+        );
+        assert!(
+            self.attack.proportion() <= 1.0,
+            "attack proportion out of range"
+        );
+        if let Some(mask) = &self.malicious_override {
+            assert_eq!(
+                mask.len(),
+                hierarchy.num_clients(),
+                "malicious override mask length must equal client count"
+            );
+        }
+        assert!(
+            (0.0..1.0).contains(&self.churn_leave_prob),
+            "churn leave probability must be in [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_consistent() {
+        let cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(cfg.seed);
+        cfg.validate(&h);
+        assert_eq!(h.num_clients(), 64);
+        assert_eq!(cfg.rounds, 200);
+        assert_eq!(cfg.local_iters, 5);
+    }
+
+    #[test]
+    fn noniid_uses_median() {
+        let cfg = HflConfig::paper_noniid(AttackCfg::None, 0);
+        assert!(matches!(
+            cfg.levels[1],
+            LevelAgg::Bra(AggregatorKind::Median)
+        ));
+        assert!(matches!(
+            cfg.distribution,
+            DataDistribution::NonIid {
+                labels_per_client: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn model_cfg_builds_both_architectures() {
+        let lin = ModelCfg::Linear.build(8, 10, 0);
+        assert_eq!(lin.param_len(), 8 * 10 + 10);
+        let mlp = ModelCfg::Mlp { hidden: 16 }.build(8, 10, 0);
+        assert_eq!(mlp.param_len(), 16 * 8 + 16 + 10 * 16 + 10);
+    }
+
+    #[test]
+    fn attack_cfg_accessors() {
+        assert_eq!(AttackCfg::None.proportion(), 0.0);
+        let a = AttackCfg::Data {
+            attack: DataAttack::type_i(),
+            proportion: 0.3,
+            placement: Placement::Random,
+        };
+        assert_eq!(a.proportion(), 0.3);
+        assert_eq!(a.placement(), Placement::Random);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels config length")]
+    fn wrong_levels_length_panics() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        cfg.levels.pop();
+        let h = cfg.topology.build(0);
+        cfg.validate(&h);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn zero_quorum_panics() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        cfg.quorum = 0.0;
+        let h = cfg.topology.build(0);
+        cfg.validate(&h);
+    }
+}

@@ -1,0 +1,510 @@
+//! The synchronous-round reference driver — the evaluation mode of the
+//! paper's own simulation (Algorithms 1–6 executed phase-by-phase each
+//! global round; the pipeline/asynchrony aspects are studied separately
+//! by [`crate::pipeline`], which measures timing on the event simulator).
+//!
+//! Per round:
+//! 1. **LocalModelTraining** (Algorithm 2): every bottom device trains the
+//!    current global model for `T` SGD iterations on its (possibly
+//!    poisoned) shard — in parallel across clients.
+//! 2. Model-poisoning attackers replace their trained update with a
+//!    crafted vector (omniscient collusion).
+//! 3. **PartialModelAggregation** (Algorithms 3–4): bottom-up per-cluster
+//!    aggregation with the per-level BRA/CBA choice and quorum φ.
+//! 4. **GlobalModelAggregation** (Algorithm 6): the top cluster forms the
+//!    global model by BRA or consensus (validation voting over the test
+//!    shards, Appendix D.B).
+//! 5. **DisseminateModel** (Algorithm 5): the new global model reaches
+//!    every device (message costs accounted level by level).
+
+use rand::seq::SliceRandom;
+
+use hfl_attacks::malicious_mask;
+use hfl_consensus::eval::AccuracyEvaluator;
+use hfl_ml::partition::{iid_partition, noniid_partition};
+use hfl_ml::rng::rng_for_n;
+use hfl_ml::sgd::train_local;
+use hfl_ml::synth::SyntheticDigits;
+use hfl_ml::{Dataset, Model};
+use hfl_simnet::Hierarchy;
+
+use crate::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg};
+
+/// Outcome of one full training run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// `(round, test accuracy)` at each evaluation point (always includes
+    /// the final round).
+    pub accuracy: Vec<(usize, f64)>,
+    /// Test accuracy of the final global model.
+    pub final_accuracy: f64,
+    /// Total model-bearing messages exchanged.
+    pub messages: u64,
+    /// Total payload bytes exchanged.
+    pub bytes: u64,
+    /// Total proposals excluded by consensus across all rounds.
+    pub excluded_total: u64,
+    /// Total client-round absences caused by churn.
+    pub absent_total: u64,
+}
+
+/// Mutable cost accumulators threaded through a round of aggregation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostCounters {
+    /// Model-bearing messages.
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Proposals excluded by consensus.
+    pub excluded: u64,
+    /// Client-round absences from churn.
+    pub absent: u64,
+}
+
+/// Pre-built, reusable experiment state (task generation and partitioning
+/// are the expensive, attack-independent steps — the Table V harness
+/// reuses them across the malicious-proportion sweep where possible).
+pub struct Experiment {
+    /// The hierarchy.
+    pub hierarchy: Hierarchy,
+    /// The synthetic task.
+    pub task: SyntheticDigits,
+    /// Per-client training shards (post-poisoning).
+    pub client_data: Vec<Dataset>,
+    /// Which bottom clients are malicious.
+    pub malicious: Vec<bool>,
+    /// The model template (architecture + initial parameters).
+    pub template: Box<dyn Model>,
+    config: HflConfig,
+}
+
+impl Experiment {
+    /// Builds everything deterministic-from-seed: hierarchy, task,
+    /// malicious mask, partition, data poisoning, model init.
+    pub fn prepare(cfg: &HflConfig) -> Self {
+        let hierarchy = cfg.topology.build(cfg.seed);
+        cfg.validate(&hierarchy);
+        let n_clients = hierarchy.num_clients();
+
+        let mut data_cfg = cfg.data.clone();
+        data_cfg.seed = hfl_ml::rng::derive_seed(cfg.seed, 0xDA7A);
+        let task = SyntheticDigits::generate(&data_cfg);
+
+        let malicious = match &cfg.malicious_override {
+            Some(mask) => mask.clone(),
+            None => malicious_mask(
+                n_clients,
+                cfg.attack.proportion(),
+                cfg.attack.placement(),
+                hfl_ml::rng::derive_seed(cfg.seed, 0xBAD),
+            ),
+        };
+
+        let mut client_data = match &cfg.distribution {
+            DataDistribution::Iid => iid_partition(&task.train, n_clients, cfg.seed),
+            DataDistribution::NonIid { labels_per_client } => noniid_partition(
+                &task.train,
+                n_clients,
+                *labels_per_client,
+                &malicious,
+                cfg.seed,
+            ),
+        };
+
+        // Data poisoning happens once, up front: poisoned devices then
+        // train "honestly" on poisoned data for the whole run.
+        if let AttackCfg::Data { attack, .. } = &cfg.attack {
+            for (c, is_bad) in malicious.iter().enumerate() {
+                if *is_bad {
+                    let mut rng = rng_for_n(cfg.seed, &[0x1207, c as u64]);
+                    attack.apply(&mut client_data[c], &mut rng);
+                }
+            }
+        }
+
+        let template = cfg.model.build(
+            task.train.dim(),
+            task.train.num_classes(),
+            hfl_ml::rng::derive_seed(cfg.seed, 0x0de1),
+        );
+
+        Self {
+            hierarchy,
+            task,
+            client_data,
+            malicious,
+            template,
+            config: cfg.clone(),
+        }
+    }
+
+    /// The configuration this experiment was prepared from.
+    pub fn config(&self) -> &HflConfig {
+        &self.config
+    }
+
+    /// Trains every client for one round from `global`, in parallel.
+    /// Returns one update per client (crafted updates substituted for
+    /// model-poisoning attackers).
+    pub fn train_round(&self, global: &[f32], round: usize) -> Vec<Vec<f32>> {
+        let cfg = &self.config;
+        let n = self.client_data.len();
+        let threads = hfl_parallel::default_threads();
+        let mut updates = hfl_parallel::par_map_indexed(n, threads, |c| {
+            let mut model = self.template.clone_box();
+            model.set_params(global);
+            let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
+            train_local(
+                model.as_mut(),
+                &self.client_data[c],
+                &cfg.sgd.at_round(round),
+                cfg.local_iters,
+                &mut rng,
+            );
+            model.params().to_vec()
+        });
+
+        if let AttackCfg::Model { attack, .. } = &cfg.attack {
+            let honest: Vec<&[f32]> = updates
+                .iter()
+                .zip(&self.malicious)
+                .filter(|(_, bad)| !**bad)
+                .map(|(u, _)| u.as_slice())
+                .collect();
+            if !honest.is_empty() {
+                let mut rng = rng_for_n(cfg.seed, &[round as u64, 0xE71]);
+                let crafted = attack.craft(&honest, &mut rng);
+                for (u, bad) in updates.iter_mut().zip(&self.malicious) {
+                    if *bad {
+                        u.copy_from_slice(&crafted);
+                    }
+                }
+            }
+        }
+        updates
+    }
+
+    /// True when this device misbehaves *inside* aggregation protocols
+    /// (only model-poisoning adversaries do; data poisoners follow the
+    /// protocol honestly — paper Appendix D).
+    fn protocol_byzantine(&self, device: usize) -> bool {
+        matches!(self.config.attack, AttackCfg::Model { .. }) && self.malicious[device]
+    }
+
+    /// Which clients participate this round under churn (Assumption 3).
+    /// Leaders always participate; others leave independently with
+    /// `churn_leave_prob`. All-present when churn is disabled.
+    pub fn active_mask(&self, round: usize) -> Vec<bool> {
+        let p = self.config.churn_leave_prob;
+        let n = self.client_data.len();
+        if p == 0.0 {
+            return vec![true; n];
+        }
+        let bottom = self.hierarchy.bottom_level();
+        let mut rng = rng_for_n(self.config.seed, &[round as u64, 0xC842]);
+        let leaders: std::collections::HashSet<usize> = self
+            .hierarchy
+            .level(bottom)
+            .clusters
+            .iter()
+            .map(|c| c.leader())
+            .collect();
+        (0..n)
+            .map(|c| leaders.contains(&c) || !rand::Rng::gen_bool(&mut rng, p))
+            .collect()
+    }
+
+    /// Runs one round of bottom-up aggregation given per-client updates;
+    /// returns the new global model and accumulates cost counters.
+    pub fn aggregate_round(
+        &self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+    ) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = &self.hierarchy;
+        let bottom = h.bottom_level();
+        let d = updates[0].len();
+        let model_bytes = (d * 4) as u64;
+        let active = self.active_mask(round);
+        cost.absent += active.iter().filter(|a| !**a).count() as u64;
+
+        // models_of_level[device] = the model this level-ℓ node carries
+        // upward. At the bottom that is its local update; above, the
+        // partial aggregate of the cluster it leads.
+        let mut carried: Vec<Vec<f32>> = updates.to_vec();
+
+        // Partial aggregation: levels L down to 1.
+        for l in (1..=bottom).rev() {
+            let level = h.level(l);
+            let mut next: Vec<Vec<f32>> = carried.clone();
+            for (ci, cluster) in level.clusters.iter().enumerate() {
+                // Churn removes absent bottom members entirely; the
+                // quorum then keeps the first ⌈φ·present⌉ of a random
+                // arrival order (Algorithm 4's wait-until-quorum).
+                let present: Vec<usize> = (0..cluster.len())
+                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
+                    .collect();
+                let mut order = present;
+                let mut rng =
+                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
+                order.shuffle(&mut rng);
+                let quorum = ((cfg.quorum * order.len() as f64).ceil() as usize)
+                    .clamp(1, order.len().max(1));
+                let kept: Vec<usize> = {
+                    let mut k = order[..quorum.min(order.len())].to_vec();
+                    k.sort_unstable();
+                    k
+                };
+                let inputs: Vec<&[f32]> = kept
+                    .iter()
+                    .map(|&mi| carried[cluster.members[mi]].as_slice())
+                    .collect();
+                let partial = match &cfg.levels[l] {
+                    LevelAgg::Bra(kind) => {
+                        // Members upload to the leader; leader broadcasts
+                        // the partial back to the cluster (Algorithm 3).
+                        cost.messages += (quorum + cluster.len()) as u64;
+                        cost.bytes += (quorum + cluster.len()) as u64 * model_bytes;
+                        kind.build().aggregate(&inputs, None)
+                    }
+                    LevelAgg::Cba(kind) => {
+                        let byz: Vec<bool> = kept
+                            .iter()
+                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
+                            .collect();
+                        let own: Vec<Vec<f32>> =
+                            inputs.iter().map(|i| i.to_vec()).collect();
+                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
+                        let out = kind.build().decide(&inputs, &byz, &eval, &mut rng);
+                        cost.messages += out.messages;
+                        cost.bytes += out.bytes;
+                        cost.excluded += out.excluded.len() as u64;
+                        out.decided
+                    }
+                };
+                next[cluster.leader()] = partial;
+            }
+            carried = next;
+        }
+
+        // Global aggregation at the top cluster.
+        let top = &h.level(0).clusters[0];
+        let proposals: Vec<&[f32]> = top
+            .members
+            .iter()
+            .map(|&dev| carried[dev].as_slice())
+            .collect();
+        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
+        let global = match &cfg.levels[0] {
+            LevelAgg::Bra(kind) => {
+                cost.messages += (2 * top.len()) as u64;
+                cost.bytes += (2 * top.len()) as u64 * model_bytes;
+                kind.build().aggregate(&proposals, None)
+            }
+            LevelAgg::Cba(kind) => {
+                // Validation voting over the test shards (Appendix D.B):
+                // the 10 000 test samples split evenly over the top nodes.
+                let shards = self.task.test.split_even(top.len());
+                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
+                let byz: Vec<bool> = top
+                    .members
+                    .iter()
+                    .map(|&dev| self.protocol_byzantine(dev))
+                    .collect();
+                let out = kind.build().decide(&proposals, &byz, &eval, &mut rng);
+                cost.messages += out.messages;
+                cost.bytes += out.bytes;
+                cost.excluded += out.excluded.len() as u64;
+                out.decided
+            }
+        };
+
+        // Dissemination: the global model travels one model-transfer per
+        // node per level on its way down (Algorithm 5).
+        let downstream: u64 = (1..=bottom).map(|l| h.level(l).num_nodes() as u64).sum();
+        cost.messages += downstream;
+        cost.bytes += downstream * model_bytes;
+
+        global
+    }
+
+    /// Test accuracy of a parameter vector.
+    pub fn evaluate(&self, params: &[f32]) -> f64 {
+        let mut model = self.template.clone_box();
+        model.set_params(params);
+        hfl_ml::metrics::accuracy_parallel(
+            model.as_ref(),
+            &self.task.test,
+            hfl_parallel::default_threads(),
+        )
+    }
+}
+
+/// Runs the full ABD-HFL training loop described by `cfg`.
+pub fn run_abd_hfl(cfg: &HflConfig) -> RunResult {
+    let exp = Experiment::prepare(cfg);
+    run_prepared(&exp)
+}
+
+/// Runs a prepared experiment (exposed so harnesses can reuse the
+/// preparation across repetitions).
+pub fn run_prepared(exp: &Experiment) -> RunResult {
+    let cfg = exp.config();
+    let mut global = exp.template.params().to_vec();
+    let mut cost = CostCounters::default();
+    let mut accuracy = Vec::new();
+
+    for round in 0..cfg.rounds {
+        let updates = exp.train_round(&global, round);
+        global = exp.aggregate_round(&updates, round, &mut cost);
+        if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+            accuracy.push((round + 1, exp.evaluate(&global)));
+        }
+    }
+    let final_accuracy = accuracy.last().map(|(_, a)| *a).unwrap_or(0.0);
+    RunResult {
+        accuracy,
+        final_accuracy,
+        messages: cost.messages,
+        bytes: cost.bytes,
+        excluded_total: cost.excluded,
+        absent_total: cost.absent,
+    }
+}
+
+/// Convenience for the repeated-runs protocol of the paper (5 runs,
+/// seeds `seed + k`): returns the per-run results.
+pub fn run_repeated(cfg: &HflConfig, repetitions: usize) -> Vec<RunResult> {
+    assert!(repetitions > 0, "need at least one repetition");
+    (0..repetitions)
+        .map(|k| {
+            let mut c = cfg.clone();
+            c.seed = hfl_ml::rng::derive_seed(cfg.seed, 0x2E9 + k as u64);
+            run_abd_hfl(&c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HflConfig;
+    use hfl_attacks::{DataAttack, Placement};
+
+    fn quick(attack: AttackCfg, seed: u64) -> HflConfig {
+        let mut cfg = HflConfig::quick(attack, seed);
+        cfg.rounds = 25;
+        cfg.eval_every = 25;
+        cfg
+    }
+
+    #[test]
+    fn honest_run_learns() {
+        let r = run_abd_hfl(&quick(AttackCfg::None, 1));
+        assert!(
+            r.final_accuracy > 0.75,
+            "clean accuracy only {}",
+            r.final_accuracy
+        );
+        assert!(r.messages > 0 && r.bytes > 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = run_abd_hfl(&quick(AttackCfg::None, 7));
+        let b = run_abd_hfl(&quick(AttackCfg::None, 7));
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn survives_30_percent_type_i_poisoning() {
+        let attack = AttackCfg::Data {
+            attack: DataAttack::type_i(),
+            proportion: 0.3,
+            placement: Placement::Prefix,
+        };
+        let r = run_abd_hfl(&quick(attack, 2));
+        assert!(
+            r.final_accuracy > 0.7,
+            "ABD-HFL collapsed at 30 %: {}",
+            r.final_accuracy
+        );
+    }
+
+    #[test]
+    fn consensus_excludes_poisoned_proposals() {
+        let attack = AttackCfg::Data {
+            attack: DataAttack::type_i(),
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        };
+        let r = run_abd_hfl(&quick(attack, 3));
+        // One proposal excluded per round by the vote.
+        assert!(r.excluded_total > 0);
+    }
+
+    #[test]
+    fn quorum_below_one_still_converges() {
+        let mut cfg = quick(AttackCfg::None, 4);
+        cfg.quorum = 0.75;
+        let r = run_abd_hfl(&cfg);
+        assert!(r.final_accuracy > 0.7, "quorum run: {}", r.final_accuracy);
+    }
+
+    #[test]
+    fn repeated_runs_vary_but_agree_roughly() {
+        let runs = run_repeated(&quick(AttackCfg::None, 5), 2);
+        assert_eq!(runs.len(), 2);
+        assert_ne!(runs[0].final_accuracy, runs[1].final_accuracy);
+        assert!((runs[0].final_accuracy - runs[1].final_accuracy).abs() < 0.15);
+    }
+
+    #[test]
+    fn churn_is_tolerated() {
+        // 20 % of non-leader clients absent per round (Assumption 3):
+        // learning still converges and absences are counted.
+        let mut cfg = quick(AttackCfg::None, 11);
+        cfg.churn_leave_prob = 0.2;
+        let r = run_abd_hfl(&cfg);
+        assert!(r.final_accuracy > 0.7, "churn run: {}", r.final_accuracy);
+        // ≈ 0.2 × 48 non-leaders × 25 rounds = 240 expected absences.
+        assert!(
+            r.absent_total > 120 && r.absent_total < 400,
+            "absences: {}",
+            r.absent_total
+        );
+    }
+
+    #[test]
+    fn zero_churn_has_zero_absences() {
+        let r = run_abd_hfl(&quick(AttackCfg::None, 12));
+        assert_eq!(r.absent_total, 0);
+    }
+
+    #[test]
+    fn leaders_never_churn() {
+        let mut cfg = quick(AttackCfg::None, 13);
+        cfg.churn_leave_prob = 0.9;
+        let exp = Experiment::prepare(&cfg);
+        let bottom = exp.hierarchy.bottom_level();
+        for round in 0..5 {
+            let active = exp.active_mask(round);
+            for cluster in &exp.hierarchy.level(bottom).clusters {
+                assert!(active[cluster.leader()], "leader churned out");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_series_has_eval_points() {
+        let mut cfg = quick(AttackCfg::None, 6);
+        cfg.rounds = 10;
+        cfg.eval_every = 2;
+        let r = run_abd_hfl(&cfg);
+        assert_eq!(r.accuracy.len(), 5);
+        assert_eq!(r.accuracy.last().unwrap().0, 10);
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the asynchronous pipeline driver: trace
+//! consistency, topology generality, and agreement with the synchronous
+//! reference driver on what is learned.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
+use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
+use abd_hfl_core::runner::run_abd_hfl;
+use hfl_consensus::ConsensusKind;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+use hfl_simnet::DelayModel;
+
+fn small_cfg(seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(AttackCfg::None, seed);
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 500,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+fn pcfg(rounds: usize) -> PipelineConfig {
+    PipelineConfig {
+        rounds,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn every_round_has_complete_timing() {
+    let res = run_pipeline(&small_cfg(1), &pcfg(5));
+    assert_eq!(res.rounds.len(), 5, "missing round timings");
+    for (i, rt) in res.rounds.iter().enumerate() {
+        assert_eq!(rt.round, i);
+        assert!(rt.sigma > 0.0 && rt.sigma_w >= 0.0);
+        assert!(rt.sigma_pg <= rt.sigma + 1e-12);
+    }
+}
+
+#[test]
+fn corrections_are_applied_in_the_pipeline() {
+    let res = run_pipeline(&small_cfg(2), &pcfg(5));
+    assert!(
+        res.corrections_applied > 0,
+        "Eq. (1) merge path never executed"
+    );
+}
+
+#[test]
+fn pipeline_works_on_two_level_hierarchy() {
+    let mut cfg = small_cfg(3);
+    cfg.topology = TopologyCfg::Ecsm {
+        total_levels: 2,
+        m: 8,
+        n_top: 4,
+    };
+    cfg.levels = vec![
+        LevelAgg::Cba(ConsensusKind::VoteMajority),
+        LevelAgg::Bra(AggregatorKind::Median),
+    ];
+    cfg.flag_level = 1;
+    let res = run_pipeline(&cfg, &pcfg(3));
+    assert!(!res.rounds.is_empty());
+    assert!(res.final_accuracy > 0.3, "acc {}", res.final_accuracy);
+}
+
+#[test]
+fn pipeline_works_on_four_level_hierarchy() {
+    let mut cfg = small_cfg(4);
+    cfg.topology = TopologyCfg::Ecsm {
+        total_levels: 4,
+        m: 2,
+        n_top: 8,
+    };
+    cfg.levels = vec![
+        LevelAgg::Cba(ConsensusKind::VoteMajority),
+        LevelAgg::Bra(AggregatorKind::Median),
+        LevelAgg::Bra(AggregatorKind::Median),
+        LevelAgg::Bra(AggregatorKind::Median),
+    ];
+    cfg.flag_level = 2;
+    let res = run_pipeline(&cfg, &pcfg(3));
+    assert!(!res.rounds.is_empty());
+}
+
+#[test]
+fn async_and_sync_drivers_learn_comparable_models() {
+    // The pipeline is a *scheduling* change; what is learned per unit of
+    // training should be comparable to the synchronous driver on the
+    // same task (within a generous band — the async run sees fewer
+    // effective global combinations).
+    let mut cfg = small_cfg(5);
+    cfg.rounds = 12;
+    cfg.eval_every = 12;
+    let sync = run_abd_hfl(&cfg);
+    let asyn = run_pipeline(&cfg, &pcfg(12));
+    assert!(
+        (sync.final_accuracy - asyn.final_accuracy).abs() < 0.25,
+        "drivers diverge: sync {} vs async {}",
+        sync.final_accuracy,
+        asyn.final_accuracy
+    );
+}
+
+#[test]
+fn slow_network_degrades_nu() {
+    // When the network dominates, σw grows and the efficiency indicator
+    // drops — Eq. (3)'s qualitative content.
+    let cfg = small_cfg(6);
+    let fast = run_pipeline(
+        &cfg,
+        &PipelineConfig {
+            net_delay: DelayModel::Constant { micros: 100 },
+            ..pcfg(4)
+        },
+    );
+    let slow = run_pipeline(
+        &cfg,
+        &PipelineConfig {
+            net_delay: DelayModel::Constant { micros: 30_000 },
+            ..pcfg(4)
+        },
+    );
+    let mean_w = |r: &abd_hfl_core::pipeline::PipelineResult| {
+        r.rounds.iter().map(|t| t.sigma_w).sum::<f64>() / r.rounds.len() as f64
+    };
+    assert!(
+        mean_w(&slow) > mean_w(&fast),
+        "slow network should increase waiting"
+    );
+}
+
+#[test]
+fn message_volume_scales_with_rounds() {
+    let a = run_pipeline(&small_cfg(7), &pcfg(2));
+    let b = run_pipeline(&small_cfg(7), &pcfg(6));
+    assert!(
+        b.messages > 2 * a.messages,
+        "messages must grow with rounds: {} vs {}",
+        a.messages,
+        b.messages
+    );
+}

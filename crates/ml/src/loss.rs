@@ -1,0 +1,106 @@
+//! Softmax and cross-entropy primitives shared by the models.
+
+/// Numerically-stable in-place softmax: `logits` becomes a probability
+/// vector.
+pub fn softmax_in_place(logits: &mut [f32]) {
+    assert!(!logits.is_empty(), "softmax of empty vector");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for l in logits.iter_mut() {
+        *l = (*l - max).exp();
+        sum += *l;
+    }
+    // sum >= 1 because one exponent is exp(0) = 1.
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+}
+
+/// Cross-entropy loss of a probability vector against an integer label.
+/// Probabilities are clamped away from zero to avoid infinities.
+#[inline]
+pub fn cross_entropy(probs: &[f32], y: u8) -> f64 {
+    let p = probs[y as usize].max(1e-12);
+    -(p as f64).ln()
+}
+
+/// Writes the softmax-cross-entropy output gradient `p − onehot(y)` into
+/// `probs` in place (the standard fused backward step).
+#[inline]
+pub fn ce_grad_in_place(probs: &mut [f32], y: u8) {
+    probs[y as usize] -= 1.0;
+}
+
+/// Index of the maximum element (argmax prediction). Ties resolve to the
+/// first maximum, which keeps predictions deterministic.
+#[inline]
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty vector");
+    let mut best = 0usize;
+    let mut best_v = xs[0];
+    for (i, v) in xs.iter().enumerate().skip(1) {
+        if *v > best_v {
+            best_v = *v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut l = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut l);
+        let s: f32 = l.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(l[2] > l[1] && l[1] > l[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [101.0, 102.0, 103.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let mut l = [1000.0, 0.0];
+        softmax_in_place(&mut l);
+        assert!(l[0] > 0.999 && l.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let ce = cross_entropy(&[0.0, 1.0, 0.0], 1);
+        assert!(ce.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_wrong_prediction_is_large() {
+        let ce = cross_entropy(&[1.0, 0.0], 1);
+        assert!(ce > 20.0); // -ln(1e-12)
+    }
+
+    #[test]
+    fn ce_grad_subtracts_onehot() {
+        let mut p = [0.2, 0.5, 0.3];
+        ce_grad_in_place(&mut p, 1);
+        assert!((p[1] - (-0.5)).abs() < 1e-6);
+        assert!((p[0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The flat-parameter model abstraction every FL component works against.
+
+use rand::rngs::StdRng;
+
+use crate::dataset::Dataset;
+
+/// A classification model whose parameters live in one contiguous buffer.
+///
+/// Federated learning, Byzantine-robust aggregation and consensus all
+/// exchange *flat parameter vectors*; a `Model` is the bridge between
+/// those vectors and forward/backward computation. Implementations keep
+/// their parameters in a single `Vec<f32>` so `params()` is a zero-copy
+/// borrow.
+pub trait Model: Send + Sync {
+    /// Total number of scalar parameters.
+    fn param_len(&self) -> usize;
+
+    /// Borrow the flat parameter vector.
+    fn params(&self) -> &[f32];
+
+    /// Overwrite the parameters from a flat vector of exactly
+    /// [`Model::param_len`] elements.
+    fn set_params(&mut self, p: &[f32]);
+
+    /// Predicted class for one feature row.
+    fn predict(&self, x: &[f32]) -> u8;
+
+    /// Computes the mean cross-entropy loss over the batch `indices` of
+    /// `data` and *accumulates* the mean gradient into `grad` (callers
+    /// zero `grad` first). Returns the mean loss.
+    fn loss_grad_batch(&self, data: &Dataset, indices: &[usize], grad: &mut [f32]) -> f64;
+
+    /// Re-initializes the parameters from an RNG (fresh model, same
+    /// architecture).
+    fn reinit(&mut self, rng: &mut StdRng);
+
+    /// Clones the model behind the trait object.
+    fn clone_box(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Mean loss of a model over an entire dataset (no gradient) — used for
+/// monitoring and by validation-vote consensus variants that score by
+/// loss instead of accuracy.
+pub fn mean_loss(model: &dyn Model, data: &Dataset) -> f64 {
+    assert!(!data.is_empty(), "mean_loss over empty dataset");
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let mut scratch = vec![0.0f32; model.param_len()];
+    model.loss_grad_batch(data, &indices, &mut scratch)
+}

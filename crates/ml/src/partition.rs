@@ -1,0 +1,250 @@
+//! Client data partitioners (paper Appendix D).
+//!
+//! * **IID**: "training samples for each label are shuffled and then
+//!   distributed equally to all clients" — every client sees every label.
+//! * **Extreme non-IID**: equal-size shards, each client holds only
+//!   `labels_per_client` (= 2) labels, with the paper's special guarantee
+//!   that the *honest* clients as a whole cover all labels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::rng::derive_seed;
+
+/// IID partition: per-label shuffle, then round-robin deal to clients so
+/// each client receives a near-equal, label-balanced shard.
+pub fn iid_partition(data: &Dataset, n_clients: usize, seed: u64) -> Vec<Dataset> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(!data.is_empty(), "cannot partition empty dataset");
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x11D));
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    let mut cursor = 0usize;
+    for mut group in data.indices_by_label() {
+        group.shuffle(&mut rng);
+        for idx in group {
+            assignments[cursor % n_clients].push(idx);
+            cursor += 1;
+        }
+    }
+    assignments.iter().map(|a| data.subset(a)).collect()
+}
+
+/// Extreme non-IID partition with the honest-coverage guarantee.
+///
+/// Each label's samples are split into near-equal shards so that the
+/// total shard count is `n_clients · labels_per_client`; every client
+/// receives exactly `labels_per_client` shards and therefore holds at
+/// most that many distinct labels. The paper's guarantee — *honest*
+/// clients together cover all labels — is enforced constructively:
+/// the first `⌈k / labels_per_client⌉` honest clients are *anchors*, and
+/// anchor `i` receives one shard of each label in
+/// `{i·lpc, …, i·lpc + lpc − 1}`. All remaining shards are shuffled and
+/// dealt to the remaining clients.
+///
+/// # Panics
+/// If honest clients cannot possibly cover all classes
+/// (`#honest · labels_per_client < num_classes`) — the paper's evaluation
+/// never enters that regime (it stops at 65 % malicious) — or the dataset
+/// is too small for one shard per label slot.
+pub fn noniid_partition(
+    data: &Dataset,
+    n_clients: usize,
+    labels_per_client: usize,
+    malicious: &[bool],
+    seed: u64,
+) -> Vec<Dataset> {
+    assert!(n_clients > 0, "need at least one client");
+    assert_eq!(malicious.len(), n_clients, "malicious mask length mismatch");
+    assert!(labels_per_client > 0);
+    let k = data.num_classes();
+    let lpc = labels_per_client;
+    let honest_count = malicious.iter().filter(|m| !**m).count();
+    assert!(
+        honest_count * lpc >= k,
+        "honest clients ({honest_count} × {lpc} labels) cannot cover {k} classes"
+    );
+    let n_shards = n_clients * lpc;
+    assert!(n_shards >= k, "need at least one shard per label");
+
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x2012));
+
+    // Per-label shard quotas: base + 1 for the first (n_shards mod k).
+    let base = n_shards / k;
+    let mut by_label = data.indices_by_label();
+    for g in by_label.iter_mut() {
+        g.shuffle(&mut rng);
+    }
+    // shards_of_label[ℓ] = list of index-slices for label ℓ.
+    let mut shards_of_label: Vec<Vec<Vec<usize>>> = Vec::with_capacity(k);
+    for (l, group) in by_label.iter().enumerate() {
+        let quota = base + usize::from(l < n_shards % k);
+        assert!(
+            !group.is_empty() || quota == 0,
+            "label {l} has no samples to shard"
+        );
+        let mut shards = Vec::with_capacity(quota);
+        let per = group.len() / quota;
+        let extra = group.len() % quota;
+        let mut start = 0;
+        for s in 0..quota {
+            let size = per + usize::from(s < extra);
+            shards.push(group[start..start + size].to_vec());
+            start += size;
+        }
+        shards_of_label.push(shards);
+    }
+
+    // Assignments: client -> list of shards (each a Vec of indices).
+    let mut assigned: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n_clients];
+    let honest_ids: Vec<usize> = (0..n_clients).filter(|c| !malicious[*c]).collect();
+    let n_anchors = k.div_ceil(lpc);
+
+    // Anchors: one shard of each label in the anchor's label window.
+    for (a, &client) in honest_ids.iter().take(n_anchors).enumerate() {
+        for l in (a * lpc)..((a + 1) * lpc).min(k) {
+            let shard = shards_of_label[l].pop().expect("quota >= 1 per label");
+            assigned[client].push(shard);
+        }
+    }
+
+    // Leftover shards, shuffled; label-grouped pops keep a client's shards
+    // adjacent in label where possible but any deal preserves the ≤ lpc
+    // distinct-labels bound because each client gets exactly lpc shards.
+    let mut leftovers: Vec<Vec<usize>> = shards_of_label.into_iter().flatten().collect();
+    leftovers.shuffle(&mut rng);
+    for client in 0..n_clients {
+        while assigned[client].len() < lpc {
+            assigned[client].push(leftovers.pop().expect("shard accounting broke"));
+        }
+    }
+    assert!(leftovers.is_empty(), "unassigned shards remain");
+
+    // Materialize datasets.
+    assigned
+        .into_iter()
+        .map(|shards| {
+            let mut ds = Dataset::empty(data.dim(), k);
+            for shard in shards {
+                for i in shard {
+                    ds.push(data.x(i), data.y(i));
+                }
+            }
+            ds
+        })
+        .collect()
+}
+
+/// True when the union of the given clients' datasets covers every class.
+pub fn covers_all_labels(shards: &[Dataset], clients: &[usize], num_classes: usize) -> bool {
+    let mut seen = vec![false; num_classes];
+    for &c in clients {
+        for l in shards[c].present_labels() {
+            seen[l as usize] = true;
+        }
+    }
+    seen.iter().all(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SyntheticDigits};
+
+    fn task() -> SyntheticDigits {
+        SyntheticDigits::generate(&SynthConfig {
+            train_samples: 6_400,
+            test_samples: 100,
+            ..SynthConfig::tiny()
+        })
+    }
+
+    #[test]
+    fn iid_sizes_are_near_equal() {
+        let t = task();
+        let parts = iid_partition(&t.train, 64, 1);
+        assert_eq!(parts.len(), 64);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, t.train.len());
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        assert!(max - min <= 10, "IID sizes spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn iid_clients_see_all_labels() {
+        let t = task();
+        let parts = iid_partition(&t.train, 64, 1);
+        for p in &parts {
+            assert_eq!(p.present_labels().len(), 10);
+        }
+    }
+
+    #[test]
+    fn iid_deterministic() {
+        let t = task();
+        let a = iid_partition(&t.train, 8, 7);
+        let b = iid_partition(&t.train, 8, 7);
+        assert_eq!(a[0].labels(), b[0].labels());
+    }
+
+    #[test]
+    fn noniid_two_labels_per_client() {
+        let t = task();
+        let malicious = vec![false; 64];
+        let parts = noniid_partition(&t.train, 64, 2, &malicious, 3);
+        for (i, p) in parts.iter().enumerate() {
+            let l = p.present_labels().len();
+            assert!(l <= 2, "client {i} has {l} labels");
+            assert!(!p.is_empty());
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, t.train.len());
+    }
+
+    #[test]
+    fn noniid_honest_coverage_even_at_65_percent_malicious() {
+        let t = task();
+        let n = 64usize;
+        let n_bad = 42; // 65.6 %
+        let mut malicious = vec![false; n];
+        for m in malicious.iter_mut().take(n_bad) {
+            *m = true;
+        }
+        let parts = noniid_partition(&t.train, n, 2, &malicious, 5);
+        let honest: Vec<usize> = (0..n).filter(|c| !malicious[*c]).collect();
+        assert!(covers_all_labels(&parts, &honest, 10));
+    }
+
+    #[test]
+    fn noniid_honest_coverage_random_masks() {
+        let t = task();
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut malicious = vec![false; 64];
+            // random ~50 %
+            for m in malicious.iter_mut() {
+                *m = rand::Rng::gen_bool(&mut rng, 0.5);
+            }
+            if malicious.iter().filter(|m| !**m).count() * 2 < 10 {
+                continue;
+            }
+            let parts = noniid_partition(&t.train, 64, 2, &malicious, seed);
+            let honest: Vec<usize> = (0..64).filter(|c| !malicious[*c]).collect();
+            assert!(
+                covers_all_labels(&parts, &honest, 10),
+                "coverage failed at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn impossible_coverage_panics() {
+        let t = task();
+        let mut malicious = vec![true; 64];
+        malicious[0] = false; // one honest client, 2 labels < 10 classes
+        noniid_partition(&t.train, 64, 2, &malicious, 1);
+    }
+}

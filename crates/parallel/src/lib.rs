@@ -1,0 +1,234 @@
+//! # hfl-parallel
+//!
+//! Minimal, safe fork-join parallelism for the ABD-HFL reproduction.
+//!
+//! The workloads we parallelize are coarse and regular: train 64 clients'
+//! local models, fill an O(n²) pairwise-distance matrix for Krum, run
+//! Weiszfeld iterations over row chunks. Rayon-style work stealing would be
+//! overkill; scoped threads with static chunking (à la `par_chunks`) give
+//! the same data-race-freedom guarantee — if it compiles, the splits are
+//! disjoint — with no dependency beyond `crossbeam`.
+//!
+//! All entry points degrade gracefully to sequential execution when the
+//! requested thread count is 1 or the input is tiny, so unit tests and
+//! single-core CI behave identically to parallel runs (the kernels are
+//! deterministic; only scheduling order differs, and no entry point here
+//! exposes scheduling order).
+
+pub mod pool;
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 16 (our largest fan-out, a 64-client round, saturates well
+/// before that and oversubscription only adds noise to benchmarks).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Runs `f` on `0..n` in parallel, collecting results in index order.
+///
+/// `f` is called exactly once per index. Results arrive in input order
+/// regardless of scheduling, so callers can rely on positional mapping
+/// (client `i` → result `i`).
+pub fn par_map_indexed<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                let base = t * chunk;
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|o| o.expect("par_map_indexed slot unfilled"))
+        .collect()
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+/// Applies `f` to disjoint mutable chunks of `data` in parallel. Each call
+/// receives the chunk and the index of its first element.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = threads.max(1);
+    if threads == 1 || data.len() <= chunk_len {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i * chunk_len, c);
+        }
+        return;
+    }
+    // Hand chunks out over a shared atomic cursor so long chunks don't
+    // serialize behind one worker. Declared outside the scope so borrows
+    // outlive the spawned workers.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let chunk_list: Vec<Option<(usize, &mut [T])>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(i, c)| Some((i * chunk_len, c)))
+        .collect();
+    let chunks = parking_lot::Mutex::new(chunk_list);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let chunks = &chunks;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let job = {
+                    let mut guard = chunks.lock();
+                    if i >= guard.len() {
+                        return;
+                    }
+                    guard[i].take()
+                };
+                let Some((base, chunk)) = job else { return };
+                f(base, chunk);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel fold-then-reduce: maps every index through `f`, then combines
+/// results with `combine`. Returns `identity()` for `n == 0`.
+///
+/// `combine` must be associative and commute with the identity; the
+/// reduction tree shape is unspecified.
+pub fn par_reduce<U, F, C, I>(n: usize, threads: usize, identity: I, f: F, combine: C) -> U
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+    C: Fn(U, U) -> U + Sync,
+    I: Fn() -> U,
+{
+    if n == 0 {
+        return identity();
+    }
+    let partials = par_map_indexed(n, threads, f);
+    partials
+        .into_iter()
+        .fold(identity(), |acc, x| combine(acc, x))
+}
+
+/// Fork-join: runs the two closures potentially in parallel and returns
+/// both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    crossbeam::thread::scope(|s| {
+        let hb = s.spawn(|_| b());
+        let ra = a();
+        let rb = hb.join().expect("join arm panicked");
+        (ra, rb)
+    })
+    .expect("join scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys = par_map(&xs, 4, |x| x * 2);
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_sequential_fallback_matches() {
+        let xs: Vec<usize> = (0..37).collect();
+        let seq = par_map(&xs, 1, |x| x + 1);
+        let par = par_map(&xs, 8, |x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_indexed_calls_each_once() {
+        let count = AtomicUsize::new(0);
+        let out = par_map_indexed(1000, 8, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<usize> = par_map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_everything() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 64, 4, |base, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = (base + off) as u32;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let total = par_reduce(1000, 4, || 0usize, |i| i, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn par_reduce_empty_is_identity() {
+        let total = par_reduce(0, 4, || 42usize, |i| i, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! A small persistent thread pool for `'static` background jobs.
+//!
+//! The scoped helpers in the crate root cover the data-parallel kernels;
+//! this pool exists for long-lived experiment drivers (e.g. running the
+//! five repetitions of a Table V cell concurrently) where spawning scoped
+//! threads per repetition would tangle lifetimes through the harness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// Fixed-size worker pool. Jobs are executed FIFO per worker pickup order;
+/// `wait_idle` blocks until every submitted job has finished.
+///
+/// Dropping the pool closes the queue and joins all workers (outstanding
+/// jobs run to completion first).
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hfl-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _g = shared.idle_lock.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for asynchronous execution.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(f))
+            .expect("pool workers gone");
+    }
+
+    /// Blocks until all jobs submitted so far have completed.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.execute(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn drop_joins_outstanding_work() {
+        let sum = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let sum = Arc::clone(&sum);
+                pool.execute(move || {
+                    sum.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop waits
+        assert_eq!(sum.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

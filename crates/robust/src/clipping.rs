@@ -1,0 +1,100 @@
+//! Centered Clipping (Karimireddy et al., ICML 2021).
+//!
+//! Fixed-point iteration `v ← v + (1/n) Σᵢ clip(xᵢ − v, τ)`: each update's
+//! influence is bounded by the clipping radius τ, so a minority of
+//! arbitrarily-placed updates can move the result by at most `f·τ/n` per
+//! iteration. We start from the coordinate-wise median for a robust seed.
+
+use crate::{validate_updates, Aggregator};
+
+/// Centered-clipping aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct CenteredClip {
+    tau: f64,
+    iters: usize,
+}
+
+impl CenteredClip {
+    /// Centered clipping with radius `tau` and `iters` refinement passes.
+    ///
+    /// # Panics
+    /// If `tau <= 0` or `iters == 0`.
+    pub fn new(tau: f64, iters: usize) -> Self {
+        assert!(tau > 0.0, "clip radius must be positive");
+        assert!(iters > 0, "need at least one iteration");
+        Self { tau, iters }
+    }
+
+    /// The clipping radius τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl Aggregator for CenteredClip {
+    fn name(&self) -> &'static str {
+        "centered-clip"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        // Robust seed: coordinate-wise median.
+        let mut v = vec![0.0f32; d];
+        hfl_tensor::stats::coordinate_median(updates, &mut v);
+        let inv_n = 1.0 / updates.len() as f32;
+        let mut delta = vec![0.0f32; d];
+        let mut diff = vec![0.0f32; d];
+        for _ in 0..self.iters {
+            hfl_tensor::ops::zero(&mut delta);
+            for u in updates {
+                diff.copy_from_slice(u);
+                hfl_tensor::ops::sub_assign(&v, &mut diff); // diff = u - v
+                hfl_tensor::ops::clip_norm(&mut diff, self.tau);
+                hfl_tensor::ops::add_assign(&diff, &mut delta);
+            }
+            hfl_tensor::ops::axpy(inv_n, &delta, &mut v);
+        }
+        v
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+
+    #[test]
+    fn clip_bounds_outlier_influence() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.05, 9, &[1e6, 1e6], 1);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = CenteredClip::new(1.0, 5).aggregate(&refs, None);
+        // One outlier can shift the estimate by at most iters·τ/n = 0.5.
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.8, "got {out:?}");
+    }
+
+    #[test]
+    fn no_attack_converges_to_mean_neighborhood() {
+        let updates = vec![vec![0.0f32, 0.0], vec![2.0f32, 2.0]];
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = CenteredClip::new(10.0, 20).aggregate(&refs, None);
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 1e-3, "got {out:?}");
+    }
+
+    #[test]
+    fn tiny_tau_stays_at_median_seed() {
+        let updates = cluster_with_outliers(&[5.0], 0.0, 5, &[5.0], 0);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = CenteredClip::new(1e-6, 1).aggregate(&refs, None);
+        assert!((out[0] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_panics() {
+        CenteredClip::new(0.0, 1);
+    }
+}

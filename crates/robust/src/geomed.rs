@@ -1,0 +1,122 @@
+//! Geometric median via Weiszfeld's algorithm (GeoMed; Chen et al. 2017).
+//!
+//! The geometric median minimizes the sum of Euclidean distances to the
+//! inputs and has breakdown point 1/2. Weiszfeld iterates a weighted mean
+//! with weights `1/dist`; each iteration is O(n·d) and parallelizes over
+//! inputs.
+
+use crate::{validate_updates, Aggregator};
+
+/// Geometric-median aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoMed {
+    /// Maximum Weiszfeld iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the step length.
+    pub tol: f64,
+}
+
+impl Default for GeoMed {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-7,
+        }
+    }
+}
+
+impl GeoMed {
+    /// Runs Weiszfeld from the coordinate-wise mean. Returns the estimate
+    /// and the number of iterations used.
+    pub fn compute(&self, updates: &[&[f32]]) -> (Vec<f32>, usize) {
+        let d = validate_updates(updates);
+        let mut est = vec![0.0f32; d];
+        hfl_tensor::ops::mean_of(updates, &mut est);
+        if updates.len() == 1 {
+            return (est, 0);
+        }
+        let threads = hfl_parallel::default_threads();
+        let mut next = vec![0.0f32; d];
+        for it in 0..self.max_iters {
+            // Weights 1/max(dist, eps); a point sitting exactly on an
+            // input gets a huge weight, effectively snapping to it —
+            // the standard Weiszfeld regularization.
+            let dists: Vec<f64> = hfl_parallel::par_map(updates, threads, |u| {
+                hfl_tensor::ops::dist(&est, u).max(1e-12)
+            });
+            let weights: Vec<f32> = dists.iter().map(|d| (1.0 / d) as f32).collect();
+            hfl_tensor::ops::weighted_mean_of(updates, &weights, &mut next);
+            let step = hfl_tensor::ops::dist(&est, &next);
+            est.copy_from_slice(&next);
+            if step < self.tol {
+                return (est, it + 1);
+            }
+        }
+        (est, self.max_iters)
+    }
+}
+
+impl Aggregator for GeoMed {
+    fn name(&self) -> &'static str {
+        "geomed"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        self.compute(updates).0
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+
+    #[test]
+    fn geomed_of_symmetric_points_is_center() {
+        let updates = [
+            vec![1.0f32, 0.0],
+            vec![-1.0f32, 0.0],
+            vec![0.0f32, 1.0],
+            vec![0.0f32, -1.0],
+        ];
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = GeoMed::default().aggregate(&refs, None);
+        assert!(hfl_tensor::ops::norm(&out) < 1e-4, "got {out:?}");
+    }
+
+    #[test]
+    fn geomed_resists_minority_outliers() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.05, 7, &[1e4, 1e4], 3);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = GeoMed::default().aggregate(&refs, None);
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.5, "got {out:?}");
+    }
+
+    #[test]
+    fn mean_would_fail_where_geomed_holds() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.05, 7, &[1e4, 1e4], 3);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let mean = crate::FedAvg.aggregate(&refs, None);
+        assert!(hfl_tensor::ops::dist(&mean, &[1.0, 1.0]) > 100.0);
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let u = [5.0f32, -3.0];
+        let (out, iters) = GeoMed::default().compute(&[&u]);
+        assert_eq!(out, vec![5.0, -3.0]);
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn converges_quickly_on_tight_cluster() {
+        let updates = cluster_with_outliers(&[0.0, 0.0], 0.01, 10, &[0.0, 0.0], 0);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let (_, iters) = GeoMed::default().compute(&refs);
+        assert!(iters < 100, "did not converge: {iters}");
+    }
+}

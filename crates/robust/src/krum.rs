@@ -1,0 +1,244 @@
+//! Krum and Multi-Krum (Blanchard et al., NeurIPS 2017).
+//!
+//! Krum scores every update by the sum of its `n − f − 2` smallest squared
+//! distances to the other updates and selects the minimizer; Multi-Krum
+//! averages the `m` best-scoring updates. Requires `n ≥ 2f + 3`.
+//!
+//! The O(n²·d) pairwise distance matrix is the hot kernel; it is computed
+//! in parallel over row chunks.
+
+use crate::{validate_updates, Aggregator};
+
+/// Computes the Krum score of every update: score(i) = Σ of the
+/// `n − f − 2` smallest squared distances from update `i` to the others.
+///
+/// Exposed for the consensus crate (validated agreement uses Krum scores
+/// as an acceptance predicate) and for benchmarks.
+pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f64> {
+    let n = updates.len();
+    // The *guarantee* needs n ≥ 2f+3 (see `guarantee_holds`), and scoring
+    // needs n − f − 2 ≥ 1 kept distances. The paper itself runs Multi-Krum
+    // on clusters of 4 with an assumed 25 % malicious, and quorums can
+    // shrink the input set further, so `f` is clamped to the largest value
+    // scoring supports rather than rejected: small clusters degrade toward
+    // nearest-neighbour scoring.
+    let f = f.min(n.saturating_sub(3));
+    // Pairwise squared distances, parallel over i.
+    let threads = hfl_parallel::default_threads();
+    let dists: Vec<Vec<f64>> = hfl_parallel::par_map_indexed(n, threads, |i| {
+        (0..n)
+            .map(|j| {
+                if i == j {
+                    0.0
+                } else {
+                    hfl_tensor::ops::dist_sq(updates[i], updates[j])
+                }
+            })
+            .collect()
+    });
+    // n ≥ 3 keeps n−f−2 ≥ 1 distances; degenerate n ∈ {1, 2} keeps all.
+    let keep = if n >= 3 { n - f - 2 } else { n - 1 };
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n).filter(|j| *j != i).map(|j| dists[i][j]).collect();
+            row.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+            row.iter().take(keep).sum()
+        })
+        .collect()
+}
+
+/// Classic Krum: select the single lowest-scoring update.
+#[derive(Clone, Copy, Debug)]
+pub struct Krum {
+    f: usize,
+}
+
+impl Krum {
+    /// Krum assuming at most `f` Byzantine inputs.
+    pub fn new(f: usize) -> Self {
+        Self { f }
+    }
+
+    /// The assumed Byzantine count.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// True when Blanchard et al.'s Byzantine-resilience guarantee
+    /// (`n ≥ 2f + 3`) holds for `n` inputs.
+    pub fn guarantee_holds(f: usize, n: usize) -> bool {
+        n >= 2 * f + 3
+    }
+}
+
+impl Aggregator for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        validate_updates(updates);
+        let scores = krum_scores(updates, self.f);
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN score"))
+            .expect("non-empty scores")
+            .0;
+        updates[best].to_vec()
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        // n >= 2f+3  =>  f <= (n-3)/2
+        n.saturating_sub(3) / 2
+    }
+}
+
+/// Multi-Krum: average the `m` best-scoring updates (m=1 degenerates to
+/// Krum; m=n degenerates to FedAvg).
+#[derive(Clone, Copy, Debug)]
+pub struct MultiKrum {
+    f: usize,
+    m: usize,
+}
+
+impl MultiKrum {
+    /// Multi-Krum with assumed Byzantine count `f`, averaging the `m`
+    /// best updates.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    pub fn new(f: usize, m: usize) -> Self {
+        assert!(m > 0, "Multi-Krum must select at least one update");
+        Self { f, m }
+    }
+
+    /// The paper's evaluation setting: assumed malicious proportion of
+    /// 25 %, selecting the complement.
+    pub fn paper_default(n: usize) -> Self {
+        let f = n / 4;
+        Self::new(f, n - f)
+    }
+
+    /// Indices of the `m` selected updates, lowest score first.
+    pub fn select(&self, updates: &[&[f32]]) -> Vec<usize> {
+        let scores = krum_scores(updates, self.f);
+        let mut idx: Vec<usize> = (0..updates.len()).collect();
+        idx.sort_by(|a, b| scores[*a].partial_cmp(&scores[*b]).expect("NaN score"));
+        idx.truncate(self.m.min(updates.len()));
+        idx
+    }
+}
+
+impl Aggregator for MultiKrum {
+    fn name(&self) -> &'static str {
+        "multi-krum"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        let chosen = self.select(updates);
+        let selected: Vec<&[f32]> = chosen.iter().map(|&i| updates[i]).collect();
+        let mut out = vec![0.0f32; d];
+        hfl_tensor::ops::mean_of(&selected, &mut out);
+        out
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        n.saturating_sub(3) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+
+    #[test]
+    fn krum_picks_from_honest_cluster() {
+        let updates = cluster_with_outliers(&[1.0, 1.0, 1.0], 0.1, 7, &[100.0, 100.0, 100.0], 2);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = Krum::new(2).aggregate(&refs, None);
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn krum_returns_an_actual_input() {
+        let updates = cluster_with_outliers(&[0.0, 0.0], 0.2, 6, &[50.0, 50.0], 1);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = Krum::new(1).aggregate(&refs, None);
+        assert!(updates.iter().any(|u| u.as_slice() == out.as_slice()));
+    }
+
+    #[test]
+    fn multikrum_excludes_outliers() {
+        let n = 8;
+        let f = 2;
+        let updates = cluster_with_outliers(&[1.0, -1.0], 0.1, n - f, &[30.0, -30.0], f);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let mk = MultiKrum::new(f, n - f);
+        let sel = mk.select(&refs);
+        // selected indices must all be honest (honest occupy 0..n-f)
+        assert!(sel.iter().all(|&i| i < n - f), "selected {sel:?}");
+        let out = mk.aggregate(&refs, None);
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, -1.0]) < 0.5);
+    }
+
+    #[test]
+    fn multikrum_m_equals_n_is_mean_when_no_attack() {
+        let updates = vec![vec![0.0f32, 2.0], vec![2.0f32, 0.0], vec![1.0f32, 1.0],
+                           vec![1.0f32, 1.0], vec![1.0f32, 1.0]];
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = MultiKrum::new(1, 5).aggregate(&refs, None);
+        assert!(hfl_tensor::ops::approx_eq(&out, &[1.0, 1.0], 1e-6));
+    }
+
+    #[test]
+    fn paper_default_is_quarter() {
+        let mk = MultiKrum::paper_default(16);
+        assert_eq!(mk.f, 4);
+        assert_eq!(mk.m, 12);
+    }
+
+    #[test]
+    fn scores_are_lower_for_central_updates() {
+        let updates = cluster_with_outliers(&[0.0], 0.1, 5, &[10.0], 1);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let scores = krum_scores(&refs, 1);
+        let outlier_score = scores[5];
+        assert!(scores[..5].iter().all(|s| *s < outlier_score));
+    }
+
+    #[test]
+    fn tiny_inputs_degrade_gracefully() {
+        // f is clamped so scoring always keeps at least one distance;
+        // with two honest near-identical updates and f=5, Krum still
+        // returns one of them.
+        let u = vec![vec![1.0f32], vec![1.1f32], vec![0.9f32]];
+        let refs: Vec<&[f32]> = u.iter().map(|x| x.as_slice()).collect();
+        let out = Krum::new(5).aggregate(&refs, None);
+        assert!((out[0] - 1.0).abs() <= 0.11);
+        // Singleton input is returned unchanged.
+        let one = [7.0f32];
+        let out = Krum::new(1).aggregate(&[&one], None);
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn paper_cluster_of_four_works() {
+        // The paper's partial-aggregation setting: 4 updates, f = 1.
+        let updates = cluster_with_outliers(&[1.0], 0.05, 3, &[100.0], 1);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = MultiKrum::new(1, 3).aggregate(&refs, None);
+        assert!((out[0] - 1.0).abs() < 0.5);
+        assert!(!Krum::guarantee_holds(1, 4));
+        assert!(Krum::guarantee_holds(1, 5));
+    }
+
+    #[test]
+    fn tolerance_formula() {
+        assert_eq!(Krum::new(1).max_byzantine(16), 6);
+        assert_eq!(Krum::new(1).max_byzantine(3), 0);
+        assert_eq!(Krum::new(1).max_byzantine(2), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! FedAvg: (weighted) linear averaging — the non-robust baseline.
+//!
+//! Blanchard et al. proved linear aggregation cannot tolerate even one
+//! Byzantine worker; it is included as the vanilla-FL baseline and as the
+//! final combining step inside Multi-Krum / clustering.
+
+use crate::{validate_updates, Aggregator};
+
+/// Plain or dataset-size-weighted averaging.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FedAvg;
+
+impl Aggregator for FedAvg {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        let mut out = vec![0.0f32; d];
+        match weights {
+            Some(w) => hfl_tensor::ops::weighted_mean_of(updates, w, &mut out),
+            None => hfl_tensor::ops::mean_of(updates, &mut out),
+        }
+        out
+    }
+
+    fn max_byzantine(&self, _n: usize) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_mean() {
+        let a = [0.0f32, 0.0];
+        let b = [2.0f32, 4.0];
+        let out = FedAvg.aggregate(&[&a, &b], None);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let a = [0.0f32];
+        let b = [8.0f32];
+        let out = FedAvg.aggregate(&[&a, &b], Some(&[3.0, 1.0]));
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn single_adversary_breaks_mean() {
+        // Documents *why* FedAvg is the non-robust baseline.
+        let honest = [1.0f32];
+        let attacker = [1e9f32];
+        let out = FedAvg.aggregate(&[&honest, &honest, &honest, &attacker], None);
+        assert!(out[0] > 1e8);
+        assert_eq!(FedAvg.max_byzantine(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero updates")]
+    fn empty_panics() {
+        FedAvg.aggregate(&[], None);
+    }
+}

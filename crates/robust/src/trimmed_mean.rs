@@ -1,0 +1,94 @@
+//! Coordinate-wise trimmed mean (Yin et al., ICML 2018).
+
+use crate::{validate_updates, Aggregator};
+
+/// Coordinate-wise `ratio`-trimmed mean: removes the `⌊ratio·n⌋` smallest
+/// and largest values of each coordinate before averaging.
+#[derive(Clone, Copy, Debug)]
+pub struct TrimmedMean {
+    ratio: f64,
+}
+
+impl TrimmedMean {
+    /// Trimmed mean removing a `ratio` fraction from each tail.
+    ///
+    /// # Panics
+    /// If `ratio` is outside `[0, 0.5)`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&ratio),
+            "trim ratio must be in [0, 0.5)"
+        );
+        Self { ratio }
+    }
+
+    /// The trim fraction per tail.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Number of values trimmed from each tail for `n` inputs, clamped so
+    /// at least one value always remains.
+    pub fn trim_count(&self, n: usize) -> usize {
+        let t = (self.ratio * n as f64).floor() as usize;
+        if 2 * t >= n {
+            n.saturating_sub(1) / 2
+        } else {
+            t
+        }
+    }
+}
+
+impl Aggregator for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        let trim = self.trim_count(updates.len());
+        let mut out = vec![0.0f32; d];
+        hfl_tensor::stats::coordinate_trimmed_mean(updates, trim, &mut out);
+        out
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        self.trim_count(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+
+    #[test]
+    fn trims_extremes() {
+        let updates = cluster_with_outliers(&[2.0], 0.0, 8, &[1e9], 2);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let out = TrimmedMean::new(0.2).aggregate(&refs, None);
+        assert!((out[0] - 2.0).abs() < 1e-3, "got {}", out[0]);
+    }
+
+    #[test]
+    fn zero_ratio_is_plain_mean() {
+        let a = [0.0f32];
+        let b = [4.0f32];
+        let out = TrimmedMean::new(0.0).aggregate(&[&a, &b], None);
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn trim_count_clamps_for_tiny_n() {
+        let tm = TrimmedMean::new(0.4);
+        assert_eq!(tm.trim_count(2), 0); // 0.8 of 2 floor = 0
+        assert_eq!(tm.trim_count(3), 1);
+        assert_eq!(tm.trim_count(10), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim ratio")]
+    fn half_ratio_panics() {
+        TrimmedMean::new(0.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the robust aggregation rules: the robustness
+//! contracts that must survive arbitrary adversarial inputs.
+
+use proptest::prelude::*;
+
+use hfl_robust::{
+    Aggregator, CenteredClip, CoordMedian, FedAvg, GeoMed, Krum, MultiKrum, TrimmedMean,
+};
+
+/// Honest updates in a small box around `center`, plus `n_bad` copies of
+/// an arbitrary adversarial vector.
+fn scenario() -> impl Strategy<Value = (Vec<Vec<f32>>, usize, Vec<f32>)> {
+    (4usize..10, prop::collection::vec(-5.0f32..5.0, 4))
+        .prop_flat_map(|(n_good, center)| {
+            let n_bad = (n_good - 1) / 2; // strict honest majority
+            let honest = prop::collection::vec(
+                prop::collection::vec(-0.5f32..0.5, 4),
+                n_good,
+            );
+            let bad = prop::collection::vec(-1e4f32..1e4, 4);
+            (Just(center), honest, Just(n_bad), bad)
+        })
+        .prop_map(|(center, noise, n_bad, bad)| {
+            let honest: Vec<Vec<f32>> = noise
+                .into_iter()
+                .map(|d| center.iter().zip(&d).map(|(c, x)| c + x).collect())
+                .collect();
+            (honest, n_bad, bad)
+        })
+}
+
+/// Per-coordinate bounding box of the honest updates, inflated by `eps`.
+fn honest_box(honest: &[Vec<f32>], eps: f32) -> (Vec<f32>, Vec<f32>) {
+    let d = honest[0].len();
+    let mut lo = vec![f32::INFINITY; d];
+    let mut hi = vec![f32::NEG_INFINITY; d];
+    for h in honest {
+        for j in 0..d {
+            lo[j] = lo[j].min(h[j]);
+            hi[j] = hi[j].max(h[j]);
+        }
+    }
+    for j in 0..d {
+        lo[j] -= eps;
+        hi[j] += eps;
+    }
+    (lo, hi)
+}
+
+fn all_inputs<'a>(honest: &'a [Vec<f32>], bad: &'a [f32], n_bad: usize) -> Vec<&'a [f32]> {
+    let mut refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+    refs.extend(std::iter::repeat_n(bad, n_bad));
+    refs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn median_stays_in_honest_box((honest, n_bad, bad) in scenario()) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = CoordMedian.aggregate(&refs, None);
+        let (lo, hi) = honest_box(&honest, 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j],
+                "median coord {j}: {} outside [{}, {}]", out[j], lo[j], hi[j]);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_stays_in_honest_box((honest, n_bad, bad) in scenario()) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        // Trim exactly the adversarial mass from each tail.
+        let ratio = (n_bad as f64 / refs.len() as f64).min(0.49);
+        let out = TrimmedMean::new(ratio).aggregate(&refs, None);
+        // Trimmed mean with exact-trim stays within the honest range per
+        // coordinate (each tail removes at least the bad copies on that
+        // side).
+        let (lo, hi) = honest_box(&honest, 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j]);
+        }
+    }
+
+    #[test]
+    fn krum_selects_a_real_input((honest, n_bad, bad) in scenario()) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = Krum::new(n_bad).aggregate(&refs, None);
+        prop_assert!(refs.iter().any(|r| *r == out.as_slice()));
+    }
+
+    #[test]
+    fn krum_picks_honest_when_adversary_is_far((honest, n_bad, bad) in scenario()) {
+        // The adversarial point is ≥ 1e3 away from the honest cloud (the
+        // scenario draws it from ±1e4 while honest live in ±6); when that
+        // holds, Krum must select an honest input.
+        let far = honest.iter().all(|h| hfl_tensor::ops::dist(h, &bad) > 100.0);
+        prop_assume!(far && n_bad >= 1);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = Krum::new(n_bad).aggregate(&refs, None);
+        prop_assert!(honest.iter().any(|h| h.as_slice() == out.as_slice()),
+            "Krum selected the adversarial point");
+    }
+
+    #[test]
+    fn multikrum_excludes_far_adversaries((honest, n_bad, bad) in scenario()) {
+        let far = honest.iter().all(|h| hfl_tensor::ops::dist(h, &bad) > 100.0);
+        prop_assume!(far && n_bad >= 1);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let mk = MultiKrum::new(n_bad, honest.len());
+        let selected = mk.select(&refs);
+        prop_assert!(selected.iter().all(|&i| i < honest.len()),
+            "Multi-Krum selected adversarial index in {selected:?}");
+    }
+
+    #[test]
+    fn geomed_bounded_displacement((honest, n_bad, bad) in scenario()) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = GeoMed::default().aggregate(&refs, None);
+        // Geometric median with minority outliers stays within a modest
+        // multiple of the honest diameter of the honest centroid.
+        let mut centroid = vec![0.0f32; 4];
+        let hrefs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        hfl_tensor::ops::mean_of(&hrefs, &mut centroid);
+        let diam = honest
+            .iter()
+            .map(|h| hfl_tensor::ops::dist(h, &centroid))
+            .fold(0.0f64, f64::max);
+        let disp = hfl_tensor::ops::dist(&out, &centroid);
+        prop_assert!(disp <= 10.0 * (diam + 1.0),
+            "geomed displaced {disp} (honest diameter {diam})");
+    }
+
+    #[test]
+    fn centered_clip_bounded_displacement((honest, n_bad, bad) in scenario()) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let cc = CenteredClip::new(1.0, 3);
+        let out = cc.aggregate(&refs, None);
+        // Each of 3 iterations moves the estimate by at most τ; seeded at
+        // the coordinate-median (inside the honest box), displacement is
+        // bounded by iters·τ in every coordinate direction.
+        let (lo, hi) = honest_box(&honest, 3.0 + 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j]);
+        }
+    }
+
+    #[test]
+    fn fedavg_equals_manual_mean(honest in prop::collection::vec(
+        prop::collection::vec(-10.0f32..10.0, 4), 1..8))
+    {
+        let refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        let out = FedAvg.aggregate(&refs, None);
+        for j in 0..4 {
+            let want: f32 = honest.iter().map(|h| h[j]).sum::<f32>() / honest.len() as f32;
+            prop_assert!((out[j] - want).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn aggregators_are_permutation_insensitive_median(
+        (honest, n_bad, bad) in scenario(),
+        seed in 0u64..1000,
+    ) {
+        // Coordinate-wise median must not depend on input order.
+        let mut refs = all_inputs(&honest, &bad, n_bad);
+        let a = CoordMedian.aggregate(&refs, None);
+        // deterministic shuffle
+        let n = refs.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            refs.swap(i, j);
+        }
+        let b = CoordMedian.aggregate(&refs, None);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Link-delay models realizing partial synchrony (Assumption 1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A stochastic message-delay distribution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Fixed delay (synchronous network).
+    Constant {
+        /// Delay in microseconds.
+        micros: u64,
+    },
+    /// Uniform in `[lo, hi]` microseconds.
+    Uniform {
+        /// Lower bound (µs).
+        lo: u64,
+        /// Upper bound (µs), inclusive.
+        hi: u64,
+    },
+    /// Exponential with the given mean — light-tailed asynchrony.
+    Exponential {
+        /// Mean delay (µs).
+        mean: f64,
+    },
+    /// Log-normal (µ, σ of the underlying normal, in ln-µs) —
+    /// heavy-tailed wide-area behaviour.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std of the underlying normal.
+        sigma: f64,
+    },
+    /// Straggler mixture: with probability `p` the delay is multiplied by
+    /// `factor` — the paper's "stragglers in unreliable channels".
+    Straggler {
+        /// Base distribution.
+        base: Box<DelayModel>,
+        /// Straggler probability in `[0, 1]`.
+        p: f64,
+        /// Delay multiplier for stragglers (≥ 1).
+        factor: f64,
+    },
+}
+
+impl DelayModel {
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        match self {
+            DelayModel::Constant { micros } => SimTime::from_micros(*micros),
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform delay bounds inverted");
+                SimTime::from_micros(rng.gen_range(*lo..=*hi))
+            }
+            DelayModel::Exponential { mean } => {
+                assert!(*mean > 0.0, "exponential mean must be positive");
+                let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                SimTime::from_micros((-mean * u.ln()) as u64)
+            }
+            DelayModel::LogNormal { mu, sigma } => {
+                assert!(*sigma >= 0.0, "lognormal sigma must be non-negative");
+                let z = hfl_tensor_normal(rng);
+                SimTime::from_micros((mu + sigma * z).exp() as u64)
+            }
+            DelayModel::Straggler { base, p, factor } => {
+                assert!((0.0..=1.0).contains(p), "straggler probability in [0,1]");
+                assert!(*factor >= 1.0, "straggler factor must be >= 1");
+                let d = base.sample(rng);
+                if rng.gen_bool(*p) {
+                    SimTime::from_micros((d.as_micros() as f64 * factor) as u64)
+                } else {
+                    d
+                }
+            }
+        }
+    }
+
+    /// Mean delay in microseconds (analytic; used for reporting and for
+    /// sanity checks in tests).
+    pub fn mean_micros(&self) -> f64 {
+        match self {
+            DelayModel::Constant { micros } => *micros as f64,
+            DelayModel::Uniform { lo, hi } => (*lo + *hi) as f64 / 2.0,
+            DelayModel::Exponential { mean } => *mean,
+            DelayModel::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            DelayModel::Straggler { base, p, factor } => {
+                base.mean_micros() * (1.0 - p + p * factor)
+            }
+        }
+    }
+
+    /// A typical LAN-ish edge link: uniform 1–5 ms.
+    pub fn lan() -> Self {
+        DelayModel::Uniform {
+            lo: 1_000,
+            hi: 5_000,
+        }
+    }
+
+    /// A typical WAN link: log-normal centred near 40 ms with heavy tail.
+    pub fn wan() -> Self {
+        DelayModel::LogNormal {
+            mu: (40_000.0f64).ln(),
+            sigma: 0.5,
+        }
+    }
+}
+
+/// Standard normal sample (local Box–Muller; avoids a tensor dependency
+/// for one helper).
+fn hfl_tensor_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of_samples(m: &DelayModel, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| m.sample(&mut rng).as_micros() as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = DelayModel::Constant { micros: 123 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_micros(), 123);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = DelayModel::Uniform { lo: 10, hi: 20 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng).as_micros();
+            assert!((10..=20).contains(&d));
+        }
+    }
+
+    #[test]
+    fn empirical_means_match_analytic() {
+        for m in [
+            DelayModel::Uniform { lo: 0, hi: 1000 },
+            DelayModel::Exponential { mean: 500.0 },
+            DelayModel::Straggler {
+                base: Box::new(DelayModel::Constant { micros: 100 }),
+                p: 0.1,
+                factor: 10.0,
+            },
+        ] {
+            let emp = mean_of_samples(&m, 20_000);
+            let ana = m.mean_micros();
+            assert!(
+                (emp - ana).abs() / ana < 0.1,
+                "{m:?}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_inflates_tail() {
+        let base = DelayModel::Constant { micros: 100 };
+        let m = DelayModel::Straggler {
+            base: Box::new(base),
+            p: 0.2,
+            factor: 50.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..1000).map(|_| m.sample(&mut rng).as_micros()).collect();
+        let stragglers = samples.iter().filter(|d| **d == 5_000).count();
+        assert!(stragglers > 120 && stragglers < 280, "got {stragglers}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = DelayModel::wan();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| m.sample(&mut rng).as_micros()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| m.sample(&mut rng).as_micros()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

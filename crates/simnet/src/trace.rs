@@ -1,0 +1,174 @@
+//! Timeline tracing: the measurement substrate for the pipeline-workflow
+//! analysis (paper §III-D).
+//!
+//! Actors record labelled events; the analysis reconstructs per-round,
+//! per-cluster durations:
+//! * `τℓ`  — first model received → quorum reached (collection),
+//! * `τ′ℓ` — quorum reached → aggregate formed (aggregation),
+//! * `σw`  — waiting time at the bottom until the flag model arrives,
+//! * `σp`, `σg` — pipelined partial/global aggregation time,
+//! * `ν = (σp + σg) / σ` — the efficiency indicator (Eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A labelled point on the simulation timeline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global training round.
+    pub round: usize,
+    /// Hierarchy level (0 = top).
+    pub level: usize,
+    /// Cluster index within the level (0 for the top cluster).
+    pub cluster: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Event labels, matching the paper's timing decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A leader received the first model of the round from its cluster.
+    FirstModelReceived,
+    /// The collection quorum (φℓ · Cℓ,i) was reached.
+    QuorumReached,
+    /// The partial (or global) aggregate is formed.
+    AggregateFormed,
+    /// The flag model reached a bottom-level cluster.
+    FlagModelReceived,
+    /// The global model reached a bottom-level cluster.
+    GlobalModelReceived,
+    /// A bottom-level device finished its local training iterations.
+    LocalTrainingDone,
+}
+
+/// An append-only timeline of `(time, event)` pairs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (times must be non-decreasing; the engine
+    /// guarantees this).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some((last, _)) = self.entries.last() {
+            debug_assert!(*last <= at, "trace times must be non-decreasing");
+        }
+        self.entries.push((at, event));
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[(SimTime, TraceEvent)] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First time an event matching the filter occurs.
+    pub fn first_time(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        kind: TraceKind,
+    ) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .find(|(_, e)| {
+                e.round == round && e.level == level && e.cluster == cluster && e.kind == kind
+            })
+            .map(|(t, _)| *t)
+    }
+
+    /// Duration between two event kinds within the same (round, level,
+    /// cluster) — e.g. `τℓ = QuorumReached − FirstModelReceived`.
+    pub fn span(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        from: TraceKind,
+        to: TraceKind,
+    ) -> Option<SimTime> {
+        let a = self.first_time(round, level, cluster, from)?;
+        let b = self.first_time(round, level, cluster, to)?;
+        Some(b.saturating_sub(a))
+    }
+
+    /// All times of a given kind in a round (any level/cluster).
+    pub fn times_of_kind(&self, round: usize, kind: TraceKind) -> Vec<SimTime> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.round == round && e.kind == kind)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: usize, level: usize, cluster: usize, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            round,
+            level,
+            cluster,
+            kind,
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(10), ev(0, 2, 3, TraceKind::FirstModelReceived));
+        t.record(SimTime::from_micros(25), ev(0, 2, 3, TraceKind::QuorumReached));
+        t.record(SimTime::from_micros(30), ev(0, 2, 3, TraceKind::AggregateFormed));
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.first_time(0, 2, 3, TraceKind::QuorumReached),
+            Some(SimTime::from_micros(25))
+        );
+        // τ = 15µs, τ' = 5µs
+        assert_eq!(
+            t.span(0, 2, 3, TraceKind::FirstModelReceived, TraceKind::QuorumReached),
+            Some(SimTime::from_micros(15))
+        );
+        assert_eq!(
+            t.span(0, 2, 3, TraceKind::QuorumReached, TraceKind::AggregateFormed),
+            Some(SimTime::from_micros(5))
+        );
+    }
+
+    #[test]
+    fn missing_events_give_none() {
+        let t = Trace::new();
+        assert_eq!(t.first_time(0, 0, 0, TraceKind::AggregateFormed), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn times_of_kind_filters_by_round() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(1), ev(0, 2, 0, TraceKind::FlagModelReceived));
+        t.record(SimTime::from_micros(2), ev(0, 2, 1, TraceKind::FlagModelReceived));
+        t.record(SimTime::from_micros(3), ev(1, 2, 0, TraceKind::FlagModelReceived));
+        assert_eq!(t.times_of_kind(0, TraceKind::FlagModelReceived).len(), 2);
+        assert_eq!(t.times_of_kind(1, TraceKind::FlagModelReceived).len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Wire encoding for model-bearing protocol messages.
+//!
+//! The simulator's byte accounting and any future real-network transport
+//! share one canonical encoding: a fixed 24-byte header (magic, kind,
+//! round, level, cluster, payload length) followed by little-endian `f32`
+//! parameters. Encoding is infallible; decoding validates everything and
+//! returns `None` on malformed input (a Byzantine peer can send garbage —
+//! decoding must never panic).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Message kinds on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireKind {
+    /// A model travelling up to a leader.
+    Update = 1,
+    /// A flag partial model travelling down.
+    Flag = 2,
+    /// A global model travelling down.
+    Global = 3,
+}
+
+impl WireKind {
+    fn from_u8(x: u8) -> Option<Self> {
+        match x {
+            1 => Some(WireKind::Update),
+            2 => Some(WireKind::Flag),
+            3 => Some(WireKind::Global),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded model message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireMessage {
+    /// Message kind.
+    pub kind: WireKind,
+    /// Global round.
+    pub round: u32,
+    /// Hierarchy level the message addresses.
+    pub level: u16,
+    /// Cluster index within the level.
+    pub cluster: u16,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+}
+
+const MAGIC: u32 = 0xABD0_4F1D;
+const HEADER_LEN: usize = 4 + 1 + 3 + 4 + 2 + 2 + 8; // magic kind pad round level cluster len
+
+/// Size in bytes of an encoded message carrying `param_len` parameters.
+pub const fn encoded_len(param_len: usize) -> usize {
+    HEADER_LEN + param_len * 4
+}
+
+/// Encodes a message.
+pub fn encode(msg: &WireMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg.params.len()));
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(msg.kind as u8);
+    buf.put_bytes(0, 3); // padding for alignment
+    buf.put_u32_le(msg.round);
+    buf.put_u16_le(msg.level);
+    buf.put_u16_le(msg.cluster);
+    buf.put_u64_le(msg.params.len() as u64);
+    for p in &msg.params {
+        buf.put_f32_le(*p);
+    }
+    buf.freeze()
+}
+
+/// Decodes a message; `None` on any malformation (bad magic, unknown
+/// kind, truncated payload, absurd length).
+pub fn decode(mut buf: Bytes) -> Option<WireMessage> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    if buf.get_u32_le() != MAGIC {
+        return None;
+    }
+    let kind = WireKind::from_u8(buf.get_u8())?;
+    buf.advance(3);
+    let round = buf.get_u32_le();
+    let level = buf.get_u16_le();
+    let cluster = buf.get_u16_le();
+    let len = buf.get_u64_le();
+    // Reject absurd lengths before allocating (Byzantine sender).
+    if len > (1 << 28) || buf.len() != (len as usize) * 4 {
+        return None;
+    }
+    let mut params = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        params.push(buf.get_f32_le());
+    }
+    Some(WireMessage {
+        kind,
+        round,
+        level,
+        cluster,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireMessage {
+        WireMessage {
+            kind: WireKind::Flag,
+            round: 42,
+            level: 2,
+            cluster: 7,
+            params: vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = sample();
+        let decoded = decode(encode(&msg)).expect("roundtrip failed");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let msg = sample();
+        assert_eq!(encode(&msg).len(), encoded_len(4));
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let msg = WireMessage {
+            params: vec![],
+            ..sample()
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[4] = 99;
+        assert!(decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let raw = encode(&sample());
+        let truncated = raw.slice(..raw.len() - 2);
+        assert!(decode(truncated).is_none());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        // Claim more params than present.
+        let mut raw = encode(&sample()).to_vec();
+        raw[16] = 200; // length field low byte
+        assert!(decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(decode(Bytes::from_static(b"hi")).is_none());
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let msg = WireMessage {
+            params: vec![f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-38],
+            ..sample()
+        };
+        let d = decode(encode(&msg)).unwrap();
+        assert_eq!(d.params[0], f32::INFINITY);
+        assert_eq!(d.params[1], f32::NEG_INFINITY);
+        assert_eq!(d.params[2], -0.0);
+    }
+}

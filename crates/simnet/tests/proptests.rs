@@ -1,0 +1,174 @@
+//! Property-based tests for topology builders and the event engine.
+
+use proptest::prelude::*;
+
+use hfl_simnet::engine::{Actor, Ctx, NodeId, Simulation};
+use hfl_simnet::{DelayModel, Hierarchy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ecsm_satisfies_corollary_1(
+        levels in 2usize..5,
+        m in 1usize..5,
+        n_top in 1usize..5,
+    ) {
+        let h = Hierarchy::ecsm(levels, m, n_top);
+        h.validate();
+        for l in 0..levels {
+            prop_assert_eq!(h.level(l).num_nodes(), n_top * m.pow(l as u32));
+        }
+        prop_assert_eq!(h.num_clients(), n_top * m.pow((levels - 1) as u32));
+    }
+
+    #[test]
+    fn ecsm_every_device_has_bottom_position(
+        levels in 2usize..4,
+        m in 1usize..5,
+        n_top in 1usize..4,
+    ) {
+        let h = Hierarchy::ecsm(levels, m, n_top);
+        let bottom = h.bottom_level();
+        for dev in 0..h.num_clients() {
+            prop_assert!(h.position(bottom, dev).is_some());
+        }
+    }
+
+    #[test]
+    fn ecsm_descendants_partition_the_bottom(
+        levels in 2usize..4,
+        m in 2usize..4,
+        n_top in 1usize..4,
+    ) {
+        let h = Hierarchy::ecsm(levels, m, n_top);
+        for l in 0..h.num_levels() {
+            let mut all: Vec<usize> = Vec::new();
+            for c in 0..h.level(l).num_clusters() {
+                all.extend(h.descendants(l, c));
+            }
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..h.num_clients()).collect::<Vec<_>>(),
+                "descendants of level {} do not partition the bottom", l);
+        }
+    }
+
+    #[test]
+    fn acsm_random_always_validates(
+        n in 10usize..80,
+        levels in 2usize..4,
+        min in 2usize..4,
+        extra in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let h = Hierarchy::acsm_random(n, levels, min, min + extra, seed);
+        h.validate();
+        prop_assert_eq!(h.num_clients(), n);
+        prop_assert_eq!(h.num_levels(), levels);
+    }
+
+    #[test]
+    fn delay_samples_are_finite_and_deterministic(
+        seed in 0u64..1000,
+        mean in 1.0f64..1e6,
+    ) {
+        use rand::SeedableRng;
+        let model = DelayModel::Exponential { mean };
+        let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let x = model.sample(&mut a);
+            let y = model.sample(&mut b);
+            prop_assert_eq!(x, y);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrips_arbitrary_messages(
+        kind_sel in 0u8..3,
+        round in any::<u32>(),
+        level in any::<u16>(),
+        cluster in any::<u16>(),
+        params in prop::collection::vec(-1e6f32..1e6, 0..256),
+    ) {
+        use hfl_simnet::wire::{decode, encode, WireKind, WireMessage};
+        let kind = [WireKind::Update, WireKind::Flag, WireKind::Global][kind_sel as usize];
+        let msg = WireMessage { kind, round, level, cluster, params };
+        let decoded = decode(encode(&msg)).expect("roundtrip failed");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Byzantine peers send arbitrary bytes; decode must return None
+        // or a valid message, never panic.
+        let _ = hfl_simnet::wire::decode(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn wire_single_bitflips_never_panic(
+        params in prop::collection::vec(-10.0f32..10.0, 1..32),
+        byte_idx in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        use hfl_simnet::wire::{encode, WireKind, WireMessage};
+        let msg = WireMessage {
+            kind: WireKind::Update,
+            round: 3,
+            level: 1,
+            cluster: 2,
+            params,
+        };
+        let mut raw = encode(&msg).to_vec();
+        let idx = byte_idx % raw.len();
+        raw[idx] ^= 1 << bit;
+        // Either rejected or decoded to *something*; no panic.
+        let _ = hfl_simnet::wire::decode(bytes::Bytes::from(raw));
+    }
+}
+
+/// A broadcast-and-count actor: node 0 broadcasts one message to all;
+/// everyone acknowledges; deterministic message count = 2(n−1).
+struct Broadcaster {
+    n: usize,
+    acks: usize,
+}
+
+impl Actor<u8> for Broadcaster {
+    fn on_start(&mut self, ctx: &mut Ctx<u8>) {
+        if ctx.me() == 0 {
+            for dst in 1..self.n {
+                ctx.send(dst, 0);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<u8>, src: NodeId, msg: u8) {
+        if msg == 0 {
+            ctx.send(src, 1);
+        } else {
+            self.acks += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_message_conservation(n in 2usize..20, seed in 0u64..100) {
+        let actors: Vec<Broadcaster> = (0..n).map(|_| Broadcaster { n, acks: 0 }).collect();
+        let mut sim = Simulation::new(
+            actors,
+            DelayModel::Uniform { lo: 1, hi: 1000 },
+            seed,
+            |_| 1,
+        );
+        let stats = sim.run(100_000);
+        prop_assert_eq!(stats.messages, 2 * (n as u64 - 1));
+        prop_assert_eq!(sim.actors()[0].acks, n - 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hfl-tensor
+//!
+//! Dense linear-algebra kernels used throughout the ABD-HFL reproduction.
+//!
+//! Everything in the federated-learning stack reduces to operations on flat
+//! `f32` parameter vectors and small row-major matrices: SGD steps are
+//! `axpy`, robust aggregation rules need pairwise squared distances and
+//! coordinate-wise order statistics, and the models need `matvec` /
+//! rank-1 gradient accumulation. These kernels are written to be
+//! autovectorization-friendly (straight-line loops over contiguous slices,
+//! no bounds checks in the hot path thanks to equal-length assertions
+//! hoisted out of the loops).
+//!
+//! The crate deliberately has no opinion about parallelism — callers that
+//! want to parallelize (e.g. Krum's O(n²) distance matrix) split the work
+//! with [`hfl-parallel`] and call these kernels per chunk.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod stats;
+
+pub use matrix::Matrix;
+
+/// Asserts two slices have equal length, with a helpful message.
+///
+/// Used by every binary kernel; keeping the check in one place makes the
+/// hot loops themselves check-free after the compiler sees equal lengths.
+#[inline]
+#[track_caller]
+pub fn check_same_len(a: &[f32], b: &[f32]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "tensor kernel length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+}

@@ -1,0 +1,267 @@
+//! Flat-slice kernels: the inner loops of the whole system.
+//!
+//! All functions operate on `&[f32]` / `&mut [f32]` so they can be applied
+//! to model parameter vectors, gradients, and matrix rows alike.
+
+use crate::check_same_len;
+
+/// `y += alpha * x` (the classic BLAS `axpy`). This is the SGD update and
+/// the inner loop of weighted model averaging.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    check_same_len(x, y);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `y = alpha * x + beta * y` — the linear local/global model combiner of
+/// ABD-HFL Eq. (1) with `alpha = correction factor`, `beta = 1 - alpha`.
+#[inline]
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    check_same_len(x, y);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * *xi + beta * *yi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise `y += x`.
+#[inline]
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    check_same_len(x, y);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += *xi;
+    }
+}
+
+/// Element-wise `y -= x`.
+#[inline]
+pub fn sub_assign(x: &[f32], y: &mut [f32]) {
+    check_same_len(x, y);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi -= *xi;
+    }
+}
+
+/// Dot product. Accumulates in `f64` for stability over long vectors
+/// (parameter vectors routinely have 10⁴–10⁶ coordinates).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    check_same_len(a, b);
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += (*x as f64) * (*y as f64);
+    }
+    acc
+}
+
+/// Squared Euclidean norm (f64 accumulator).
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for x in a {
+        let v = *x as f64;
+        acc += v * v;
+    }
+    acc
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors — the kernel of Krum's
+/// pairwise score matrix.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
+    check_same_len(a, b);
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = (*x - *y) as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; returns 0 when either vector is zero
+/// (the convention used by cosine-similarity clustering defenses).
+#[inline]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Clip `x` to Euclidean norm at most `tau` (centered-clipping building
+/// block). Returns the scaling factor applied (1.0 when no clip happened).
+#[inline]
+pub fn clip_norm(x: &mut [f32], tau: f64) -> f64 {
+    assert!(tau >= 0.0, "clip radius must be non-negative");
+    let n = norm(x);
+    if n <= tau || n == 0.0 {
+        return 1.0;
+    }
+    let s = (tau / n) as f32;
+    scale(s, x);
+    s as f64
+}
+
+/// Fill with zeros.
+#[inline]
+pub fn zero(x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi = 0.0;
+    }
+}
+
+/// `out = mean of rows` where `rows` all share the same length.
+/// Panics on an empty input (the mean of nothing is undefined).
+pub fn mean_of(rows: &[&[f32]], out: &mut [f32]) {
+    assert!(!rows.is_empty(), "mean_of: empty input");
+    zero(out);
+    for r in rows {
+        add_assign(r, out);
+    }
+    scale(1.0 / rows.len() as f32, out);
+}
+
+/// Weighted mean: `out = Σ wᵢ·rowᵢ / Σ wᵢ`. Weights must be non-negative
+/// and not all zero.
+pub fn weighted_mean_of(rows: &[&[f32]], weights: &[f32], out: &mut [f32]) {
+    assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+    assert!(!rows.is_empty(), "weighted_mean_of: empty input");
+    let total: f64 = weights.iter().map(|w| *w as f64).sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    zero(out);
+    for (r, w) in rows.iter().zip(weights) {
+        axpy(*w, r, out);
+    }
+    scale((1.0 / total) as f32, out);
+}
+
+/// True when every coordinate of `a` and `b` differs by at most `tol`.
+#[inline]
+pub fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_adds_scaled() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_is_linear_combiner() {
+        let g = [1.0, 1.0];
+        let mut l = [3.0, 5.0];
+        // alpha = 0.25: l = 0.25*g + 0.75*l
+        axpby(0.25, &g, 0.75, &mut l);
+        assert_eq!(l, [2.5, 4.0]);
+    }
+
+    #[test]
+    fn axpby_alpha_one_replaces() {
+        let g = [7.0, 8.0];
+        let mut l = [0.0, 0.0];
+        axpby(1.0, &g, 0.0, &mut l);
+        assert_eq!(l, g);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(norm_sq(&a), 25.0);
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(dot(&a, &a), 25.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(dist_sq(&a, &b), 25.0);
+        assert_eq!(dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-9);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-9);
+        // zero vector convention
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn clip_norm_clips_only_long_vectors() {
+        let mut v = [3.0, 4.0];
+        let s = clip_norm(&mut v, 10.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(v, [3.0, 4.0]);
+
+        let s = clip_norm(&mut v, 2.5);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert!(approx_eq(&v, &[1.5, 2.0], 1e-6));
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let r1 = [1.0f32, 2.0];
+        let r2 = [3.0f32, 6.0];
+        let mut out = [0.0f32; 2];
+        mean_of(&[&r1, &r2], &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let r1 = [0.0f32];
+        let r2 = [10.0f32];
+        let mut out = [0.0f32];
+        weighted_mean_of(&[&r1, &r2], &[1.0, 3.0], &mut out);
+        assert!((out[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut y = [0.0f32; 2];
+        axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn mean_of_empty_panics() {
+        let mut out = [0.0f32; 1];
+        mean_of(&[], &mut out);
+    }
+}

@@ -1,0 +1,167 @@
+//! Coordinate-wise order statistics over stacks of parameter vectors.
+//!
+//! These are the mathematical primitives behind the Median and Trimmed-Mean
+//! Byzantine-robust aggregation rules: given `n` model updates of dimension
+//! `d`, compute a per-coordinate statistic across the `n` values of each of
+//! the `d` coordinates.
+
+/// Median of a scratch buffer (sorts in place). For even lengths returns
+/// the average of the two central order statistics, matching the usual
+/// statistical definition used by coordinate-wise Median aggregation.
+///
+/// # Panics
+/// On an empty buffer.
+pub fn median_in_place(buf: &mut [f32]) -> f32 {
+    assert!(!buf.is_empty(), "median of empty buffer");
+    buf.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = buf.len();
+    if n % 2 == 1 {
+        buf[n / 2]
+    } else {
+        0.5 * (buf[n / 2 - 1] + buf[n / 2])
+    }
+}
+
+/// Mean of the values that remain after removing the `trim` smallest and
+/// `trim` largest entries (sorts the scratch buffer in place).
+///
+/// # Panics
+/// If `2 * trim >= buf.len()` (nothing would remain) or the buffer is empty.
+pub fn trimmed_mean_in_place(buf: &mut [f32], trim: usize) -> f32 {
+    assert!(!buf.is_empty(), "trimmed mean of empty buffer");
+    assert!(
+        2 * trim < buf.len(),
+        "trim {} too large for {} values",
+        trim,
+        buf.len()
+    );
+    buf.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed-mean input"));
+    let kept = &buf[trim..buf.len() - trim];
+    kept.iter().map(|x| *x as f64).sum::<f64>() as f32 / kept.len() as f32
+}
+
+/// Coordinate-wise median over `rows` (each of length `d`), written into
+/// `out`. Allocation-free apart from one scratch column buffer.
+pub fn coordinate_median(rows: &[&[f32]], out: &mut [f32]) {
+    let d = out.len();
+    assert!(!rows.is_empty(), "coordinate_median: empty input");
+    assert!(
+        rows.iter().all(|r| r.len() == d),
+        "coordinate_median: row length mismatch"
+    );
+    let mut col = vec![0.0f32; rows.len()];
+    for j in 0..d {
+        for (c, r) in col.iter_mut().zip(rows) {
+            *c = r[j];
+        }
+        out[j] = median_in_place(&mut col);
+    }
+}
+
+/// Coordinate-wise `trim`-trimmed mean over `rows`, written into `out`.
+pub fn coordinate_trimmed_mean(rows: &[&[f32]], trim: usize, out: &mut [f32]) {
+    let d = out.len();
+    assert!(!rows.is_empty(), "coordinate_trimmed_mean: empty input");
+    assert!(
+        rows.iter().all(|r| r.len() == d),
+        "coordinate_trimmed_mean: row length mismatch"
+    );
+    let mut col = vec![0.0f32; rows.len()];
+    for j in 0..d {
+        for (c, r) in col.iter_mut().zip(rows) {
+            *c = r[j];
+        }
+        out[j] = trimmed_mean_in_place(&mut col, trim);
+    }
+}
+
+/// Sample mean and (population) variance of a scalar slice.
+pub fn mean_var(xs: &[f32]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "mean_var of empty slice");
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|x| *x as f64).sum::<f64>() / n;
+    let var = xs.iter().map(|x| (*x as f64 - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Sample standard deviation (with Bessel's correction); 0 for n < 2.
+pub fn sample_std(xs: &[f32]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|x| *x as f64).sum::<f64>() / n;
+    (xs.iter().map(|x| (*x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_in_place(&mut [5.0]), 5.0);
+    }
+
+    #[test]
+    fn median_ignores_one_huge_outlier() {
+        // Robustness: a single adversarial value cannot move the median
+        // outside the honest range.
+        let m = median_in_place(&mut [1.0, 2.0, 3.0, 1e9]);
+        assert!((1.0..=3.0).contains(&m));
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let tm = trimmed_mean_in_place(&mut [-1e9, 1.0, 2.0, 3.0, 1e9], 1);
+        assert!((tm - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let tm = trimmed_mean_in_place(&mut [1.0, 2.0, 3.0], 0);
+        assert!((tm - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn over_trim_panics() {
+        trimmed_mean_in_place(&mut [1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn coordinate_median_per_column() {
+        let r1 = [1.0f32, 10.0];
+        let r2 = [2.0f32, 20.0];
+        let r3 = [3.0f32, 1e9];
+        let mut out = [0.0f32; 2];
+        coordinate_median(&[&r1, &r2, &r3], &mut out);
+        assert_eq!(out, [2.0, 20.0]);
+    }
+
+    #[test]
+    fn coordinate_trimmed_mean_per_column() {
+        let r1 = [0.0f32, -1e9];
+        let r2 = [2.0f32, 5.0];
+        let r3 = [4.0f32, 7.0];
+        let r4 = [6.0f32, 9.0];
+        let r5 = [1e9f32, 1e9];
+        let mut out = [0.0f32; 2];
+        coordinate_trimmed_mean(&[&r1, &r2, &r3, &r4, &r5], 1, &mut out);
+        assert_eq!(out, [4.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_var_basics() {
+        let (m, v) = mean_var(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((v - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_std_singleton_is_zero() {
+        assert_eq!(sample_std(&[5.0]), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the tensor kernels: algebraic identities and
+//! order-statistic invariants that must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+
+use hfl_tensor::{ops, stats};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn axpby_is_convex_combination(
+        alpha in 0.0f32..=1.0,
+        x in finite_vec(16),
+        y0 in finite_vec(16),
+    ) {
+        let mut y = y0.clone();
+        ops::axpby(alpha, &x, 1.0 - alpha, &mut y);
+        for i in 0..16 {
+            let lo = x[i].min(y0[i]) - 1e-3;
+            let hi = x[i].max(y0[i]) + 1e-3;
+            prop_assert!(y[i] >= lo && y[i] <= hi,
+                "coordinate {i} left the segment: {} not in [{lo}, {hi}]", y[i]);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_cauchy_schwarz(
+        a in finite_vec(32),
+        b in finite_vec(32),
+    ) {
+        let ab = ops::dot(&a, &b);
+        let ba = ops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-6 * (1.0 + ab.abs()));
+        let bound = ops::norm(&a) * ops::norm(&b);
+        prop_assert!(ab.abs() <= bound + 1e-3);
+    }
+
+    #[test]
+    fn triangle_inequality(
+        a in finite_vec(16),
+        b in finite_vec(16),
+        c in finite_vec(16),
+    ) {
+        let ac = ops::dist(&a, &c);
+        let ab = ops::dist(&a, &b);
+        let bc = ops::dist(&b, &c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn clip_norm_never_exceeds_radius(
+        mut v in finite_vec(16),
+        tau in 0.0f64..100.0,
+    ) {
+        ops::clip_norm(&mut v, tau);
+        prop_assert!(ops::norm(&v) <= tau + 1e-3);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(a in finite_vec(8), b in finite_vec(8)) {
+        let s = ops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn mean_within_per_coordinate_hull(rows in prop::collection::vec(finite_vec(8), 1..10)) {
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0.0f32; 8];
+        ops::mean_of(&refs, &mut out);
+        for j in 0..8 {
+            let lo = rows.iter().map(|r| r[j]).fold(f32::INFINITY, f32::min);
+            let hi = rows.iter().map(|r| r[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[j] >= lo - 1e-2 && out[j] <= hi + 1e-2);
+        }
+    }
+
+    #[test]
+    fn median_is_an_order_statistic_bound(mut xs in prop::collection::vec(-1e3f32..1e3, 1..50)) {
+        let lo = xs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let m = stats::median_in_place(&mut xs);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn median_breakdown_point(
+        honest in prop::collection::vec(-10.0f32..10.0, 5..20),
+        outlier in 1e6f32..1e9,
+    ) {
+        // Fewer outliers than honest values: the median stays within the
+        // honest range.
+        let n_out = (honest.len() - 1) / 2;
+        let mut all = honest.clone();
+        all.extend(std::iter::repeat_n(outlier, n_out));
+        let m = stats::median_in_place(&mut all);
+        let lo = honest.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = honest.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(m >= lo && m <= hi, "median {m} escaped [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn trimmed_mean_kills_trim_outliers(
+        honest in prop::collection::vec(-10.0f32..10.0, 5..20),
+        outlier in 1e6f32..1e9,
+        n_out in 1usize..3,
+    ) {
+        let mut all = honest.clone();
+        all.extend(std::iter::repeat_n(outlier, n_out));
+        if 2 * n_out < all.len() {
+            let tm = stats::trimmed_mean_in_place(&mut all, n_out);
+            let lo = honest.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = honest.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(tm >= lo - 1e-3 && tm <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        x in finite_vec(6),
+        y in finite_vec(6),
+        data in prop::collection::vec(-10.0f32..10.0, 24),
+    ) {
+        let m = hfl_tensor::Matrix::from_vec(4, 6, data);
+        let mut mx = vec![0.0f32; 4];
+        let mut my = vec![0.0f32; 4];
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let mut msum = vec![0.0f32; 4];
+        m.matvec(&x, &mut mx);
+        m.matvec(&y, &mut my);
+        m.matvec(&sum, &mut msum);
+        for i in 0..4 {
+            let expect = mx[i] + my[i];
+            prop_assert!((msum[i] - expect).abs() <= 1e-2 * (1.0 + expect.abs()));
+        }
+    }
+}

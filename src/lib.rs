@@ -1,0 +1,16 @@
+//! # abd-hfl
+//!
+//! Facade crate for the ABD-HFL reproduction: re-exports the public API of
+//! every subsystem so examples, integration tests and downstream users need
+//! a single dependency.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use abd_hfl_core as core;
+pub use hfl_attacks as attacks;
+pub use hfl_consensus as consensus;
+pub use hfl_ml as ml;
+pub use hfl_parallel as parallel;
+pub use hfl_robust as robust;
+pub use hfl_simnet as simnet;
+pub use hfl_tensor as tensor;

@@ -1,0 +1,144 @@
+//! Property-based tests of the tolerance theory (Theorems 1–3,
+//! Corollaries 1–3) over randomized parameters and random ACSM
+//! hierarchies — the induction hypotheses of the paper's proofs stated
+//! as executable invariants.
+
+use proptest::prelude::*;
+
+use abd_hfl::core::theory;
+use abd_hfl::simnet::Hierarchy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem2_ratio_is_a_proportion(
+        g1 in 0.0f64..=1.0,
+        g2 in 0.0f64..=1.0,
+        level in 0usize..10,
+    ) {
+        let r = theory::theorem2_max_byzantine_ratio(g1, g2, level);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn theorem2_monotone_in_level(
+        g1 in 0.0f64..0.99,
+        g2 in 0.001f64..0.99,
+        level in 0usize..8,
+    ) {
+        let upper = theory::theorem2_max_byzantine_ratio(g1, g2, level);
+        let lower = theory::theorem2_max_byzantine_ratio(g1, g2, level + 1);
+        prop_assert!(lower >= upper, "Corollary 2 violated: {lower} < {upper}");
+    }
+
+    #[test]
+    fn theorem2_monotone_in_gammas(
+        g1 in 0.0f64..0.9,
+        g2 in 0.0f64..0.9,
+        dg in 0.01f64..0.1,
+        level in 0usize..6,
+    ) {
+        let base = theory::theorem2_max_byzantine_ratio(g1, g2, level);
+        prop_assert!(theory::theorem2_max_byzantine_ratio(g1 + dg, g2, level) >= base);
+        prop_assert!(theory::theorem2_max_byzantine_ratio(g1, g2 + dg, level) >= base);
+    }
+
+    #[test]
+    fn theorem2_count_ratio_consistency(
+        n_top in 1usize..6,
+        m in 1usize..5,
+        g1 in 0.0f64..=1.0,
+        g2 in 0.0f64..=1.0,
+        level in 0usize..6,
+    ) {
+        let count = theory::theorem2_max_byzantine_count(n_top, m, g1, g2, level);
+        let size = theory::corollary1_level_size(n_top, m, level) as f64;
+        let ratio = theory::theorem2_max_byzantine_ratio(g1, g2, level);
+        prop_assert!((count / size - ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_counts_match_ratio_times_size(
+        p in 0.0f64..=1.0,
+        m in 1usize..6,
+        level in 0usize..8,
+    ) {
+        let count = theory::theorem1_type1_count(p, m, level);
+        let total = (m as f64).powi(level as i32);
+        let ratio = theory::theorem1_type1_ratio(p, level);
+        prop_assert!((count - ratio * total).abs() < 1e-6 * (1.0 + count.abs()));
+    }
+
+    #[test]
+    fn corollary3_strictly_monotone(
+        g1 in 0.01f64..0.9,
+        g2 in 0.01f64..0.9,
+        levels in 2usize..8,
+    ) {
+        let a = theory::corollary3_bottom_tolerance(g1, g2, levels);
+        let b = theory::corollary3_bottom_tolerance(g1, g2, levels + 1);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn definition4_placement_matches_theorem2(
+        levels in 2usize..4,
+        m in 2usize..5,
+        n_top in 2usize..5,
+    ) {
+        // At-bound placement: top_byz = ⌊γ1·Nt⌋, per_cluster = ⌊γ2·m⌋
+        // with γ1 = 1/n_top, γ2 = 1/m (one Byzantine each).
+        let h = Hierarchy::ecsm(levels, m, n_top);
+        let mask = theory::definition4_placement(&h, 1, 1);
+        let bad = mask.iter().filter(|b| **b).count();
+        let want = theory::theorem2_max_byzantine_ratio(
+            1.0 / n_top as f64,
+            1.0 / m as f64,
+            levels - 1,
+        ) * h.num_clients() as f64;
+        prop_assert!(
+            (bad as f64 - want).abs() < 1e-6,
+            "placement gives {bad}, Theorem 2 bound says {want}"
+        );
+    }
+
+    #[test]
+    fn theorem3_acsm_psi_consistency(
+        n in 20usize..80,
+        seed in 0u64..200,
+        honest_bits in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        // Random ACSM level; random honest/Byzantine clusters: ψ is the
+        // honest cluster mass, and Theorem 3's bound decreases in ψ.
+        let h = Hierarchy::acsm_random(n, 3, 2, 6, seed);
+        let level = h.level(2);
+        let sizes: Vec<usize> = level.clusters.iter().map(|c| c.len()).collect();
+        let honest: Vec<bool> = (0..sizes.len())
+            .map(|i| honest_bits[i % honest_bits.len()])
+            .collect();
+        let psi = theory::relative_reliable_number(&sizes, &honest);
+        prop_assert!((0.0..=1.0).contains(&psi));
+        let p = theory::theorem3_max_byzantine_ratio(0.25, psi, false);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Inverse proportionality (Theorem 3): more reliable mass, less
+        // tolerated Byzantine share.
+        let p_more = theory::theorem3_max_byzantine_ratio(0.25, (psi + 0.1).min(1.0), false);
+        prop_assert!(p_more <= p + 1e-12);
+    }
+
+    #[test]
+    fn ecsm_structural_invariants_hold(
+        levels in 2usize..5,
+        m in 1usize..5,
+        n_top in 1usize..5,
+    ) {
+        // validate() encodes the defining ABD-HFL properties; it must
+        // never panic for any ECSM parameters.
+        let h = Hierarchy::ecsm(levels, m, n_top);
+        h.validate();
+        // Top level is one cluster of exactly n_top nodes.
+        prop_assert_eq!(h.level(0).num_clusters(), 1);
+        prop_assert_eq!(h.level(0).num_nodes(), n_top);
+    }
+}
