@@ -13,7 +13,7 @@ use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
 use abd_hfl_core::runner::run_abd_hfl;
 use abd_hfl_core::theory;
 use hfl_attacks::{DataAttack, Placement};
-use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_consensus::ConsensusKind;
 use hfl_ml::rng::derive_seed;
@@ -121,7 +121,7 @@ fn main() {
             &rows
         )
     );
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "acsm",
         "honest_cluster_frac,psi,proportion,rep,final_accuracy",

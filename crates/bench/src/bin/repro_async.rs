@@ -10,7 +10,7 @@
 use abd_hfl_core::config::{AttackCfg, HflConfig};
 use abd_hfl_core::correction::CorrectionPolicy;
 use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
-use hfl_bench::report::{markdown_table, write_csv};
+use hfl_bench::report::{markdown_table, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_ml::synth::SynthConfig;
 use hfl_simnet::{DelayModel, SimTime};
@@ -180,7 +180,7 @@ fn main() {
         );
     }
 
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "async",
         "experiment,setting,period_or_zero,final_accuracy",

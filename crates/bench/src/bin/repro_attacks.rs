@@ -6,7 +6,7 @@
 use abd_hfl_core::config::{AttackCfg, HflConfig};
 use abd_hfl_core::vanilla::run_vanilla;
 use hfl_attacks::{DataAttack, ModelAttack, Placement};
-use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_ml::rng::derive_seed;
 use hfl_ml::synth::SynthConfig;
@@ -117,7 +117,7 @@ fn main() {
     }
     println!("\n## Table I attacks — damage to undefended FedAvg (30 % malicious)\n");
     println!("{}", markdown_table(&["attack", "final accuracy"], &rows));
-    write_csv(&args.out_dir, "attacks", "attack,final_accuracy", &csv);
+    write_csv_or_exit(&args.out_dir, "attacks", "attack,final_accuracy", &csv);
 
     // --- Backdoor deep-dive: clean accuracy hides the backdoor; the
     // attack-success rate (ASR) exposes it, and the hierarchy suppresses
@@ -185,7 +185,7 @@ fn backdoor_deep_dive(args: &Args, rounds: usize) {
         "{}",
         markdown_table(&["model", "clean accuracy", "attack-success rate"], &rows)
     );
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "backdoor",
         "model,clean_accuracy,attack_success_rate",

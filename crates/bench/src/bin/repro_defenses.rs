@@ -6,7 +6,7 @@
 use abd_hfl_core::config::{AttackCfg, HflConfig};
 use abd_hfl_core::vanilla::run_vanilla;
 use hfl_attacks::{DataAttack, ModelAttack, Placement};
-use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_ml::rng::derive_seed;
 use hfl_ml::synth::SynthConfig;
@@ -94,7 +94,7 @@ fn main() {
         "{}",
         markdown_table(&["defense", "clean", "type1", "sign-flip", "ALIE"], &rows)
     );
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "defenses",
         "defense,scenario,final_accuracy",

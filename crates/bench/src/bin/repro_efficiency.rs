@@ -6,11 +6,12 @@
 //!   delay τ′ × small/big global-aggregation delay τg).
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
-use hfl_bench::report::{markdown_table, write_csv};
+use abd_hfl_core::pipeline::{run_pipeline, run_pipeline_with, PipelineConfig};
+use hfl_bench::report::{markdown_table, write_csv_or_exit, write_manifests_or_exit};
 use hfl_bench::Args;
 use hfl_ml::synth::SynthConfig;
 use hfl_simnet::DelayModel;
+use hfl_telemetry::Telemetry;
 
 fn main() {
     let args = Args::parse();
@@ -29,6 +30,7 @@ fn main() {
     println!("## Flag-level trade-off (Eq. 3): σw vs ν\n");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut manifests = Vec::new();
     for flag in [1usize, 2] {
         let mut c = cfg.clone();
         c.flag_level = flag;
@@ -36,7 +38,9 @@ fn main() {
             rounds,
             ..PipelineConfig::default()
         };
-        let res = run_pipeline(&c, &pcfg);
+        let (res, mut manifest) = run_pipeline_with(&c, &pcfg, &Telemetry::disabled());
+        manifest.label = format!("efficiency/flag{flag}");
+        manifests.push(manifest);
         let mean = |f: fn(&abd_hfl_core::pipeline::RoundTiming) -> f64| {
             res.rounds.iter().map(f).sum::<f64>() / res.rounds.len().max(1) as f64
         };
@@ -155,10 +159,11 @@ fn main() {
         markdown_table(&["leaf uplink", "σw", "ν", "round period"], &rows)
     );
 
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "efficiency",
         "sweep,flag_or_level,regime,round,sigma_w,sigma,sigma_pg,nu",
         &csv,
     );
+    write_manifests_or_exit(&args.out_dir, "efficiency", &manifests);
 }

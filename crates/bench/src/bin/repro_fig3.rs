@@ -10,7 +10,7 @@ use abd_hfl_core::runner::run_abd_hfl;
 use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla};
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::ci::summarize_series;
-use hfl_bench::report::write_csv;
+use hfl_bench::report::write_csv_or_exit;
 use hfl_bench::Args;
 use hfl_ml::rng::derive_seed;
 
@@ -90,7 +90,7 @@ fn main() {
                         )
                     })
                     .collect();
-                write_csv(
+                write_csv_or_exit(
                     &args.out_dir,
                     &format!("fig3_{dist}_{atk}_p{}", (p * 100.0) as u32),
                     "round,abd_mean,abd_lo,abd_hi,vanilla_mean,vanilla_lo,vanilla_hi",

@@ -14,7 +14,7 @@
 use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
 use abd_hfl_core::runner::run_abd_hfl;
 use hfl_attacks::{DataAttack, Placement};
-use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_consensus::ConsensusKind;
 use hfl_ml::rng::derive_seed;
@@ -176,7 +176,7 @@ fn main() {
         );
     }
 
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "ablations",
         "ablation,setting,attack_proportion,final_accuracy",

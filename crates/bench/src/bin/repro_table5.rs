@@ -11,12 +11,13 @@
 //! ```
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::runner::run_abd_hfl;
-use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla};
+use abd_hfl_core::runner::run_abd_hfl_with;
+use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla_with};
 use hfl_attacks::{DataAttack, Placement};
-use hfl_bench::report::{markdown_table, pct, write_csv};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
 use hfl_bench::{Args, Summary};
 use hfl_ml::rng::derive_seed;
+use hfl_telemetry::Telemetry;
 
 /// The paper's malicious-proportion grid.
 const PROPORTIONS: [f64; 9] = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.578, 0.65];
@@ -45,6 +46,7 @@ fn main() {
 
     let mut csv_rows = Vec::new();
     let mut table_rows = Vec::new();
+    let mut manifests = Vec::new();
 
     for iid in [true, false] {
         for type_i in [true, false] {
@@ -77,12 +79,21 @@ fn main() {
                                 eval_every: rounds, // final accuracy only
                                 ..base
                             };
-                            let acc = if abd {
-                                run_abd_hfl(&cfg).final_accuracy
+                            // One fresh registry per run: manifests stay
+                            // per-run, not cumulative across the grid.
+                            let telem = Telemetry::disabled();
+                            let mut run = if abd {
+                                run_abd_hfl_with(&cfg, &telem)
                             } else {
-                                run_vanilla(&cfg, paper_vanilla_aggregator(iid, 64))
-                                    .final_accuracy
+                                run_vanilla_with(
+                                    &cfg,
+                                    paper_vanilla_aggregator(iid, 64),
+                                    &telem,
+                                )
                             };
+                            let acc = run.result.final_accuracy;
+                            run.manifest.label = format!("table5/{label}/p{p}/rep{rep}");
+                            manifests.push(run.manifest);
                             csv_rows.push(format!(
                                 "{dist},{atk},{model},{p},{rep},{acc:.4}"
                             ));
@@ -107,10 +118,11 @@ fn main() {
     println!("\n## Table V — final testing accuracy on global models\n");
     println!("{}", markdown_table(&headers, &table_rows));
 
-    write_csv(
+    write_csv_or_exit(
         &args.out_dir,
         "table5",
         "distribution,attack,model,proportion,rep,final_accuracy",
         &csv_rows,
     );
+    write_manifests_or_exit(&args.out_dir, "table5", &manifests);
 }

@@ -1,23 +1,57 @@
-//! Report emission: CSV files under the output directory plus markdown
-//! tables on stdout (the format EXPERIMENTS.md quotes).
+//! Report emission: CSV files and run manifests under the output
+//! directory plus markdown tables on stdout (the format EXPERIMENTS.md
+//! quotes).
 
 use std::fs;
-use std::io::Write as _;
-use std::path::Path;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use hfl_telemetry::manifest::RunManifest;
 
 /// Writes CSV rows (with a header) to `dir/name.csv`, creating `dir`.
-///
-/// # Panics
-/// On I/O failure (harness binaries fail fast).
-pub fn write_csv(dir: &str, name: &str, header: &str, rows: &[String]) {
-    fs::create_dir_all(dir).expect("cannot create output directory");
+/// Returns the written path; I/O failures are the caller's to report
+/// (the `repro_*` binaries use [`write_csv_or_exit`]).
+pub fn write_csv(dir: &str, name: &str, header: &str, rows: &[String]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
     let path = Path::new(dir).join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("cannot create CSV file");
-    writeln!(f, "{header}").expect("CSV write failed");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
     for r in rows {
-        writeln!(f, "{r}").expect("CSV write failed");
+        writeln!(f, "{r}")?;
     }
-    eprintln!("wrote {}", path.display());
+    Ok(path)
+}
+
+/// [`write_csv`] for harness binaries: prints the written path on
+/// success; on failure reports which path could not be written and exits
+/// non-zero.
+pub fn write_csv_or_exit(dir: &str, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    match write_csv(dir, name, header, rows) {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            path
+        }
+        Err(e) => {
+            eprintln!("error: could not write {dir}/{name}.csv: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes run manifests to `dir/name.manifests.jsonl` for harness
+/// binaries: prints the written path on success; exits non-zero with the
+/// path on failure.
+pub fn write_manifests_or_exit(dir: &str, name: &str, manifests: &[RunManifest]) -> PathBuf {
+    match hfl_telemetry::export::write_manifests_jsonl(Path::new(dir), name, manifests) {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            path
+        }
+        Err(e) => {
+            eprintln!("error: could not write {dir}/{name}.manifests.jsonl: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Renders a markdown table.
@@ -83,9 +117,16 @@ mod tests {
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("hfl_bench_test_csv");
         let dir_s = dir.to_str().unwrap();
-        write_csv(dir_s, "t", "x,y", &["1,2".to_string()]);
-        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        let path = write_csv(dir_s, "t", "x,y", &["1,2".to_string()]).unwrap();
+        assert_eq!(path, dir.join("t.csv"));
+        let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "x,y\n1,2\n");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_into_unwritable_dir_is_an_error() {
+        // procfs rejects mkdir, so this surfaces as Err, not a panic.
+        assert!(write_csv("/proc/not-writable", "t", "h", &[]).is_err());
     }
 }

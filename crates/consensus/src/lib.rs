@@ -46,6 +46,7 @@ pub mod eval;
 pub mod gossip;
 pub mod pbft;
 pub mod pos;
+pub mod telemetry;
 pub mod vote;
 
 use rand::rngs::StdRng;

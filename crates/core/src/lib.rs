@@ -16,6 +16,11 @@
 //! * [`pipeline`] — the asynchronous pipeline learning workflow on the
 //!   discrete-event simulator, measuring the efficiency indicator ν.
 //!
+//! Every driver also has a `_with` variant taking an
+//! [`hfl_telemetry::Telemetry`] bundle: structured events, `hfl_*`
+//! metrics and a deterministic [`hfl_telemetry::RunManifest`] per run
+//! (see DESIGN.md §"Telemetry & run manifests").
+//!
 //! # Example
 //!
 //! Run the paper's Table V configuration under a 50 % Type I attack:
@@ -47,6 +52,6 @@ pub mod vanilla;
 
 pub use config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, ModelCfg, TopologyCfg};
 pub use correction::CorrectionPolicy;
-pub use runner::{run_abd_hfl, RunResult};
+pub use runner::{run_abd_hfl, run_abd_hfl_with, InstrumentedRun, RunResult};
 pub use scheme::Scheme;
-pub use vanilla::run_vanilla;
+pub use vanilla::{run_vanilla, run_vanilla_with};

@@ -32,6 +32,7 @@ use hfl_ml::sgd::train_local;
 use hfl_simnet::engine::{Actor, Ctx, NodeId, Simulation};
 use hfl_simnet::trace::{TraceEvent, TraceKind};
 use hfl_simnet::{DelayModel, SimTime};
+use hfl_telemetry::{fnv1a_hex, RunManifest, RunTotals, Telemetry};
 
 use crate::config::{HflConfig, LevelAgg};
 use crate::runner::Experiment;
@@ -497,6 +498,19 @@ impl Actor<Msg> for DeviceActor {
 /// Runs the asynchronous pipeline workflow and extracts the timing
 /// decomposition from the trace.
 pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
+    run_pipeline_with(cfg, pcfg, &Telemetry::disabled()).0
+}
+
+/// [`run_pipeline`] with telemetry: bridges the simulator's trace stream
+/// into the recorder (as `Event::Sim`), records network/timing metrics
+/// (`sim_*` counters, `pipeline_*` histograms, trace anomaly count) and
+/// returns the run's [`RunManifest`] (label `"pipeline"`; the per-round
+/// series is empty — pipeline timing lives in the histograms).
+pub fn run_pipeline_with(
+    cfg: &HflConfig,
+    pcfg: &PipelineConfig,
+    telem: &Telemetry,
+) -> (PipelineResult, RunManifest) {
     assert!(pcfg.rounds > 0, "pipeline needs at least one round");
     let exp = Arc::new(Experiment::prepare(cfg));
     let pcfg = Arc::new(pcfg.clone());
@@ -568,6 +582,9 @@ pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
         derive_seed(cfg.seed, 0x7E7),
         move |_m: &Msg| (d * 4) as u64,
     );
+    if telem.enabled() {
+        sim.set_recorder(Arc::clone(telem.recorder()));
+    }
     if pcfg.loss_prob > 0.0 {
         assert!(
             pcfg.collect_timeout.is_some() || cfg.quorum < 1.0,
@@ -645,16 +662,52 @@ pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
     let final_accuracy = exp.evaluate(&sim.actors()[top_leader].params);
     let corrections_applied = sim.actors().iter().map(|a| a.corrections_applied).sum();
 
-    PipelineResult {
-        rounds,
-        sim_time_secs: sim.now().as_secs_f64(),
+    // Metrics: network totals, timing decomposition, anomaly count.
+    let registry = telem.registry();
+    registry.counter("sim_messages_total", &[]).inc(stats.messages);
+    registry.counter("sim_bytes_total", &[]).inc(stats.bytes);
+    registry.counter("sim_events_total", &[]).inc(stats.events);
+    registry.counter("sim_dropped_total", &[]).inc(stats.dropped);
+    registry
+        .counter("trace_anomalies_total", &[])
+        .inc(trace.anomalies());
+    let sigma_w_h = registry.histogram("pipeline_sigma_w_seconds", &[]);
+    let sigma_h = registry.histogram("pipeline_sigma_seconds", &[]);
+    let nu_h = registry.histogram("pipeline_nu", &[]);
+    for rt in &rounds {
+        sigma_w_h.observe(rt.sigma_w);
+        sigma_h.observe(rt.sigma);
+        nu_h.observe(rt.nu);
+    }
+    registry.gauge("hfl_accuracy", &[]).set(final_accuracy);
+
+    let mut manifest = RunManifest::new(
+        "pipeline",
+        cfg.seed,
+        fnv1a_hex(format!("{cfg:?}|{pcfg:?}").as_bytes()),
+    );
+    manifest.totals = RunTotals {
         messages: stats.messages,
         bytes: stats.bytes,
-        final_accuracy,
-        corrections_applied,
-        mean_sigma,
-        mean_period,
-    }
+        excluded: 0,
+        absent: 0,
+    };
+    manifest.final_accuracy = final_accuracy;
+    manifest.metrics = registry.snapshot();
+
+    (
+        PipelineResult {
+            rounds,
+            sim_time_secs: sim.now().as_secs_f64(),
+            messages: stats.messages,
+            bytes: stats.bytes,
+            final_accuracy,
+            corrections_applied,
+            mean_sigma,
+            mean_period,
+        },
+        manifest,
+    )
 }
 
 #[cfg(test)]
@@ -813,6 +866,42 @@ mod tests {
             mean_sigma(&slow),
             mean_sigma(&fast)
         );
+    }
+
+    #[test]
+    fn pipeline_manifest_and_sim_events() {
+        use hfl_telemetry::{Event, Telemetry};
+        let cfg = quick_cfg(20);
+        let (telem, rec) = Telemetry::recording();
+        let (res, manifest) = run_pipeline_with(&cfg, &quick_pipeline(2), &telem);
+        assert_eq!(manifest.label, "pipeline");
+        assert_eq!(manifest.totals.messages, res.messages);
+        assert_eq!(manifest.final_accuracy, res.final_accuracy);
+        // The simulator's trace stream was bridged into telemetry.
+        let sim_events = rec
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::Sim { .. }))
+            .count();
+        assert!(sim_events > 0, "no Sim events bridged");
+        // Metrics snapshot includes the network counters.
+        assert_eq!(
+            telem.registry().counter("sim_messages_total", &[]).get(),
+            res.messages
+        );
+        assert!(manifest
+            .metrics
+            .iter()
+            .any(|m| m.name == "pipeline_sigma_seconds"));
+    }
+
+    #[test]
+    fn pipeline_manifest_is_deterministic() {
+        use hfl_telemetry::Telemetry;
+        let cfg = quick_cfg(21);
+        let (_, a) = run_pipeline_with(&cfg, &quick_pipeline(2), &Telemetry::disabled());
+        let (_, b) = run_pipeline_with(&cfg, &quick_pipeline(2), &Telemetry::disabled());
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{Dataset, Model};
 use hfl_simnet::Hierarchy;
+use hfl_telemetry::{fnv1a_hex, Event, RoundRecord, RunManifest, RunTotals, Telemetry};
 
 use crate::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg};
 
@@ -46,6 +47,17 @@ pub struct RunResult {
     pub excluded_total: u64,
     /// Total client-round absences caused by churn.
     pub absent_total: u64,
+}
+
+/// A run's result plus its [`RunManifest`] — what the instrumented entry
+/// points ([`run_abd_hfl_with`], [`run_prepared_with`]) return.
+#[derive(Clone, Debug)]
+pub struct InstrumentedRun {
+    /// The training outcome (same shape as the uninstrumented API).
+    pub result: RunResult,
+    /// The self-describing record of the run: config hash, seed, build
+    /// info, per-round time series, totals, metrics snapshot.
+    pub manifest: RunManifest,
 }
 
 /// Mutable cost accumulators threaded through a round of aggregation.
@@ -222,6 +234,21 @@ impl Experiment {
         round: usize,
         cost: &mut CostCounters,
     ) -> Vec<f32> {
+        self.aggregate_round_with(updates, round, cost, &Telemetry::disabled())
+    }
+
+    /// [`Self::aggregate_round`] with telemetry: emits structured events
+    /// (cluster aggregations, exclusions, churn absences, message
+    /// transfers) when the recorder is enabled and records per-mechanism
+    /// consensus metrics into the registry. Identical numerics and RNG
+    /// stream — instrumentation only observes.
+    pub fn aggregate_round_with(
+        &self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+    ) -> Vec<f32> {
         let cfg = &self.config;
         let h = &self.hierarchy;
         let bottom = h.bottom_level();
@@ -229,6 +256,13 @@ impl Experiment {
         let model_bytes = (d * 4) as u64;
         let active = self.active_mask(round);
         cost.absent += active.iter().filter(|a| !**a).count() as u64;
+        if telem.enabled() {
+            for (client, present) in active.iter().enumerate() {
+                if !present {
+                    telem.emit(Event::ChurnAbsence { round, client });
+                }
+            }
+        }
 
         // models_of_level[device] = the model this level-ℓ node carries
         // upward. At the bottom that is its local update; above, the
@@ -265,8 +299,17 @@ impl Experiment {
                     LevelAgg::Bra(kind) => {
                         // Members upload to the leader; leader broadcasts
                         // the partial back to the cluster (Algorithm 3).
-                        cost.messages += (quorum + cluster.len()) as u64;
-                        cost.bytes += (quorum + cluster.len()) as u64 * model_bytes;
+                        let count = (quorum + cluster.len()) as u64;
+                        cost.messages += count;
+                        cost.bytes += count * model_bytes;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count,
+                                bytes: count * model_bytes,
+                            });
+                        }
                         kind.build().aggregate(&inputs, None)
                     }
                     LevelAgg::Cba(kind) => {
@@ -277,13 +320,44 @@ impl Experiment {
                         let own: Vec<Vec<f32>> =
                             inputs.iter().map(|i| i.to_vec()).collect();
                         let eval = hfl_consensus::DistanceEvaluator::new(&own);
-                        let out = kind.build().decide(&inputs, &byz, &eval, &mut rng);
+                        let mech = kind.build();
+                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
+                        hfl_consensus::telemetry::record_outcome(
+                            telem.registry(),
+                            mech.name(),
+                            &out,
+                        );
                         cost.messages += out.messages;
                         cost.bytes += out.bytes;
                         cost.excluded += out.excluded.len() as u64;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count: out.messages,
+                                bytes: out.bytes,
+                            });
+                            for &proposal in &out.excluded {
+                                telem.emit(Event::ProposalExcluded {
+                                    round,
+                                    level: l,
+                                    cluster: ci,
+                                    proposal,
+                                });
+                            }
+                        }
                         out.decided
                     }
                 };
+                if telem.enabled() {
+                    telem.emit(Event::ClusterAggregated {
+                        round,
+                        level: l,
+                        cluster: ci,
+                        inputs: inputs.len(),
+                        quorum,
+                    });
+                }
                 next[cluster.leader()] = partial;
             }
             carried = next;
@@ -299,8 +373,17 @@ impl Experiment {
         let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
         let global = match &cfg.levels[0] {
             LevelAgg::Bra(kind) => {
-                cost.messages += (2 * top.len()) as u64;
-                cost.bytes += (2 * top.len()) as u64 * model_bytes;
+                let count = (2 * top.len()) as u64;
+                cost.messages += count;
+                cost.bytes += count * model_bytes;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count,
+                        bytes: count * model_bytes,
+                    });
+                }
                 kind.build().aggregate(&proposals, None)
             }
             LevelAgg::Cba(kind) => {
@@ -313,19 +396,56 @@ impl Experiment {
                     .iter()
                     .map(|&dev| self.protocol_byzantine(dev))
                     .collect();
-                let out = kind.build().decide(&proposals, &byz, &eval, &mut rng);
+                let mech = kind.build();
+                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
+                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
                 cost.messages += out.messages;
                 cost.bytes += out.bytes;
                 cost.excluded += out.excluded.len() as u64;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count: out.messages,
+                        bytes: out.bytes,
+                    });
+                    for &proposal in &out.excluded {
+                        telem.emit(Event::ProposalExcluded {
+                            round,
+                            level: 0,
+                            cluster: 0,
+                            proposal,
+                        });
+                    }
+                }
                 out.decided
             }
         };
+        if telem.enabled() {
+            telem.emit(Event::ClusterAggregated {
+                round,
+                level: 0,
+                cluster: 0,
+                inputs: proposals.len(),
+                quorum: proposals.len(),
+            });
+        }
 
         // Dissemination: the global model travels one model-transfer per
         // node per level on its way down (Algorithm 5).
-        let downstream: u64 = (1..=bottom).map(|l| h.level(l).num_nodes() as u64).sum();
-        cost.messages += downstream;
-        cost.bytes += downstream * model_bytes;
+        for l in 1..=bottom {
+            let per_level = h.level(l).num_nodes() as u64;
+            cost.messages += per_level;
+            cost.bytes += per_level * model_bytes;
+            if telem.enabled() {
+                telem.emit(Event::MessagesSent {
+                    round,
+                    level: l,
+                    count: per_level,
+                    bytes: per_level * model_bytes,
+                });
+            }
+        }
 
         global
     }
@@ -344,33 +464,112 @@ impl Experiment {
 
 /// Runs the full ABD-HFL training loop described by `cfg`.
 pub fn run_abd_hfl(cfg: &HflConfig) -> RunResult {
+    run_abd_hfl_with(cfg, &Telemetry::disabled()).result
+}
+
+/// [`run_abd_hfl`] with telemetry: returns the result together with the
+/// run's [`RunManifest`].
+pub fn run_abd_hfl_with(cfg: &HflConfig, telem: &Telemetry) -> InstrumentedRun {
     let exp = Experiment::prepare(cfg);
-    run_prepared(&exp)
+    run_prepared_with(&exp, telem)
 }
 
 /// Runs a prepared experiment (exposed so harnesses can reuse the
 /// preparation across repetitions).
 pub fn run_prepared(exp: &Experiment) -> RunResult {
+    run_prepared_with(exp, &Telemetry::disabled()).result
+}
+
+/// [`run_prepared`] with telemetry: emits round lifecycle events, keeps
+/// the `hfl_*` counters, and assembles the run's [`RunManifest`]
+/// (per-round time series, totals, final registry snapshot).
+///
+/// Determinism: in default (no `wall-clock`) builds the manifest is a
+/// pure function of the config — identical seeds give byte-identical
+/// `manifest.to_json()` output.
+pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun {
     let cfg = exp.config();
     let mut global = exp.template.params().to_vec();
     let mut cost = CostCounters::default();
     let mut accuracy = Vec::new();
+    let mut manifest = RunManifest::new(
+        "abd-hfl",
+        cfg.seed,
+        fnv1a_hex(format!("{cfg:?}").as_bytes()),
+    );
+
+    let messages_c = telem.registry().counter("hfl_messages_total", &[]);
+    let bytes_c = telem.registry().counter("hfl_bytes_total", &[]);
+    let excluded_c = telem.registry().counter("hfl_excluded_total", &[]);
+    let absent_c = telem.registry().counter("hfl_absent_total", &[]);
+    let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
 
     for round in 0..cfg.rounds {
-        let updates = exp.train_round(&global, round);
-        global = exp.aggregate_round(&updates, round, &mut cost);
-        if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            accuracy.push((round + 1, exp.evaluate(&global)));
+        if telem.enabled() {
+            telem.emit(Event::RoundStarted { round });
         }
+        let before = cost;
+        let updates = exp.train_round(&global, round);
+        global = exp.aggregate_round_with(&updates, round, &mut cost, telem);
+        let delta = CostCounters {
+            messages: cost.messages - before.messages,
+            bytes: cost.bytes - before.bytes,
+            excluded: cost.excluded - before.excluded,
+            absent: cost.absent - before.absent,
+        };
+        messages_c.inc(delta.messages);
+        bytes_c.inc(delta.bytes);
+        excluded_c.inc(delta.excluded);
+        absent_c.inc(delta.absent);
+
+        let mut round_accuracy = None;
+        if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+            let a = exp.evaluate(&global);
+            accuracy.push((round + 1, a));
+            accuracy_g.set(a);
+            round_accuracy = Some(a);
+            if telem.enabled() {
+                telem.emit(Event::Evaluated { round, accuracy: a });
+            }
+        }
+        if telem.enabled() {
+            telem.emit(Event::RoundFinished {
+                round,
+                messages: delta.messages,
+                bytes: delta.bytes,
+                excluded: delta.excluded,
+                absent: delta.absent,
+            });
+        }
+        manifest.rounds.push(RoundRecord {
+            round: round + 1,
+            accuracy: round_accuracy,
+            messages: delta.messages,
+            bytes: delta.bytes,
+            excluded: delta.excluded,
+            absent: delta.absent,
+        });
     }
     let final_accuracy = accuracy.last().map(|(_, a)| *a).unwrap_or(0.0);
-    RunResult {
-        accuracy,
-        final_accuracy,
+    manifest.totals = RunTotals {
         messages: cost.messages,
         bytes: cost.bytes,
-        excluded_total: cost.excluded,
-        absent_total: cost.absent,
+        excluded: cost.excluded,
+        absent: cost.absent,
+    };
+    manifest.final_accuracy = final_accuracy;
+    manifest.metrics = telem.registry().snapshot();
+
+    InstrumentedRun {
+        result: RunResult {
+            accuracy,
+            final_accuracy,
+            messages: cost.messages,
+            bytes: cost.bytes,
+            excluded_total: cost.excluded,
+            absent_total: cost.absent,
+        },
+        manifest,
     }
 }
 
@@ -506,5 +705,91 @@ mod tests {
         let r = run_abd_hfl(&cfg);
         assert_eq!(r.accuracy.len(), 5);
         assert_eq!(r.accuracy.last().unwrap().0, 10);
+    }
+
+    fn tiny(seed: u64) -> HflConfig {
+        let mut cfg = HflConfig::quick(AttackCfg::None, seed);
+        cfg.rounds = 3;
+        cfg.eval_every = 3;
+        cfg
+    }
+
+    #[test]
+    fn manifest_is_byte_identical_across_equal_seeds() {
+        let cfg = tiny(21);
+        let a = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+        let b = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+        assert_eq!(a.manifest.to_json(), b.manifest.to_json());
+        // And a different seed is visible in the manifest.
+        let mut other = cfg.clone();
+        other.seed = 22;
+        let c = run_abd_hfl_with(&other, &Telemetry::disabled());
+        assert_ne!(a.manifest.to_json(), c.manifest.to_json());
+        assert_ne!(a.manifest.config_hash, c.manifest.config_hash);
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_matches_result() {
+        let run = run_abd_hfl_with(&tiny(23), &Telemetry::disabled());
+        let m = &run.manifest;
+        assert_eq!(m.label, "abd-hfl");
+        assert_eq!(m.seed, 23);
+        assert_eq!(m.rounds.len(), 3);
+        assert_eq!(m.totals.messages, run.result.messages);
+        assert_eq!(m.totals.bytes, run.result.bytes);
+        assert_eq!(
+            m.rounds.iter().map(|r| r.messages).sum::<u64>(),
+            run.result.messages
+        );
+        assert_eq!(m.final_accuracy, run.result.final_accuracy);
+        // Only the last round is an eval point under eval_every = rounds.
+        assert!(m.rounds[0].accuracy.is_none());
+        assert!(m.rounds[2].accuracy.is_some());
+        let back = hfl_telemetry::RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(&back, m);
+    }
+
+    #[test]
+    fn instrumented_run_matches_uninstrumented() {
+        let cfg = tiny(24);
+        let plain = run_abd_hfl(&cfg);
+        let (telem, _rec) = Telemetry::recording();
+        let inst = run_abd_hfl_with(&cfg, &telem);
+        assert_eq!(plain.final_accuracy, inst.result.final_accuracy);
+        assert_eq!(plain.messages, inst.result.messages);
+        assert_eq!(plain.bytes, inst.result.bytes);
+    }
+
+    #[test]
+    fn events_cover_the_round_lifecycle() {
+        let cfg = tiny(25);
+        let (telem, rec) = Telemetry::recording();
+        let inst = run_abd_hfl_with(&cfg, &telem);
+        let events = rec.events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::RoundStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, Event::RoundFinished { .. }))
+            .count();
+        assert_eq!(starts, cfg.rounds);
+        assert_eq!(finishes, cfg.rounds);
+        // Every message accounted in the result is also visible as a
+        // MessagesSent event.
+        let event_messages: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::MessagesSent { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(event_messages, inst.result.messages);
+        // And the registry counter agrees.
+        assert_eq!(
+            telem.registry().counter("hfl_messages_total", &[]).get(),
+            inst.result.messages
+        );
     }
 }

@@ -3,9 +3,10 @@
 //! (possibly Byzantine-robust) rule.
 
 use hfl_robust::AggregatorKind;
+use hfl_telemetry::{fnv1a_hex, Event, RoundRecord, RunManifest, RunTotals, Telemetry};
 
 use crate::config::HflConfig;
-use crate::runner::{Experiment, RunResult};
+use crate::runner::{Experiment, InstrumentedRun, RunResult};
 
 /// Runs vanilla FL with the same task, clients, attack and training
 /// hyper-parameters as `cfg`, but a central server applying `aggregator`
@@ -15,12 +16,32 @@ use crate::runner::{Experiment, RunResult};
 /// client updates are *identical* to the ABD-HFL run with the same seed —
 /// the comparison isolates the topology.
 pub fn run_vanilla(cfg: &HflConfig, aggregator: AggregatorKind) -> RunResult {
+    run_vanilla_with(cfg, aggregator, &Telemetry::disabled()).result
+}
+
+/// [`run_vanilla`] with telemetry: returns the result together with the
+/// run's [`RunManifest`] (label `"vanilla"`), so the baseline reports
+/// through the same manifest pipeline as ABD-HFL.
+pub fn run_vanilla_with(
+    cfg: &HflConfig,
+    aggregator: AggregatorKind,
+    telem: &Telemetry,
+) -> InstrumentedRun {
     let exp = Experiment::prepare(cfg);
-    run_vanilla_prepared(&exp, aggregator)
+    run_vanilla_prepared_with(&exp, aggregator, telem)
 }
 
 /// Vanilla run over an already-prepared experiment.
 pub fn run_vanilla_prepared(exp: &Experiment, aggregator: AggregatorKind) -> RunResult {
+    run_vanilla_prepared_with(exp, aggregator, &Telemetry::disabled()).result
+}
+
+/// [`run_vanilla_prepared`] with telemetry.
+pub fn run_vanilla_prepared_with(
+    exp: &Experiment,
+    aggregator: AggregatorKind,
+    telem: &Telemetry,
+) -> InstrumentedRun {
     let cfg = exp.config();
     let agg = aggregator.build();
     let n = exp.client_data.len();
@@ -30,14 +51,28 @@ pub fn run_vanilla_prepared(exp: &Experiment, aggregator: AggregatorKind) -> Run
     let mut messages = 0u64;
     let mut bytes = 0u64;
     let mut accuracy = Vec::new();
+    let mut manifest = RunManifest::new(
+        "vanilla",
+        cfg.seed,
+        fnv1a_hex(format!("{cfg:?}").as_bytes()),
+    );
+    let messages_c = telem.registry().counter("hfl_messages_total", &[]);
+    let bytes_c = telem.registry().counter("hfl_bytes_total", &[]);
+    let absent_c = telem.registry().counter("hfl_absent_total", &[]);
+    let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
 
     let mut absent_total = 0u64;
     for round in 0..cfg.rounds {
+        if telem.enabled() {
+            telem.emit(Event::RoundStarted { round });
+        }
         let updates = exp.train_round(&global, round);
         // Churn applies identically: absent clients' updates never reach
         // the server.
         let active = exp.active_mask(round);
-        absent_total += active.iter().filter(|a| !**a).count() as u64;
+        let absent = active.iter().filter(|a| !**a).count() as u64;
+        absent_total += absent;
+        absent_c.inc(absent);
         let refs: Vec<&[f32]> = updates
             .iter()
             .zip(&active)
@@ -46,20 +81,66 @@ pub fn run_vanilla_prepared(exp: &Experiment, aggregator: AggregatorKind) -> Run
             .collect();
         global = agg.aggregate(&refs, None);
         // n uploads + n downloads through the central server.
-        messages += 2 * n as u64;
-        bytes += 2 * n as u64 * model_bytes;
+        let round_messages = 2 * n as u64;
+        let round_bytes = round_messages * model_bytes;
+        messages += round_messages;
+        bytes += round_bytes;
+        messages_c.inc(round_messages);
+        bytes_c.inc(round_bytes);
+        let mut round_accuracy = None;
         if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            accuracy.push((round + 1, exp.evaluate(&global)));
+            let a = exp.evaluate(&global);
+            accuracy.push((round + 1, a));
+            accuracy_g.set(a);
+            round_accuracy = Some(a);
+            if telem.enabled() {
+                telem.emit(Event::Evaluated { round, accuracy: a });
+            }
         }
+        if telem.enabled() {
+            telem.emit(Event::MessagesSent {
+                round,
+                level: 0,
+                count: round_messages,
+                bytes: round_bytes,
+            });
+            telem.emit(Event::RoundFinished {
+                round,
+                messages: round_messages,
+                bytes: round_bytes,
+                excluded: 0,
+                absent,
+            });
+        }
+        manifest.rounds.push(RoundRecord {
+            round: round + 1,
+            accuracy: round_accuracy,
+            messages: round_messages,
+            bytes: round_bytes,
+            excluded: 0,
+            absent,
+        });
     }
     let final_accuracy = accuracy.last().map(|(_, a)| *a).unwrap_or(0.0);
-    RunResult {
-        accuracy,
-        final_accuracy,
+    manifest.totals = RunTotals {
         messages,
         bytes,
-        excluded_total: 0,
-        absent_total,
+        excluded: 0,
+        absent: absent_total,
+    };
+    manifest.final_accuracy = final_accuracy;
+    manifest.metrics = telem.registry().snapshot();
+
+    InstrumentedRun {
+        result: RunResult {
+            accuracy,
+            final_accuracy,
+            messages,
+            bytes,
+            excluded_total: 0,
+            absent_total,
+        },
+        manifest,
     }
 }
 
@@ -145,5 +226,18 @@ mod tests {
         let cfg = quick(AttackCfg::None, 4);
         let r = run_vanilla(&cfg, AggregatorKind::FedAvg);
         assert_eq!(r.messages, (cfg.rounds * 2 * 64) as u64);
+    }
+
+    #[test]
+    fn vanilla_manifest_is_deterministic_and_labelled() {
+        let mut cfg = quick(AttackCfg::None, 5);
+        cfg.rounds = 3;
+        cfg.eval_every = 3;
+        let a = run_vanilla_with(&cfg, AggregatorKind::FedAvg, &Telemetry::disabled());
+        let b = run_vanilla_with(&cfg, AggregatorKind::FedAvg, &Telemetry::disabled());
+        assert_eq!(a.manifest.to_json(), b.manifest.to_json());
+        assert_eq!(a.manifest.label, "vanilla");
+        assert_eq!(a.manifest.totals.messages, a.result.messages);
+        assert_eq!(a.manifest.rounds.len(), 3);
     }
 }

@@ -6,7 +6,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use hfl_telemetry::{Event, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -145,6 +147,9 @@ pub struct Simulation<P, A: Actor<P>> {
     /// difference of each level"). A message from node `src` samples
     /// `uplink[src]` when present, the shared model otherwise.
     uplink: std::collections::HashMap<NodeId, DelayModel>,
+    /// Optional telemetry bridge: every trace event is forwarded here as
+    /// an [`Event::Sim`] as it is recorded.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<P, A: Actor<P>> Simulation<P, A> {
@@ -171,7 +176,16 @@ impl<P, A: Actor<P>> Simulation<P, A> {
             payload_bytes: Box::new(payload_bytes),
             loss_prob: 0.0,
             uplink: std::collections::HashMap::new(),
+            recorder: None,
         }
+    }
+
+    /// Bridges the simulator's trace stream into a telemetry recorder:
+    /// from now on every [`Ctx::trace`] event is also forwarded as an
+    /// [`Event::Sim`] (with the simulated time in microseconds). The
+    /// forwarding is skipped entirely when the recorder is disabled.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Overrides the delay model for every message *sent by* `node` —
@@ -249,6 +263,17 @@ impl<P, A: Actor<P>> Simulation<P, A> {
             ..
         } = ctx;
         for (at, event) in trace_buf {
+            if let Some(rec) = self.recorder.as_deref() {
+                if rec.enabled() {
+                    rec.record(&Event::Sim {
+                        time_us: at.as_micros(),
+                        round: event.round,
+                        level: event.level,
+                        cluster: event.cluster,
+                        kind: format!("{:?}", event.kind),
+                    });
+                }
+            }
             self.trace.record(at, event);
         }
         self.flush_ctx_effects(node, outbox, timers);
@@ -538,6 +563,50 @@ mod tests {
     fn full_loss_rejected() {
         let mut sim = pingpong_sim(7);
         sim.set_loss(1.0);
+    }
+
+    #[test]
+    fn trace_events_are_bridged_to_recorder() {
+        use crate::trace::{TraceEvent, TraceKind};
+        use hfl_telemetry::MemoryRecorder;
+
+        /// Records one trace event at start, then stops.
+        struct Tracer;
+        impl Actor<()> for Tracer {
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.trace(TraceEvent {
+                    round: 2,
+                    level: 1,
+                    cluster: 4,
+                    kind: TraceKind::QuorumReached,
+                });
+                ctx.stop();
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<()>, _src: NodeId, _msg: ()) {}
+        }
+        let mut sim = Simulation::new(
+            vec![Tracer],
+            DelayModel::Constant { micros: 1 },
+            0,
+            |_| 0,
+        );
+        let rec = Arc::new(MemoryRecorder::new());
+        sim.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        sim.run(100);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            Event::Sim {
+                time_us: 0,
+                round: 2,
+                level: 1,
+                cluster: 4,
+                kind: "QuorumReached".to_string(),
+            }
+        );
+        // The trace itself still has the event too.
+        assert_eq!(sim.trace().len(), 1);
     }
 
     #[test]

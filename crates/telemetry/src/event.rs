@@ -1,0 +1,214 @@
+//! Structured, typed events for every observable action of the stack,
+//! plus the [`Recorder`] sink trait (SNIPPETS doctrine: "emit structured
+//! events for observable actions" — if a system mutates world state, an
+//! event lets a replay log assert behavior).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One observable action. Times are simulated microseconds where
+/// present; wall time never appears here (determinism contract).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A global training round began.
+    RoundStarted {
+        /// Round index (0-based).
+        round: usize,
+    },
+    /// A global training round completed, with its cost deltas.
+    RoundFinished {
+        /// Round index (0-based).
+        round: usize,
+        /// Model-bearing messages exchanged this round.
+        messages: u64,
+        /// Payload bytes exchanged this round.
+        bytes: u64,
+        /// Proposals excluded by consensus this round.
+        excluded: u64,
+        /// Client absences caused by churn this round.
+        absent: u64,
+    },
+    /// The global model was evaluated on the test set.
+    Evaluated {
+        /// Round index (0-based).
+        round: usize,
+        /// Test accuracy in `[0, 1]`.
+        accuracy: f64,
+    },
+    /// One cluster formed its partial (or global) aggregate.
+    ClusterAggregated {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// Number of input models actually aggregated.
+        inputs: usize,
+        /// Quorum that was required (Algorithm 4's ⌈φ·present⌉).
+        quorum: usize,
+    },
+    /// A consensus mechanism excluded a proposal as suspicious.
+    ProposalExcluded {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// Index of the excluded proposal within the cluster's inputs.
+        proposal: usize,
+    },
+    /// A client was absent this round under churn (Assumption 3).
+    ChurnAbsence {
+        /// Round index (0-based).
+        round: usize,
+        /// The absent bottom-level client.
+        client: usize,
+    },
+    /// Model-bearing messages were sent (aggregate accounting, matching
+    /// the synchronous runner's bulk cost model).
+    MessagesSent {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level the transfer belongs to (0 = top;
+        /// `usize::MAX` is never used — dissemination is charged to the
+        /// level it traverses).
+        level: usize,
+        /// Message count.
+        count: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A timeline event bridged from the discrete-event simulator's
+    /// trace (`hfl-simnet`).
+    Sim {
+        /// Simulated time in microseconds.
+        time_us: u64,
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The trace label (e.g. `QuorumReached`).
+        kind: String,
+    },
+    /// Something violated an internal invariant but was tolerated and
+    /// counted instead of crashing (e.g. an out-of-order trace record).
+    Anomaly {
+        /// Anomaly class (e.g. `trace_out_of_order`).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// An event sink. Implementations must be cheap and thread-safe: events
+/// may be recorded from `hfl-parallel` worker threads.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// False when events are discarded — callers should skip building
+    /// events (and their `String` payloads) on hot paths when disabled.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; `enabled()` is false so instrumentation is free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Keeps every event in memory, in record order — the assertion target
+/// for tests and the source for post-run analyses.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(&Event::RoundStarted { round: 0 });
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order() {
+        let r = MemoryRecorder::new();
+        for round in 0..3 {
+            r.record(&Event::RoundStarted { round });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[2], Event::RoundStarted { round: 2 });
+        assert_eq!(r.take().len(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn memory_recorder_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(MemoryRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.record(&Event::RoundStarted { round: i });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 400);
+    }
+}

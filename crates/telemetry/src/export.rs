@@ -1,0 +1,171 @@
+//! Exporters shared by every `repro_*` binary: manifests as JSONL (one
+//! [`RunManifest`] per line) and registry snapshots as CSV.
+//!
+//! All writers return `io::Result` — reproduction binaries decide how to
+//! surface failures (they exit non-zero with the path); library code
+//! must not panic on a full disk.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::manifest::RunManifest;
+use crate::metrics::{MetricSample, MetricValue};
+
+/// Writes `manifests` to `dir/name.manifests.jsonl`, one JSON document
+/// per line, creating `dir` if needed. Returns the written path.
+pub fn write_manifests_jsonl(
+    dir: &Path,
+    name: &str,
+    manifests: &[RunManifest],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.manifests.jsonl"));
+    let mut out = String::new();
+    for m in manifests {
+        out.push_str(&m.to_json());
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Reads a JSONL file written by [`write_manifests_jsonl`]. Parse
+/// failures surface as [`io::ErrorKind::InvalidData`] with the offending
+/// line number.
+pub fn read_manifests_jsonl(path: &Path) -> io::Result<Vec<RunManifest>> {
+    let text = fs::read_to_string(path)?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            RunManifest::from_json(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), i + 1),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Writes a registry snapshot to `dir/name.metrics.csv` with the header
+/// `name,labels,kind,value,count,sum,min,max,p50,p90,p99` (histogram
+/// columns empty for counters/gauges). Returns the written path.
+pub fn write_metrics_csv(dir: &Path, name: &str, samples: &[MetricSample]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.metrics.csv"));
+    let file = fs::File::create(&path)?;
+    let mut w = io::BufWriter::new(file);
+    writeln!(w, "name,labels,kind,value,count,sum,min,max,p50,p90,p99")?;
+    for s in samples {
+        let labels = s
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        match &s.value {
+            MetricValue::Counter(c) => {
+                writeln!(w, "{},{labels},counter,{c},,,,,,,", s.name)?;
+            }
+            MetricValue::Gauge(g) => {
+                writeln!(w, "{},{labels},gauge,{g},,,,,,,", s.name)?;
+            }
+            MetricValue::Histogram(h) => {
+                writeln!(
+                    w,
+                    "{},{labels},histogram,,{},{},{},{},{},{},{}",
+                    s.name, h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                )?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{fnv1a_hex, RoundRecord, RunTotals};
+    use crate::metrics::Registry;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hfl-telemetry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest(label: &str, seed: u64) -> RunManifest {
+        let mut m = RunManifest::new(label, seed, fnv1a_hex(label.as_bytes()));
+        m.rounds.push(RoundRecord {
+            round: 1,
+            accuracy: Some(0.5),
+            messages: 10,
+            bytes: 40,
+            excluded: 0,
+            absent: 0,
+        });
+        m.totals = RunTotals {
+            messages: 10,
+            bytes: 40,
+            excluded: 0,
+            absent: 0,
+        };
+        m.final_accuracy = 0.5;
+        m
+    }
+
+    #[test]
+    fn manifests_roundtrip_through_jsonl() {
+        let dir = temp_dir("jsonl");
+        let written = vec![manifest("a", 1), manifest("b", u64::MAX)];
+        let path = write_manifests_jsonl(&dir, "run", &written).unwrap();
+        assert!(path.ends_with("run.manifests.jsonl"));
+        let read = read_manifests_jsonl(&path).unwrap();
+        assert_eq!(read, written);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_jsonl_reports_line() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.manifests.jsonl");
+        fs::write(&path, "{not json}\n").unwrap();
+        let err = read_manifests_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains(":1:"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_csv_has_header_and_rows() {
+        let dir = temp_dir("csv");
+        let r = Registry::new();
+        r.counter("c_total", &[("level", "1")]).inc(3);
+        r.gauge("g", &[]).set(0.25);
+        r.histogram("h", &[]).observe(2.0);
+        let path = write_metrics_csv(&dir, "run", &r.snapshot()).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "name,labels,kind,value,count,sum,min,max,p50,p90,p99"
+        );
+        assert!(text.contains("c_total,level=1,counter,3,"));
+        assert!(text.contains("g,,gauge,0.25,"));
+        assert!(text.contains("h,,histogram,,1,2,2,2,2,2,2"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = read_manifests_jsonl(Path::new("/nonexistent/x.jsonl")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,97 @@
+//! Scoped span timers.
+//!
+//! Two clocks exist in this stack and they must never be confused:
+//!
+//! * **Sim-time** ([`SimSpan`]) — measured in simulated microseconds
+//!   supplied by the caller (the discrete-event engine's `SimTime`).
+//!   Fully deterministic; this is the default and the only clock
+//!   available in default builds.
+//! * **Wall-time** (`WallSpan`) — measured with `std::time::Instant`,
+//!   compiled in only under the `wall-clock` feature. Wall readings are
+//!   inherently non-reproducible, so nothing that feeds a manifest in a
+//!   default build may come from here.
+
+use crate::metrics::Histogram;
+
+/// A sim-time span: begin with the current simulated time, finish with a
+/// later one; the duration (in the caller's time unit, conventionally
+/// microseconds) is recorded into the histogram.
+#[derive(Debug)]
+#[must_use = "a span records nothing until finished"]
+pub struct SimSpan {
+    hist: Histogram,
+    start: u64,
+}
+
+impl SimSpan {
+    /// Opens a span at simulated time `now`.
+    pub fn begin(hist: Histogram, now: u64) -> Self {
+        Self { hist, start: now }
+    }
+
+    /// Closes the span at simulated time `now`, recording the saturating
+    /// duration.
+    pub fn finish(self, now: u64) {
+        self.hist.observe(now.saturating_sub(self.start) as f64);
+    }
+}
+
+/// A wall-clock span recording elapsed seconds on drop. Only exists with
+/// the `wall-clock` feature; default builds cannot observe host time.
+#[cfg(feature = "wall-clock")]
+#[derive(Debug)]
+pub struct WallSpan {
+    hist: Histogram,
+    start: std::time::Instant,
+}
+
+#[cfg(feature = "wall-clock")]
+impl WallSpan {
+    /// Opens a span now.
+    pub fn begin(hist: Histogram) -> Self {
+        Self {
+            hist,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+#[cfg(feature = "wall-clock")]
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn sim_span_records_duration() {
+        let r = Registry::new();
+        let h = r.histogram("phase_us", &[]);
+        let span = SimSpan::begin(h.clone(), 1_000);
+        span.finish(1_250);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(50.0), Some(250.0));
+    }
+
+    #[test]
+    fn sim_span_saturates_backwards_time() {
+        let r = Registry::new();
+        let h = r.histogram("phase_us", &[]);
+        SimSpan::begin(h.clone(), 500).finish(100);
+        assert_eq!(h.percentile(50.0), Some(0.0));
+    }
+
+    #[cfg(feature = "wall-clock")]
+    #[test]
+    fn wall_span_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("wall_s", &[]);
+        drop(WallSpan::begin(h.clone()));
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI gate: run before opening a PR. Mirrors what reviewers check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

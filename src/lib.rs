@@ -13,4 +13,5 @@ pub use hfl_ml as ml;
 pub use hfl_parallel as parallel;
 pub use hfl_robust as robust;
 pub use hfl_simnet as simnet;
+pub use hfl_telemetry as telemetry;
 pub use hfl_tensor as tensor;
