@@ -1,0 +1,144 @@
+//! Reproduces the **fault-tolerance sweep**: final accuracy and
+//! availability of ABD-HFL under deterministic crash faults, across
+//! crash severity × quorum fraction φ.
+//!
+//! Scenarios (all faults strike at round 5 of the paper's IID ECSM
+//! topology, 64 clients in clusters of 4 with Multi-Krum f = 1):
+//!
+//! * `none`       — fault-free baseline;
+//! * `crash-f`    — f = 1 follower crash-stopped in every bottom cluster;
+//! * `leader+f`   — a bottom-cluster *leader* killed (deputy promotion)
+//!                  on top of the f-follower crashes;
+//! * `crash-2f`   — 2f = 2 followers crash-stopped per bottom cluster,
+//!                  beyond the Multi-Krum assumption.
+//!
+//! Availability is the fraction of expected bottom-level updates that
+//! reached their aggregation: `1 − faulted / (clients · rounds)`.
+//!
+//! Two invocations with the same `--seed` produce byte-identical
+//! manifest logs (`faults.manifests.jsonl`) — the determinism contract
+//! CI checks by diffing.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
+use hfl_bench::Args;
+use hfl_faults::FaultPlan;
+use hfl_ml::synth::SynthConfig;
+use hfl_simnet::Hierarchy;
+use hfl_telemetry::Telemetry;
+
+/// The round every scenario's faults strike at.
+const CRASH_ROUND: usize = 5;
+
+/// Crash-stops the first `count` followers (members after the leader) of
+/// every bottom cluster.
+fn crash_followers(mut plan: FaultPlan, h: &Hierarchy, count: usize) -> FaultPlan {
+    let bottom = h.bottom_level();
+    for cluster in &h.level(bottom).clusters {
+        for &m in cluster.members.iter().skip(1).take(count) {
+            plan = plan.crash_stop(CRASH_ROUND, m);
+        }
+    }
+    plan
+}
+
+/// The fault plan for a named scenario, `None` for the clean baseline.
+fn scenario_plan(name: &str, h: &Hierarchy) -> Option<FaultPlan> {
+    match name {
+        "none" => None,
+        "crash-f" => Some(crash_followers(FaultPlan::new(), h, 1)),
+        "leader+f" => Some(crash_followers(
+            // Kill the leader of bottom cluster 1: its deputy must take
+            // over collection for the rest of the run.
+            FaultPlan::new().kill_leader(CRASH_ROUND, h.bottom_level(), 1, None),
+            h,
+            1,
+        )),
+        "crash-2f" => Some(crash_followers(FaultPlan::new(), h, 2)),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(60, 12);
+
+    println!("## Fault tolerance — crash severity × quorum φ (faults at round {CRASH_ROUND})\n");
+
+    let scenarios = ["none", "crash-f", "leader+f", "crash-2f"];
+    let quorums = [1.0, 0.75, 0.5];
+
+    let mut csv = Vec::new();
+    let mut manifests = Vec::new();
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        let mut cells = vec![scenario.to_string()];
+        for phi in quorums {
+            let label = format!("{scenario}/phi{phi}");
+            if !args.matches(&label) {
+                cells.push("—".to_string());
+                continue;
+            }
+            let mut cfg = HflConfig::paper_iid(AttackCfg::None, args.seed);
+            cfg.rounds = rounds;
+            cfg.eval_every = rounds;
+            cfg.quorum = phi;
+            cfg.data = SynthConfig {
+                train_samples: 19_200,
+                test_samples: 4_000,
+                ..SynthConfig::default()
+            };
+            let h = cfg.topology.build(cfg.seed);
+            cfg.faults = scenario_plan(scenario, &h);
+            let exp = match Experiment::try_prepare(&cfg) {
+                Ok(exp) => exp,
+                Err(e) => {
+                    eprintln!("  {label}: skipped ({e})");
+                    cells.push("invalid".to_string());
+                    continue;
+                }
+            };
+            let run = run_prepared_with(&exp, &Telemetry::disabled());
+            let clients = h.num_clients();
+            let availability = 1.0 - run.result.faulted_total as f64 / (clients * rounds) as f64;
+            let fault_events = run.manifest.faults.len();
+            eprintln!(
+                "  {label}: acc {} avail {:.3} ({} fault log entries)",
+                pct(run.result.final_accuracy),
+                availability,
+                fault_events
+            );
+            csv.push(format!(
+                "{scenario},{phi},{rounds},{:.4},{:.4},{},{}",
+                run.result.final_accuracy, availability, run.result.faulted_total, fault_events
+            ));
+            cells.push(format!(
+                "{} / {:.1}%",
+                pct(run.result.final_accuracy),
+                availability * 100.0
+            ));
+            manifests.push(run.manifest);
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scenario (acc / availability)",
+                "φ = 1.0",
+                "φ = 0.75",
+                "φ = 0.5"
+            ],
+            &rows
+        )
+    );
+    write_csv_or_exit(
+        &args.out_dir,
+        "faults",
+        "scenario,quorum,rounds,final_accuracy,availability,faulted_total,fault_events",
+        &csv,
+    );
+    write_manifests_or_exit(&args.out_dir, "faults", &manifests);
+}

@@ -12,6 +12,7 @@
 //! | `repro_efficiency` | §III-D / Fig. 2 — pipeline efficiency indicator ν |
 //! | `repro_attacks` | Table I — per-attack damage under plain averaging |
 //! | `repro_defenses` | Table II — per-defense robustness head-to-head |
+//! | `repro_faults` | Fault tolerance — availability/accuracy under crash faults × quorum φ |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

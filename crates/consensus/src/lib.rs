@@ -46,6 +46,7 @@ pub mod eval;
 pub mod gossip;
 pub mod pbft;
 pub mod pos;
+pub mod quorum;
 pub mod telemetry;
 pub mod vote;
 
@@ -58,6 +59,7 @@ pub use eval::{DistanceEvaluator, ProposalEvaluator};
 pub use gossip::GossipAverage;
 pub use pbft::PbftConsensus;
 pub use pos::StakeVote;
+pub use quorum::quorum_size;
 pub use vote::VoteConsensus;
 
 /// Result of one consensus instance.

@@ -1,0 +1,54 @@
+//! The quorum rule of Algorithm 4, in one place.
+//!
+//! Leaders collect updates "until quorum or Timeout": the quorum over
+//! `present` potential contributors at quorum fraction `φ` is
+//! `⌈φ·present⌉`, clamped to at least one contributor (an aggregation
+//! of zero inputs is meaningless) and at most everyone present. The
+//! synchronous runner, the pipelined driver and the fault-degraded
+//! paths all call this one function so their numerics can never drift
+//! apart.
+
+/// `⌈phi·present⌉`, clamped to `[1, present]` (and to 1 when nobody is
+/// present, leaving the degenerate case to the caller).
+pub fn quorum_size(phi: f64, present: usize) -> usize {
+    ((phi * present as f64).ceil() as usize).clamp(1, present.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_quorum_takes_everyone() {
+        assert_eq!(quorum_size(1.0, 4), 4);
+        assert_eq!(quorum_size(1.0, 1), 1);
+    }
+
+    #[test]
+    fn fractional_quorum_rounds_up() {
+        assert_eq!(quorum_size(0.5, 4), 2);
+        assert_eq!(quorum_size(0.5, 5), 3);
+        assert_eq!(quorum_size(0.75, 4), 3);
+        assert_eq!(quorum_size(0.6, 5), 3);
+    }
+
+    #[test]
+    fn at_least_one_contributor() {
+        assert_eq!(quorum_size(0.01, 4), 1);
+        assert_eq!(quorum_size(0.1, 1), 1);
+    }
+
+    #[test]
+    fn degenerate_empty_present() {
+        assert_eq!(quorum_size(1.0, 0), 1);
+    }
+
+    #[test]
+    fn never_exceeds_present() {
+        // ceil(0.9999... * n) with float slop must still clamp to n.
+        for n in 1..20 {
+            assert!(quorum_size(1.0, n) <= n);
+            assert!(quorum_size(0.9999999, n) <= n);
+        }
+    }
+}

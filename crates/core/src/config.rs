@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use hfl_attacks::{DataAttack, ModelAttack, Placement};
 use hfl_consensus::ConsensusKind;
+use hfl_faults::{FaultPlan, FaultPlanError};
 use hfl_ml::synth::SynthConfig;
 use hfl_ml::{LinearSoftmax, Mlp, Model, SgdConfig};
 use hfl_robust::AggregatorKind;
@@ -212,6 +213,12 @@ pub struct HflConfig {
     /// leader. Leaders stay (they are the cluster's infrastructure role).
     #[serde(default)]
     pub churn_leave_prob: f64,
+    /// Scheduled fault injection (`hfl-faults`): crashes, leader kills,
+    /// stragglers, loss bursts, partitions, churn overrides. `None`
+    /// (the default) runs fault-free and leaves the aggregation path
+    /// byte-identical to configs predating this field.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl HflConfig {
@@ -245,6 +252,7 @@ impl HflConfig {
             seed,
             malicious_override: None,
             churn_leave_prob: 0.0,
+            faults: None,
         }
     }
 
@@ -278,45 +286,155 @@ impl HflConfig {
         }
     }
 
+    /// Validates internal consistency against the built hierarchy,
+    /// reporting the first inconsistency instead of panicking — the
+    /// entry point for sweep harnesses where one bad cell must not
+    /// abort the whole sweep.
+    pub fn try_validate(&self, hierarchy: &Hierarchy) -> Result<(), ConfigError> {
+        if self.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        if self.local_iters == 0 {
+            return Err(ConfigError::ZeroLocalIters);
+        }
+        if self.eval_every == 0 {
+            return Err(ConfigError::ZeroEvalEvery);
+        }
+        if !(self.quorum > 0.0 && self.quorum <= 1.0) {
+            return Err(ConfigError::QuorumOutOfRange { quorum: self.quorum });
+        }
+        if self.levels.len() != hierarchy.num_levels() {
+            return Err(ConfigError::LevelsLengthMismatch {
+                got: self.levels.len(),
+                expected: hierarchy.num_levels(),
+            });
+        }
+        if !(self.flag_level >= 1 && self.flag_level < hierarchy.num_levels()) {
+            return Err(ConfigError::FlagLevelOutOfRange {
+                flag_level: self.flag_level,
+                levels: hierarchy.num_levels(),
+            });
+        }
+        if self.attack.proportion() > 1.0 {
+            return Err(ConfigError::AttackProportionOutOfRange {
+                proportion: self.attack.proportion(),
+            });
+        }
+        if let Some(mask) = &self.malicious_override {
+            if mask.len() != hierarchy.num_clients() {
+                return Err(ConfigError::MaliciousMaskLengthMismatch {
+                    got: mask.len(),
+                    expected: hierarchy.num_clients(),
+                });
+            }
+        }
+        if !(0.0..1.0).contains(&self.churn_leave_prob) {
+            return Err(ConfigError::ChurnOutOfRange {
+                prob: self.churn_leave_prob,
+            });
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(hierarchy).map_err(ConfigError::Faults)?;
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency against the built hierarchy.
     ///
     /// # Panics
     /// On inconsistency (wrong `levels` length, flag level out of range,
-    /// quorum out of `(0, 1]`, zero rounds...).
+    /// quorum out of `(0, 1]`, zero rounds...). Use
+    /// [`HflConfig::try_validate`] where a bad config is recoverable.
     pub fn validate(&self, hierarchy: &Hierarchy) {
-        assert!(self.rounds > 0, "rounds must be positive");
-        assert!(self.local_iters > 0, "local_iters must be positive");
-        assert!(self.eval_every > 0, "eval_every must be positive");
-        assert!(
-            self.quorum > 0.0 && self.quorum <= 1.0,
-            "quorum must be in (0, 1]"
-        );
-        assert_eq!(
-            self.levels.len(),
-            hierarchy.num_levels(),
-            "levels config length must match hierarchy depth"
-        );
-        assert!(
-            self.flag_level >= 1 && self.flag_level < hierarchy.num_levels(),
-            "flag level must be an intermediate-or-bottom aggregation level"
-        );
-        assert!(
-            self.attack.proportion() <= 1.0,
-            "attack proportion out of range"
-        );
-        if let Some(mask) = &self.malicious_override {
-            assert_eq!(
-                mask.len(),
-                hierarchy.num_clients(),
-                "malicious override mask length must equal client count"
-            );
+        if let Err(e) = self.try_validate(hierarchy) {
+            panic!("{e}");
         }
-        assert!(
-            (0.0..1.0).contains(&self.churn_leave_prob),
-            "churn leave probability must be in [0, 1)"
-        );
     }
 }
+
+/// Why an [`HflConfig`] is internally inconsistent. `Display` renders
+/// the exact invariant messages `validate` panics with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `rounds` is zero.
+    ZeroRounds,
+    /// `local_iters` is zero.
+    ZeroLocalIters,
+    /// `eval_every` is zero.
+    ZeroEvalEvery,
+    /// `quorum` outside `(0, 1]`.
+    QuorumOutOfRange {
+        /// The offending quorum.
+        quorum: f64,
+    },
+    /// `levels` length differs from the hierarchy's level count.
+    LevelsLengthMismatch {
+        /// Configured length.
+        got: usize,
+        /// Hierarchy depth.
+        expected: usize,
+    },
+    /// `flag_level` is not an intermediate-or-bottom level.
+    FlagLevelOutOfRange {
+        /// The offending flag level.
+        flag_level: usize,
+        /// Hierarchy depth.
+        levels: usize,
+    },
+    /// Attack proportion above 1.
+    AttackProportionOutOfRange {
+        /// The offending proportion.
+        proportion: f64,
+    },
+    /// `malicious_override` length differs from the client count.
+    MaliciousMaskLengthMismatch {
+        /// Mask length.
+        got: usize,
+        /// Client count.
+        expected: usize,
+    },
+    /// Churn leave probability outside `[0, 1)`.
+    ChurnOutOfRange {
+        /// The offending probability.
+        prob: f64,
+    },
+    /// The fault plan doesn't fit the hierarchy.
+    Faults(FaultPlanError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRounds => write!(f, "rounds must be positive"),
+            ConfigError::ZeroLocalIters => write!(f, "local_iters must be positive"),
+            ConfigError::ZeroEvalEvery => write!(f, "eval_every must be positive"),
+            ConfigError::QuorumOutOfRange { quorum } => {
+                write!(f, "quorum must be in (0, 1], got {quorum}")
+            }
+            ConfigError::LevelsLengthMismatch { got, expected } => write!(
+                f,
+                "levels config length must match hierarchy depth (config has {got}, hierarchy has {expected})"
+            ),
+            ConfigError::FlagLevelOutOfRange { flag_level, levels } => write!(
+                f,
+                "flag level must be an intermediate-or-bottom aggregation level (got {flag_level} of {levels} levels)"
+            ),
+            ConfigError::AttackProportionOutOfRange { proportion } => {
+                write!(f, "attack proportion out of range ({proportion})")
+            }
+            ConfigError::MaliciousMaskLengthMismatch { got, expected } => write!(
+                f,
+                "malicious override mask length must equal client count (mask has {got}, hierarchy has {expected})"
+            ),
+            ConfigError::ChurnOutOfRange { prob } => {
+                write!(f, "churn leave probability must be in [0, 1), got {prob}")
+            }
+            ConfigError::Faults(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -383,5 +501,29 @@ mod tests {
         cfg.quorum = 0.0;
         let h = cfg.topology.build(0);
         cfg.validate(&h);
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.quorum = 2.0;
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(matches!(err, ConfigError::QuorumOutOfRange { .. }));
+        assert!(err.to_string().contains("quorum must be in (0, 1]"));
+    }
+
+    #[test]
+    fn try_validate_checks_fault_plans() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.faults = Some(hfl_faults::FaultPlan::new().crash_stop(5, 3));
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        // Node 999 doesn't exist in the 64-client paper topology.
+        cfg.faults = Some(hfl_faults::FaultPlan::new().crash_stop(5, 999));
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(matches!(err, ConfigError::Faults(_)));
+        assert!(err.to_string().contains("node 999"), "{err}");
     }
 }

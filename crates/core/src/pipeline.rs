@@ -27,6 +27,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use hfl_consensus::quorum_size;
+use hfl_faults::TimelineFaults;
 use hfl_ml::rng::derive_seed;
 use hfl_ml::sgd::train_local;
 use hfl_simnet::engine::{Actor, Ctx, NodeId, Simulation};
@@ -271,8 +273,7 @@ impl DeviceActor {
             }
         }
         entry.inputs.push((entry.inputs.len(), params));
-        let quorum =
-            ((self.exp.config().quorum * size as f64).ceil() as usize).clamp(1, size);
+        let quorum = quorum_size(self.exp.config().quorum, size);
         if !entry.quorum_hit && entry.inputs.len() >= quorum {
             entry.quorum_hit = true;
             ctx.trace(TraceEvent {
@@ -592,6 +593,26 @@ pub fn run_pipeline_with(
         );
         sim.set_loss(pcfg.loss_prob);
     }
+    if let Some(inj) = exp.injector() {
+        if inj.has_delivery_faults() {
+            assert!(
+                pcfg.collect_timeout.is_some() || cfg.quorum < 1.0,
+                "injected delivery faults (crashes, partitions, loss bursts) need a \
+                 collection timeout or a quorum < 1 to progress"
+            );
+        }
+        // Nominal round period for mapping sim time onto fault-plan
+        // rounds: one training phase plus a per-level collect + aggregate
+        // exchange. The mapping is approximate (slow rounds drift) but
+        // deterministic, which is what reproducibility needs. Crashed
+        // devices keep their timers; they are simply unreachable — every
+        // message to or from them is dropped at the link layer.
+        let levels = h.num_levels() as f64;
+        let period_us = pcfg.train_delay.mean_micros()
+            + levels * (pcfg.agg_delay.mean_micros() + 2.0 * pcfg.net_delay.mean_micros());
+        let period = SimTime::from_micros(period_us.max(1.0) as u64);
+        sim.set_link_fault(Box::new(TimelineFaults::new(inj.clone(), period)));
+    }
     if let Some(leaf_model) = &pcfg.leaf_uplink {
         // Pure leaves = devices that lead no cluster (every leader also
         // appears at some higher level and gets the default link).
@@ -902,6 +923,38 @@ mod tests {
         let (_, a) = run_pipeline_with(&cfg, &quick_pipeline(2), &Telemetry::disabled());
         let (_, b) = run_pipeline_with(&cfg, &quick_pipeline(2), &Telemetry::disabled());
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn crash_faults_drop_messages_but_rounds_complete() {
+        use hfl_faults::FaultPlan;
+        let mut cfg = quick_cfg(30);
+        cfg.faults = Some(FaultPlan::new().crash_stop(1, 5));
+        let pcfg = PipelineConfig {
+            rounds: 3,
+            collect_timeout: Some(SimTime::from_millis(120)),
+            ..PipelineConfig::default()
+        };
+        let faulted = run_pipeline(&cfg, &pcfg);
+        assert!(!faulted.rounds.is_empty(), "no rounds under crash faults");
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.faults = None;
+        let clean = run_pipeline(&clean_cfg, &pcfg);
+        assert!(
+            faulted.messages < clean.messages,
+            "crashing a device must shed deliveries: {} vs {}",
+            faulted.messages,
+            clean.messages
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injected delivery faults")]
+    fn delivery_faults_without_timeout_are_rejected() {
+        use hfl_faults::FaultPlan;
+        let mut cfg = quick_cfg(31);
+        cfg.faults = Some(FaultPlan::new().crash_stop(1, 0));
+        run_pipeline(&cfg, &quick_pipeline(2));
     }
 
     #[test]

@@ -21,15 +21,19 @@ use rand::seq::SliceRandom;
 
 use hfl_attacks::malicious_mask;
 use hfl_consensus::eval::AccuracyEvaluator;
+use hfl_consensus::quorum_size;
+use hfl_faults::FaultInjector;
 use hfl_ml::partition::{iid_partition, noniid_partition};
 use hfl_ml::rng::rng_for_n;
 use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{Dataset, Model};
 use hfl_simnet::Hierarchy;
-use hfl_telemetry::{fnv1a_hex, Event, RoundRecord, RunManifest, RunTotals, Telemetry};
+use hfl_telemetry::{
+    fnv1a_hex, Event, FaultRecord, RoundRecord, RunManifest, RunTotals, Telemetry,
+};
 
-use crate::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg};
+use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg};
 
 /// Outcome of one full training run.
 #[derive(Clone, Debug)]
@@ -47,6 +51,9 @@ pub struct RunResult {
     pub excluded_total: u64,
     /// Total client-round absences caused by churn.
     pub absent_total: u64,
+    /// Total bottom-level client-round updates lost to injected faults
+    /// (crashes, partitions, loss bursts). Zero for fault-free runs.
+    pub faulted_total: u64,
 }
 
 /// A run's result plus its [`RunManifest`] — what the instrumented entry
@@ -71,6 +78,8 @@ pub struct CostCounters {
     pub excluded: u64,
     /// Client-round absences from churn.
     pub absent: u64,
+    /// Bottom-level updates lost to injected faults.
+    pub faulted: u64,
 }
 
 /// Pre-built, reusable experiment state (task generation and partitioning
@@ -88,14 +97,37 @@ pub struct Experiment {
     /// The model template (architecture + initial parameters).
     pub template: Box<dyn Model>,
     config: HflConfig,
+    /// Compiled fault schedule, when the config carries a `FaultPlan`.
+    injector: Option<FaultInjector>,
 }
 
 impl Experiment {
     /// Builds everything deterministic-from-seed: hierarchy, task,
     /// malicious mask, partition, data poisoning, model init.
+    ///
+    /// # Panics
+    /// On an inconsistent config; [`Experiment::try_prepare`] reports
+    /// instead.
     pub fn prepare(cfg: &HflConfig) -> Self {
+        match Self::try_prepare(cfg) {
+            Ok(exp) => exp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Experiment::prepare`] returning the config inconsistency (if
+    /// any) instead of panicking — sweep harnesses report the offending
+    /// cell and move on.
+    pub fn try_prepare(cfg: &HflConfig) -> Result<Self, ConfigError> {
         let hierarchy = cfg.topology.build(cfg.seed);
-        cfg.validate(&hierarchy);
+        cfg.try_validate(&hierarchy)?;
+        let injector = match &cfg.faults {
+            Some(plan) if !plan.is_empty() => Some(
+                FaultInjector::compile(plan, &hierarchy, cfg.seed)
+                    .map_err(ConfigError::Faults)?,
+            ),
+            _ => None,
+        };
         let n_clients = hierarchy.num_clients();
 
         let mut data_cfg = cfg.data.clone();
@@ -140,19 +172,25 @@ impl Experiment {
             hfl_ml::rng::derive_seed(cfg.seed, 0x0de1),
         );
 
-        Self {
+        Ok(Self {
             hierarchy,
             task,
             client_data,
             malicious,
             template,
             config: cfg.clone(),
-        }
+            injector,
+        })
     }
 
     /// The configuration this experiment was prepared from.
     pub fn config(&self) -> &HflConfig {
         &self.config
+    }
+
+    /// The compiled fault schedule, when the config carries one.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Trains every client for one round from `global`, in parallel.
@@ -205,9 +243,14 @@ impl Experiment {
 
     /// Which clients participate this round under churn (Assumption 3).
     /// Leaders always participate; others leave independently with
-    /// `churn_leave_prob`. All-present when churn is disabled.
+    /// `churn_leave_prob` (or a fault plan's churn override while one is
+    /// active). All-present when churn is disabled.
     pub fn active_mask(&self, round: usize) -> Vec<bool> {
-        let p = self.config.churn_leave_prob;
+        let p = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.churn_leave_prob(round))
+            .unwrap_or(self.config.churn_leave_prob);
         let n = self.client_data.len();
         if p == 0.0 {
             return vec![true; n];
@@ -249,6 +292,42 @@ impl Experiment {
         cost: &mut CostCounters,
         telem: &Telemetry,
     ) -> Vec<f32> {
+        let mut fault_log = Vec::new();
+        self.aggregate_round_logged(updates, round, cost, telem, &mut fault_log)
+    }
+
+    /// [`Self::aggregate_round_with`] that also appends failover and
+    /// degraded-quorum [`FaultRecord`]s to `fault_log` (the manifest's
+    /// fault log is filled even when the recorder is disabled, like the
+    /// per-round time series).
+    pub fn aggregate_round_logged(
+        &self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+    ) -> Vec<f32> {
+        match &self.injector {
+            None => self.aggregate_round_clean(updates, round, cost, telem),
+            Some(inj) => {
+                self.aggregate_round_faulted(inj, updates, round, cost, telem, fault_log)
+            }
+        }
+    }
+
+    /// The fault-free aggregation path. Kept textually separate from
+    /// [`Self::aggregate_round_faulted`] on purpose: this path's RNG
+    /// stream is the determinism baseline every pre-fault manifest was
+    /// produced under, and sharing code with the fault-aware path would
+    /// make it too easy to perturb.
+    fn aggregate_round_clean(
+        &self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+    ) -> Vec<f32> {
         let cfg = &self.config;
         let h = &self.hierarchy;
         let bottom = h.bottom_level();
@@ -284,8 +363,7 @@ impl Experiment {
                 let mut rng =
                     rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
                 order.shuffle(&mut rng);
-                let quorum = ((cfg.quorum * order.len() as f64).ceil() as usize)
-                    .clamp(1, order.len().max(1));
+                let quorum = quorum_size(cfg.quorum, order.len());
                 let kept: Vec<usize> = {
                     let mut k = order[..quorum.min(order.len())].to_vec();
                     k.sort_unstable();
@@ -450,6 +528,429 @@ impl Experiment {
         global
     }
 
+    /// The fault-aware aggregation path (active when the config carries
+    /// a `FaultPlan`). Differences from the clean path:
+    ///
+    /// - **Leader failover**: when a cluster's leader is crashed, the
+    ///   first alive member is promoted to collector for the round; the
+    ///   leader's *slot* keeps its role upward, with `carrier[]`
+    ///   tracking which physical device holds it.
+    /// - **Degraded quorum**: members lost to crashes, partitions or
+    ///   loss bursts are simply missing; the quorum is ⌈φ·alive⌉ over
+    ///   the survivors (Algorithm 4's timeout branch) and the round
+    ///   proceeds instead of hanging.
+    /// - **Stragglers** arrive last in the collection order, so a
+    ///   quorum below 1 sheds them first.
+    ///
+    /// Failover and degradation are appended to `fault_log` and (when
+    /// enabled) emitted as events. All randomness stays seeded: the
+    /// per-cluster arrival RNG is the same stream the clean path uses,
+    /// and burst drops hash `(seed, round, level, cluster, member)`.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_round_faulted(
+        &self,
+        inj: &FaultInjector,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+    ) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = &self.hierarchy;
+        let bottom = h.bottom_level();
+        let d = updates[0].len();
+        let model_bytes = (d * 4) as u64;
+        let active = self.active_mask(round);
+        cost.absent += active.iter().filter(|a| !**a).count() as u64;
+        if telem.enabled() {
+            for (client, present) in active.iter().enumerate() {
+                if !present {
+                    telem.emit(Event::ChurnAbsence { round, client });
+                }
+            }
+        }
+
+        let n = updates.len();
+        let mut carried: Vec<Vec<f32>> = updates.to_vec();
+        // produced[slot]: carried[slot] is fresh this round.
+        // carrier[slot]: physical device holding the slot's model (differs
+        // from the slot after a failover promoted a deputy).
+        let mut produced: Vec<bool> = (0..n).map(|dev| !inj.crashed(dev, round)).collect();
+        let mut carrier: Vec<usize> = (0..n).collect();
+
+        for l in (1..=bottom).rev() {
+            let level = h.level(l);
+            let mut next = carried.clone();
+            for (ci, cluster) in level.clusters.iter().enumerate() {
+                let leader = cluster.leader();
+                let expected = if l == bottom {
+                    cluster
+                        .members
+                        .iter()
+                        .filter(|&&m| active[m])
+                        .count()
+                } else {
+                    cluster.len()
+                };
+                // Failover: the collector is the first member whose
+                // physical carrier is alive (and, at the bottom, present
+                // under churn).
+                let collector_slot = cluster.members.iter().copied().find(|&m| {
+                    !inj.crashed(carrier[m], round) && (l != bottom || active[m])
+                });
+                let Some(collector_slot) = collector_slot else {
+                    produced[leader] = false;
+                    fault_log.push(FaultRecord {
+                        round,
+                        kind: "degraded_quorum".into(),
+                        detail: format!(
+                            "level {l} cluster {ci}: no member able to collect (0 of {expected})"
+                        ),
+                    });
+                    if telem.enabled() {
+                        telem.emit(Event::DegradedQuorum {
+                            round,
+                            level: l,
+                            cluster: ci,
+                            alive: 0,
+                            expected,
+                        });
+                    }
+                    continue;
+                };
+                let collector = carrier[collector_slot];
+                if collector_slot != leader {
+                    fault_log.push(FaultRecord {
+                        round,
+                        kind: "leader_failover".into(),
+                        detail: format!(
+                            "level {l} cluster {ci}: node {collector} promoted over node {leader}"
+                        ),
+                    });
+                    if telem.enabled() {
+                        telem.emit(Event::LeaderFailover {
+                            round,
+                            level: l,
+                            cluster: ci,
+                            failed: leader,
+                            promoted: collector,
+                        });
+                    }
+                }
+                let mut removed_by_fault = 0usize;
+                let present: Vec<usize> = (0..cluster.len())
+                    .filter(|&mi| {
+                        let m = cluster.members[mi];
+                        if l == bottom {
+                            if !active[m] {
+                                return false; // churn, accounted separately
+                            }
+                            if inj.crashed(m, round) {
+                                removed_by_fault += 1;
+                                return false;
+                            }
+                        } else if !produced[m] {
+                            removed_by_fault += 1;
+                            return false;
+                        }
+                        let phys = carrier[m];
+                        if phys != collector {
+                            if inj.partitioned(phys, collector, round)
+                                || inj.drop_upload(round, l, ci, m)
+                            {
+                                removed_by_fault += 1;
+                                return false;
+                            }
+                        }
+                        true
+                    })
+                    .collect();
+                if l == bottom {
+                    cost.faulted += removed_by_fault as u64;
+                }
+                if removed_by_fault > 0 {
+                    fault_log.push(FaultRecord {
+                        round,
+                        kind: "degraded_quorum".into(),
+                        detail: format!(
+                            "level {l} cluster {ci}: {alive} of {expected} contributed",
+                            alive = present.len()
+                        ),
+                    });
+                    if telem.enabled() {
+                        telem.emit(Event::DegradedQuorum {
+                            round,
+                            level: l,
+                            cluster: ci,
+                            alive: present.len(),
+                            expected,
+                        });
+                    }
+                }
+                if present.is_empty() {
+                    produced[leader] = false;
+                    continue;
+                }
+                let mut order = present;
+                let mut rng =
+                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
+                order.shuffle(&mut rng);
+                // Stragglers arrive last; the stable sort keeps the
+                // shuffled arrival order among equally-fast members.
+                order.sort_by(|&a, &b| {
+                    let fa = inj.straggle_factor(carrier[cluster.members[a]], round);
+                    let fb = inj.straggle_factor(carrier[cluster.members[b]], round);
+                    fa.total_cmp(&fb)
+                });
+                let quorum = quorum_size(cfg.quorum, order.len());
+                let kept: Vec<usize> = {
+                    let mut k = order[..quorum].to_vec();
+                    k.sort_unstable();
+                    k
+                };
+                let inputs: Vec<&[f32]> = kept
+                    .iter()
+                    .map(|&mi| carried[cluster.members[mi]].as_slice())
+                    .collect();
+                // Broadcasts only reach members whose device is up.
+                let reachable = cluster
+                    .members
+                    .iter()
+                    .filter(|&&m| !inj.crashed(carrier[m], round))
+                    .count() as u64;
+                let partial = match &cfg.levels[l] {
+                    LevelAgg::Bra(kind) => {
+                        let count = quorum as u64 + reachable;
+                        cost.messages += count;
+                        cost.bytes += count * model_bytes;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count,
+                                bytes: count * model_bytes,
+                            });
+                        }
+                        kind.build().aggregate(&inputs, None)
+                    }
+                    LevelAgg::Cba(kind) => {
+                        let byz: Vec<bool> = kept
+                            .iter()
+                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
+                            .collect();
+                        let own: Vec<Vec<f32>> =
+                            inputs.iter().map(|i| i.to_vec()).collect();
+                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
+                        let mech = kind.build();
+                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
+                        hfl_consensus::telemetry::record_outcome(
+                            telem.registry(),
+                            mech.name(),
+                            &out,
+                        );
+                        cost.messages += out.messages;
+                        cost.bytes += out.bytes;
+                        cost.excluded += out.excluded.len() as u64;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count: out.messages,
+                                bytes: out.bytes,
+                            });
+                            for &proposal in &out.excluded {
+                                telem.emit(Event::ProposalExcluded {
+                                    round,
+                                    level: l,
+                                    cluster: ci,
+                                    proposal,
+                                });
+                            }
+                        }
+                        out.decided
+                    }
+                };
+                if telem.enabled() {
+                    telem.emit(Event::ClusterAggregated {
+                        round,
+                        level: l,
+                        cluster: ci,
+                        inputs: inputs.len(),
+                        quorum,
+                    });
+                }
+                next[leader] = partial;
+                produced[leader] = true;
+                carrier[leader] = collector;
+            }
+            carried = next;
+        }
+
+        // Global aggregation at the top cluster, over the slots that
+        // produced a partial and can reach the top collector.
+        let top = &h.level(0).clusters[0];
+        let alive_slots: Vec<usize> =
+            top.members.iter().copied().filter(|&m| produced[m]).collect();
+        let (final_slots, top_expected) = match alive_slots.first() {
+            Some(&first) => {
+                let coll = carrier[first];
+                if first != top.leader() {
+                    fault_log.push(FaultRecord {
+                        round,
+                        kind: "leader_failover".into(),
+                        detail: format!(
+                            "level 0 cluster 0: node {coll} promoted over node {}",
+                            top.leader()
+                        ),
+                    });
+                    if telem.enabled() {
+                        telem.emit(Event::LeaderFailover {
+                            round,
+                            level: 0,
+                            cluster: 0,
+                            failed: top.leader(),
+                            promoted: coll,
+                        });
+                    }
+                }
+                let kept: Vec<usize> = alive_slots
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        let phys = carrier[m];
+                        phys == coll
+                            || (!inj.partitioned(phys, coll, round)
+                                && !inj.drop_upload(round, 0, 0, m))
+                    })
+                    .collect();
+                (kept, top.len())
+            }
+            None => {
+                // Nothing produced anywhere: fall back to the stale
+                // carried values rather than crash — the run records the
+                // anomaly and continues.
+                fault_log.push(FaultRecord {
+                    round,
+                    kind: "degraded_quorum".into(),
+                    detail: "level 0 cluster 0: no fresh partials, using stale models".into(),
+                });
+                if telem.enabled() {
+                    telem.emit(Event::Anomaly {
+                        kind: "global_aggregation_stalled".into(),
+                        detail: format!("round {round}: no fresh partials reached the top"),
+                    });
+                }
+                (top.members.clone(), top.len())
+            }
+        };
+        if final_slots.len() < top_expected {
+            if telem.enabled() {
+                telem.emit(Event::DegradedQuorum {
+                    round,
+                    level: 0,
+                    cluster: 0,
+                    alive: final_slots.len(),
+                    expected: top_expected,
+                });
+            }
+            fault_log.push(FaultRecord {
+                round,
+                kind: "degraded_quorum".into(),
+                detail: format!(
+                    "level 0 cluster 0: {alive} of {top_expected} contributed",
+                    alive = final_slots.len()
+                ),
+            });
+        }
+        let proposals: Vec<&[f32]> = final_slots
+            .iter()
+            .map(|&dev| carried[dev].as_slice())
+            .collect();
+        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
+        let global = match &cfg.levels[0] {
+            LevelAgg::Bra(kind) => {
+                let count = (2 * proposals.len()) as u64;
+                cost.messages += count;
+                cost.bytes += count * model_bytes;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count,
+                        bytes: count * model_bytes,
+                    });
+                }
+                kind.build().aggregate(&proposals, None)
+            }
+            LevelAgg::Cba(kind) => {
+                let shards = self.task.test.split_even(proposals.len().max(1));
+                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
+                let byz: Vec<bool> = final_slots
+                    .iter()
+                    .map(|&dev| self.protocol_byzantine(dev))
+                    .collect();
+                let mech = kind.build();
+                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
+                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
+                cost.messages += out.messages;
+                cost.bytes += out.bytes;
+                cost.excluded += out.excluded.len() as u64;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count: out.messages,
+                        bytes: out.bytes,
+                    });
+                    for &proposal in &out.excluded {
+                        telem.emit(Event::ProposalExcluded {
+                            round,
+                            level: 0,
+                            cluster: 0,
+                            proposal,
+                        });
+                    }
+                }
+                out.decided
+            }
+        };
+        if telem.enabled() {
+            telem.emit(Event::ClusterAggregated {
+                round,
+                level: 0,
+                cluster: 0,
+                inputs: proposals.len(),
+                quorum: proposals.len(),
+            });
+        }
+
+        // Dissemination reaches every device that is up (crashed nodes
+        // rejoin with the current global on recovery — the model travels
+        // with the next round's training broadcast).
+        for l in 1..=bottom {
+            let per_level = h
+                .level(l)
+                .clusters
+                .iter()
+                .flat_map(|c| c.members.iter())
+                .filter(|&&m| !inj.crashed(m, round))
+                .count() as u64;
+            cost.messages += per_level;
+            cost.bytes += per_level * model_bytes;
+            if telem.enabled() {
+                telem.emit(Event::MessagesSent {
+                    round,
+                    level: l,
+                    count: per_level,
+                    bytes: per_level * model_bytes,
+                });
+            }
+        }
+
+        global
+    }
+
     /// Test accuracy of a parameter vector.
     pub fn evaluate(&self, params: &[f32]) -> f64 {
         let mut model = self.template.clone_box();
@@ -502,6 +1003,7 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     let bytes_c = telem.registry().counter("hfl_bytes_total", &[]);
     let excluded_c = telem.registry().counter("hfl_excluded_total", &[]);
     let absent_c = telem.registry().counter("hfl_absent_total", &[]);
+    let faulted_c = telem.registry().counter("hfl_faulted_total", &[]);
     let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
 
     for round in 0..cfg.rounds {
@@ -509,18 +1011,41 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
             telem.emit(Event::RoundStarted { round });
         }
         let before = cost;
+        // Scheduled faults activating this round go into the log first,
+        // then whatever the aggregation path observes (failover,
+        // degraded quorums) is appended in order.
+        let mut fault_log: Vec<FaultRecord> = Vec::new();
+        if let Some(inj) = exp.injector() {
+            for ev in inj.faults_at(round) {
+                fault_log.push(FaultRecord {
+                    round,
+                    kind: ev.kind.clone(),
+                    detail: ev.detail.clone(),
+                });
+                if telem.enabled() {
+                    telem.emit(Event::FaultInjected {
+                        round,
+                        kind: ev.kind.clone(),
+                        detail: ev.detail.clone(),
+                    });
+                }
+            }
+        }
         let updates = exp.train_round(&global, round);
-        global = exp.aggregate_round_with(&updates, round, &mut cost, telem);
+        global = exp.aggregate_round_logged(&updates, round, &mut cost, telem, &mut fault_log);
         let delta = CostCounters {
             messages: cost.messages - before.messages,
             bytes: cost.bytes - before.bytes,
             excluded: cost.excluded - before.excluded,
             absent: cost.absent - before.absent,
+            faulted: cost.faulted - before.faulted,
         };
         messages_c.inc(delta.messages);
         bytes_c.inc(delta.bytes);
         excluded_c.inc(delta.excluded);
         absent_c.inc(delta.absent);
+        faulted_c.inc(delta.faulted);
+        manifest.faults.extend(fault_log);
 
         let mut round_accuracy = None;
         if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {
@@ -568,6 +1093,7 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
             bytes: cost.bytes,
             excluded_total: cost.excluded,
             absent_total: cost.absent,
+            faulted_total: cost.faulted,
         },
         manifest,
     }

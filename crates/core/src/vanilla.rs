@@ -139,6 +139,7 @@ pub fn run_vanilla_prepared_with(
             bytes,
             excluded_total: 0,
             absent_total,
+            faulted_total: 0,
         },
         manifest,
     }

@@ -1,0 +1,173 @@
+//! Bridging a [`FaultInjector`] into the discrete-event simulator.
+//!
+//! The injector thinks in *rounds*; the simulator thinks in *simulated
+//! time*. [`TimelineFaults`] owns the conversion: the driver declares a
+//! nominal round period and every send is classified under the round
+//! its send time falls into. The mapping is an approximation (a slow
+//! round drifts past its nominal window) but a deterministic one, which
+//! is what matters for reproducibility.
+
+use hfl_simnet::engine::{LinkFate, LinkFault, NodeId};
+use hfl_simnet::time::SimTime;
+use rand::rngs::StdRng;
+
+use crate::injector::FaultInjector;
+
+/// A [`LinkFault`] implementation that evaluates a compiled
+/// [`FaultInjector`] on every send, mapping simulated time to rounds
+/// by a fixed nominal period.
+#[derive(Clone, Debug)]
+pub struct TimelineFaults {
+    injector: FaultInjector,
+    round_period: SimTime,
+}
+
+impl TimelineFaults {
+    /// Wraps `injector`, treating each `round_period` of simulated time
+    /// as one round.
+    ///
+    /// # Panics
+    /// If `round_period` is zero.
+    pub fn new(injector: FaultInjector, round_period: SimTime) -> Self {
+        assert!(
+            round_period.as_micros() > 0,
+            "round period must be positive"
+        );
+        Self {
+            injector,
+            round_period,
+        }
+    }
+
+    /// The round that simulated time `now` falls into.
+    pub fn round_at(&self, now: SimTime) -> usize {
+        (now.as_micros() / self.round_period.as_micros()) as usize
+    }
+
+    /// The wrapped injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
+impl LinkFault for TimelineFaults {
+    fn classify(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut StdRng) -> LinkFate {
+        let round = self.round_at(now);
+        let n = self.injector.num_nodes();
+        // Ids beyond the compiled hierarchy (e.g. auxiliary actors) are
+        // never crashed or partitioned, only burst-lossed.
+        if (src < n && self.injector.crashed(src, round))
+            || (dst < n && self.injector.crashed(dst, round))
+        {
+            return LinkFate::DropCrash;
+        }
+        if src < n && dst < n && self.injector.partitioned(src, dst, round) {
+            return LinkFate::DropPartition;
+        }
+        let p = self.injector.burst_loss(round);
+        if p > 0.0 && rand::Rng::gen_bool(rng, p) {
+            return LinkFate::DropBurst;
+        }
+        LinkFate::Deliver
+    }
+
+    fn delay_factor(&mut self, src: NodeId, now: SimTime) -> f64 {
+        if src < self.injector.num_nodes() {
+            self.injector.straggle_factor(src, self.round_at(now))
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use hfl_simnet::topology::Hierarchy;
+    use rand::SeedableRng;
+
+    fn faults(plan: FaultPlan, period_us: u64) -> TimelineFaults {
+        let h = Hierarchy::ecsm(3, 2, 2);
+        let inj = FaultInjector::compile(&plan, &h, 7).unwrap();
+        TimelineFaults::new(inj, SimTime::from_micros(period_us))
+    }
+
+    #[test]
+    fn rounds_advance_with_time() {
+        let tf = faults(FaultPlan::new(), 1_000);
+        assert_eq!(tf.round_at(SimTime::ZERO), 0);
+        assert_eq!(tf.round_at(SimTime::from_micros(999)), 0);
+        assert_eq!(tf.round_at(SimTime::from_micros(1_000)), 1);
+        assert_eq!(tf.round_at(SimTime::from_micros(5_500)), 5);
+    }
+
+    #[test]
+    fn crashed_endpoint_drops_both_directions() {
+        let mut tf = faults(FaultPlan::new().crash_stop(2, 3), 1_000);
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = SimTime::from_micros(2_500);
+        assert_eq!(tf.classify(3, 0, t, &mut rng), LinkFate::DropCrash);
+        assert_eq!(tf.classify(0, 3, t, &mut rng), LinkFate::DropCrash);
+        assert_eq!(tf.classify(0, 1, t, &mut rng), LinkFate::Deliver);
+        // Before the crash round everything flows.
+        let early = SimTime::from_micros(500);
+        assert_eq!(tf.classify(3, 0, early, &mut rng), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_links_until_heal() {
+        let mut tf = faults(FaultPlan::new().partition(1, vec![vec![0, 1]], 3), 1_000);
+        let mut rng = StdRng::seed_from_u64(0);
+        let during = SimTime::from_micros(1_500);
+        let after = SimTime::from_micros(3_500);
+        assert_eq!(tf.classify(0, 4, during, &mut rng), LinkFate::DropPartition);
+        assert_eq!(tf.classify(0, 1, during, &mut rng), LinkFate::Deliver);
+        assert_eq!(tf.classify(0, 4, after, &mut rng), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn burst_drops_are_stochastic_but_windowed() {
+        let mut tf = faults(FaultPlan::new().loss_burst(0, 0.5, 1), 1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if tf.classify(0, 1, SimTime::ZERO, &mut rng) == LinkFate::DropBurst {
+                dropped += 1;
+            }
+        }
+        assert!((350..650).contains(&dropped), "dropped {dropped}/1000");
+        // Outside the window nothing drops.
+        for _ in 0..100 {
+            assert_eq!(
+                tf.classify(0, 1, SimTime::from_micros(1_000), &mut rng),
+                LinkFate::Deliver
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_inflates_delay_factor() {
+        let mut tf = faults(FaultPlan::new().straggler(1, 2, 4.0, Some(3)), 1_000);
+        assert_eq!(tf.delay_factor(2, SimTime::from_micros(1_500)), 4.0);
+        assert_eq!(tf.delay_factor(2, SimTime::from_micros(3_500)), 1.0);
+        assert_eq!(tf.delay_factor(0, SimTime::from_micros(1_500)), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_ids_pass_through() {
+        let mut tf = faults(FaultPlan::new().crash_stop(0, 0), 1_000);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            tf.classify(100, 101, SimTime::from_micros(500), &mut rng),
+            LinkFate::Deliver
+        );
+        assert_eq!(tf.delay_factor(100, SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "round period must be positive")]
+    fn zero_period_rejected() {
+        faults(FaultPlan::new(), 0);
+    }
+}

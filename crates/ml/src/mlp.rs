@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let mut m = small_mlp(2);
+        let m = small_mlp(2);
         let mut ds = Dataset::empty(3, 3);
         ds.push(&[0.8, -0.3, 0.1], 1);
         ds.push(&[-0.5, 0.9, 0.4], 0);

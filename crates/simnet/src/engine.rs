@@ -125,8 +125,46 @@ pub struct NetStats {
     pub bytes: u64,
     /// Events processed (messages + timers).
     pub events: u64,
-    /// Messages dropped by the lossy channel (never delivered).
+    /// Messages dropped for any reason (never delivered); the sum of
+    /// base-channel loss plus every fault class below.
     pub dropped: u64,
+    /// Of `dropped`: dropped by an injected loss burst.
+    pub dropped_burst: u64,
+    /// Of `dropped`: dropped because the link crossed a partition.
+    pub dropped_partition: u64,
+    /// Of `dropped`: dropped because an endpoint was crashed.
+    pub dropped_crash: u64,
+}
+
+/// How an injected fault treats one message send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFate {
+    /// The message proceeds normally (base channel loss still applies).
+    Deliver,
+    /// Dropped: an endpoint is crashed.
+    DropCrash,
+    /// Dropped: source and destination are in different partition groups.
+    DropPartition,
+    /// Dropped: an active loss burst claimed it.
+    DropBurst,
+}
+
+/// A fault hook the engine consults on every send, before the base
+/// channel loss. Implementations map `(src, dst, now)` onto an injected
+/// fault timeline (see `hfl-faults`); stochastic choices must draw from
+/// the provided engine RNG so runs stay seed-deterministic.
+pub trait LinkFault {
+    /// Decides the fate of a message sent `src → dst` at time `now`.
+    fn classify(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut StdRng) -> LinkFate;
+
+    /// Multiplier applied to the sampled network delay of messages sent
+    /// by `src` at `now` (straggler modelling). Must be ≥ 1; the
+    /// default is no inflation. Not applied to explicit
+    /// [`Ctx::send_after`] delays (those model local computation).
+    fn delay_factor(&mut self, src: NodeId, now: SimTime) -> f64 {
+        let _ = (src, now);
+        1.0
+    }
 }
 
 /// The simulation: a set of actors, a delay model, an event queue.
@@ -150,6 +188,9 @@ pub struct Simulation<P, A: Actor<P>> {
     /// Optional telemetry bridge: every trace event is forwarded here as
     /// an [`Event::Sim`] as it is recorded.
     recorder: Option<Arc<dyn Recorder>>,
+    /// Optional fault hook consulted on every send (crashes, partitions,
+    /// bursts, stragglers), ahead of `loss_prob`.
+    link_fault: Option<Box<dyn LinkFault>>,
 }
 
 impl<P, A: Actor<P>> Simulation<P, A> {
@@ -177,6 +218,7 @@ impl<P, A: Actor<P>> Simulation<P, A> {
             loss_prob: 0.0,
             uplink: std::collections::HashMap::new(),
             recorder: None,
+            link_fault: None,
         }
     }
 
@@ -201,12 +243,27 @@ impl<P, A: Actor<P>> Simulation<P, A> {
     /// timers are never dropped.
     ///
     /// # Panics
-    /// If `p` is not in `[0, 1)` — a lossless or lossy channel, never a
-    /// dead one (a protocol on a channel that drops everything cannot
-    /// terminate).
-    pub fn set_loss(&mut self, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+    /// If `p` is not a finite value in `[0, 1)` — a lossless or lossy
+    /// channel, never a dead one (a protocol on a channel that drops
+    /// everything cannot terminate).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!(
+            p.is_finite() && (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1), got {p}"
+        );
         self.loss_prob = p;
+    }
+
+    /// Alias for [`Simulation::set_drop_probability`], kept for callers
+    /// written against the original name.
+    pub fn set_loss(&mut self, p: f64) {
+        self.set_drop_probability(p);
+    }
+
+    /// Installs a fault hook consulted on every send, before the base
+    /// drop probability. See [`LinkFault`].
+    pub fn set_link_fault(&mut self, fault: Box<dyn LinkFault>) {
+        self.link_fault = Some(fault);
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<P>) {
@@ -223,16 +280,49 @@ impl<P, A: Actor<P>> Simulation<P, A> {
     ) {
         for (dst, msg, explicit) in outbox {
             assert!(dst < self.actors.len(), "send to unknown node {dst}");
+            if let Some(fault) = self.link_fault.as_mut() {
+                match fault.classify(node, dst, self.now, &mut self.rng) {
+                    LinkFate::Deliver => {}
+                    LinkFate::DropCrash => {
+                        self.stats.dropped += 1;
+                        self.stats.dropped_crash += 1;
+                        continue;
+                    }
+                    LinkFate::DropPartition => {
+                        self.stats.dropped += 1;
+                        self.stats.dropped_partition += 1;
+                        continue;
+                    }
+                    LinkFate::DropBurst => {
+                        self.stats.dropped += 1;
+                        self.stats.dropped_burst += 1;
+                        continue;
+                    }
+                }
+            }
             if self.loss_prob > 0.0 && rand::Rng::gen_bool(&mut self.rng, self.loss_prob) {
                 self.stats.dropped += 1;
                 continue;
             }
-            let delay = explicit.unwrap_or_else(|| {
-                self.uplink
-                    .get(&node)
-                    .unwrap_or(&self.delay)
-                    .sample(&mut self.rng)
-            });
+            let delay = match explicit {
+                Some(d) => d,
+                None => {
+                    let base = self
+                        .uplink
+                        .get(&node)
+                        .unwrap_or(&self.delay)
+                        .sample(&mut self.rng);
+                    let factor = self
+                        .link_fault
+                        .as_mut()
+                        .map_or(1.0, |f| f.delay_factor(node, self.now));
+                    if factor != 1.0 {
+                        SimTime::from_micros((base.as_micros() as f64 * factor).round() as u64)
+                    } else {
+                        base
+                    }
+                }
+            };
             let at = self.now + delay;
             self.push(at, EventKind::Deliver {
                 src: node,
@@ -559,10 +649,115 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability")]
+    #[should_panic(expected = "drop probability must be in [0, 1), got 1")]
     fn full_loss_rejected() {
         let mut sim = pingpong_sim(7);
-        sim.set_loss(1.0);
+        sim.set_drop_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1), got -0.1")]
+    fn negative_loss_rejected() {
+        let mut sim = pingpong_sim(7);
+        sim.set_drop_probability(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1), got NaN")]
+    fn nan_loss_rejected() {
+        let mut sim = pingpong_sim(7);
+        sim.set_drop_probability(f64::NAN);
+    }
+
+    #[test]
+    fn set_loss_alias_still_works() {
+        let mut sim = pingpong_sim(8);
+        sim.set_loss(0.0);
+        assert_eq!(sim.run(10_000).dropped, 0);
+    }
+
+    /// A hard-coded fault: drops everything toward node 1 as a crash,
+    /// everything toward node 2 as a partition, everything toward node 3
+    /// as a burst, and slows node 4's sends 10×.
+    struct ScriptedFault;
+    impl LinkFault for ScriptedFault {
+        fn classify(
+            &mut self,
+            _src: NodeId,
+            dst: NodeId,
+            _now: SimTime,
+            _rng: &mut StdRng,
+        ) -> LinkFate {
+            match dst {
+                1 => LinkFate::DropCrash,
+                2 => LinkFate::DropPartition,
+                3 => LinkFate::DropBurst,
+                _ => LinkFate::Deliver,
+            }
+        }
+        fn delay_factor(&mut self, src: NodeId, _now: SimTime) -> f64 {
+            if src == 4 { 10.0 } else { 1.0 }
+        }
+    }
+
+    /// Node 0 sends one message to every other node at start; node 4
+    /// sends one message to node 5.
+    struct FanOut {
+        got_at: Option<SimTime>,
+    }
+    impl Actor<()> for FanOut {
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            match ctx.me() {
+                0 => {
+                    for dst in 1..=5 {
+                        ctx.send(dst, ());
+                    }
+                }
+                4 => ctx.send(5, ()),
+                _ => {}
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<()>, _src: NodeId, _msg: ()) {
+            self.got_at = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn link_fault_classifies_and_counts_drops() {
+        let mut sim = Simulation::new(
+            (0..6).map(|_| FanOut { got_at: None }).collect(),
+            DelayModel::Constant { micros: 10 },
+            0,
+            |_| 1,
+        );
+        sim.set_link_fault(Box::new(ScriptedFault));
+        let stats = sim.run(1_000);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.dropped_crash, 1);
+        assert_eq!(stats.dropped_partition, 1);
+        assert_eq!(stats.dropped_burst, 1);
+        // 0→4, 0→5, 4→5 delivered.
+        assert_eq!(stats.messages, 3);
+        assert!(sim.actors()[1].got_at.is_none());
+        assert!(sim.actors()[2].got_at.is_none());
+        assert!(sim.actors()[3].got_at.is_none());
+        assert!(sim.actors()[4].got_at.is_some());
+    }
+
+    #[test]
+    fn link_fault_delay_factor_inflates_sampled_delay() {
+        let mut sim = Simulation::new(
+            (0..6).map(|_| FanOut { got_at: None }).collect(),
+            DelayModel::Constant { micros: 10 },
+            0,
+            |_| 1,
+        );
+        sim.set_link_fault(Box::new(ScriptedFault));
+        sim.run(1_000);
+        // Node 5 hears from both 0 (10µs) and 4 (100µs): last write wins,
+        // so its got_at is the straggler's arrival.
+        assert_eq!(sim.actors()[5].got_at, Some(SimTime::from_micros(100)));
+        assert_eq!(sim.actors()[4].got_at, Some(SimTime::from_micros(10)));
     }
 
     #[test]

@@ -102,6 +102,42 @@ pub enum Event {
         /// Human-readable detail.
         detail: String,
     },
+    /// A scheduled fault (or its recovery) activated (`hfl-faults`).
+    FaultInjected {
+        /// Round index (0-based).
+        round: usize,
+        /// Stable fault label (`crash_stop`, `partition_heal`, ...).
+        kind: String,
+        /// Deterministic detail (which node, which groups, ...).
+        detail: String,
+    },
+    /// A cluster's leader was down and a deputy collected in its place.
+    LeaderFailover {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The crashed leader's device id.
+        failed: usize,
+        /// The promoted deputy's device id.
+        promoted: usize,
+    },
+    /// A cluster aggregated with fewer inputs than the fault-free quorum
+    /// because faults removed members (Algorithm 4's timeout branch).
+    DegradedQuorum {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// Members that actually contributed.
+        alive: usize,
+        /// Members a fault-free round would have drawn from.
+        expected: usize,
+    },
 }
 
 /// An event sink. Implementations must be cheap and thread-safe: events

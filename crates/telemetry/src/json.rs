@@ -393,11 +393,11 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         if !is_float {
-            if let Some(stripped) = text.strip_prefix('-') {
-                if let Ok(i) = stripped.parse::<u64>() {
-                    if i <= i64::MAX as u64 {
-                        return Ok(Json::Int(-(i as i64)));
-                    }
+            if text.starts_with('-') {
+                // i64::from_str accepts the full range incl. i64::MIN,
+                // whose magnitude a negate-after-parse would overflow.
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
                 }
             } else if let Ok(u) = text.parse::<u64>() {
                 return Ok(Json::UInt(u));

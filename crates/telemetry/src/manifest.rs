@@ -12,7 +12,8 @@ use crate::json::{Json, JsonError};
 use crate::metrics::{HistogramStats, MetricSample, MetricValue};
 
 /// Manifest schema version, bumped on any incompatible shape change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the `faults` log (injected faults and recovery actions).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash of `bytes`, rendered as 16 lowercase hex chars.
 /// Used to fingerprint configs (hash of the config's `Debug` rendering)
@@ -176,6 +177,37 @@ impl RunTotals {
     }
 }
 
+/// One injected fault or recovery action, as recorded in the manifest's
+/// fault log (schema v2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Round (0-based) the fault or recovery activated.
+    pub round: usize,
+    /// Stable kind label (`crash_stop`, `leader_failover`,
+    /// `degraded_quorum`, `partition_heal`, ...).
+    pub kind: String,
+    /// Deterministic human-readable detail.
+    pub detail: String,
+}
+
+impl FaultRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("round".into(), Json::UInt(self.round as u64)),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            round: u64_field(v, "round")? as usize,
+            kind: str_field(v, "kind")?,
+            detail: str_field(v, "detail")?,
+        })
+    }
+}
+
 /// The manifest of one run. Field order in the JSON output matches the
 /// struct declaration order, always.
 #[derive(Clone, Debug, PartialEq)]
@@ -195,6 +227,9 @@ pub struct RunManifest {
     pub rounds: Vec<RoundRecord>,
     /// Whole-run cost totals.
     pub totals: RunTotals,
+    /// Injected faults and recovery actions, in occurrence order (empty
+    /// for fault-free runs; absent in pre-v2 manifests).
+    pub faults: Vec<FaultRecord>,
     /// Final test accuracy.
     pub final_accuracy: f64,
     /// Sorted registry snapshot at end of run.
@@ -213,6 +248,7 @@ impl RunManifest {
             build: BuildInfo::current(),
             rounds: Vec::new(),
             totals: RunTotals::default(),
+            faults: Vec::new(),
             final_accuracy: 0.0,
             metrics: Vec::new(),
         }
@@ -231,6 +267,10 @@ impl RunManifest {
                 Json::Arr(self.rounds.iter().map(RoundRecord::to_json).collect()),
             ),
             ("totals".into(), self.totals.to_json()),
+            (
+                "faults".into(),
+                Json::Arr(self.faults.iter().map(FaultRecord::to_json).collect()),
+            ),
             ("final_accuracy".into(), Json::Num(self.final_accuracy)),
             (
                 "metrics".into(),
@@ -264,6 +304,16 @@ impl RunManifest {
                 .map(RoundRecord::from_json)
                 .collect::<Result<_, _>>()?,
             totals: RunTotals::from_json(v.get("totals").ok_or("totals")?)?,
+            // Absent in pre-v2 manifests: default to an empty log.
+            faults: match v.get("faults") {
+                Some(f) => f
+                    .as_arr()
+                    .ok_or("faults")?
+                    .iter()
+                    .map(FaultRecord::from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
             final_accuracy: v
                 .get("final_accuracy")
                 .and_then(Json::as_f64)
@@ -405,6 +455,18 @@ mod tests {
             excluded: 7,
             absent: 1,
         };
+        m.faults = vec![
+            FaultRecord {
+                round: 5,
+                kind: "crash_stop".into(),
+                detail: "node 3 crashes".into(),
+            },
+            FaultRecord {
+                round: 6,
+                kind: "leader_failover".into(),
+                detail: "level 2 cluster 0: node 4 promoted over node 0".into(),
+            },
+        ];
         m.final_accuracy = 0.8125;
         m.metrics = registry.snapshot();
         m
@@ -453,6 +515,27 @@ mod tests {
         m.metrics.clear();
         let broken = m.to_json().replace("\"seed\"", "\"sneed\"");
         assert!(RunManifest::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn fault_log_sits_between_totals_and_final_accuracy() {
+        let text = sample_manifest(3).to_json();
+        let totals_at = text.find("\"totals\"").unwrap();
+        let faults_at = text.find("\"faults\"").unwrap();
+        let acc_at = text.find("\"final_accuracy\"").unwrap();
+        assert!(totals_at < faults_at && faults_at < acc_at);
+        assert!(text.contains("\"crash_stop\""));
+    }
+
+    #[test]
+    fn pre_v2_manifest_without_faults_still_parses() {
+        let mut m = sample_manifest(4);
+        m.faults.clear();
+        let text = m.to_json().replace(",\"faults\":[]", "");
+        assert!(!text.contains("faults"));
+        let back = RunManifest::from_json(&text).expect("lenient parse");
+        assert!(back.faults.is_empty());
+        assert_eq!(back.seed, m.seed);
     }
 
     #[test]

@@ -6,3 +6,15 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+
+# Fault-injection smoke + determinism gate: two same-seed sweeps must
+# produce byte-identical manifest logs.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -p hfl-bench --bin repro_faults -- \
+    --quick --seed 42 --out "$tmp/a" >/dev/null
+cargo run --release -p hfl-bench --bin repro_faults -- \
+    --quick --seed 42 --out "$tmp/b" >/dev/null
+diff "$tmp/a/faults.manifests.jsonl" "$tmp/b/faults.manifests.jsonl" \
+    || { echo "repro_faults manifests differ across same-seed runs"; exit 1; }
+echo "repro_faults determinism gate passed"

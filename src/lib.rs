@@ -9,6 +9,7 @@
 pub use abd_hfl_core as core;
 pub use hfl_attacks as attacks;
 pub use hfl_consensus as consensus;
+pub use hfl_faults as faults;
 pub use hfl_ml as ml;
 pub use hfl_parallel as parallel;
 pub use hfl_robust as robust;

@@ -1,0 +1,191 @@
+//! Fault-tolerance integration tests: the full stack under injected
+//! crashes, leader kills and partitions (ISSUE acceptance criteria for
+//! the `hfl-faults` subsystem).
+
+use abd_hfl::core::config::{AttackCfg, HflConfig};
+use abd_hfl::core::runner::{run_abd_hfl_with, run_prepared_with, Experiment};
+use abd_hfl::faults::FaultPlan;
+use abd_hfl::telemetry::Telemetry;
+
+fn fast(seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(AttackCfg::None, seed);
+    cfg.rounds = 25;
+    cfg.eval_every = 25;
+    cfg
+}
+
+/// Crash-stops the first `count` followers of every bottom cluster at
+/// `round`.
+fn crash_followers(mut plan: FaultPlan, cfg: &HflConfig, round: usize, count: usize) -> FaultPlan {
+    let h = cfg.topology.build(cfg.seed);
+    for cluster in &h.level(h.bottom_level()).clusters {
+        for &m in cluster.members.iter().skip(1).take(count) {
+            plan = plan.crash_stop(round, m);
+        }
+    }
+    plan
+}
+
+#[test]
+fn f_follower_crashes_cost_little_accuracy() {
+    // The ISSUE acceptance criterion: one leader killed plus ≤ f = 1
+    // followers crashed per cluster at round 5 completes, with accuracy
+    // within 2 points of the fault-free run.
+    let clean_cfg = fast(201);
+    let clean = run_abd_hfl_with(&clean_cfg, &Telemetry::disabled());
+
+    let mut cfg = fast(201);
+    let h = cfg.topology.build(cfg.seed);
+    let plan = crash_followers(
+        FaultPlan::new().kill_leader(5, h.bottom_level(), 1, None),
+        &cfg,
+        5,
+        1,
+    );
+    cfg.faults = Some(plan);
+    let faulted = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+
+    assert!(
+        faulted.result.faulted_total > 0,
+        "crashes must cost bottom-level updates"
+    );
+    assert!(
+        (clean.result.final_accuracy - faulted.result.final_accuracy).abs() < 0.02,
+        "accuracy degraded beyond 2 points: clean {} vs faulted {}",
+        clean.result.final_accuracy,
+        faulted.result.final_accuracy
+    );
+    // Every scheduled fault and every recovery action is in the manifest.
+    assert!(
+        faulted
+            .manifest
+            .faults
+            .iter()
+            .any(|f| f.kind == "crash_stop"),
+        "scheduled crashes missing from the manifest fault log"
+    );
+    assert!(
+        faulted
+            .manifest
+            .faults
+            .iter()
+            .any(|f| f.kind == "degraded_quorum"),
+        "degraded-quorum recovery missing from the manifest fault log"
+    );
+}
+
+#[test]
+fn leader_kill_promotes_a_deputy_and_terminates() {
+    let mut cfg = fast(202);
+    let h = cfg.topology.build(cfg.seed);
+    // Kill bottom cluster 2's leader for good at round 3.
+    cfg.faults = Some(FaultPlan::new().kill_leader(3, h.bottom_level(), 2, None));
+    let run = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    let failovers: Vec<_> = run
+        .manifest
+        .faults
+        .iter()
+        .filter(|f| f.kind == "leader_failover")
+        .collect();
+    assert!(
+        !failovers.is_empty(),
+        "killing a leader must record deputy promotions; log: {:?}",
+        run.manifest.faults
+    );
+    // Failover persists: the deputy collects every round after the kill.
+    assert!(
+        failovers.len() >= cfg.rounds - 3,
+        "expected a promotion per post-kill round, got {}",
+        failovers.len()
+    );
+    // The run still learns (one cluster degraded out of 16).
+    assert!(
+        run.result.final_accuracy > 0.7,
+        "leader kill wrecked the run: {}",
+        run.result.final_accuracy
+    );
+}
+
+#[test]
+fn healed_partition_converges() {
+    let mut cfg = fast(203);
+    // Rounds 4–8: bottom cluster 1's followers (devices 17–19) are cut
+    // off from everyone else, then the partition heals.
+    cfg.faults = Some(FaultPlan::new().partition(4, vec![vec![17, 18, 19]], 8));
+    let run = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    assert!(
+        run.result.faulted_total > 0,
+        "partition should cost updates while active"
+    );
+    assert!(
+        run.manifest.faults.iter().any(|f| f.kind == "partition"),
+        "partition activation missing from the fault log"
+    );
+    assert!(
+        run.manifest
+            .faults
+            .iter()
+            .any(|f| f.kind == "partition_heal"),
+        "partition heal missing from the fault log"
+    );
+    assert!(
+        run.result.final_accuracy > 0.75,
+        "run did not converge after the partition healed: {}",
+        run.result.final_accuracy
+    );
+}
+
+#[test]
+fn same_seed_fault_runs_have_byte_identical_manifests() {
+    let build = || {
+        let mut cfg = fast(204);
+        let h = cfg.topology.build(cfg.seed);
+        cfg.faults = Some(crash_followers(
+            FaultPlan::new()
+                .kill_leader(5, h.bottom_level(), 1, Some(15))
+                .loss_burst(8, 0.2, 11)
+                .straggler(2, 30, 4.0, Some(20)),
+            &cfg,
+            5,
+            1,
+        ));
+        cfg
+    };
+    let a = run_abd_hfl_with(&build(), &Telemetry::disabled());
+    let b = run_abd_hfl_with(&build(), &Telemetry::disabled());
+    assert_eq!(
+        a.manifest.to_json(),
+        b.manifest.to_json(),
+        "identical seeds must give byte-identical manifests under faults"
+    );
+    assert!(
+        !a.manifest.faults.is_empty(),
+        "fault log should not be empty in this scenario"
+    );
+}
+
+#[test]
+fn recovering_crash_rejoins() {
+    let mut cfg = fast(205);
+    // Devices 33 and 34 crash at round 3 and recover at round 10.
+    cfg.faults = Some(
+        FaultPlan::new()
+            .crash_recover(3, 33, 10)
+            .crash_recover(3, 34, 10),
+    );
+    let exp = Experiment::try_prepare(&cfg).expect("valid config");
+    let inj = exp.injector().expect("injector compiled");
+    assert!(inj.crashed(33, 5));
+    assert!(!inj.crashed(33, 10));
+    let run = run_prepared_with(&exp, &Telemetry::disabled());
+    // 2 devices × 7 rounds of downtime.
+    assert_eq!(run.result.faulted_total, 14);
+    assert!(
+        run.manifest
+            .faults
+            .iter()
+            .any(|f| f.kind == "crash_recover"),
+        "recovery missing from the fault log"
+    );
+    assert!(run.result.final_accuracy > 0.75);
+}
