@@ -16,11 +16,19 @@
 //! [`adversary`] chooses *which* clients are malicious (the paper's
 //! evaluation varies the malicious proportion from 0 % to 65 % over
 //! clients ordered by id).
+//!
+//! [`adaptive`] upgrades the model-update attacks from static to
+//! defense-aware: a stateful coalition controller bisects ALIE's `z` /
+//! IPM's `epsilon` against per-round acceptance feedback, and
+//! [`adaptive::ProtocolAttack`] adds hierarchy-level misbehavior
+//! (equivocating leaders, pivotal withholding).
 
+pub mod adaptive;
 pub mod adversary;
 pub mod data_poison;
 pub mod model_poison;
 
+pub use adaptive::{AdaptiveAdversary, AdaptiveAttack, AttackFeedback, ProtocolAttack};
 pub use adversary::{malicious_mask, Placement};
 pub use data_poison::DataAttack;
 pub use model_poison::ModelAttack;

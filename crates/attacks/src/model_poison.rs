@@ -39,11 +39,23 @@ pub enum ModelAttack {
 }
 
 impl ModelAttack {
+    /// [`Self::craft`] that degrades instead of panicking: returns `None`
+    /// when `honest` is empty (an all-malicious cluster has nothing to
+    /// observe — the caller should fall back to a neutral update, e.g.
+    /// the last-round aggregate, and record the anomaly).
+    pub fn try_craft(&self, honest: &[&[f32]], rng: &mut StdRng) -> Option<Vec<f32>> {
+        if honest.is_empty() {
+            return None;
+        }
+        Some(self.craft(honest, rng))
+    }
+
     /// Crafts the malicious update from the honest updates of this round.
     ///
     /// # Panics
     /// If `honest` is empty (an omniscient attack needs something to
-    /// observe) or updates have mismatched lengths.
+    /// observe) or updates have mismatched lengths. Use
+    /// [`Self::try_craft`] where an empty honest set is reachable.
     pub fn craft(&self, honest: &[&[f32]], rng: &mut StdRng) -> Vec<f32> {
         assert!(!honest.is_empty(), "model attack needs honest updates");
         let d = honest[0].len();
@@ -173,5 +185,19 @@ mod tests {
     fn empty_honest_panics() {
         let mut rng = StdRng::seed_from_u64(1);
         ModelAttack::SignFlip { scale: 1.0 }.craft(&[], &mut rng);
+    }
+
+    #[test]
+    fn try_craft_degrades_on_empty_honest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            ModelAttack::SignFlip { scale: 1.0 }.try_craft(&[], &mut rng),
+            None
+        );
+        let h = honest();
+        let got = ModelAttack::SignFlip { scale: 1.0 }
+            .try_craft(&refs(&h), &mut rng)
+            .expect("non-empty honest crafts");
+        assert!(ops::approx_eq(&got, &[-1.0, -2.0, -3.0], 1e-6));
     }
 }

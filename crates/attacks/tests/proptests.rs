@@ -111,4 +111,122 @@ proptest! {
         let k = mask.iter().filter(|m| **m).count();
         prop_assert_eq!(k, ((p * n as f64).round() as usize).min(n));
     }
+
+    #[test]
+    fn try_craft_matches_craft_on_nonempty_honest(
+        honest in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 5), 1..6),
+        seed in 0u64..50,
+    ) {
+        let refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        for attack in [
+            ModelAttack::SignFlip { scale: 2.0 },
+            ModelAttack::GaussianNoise { std: 1.0 },
+            ModelAttack::Alie { z: 1.0 },
+            ModelAttack::Ipm { epsilon: 0.5 },
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let a = attack.try_craft(&refs, &mut rng_a).expect("non-empty honest");
+            let b = attack.craft(&refs, &mut rng_b);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Deterministic edge cases of the malicious mask: the boundaries
+/// sweeps actually hit (empty and saturated coalitions, singleton
+/// populations, prefix alignment with cluster boundaries).
+mod mask_edges {
+    use super::*;
+
+    const PLACEMENTS: [Placement; 3] = [Placement::Prefix, Placement::Random, Placement::Spread];
+
+    #[test]
+    fn proportion_zero_marks_nobody() {
+        for placement in PLACEMENTS {
+            for n in [1, 2, 64] {
+                let mask = malicious_mask(n, 0.0, placement, 9);
+                assert!(mask.iter().all(|m| !m), "{placement:?} n={n}");
+                assert_eq!(mask.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn proportion_one_marks_everybody() {
+        for placement in PLACEMENTS {
+            for n in [1, 2, 64] {
+                let mask = malicious_mask(n, 1.0, placement, 9);
+                assert!(mask.iter().all(|m| *m), "{placement:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_population_rounds_the_proportion() {
+        for placement in PLACEMENTS {
+            assert_eq!(malicious_mask(1, 0.4, placement, 3), vec![false]);
+            assert_eq!(malicious_mask(1, 0.5, placement, 3), vec![true]);
+            assert_eq!(malicious_mask(1, 1.0, placement, 3), vec![true]);
+        }
+    }
+
+    #[test]
+    fn prefix_fills_whole_clusters_first() {
+        // 64 clients in contiguous clusters of 4 at 25 %: the prefix
+        // coalition is exactly the first 4 clusters, boundary-aligned —
+        // no cluster is partially malicious.
+        let mask = malicious_mask(64, 0.25, Placement::Prefix, 0);
+        for cluster in 0..16 {
+            let members = &mask[cluster * 4..(cluster + 1) * 4];
+            let k = members.iter().filter(|m| **m).count();
+            assert!(
+                k == 0 || k == 4,
+                "cluster {cluster} is split: {members:?}"
+            );
+            assert_eq!(k == 4, cluster < 4);
+        }
+    }
+
+    #[test]
+    fn prefix_off_boundary_splits_exactly_one_cluster() {
+        // 18 of 64 (28.1 %): four full clusters plus two clients
+        // spilling into cluster 4.
+        let mask = malicious_mask(64, 18.0 / 64.0, Placement::Prefix, 0);
+        assert_eq!(mask.iter().filter(|m| **m).count(), 18);
+        let split: Vec<usize> = (0..16)
+            .filter(|c| {
+                let k = mask[c * 4..(c + 1) * 4].iter().filter(|m| **m).count();
+                k > 0 && k < 4
+            })
+            .collect();
+        assert_eq!(split, vec![4], "exactly cluster 4 is partially malicious");
+    }
+
+    #[test]
+    fn spread_puts_at_most_f_per_cluster_at_quarter_proportion() {
+        // Round-robin at 25 % over clusters of 4 lands exactly one
+        // adversary per cluster — the f = 1 the paper's Multi-Krum
+        // assumes.
+        let mask = malicious_mask(64, 0.25, Placement::Spread, 0);
+        for cluster in 0..16 {
+            let k = mask[cluster * 4..(cluster + 1) * 4]
+                .iter()
+                .filter(|m| **m)
+                .count();
+            assert_eq!(k, 1, "cluster {cluster}");
+        }
+    }
+
+    #[test]
+    fn empty_honest_set_degrades_not_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for attack in [
+            ModelAttack::SignFlip { scale: 1.0 },
+            ModelAttack::Alie { z: 1.5 },
+            ModelAttack::Ipm { epsilon: 0.5 },
+        ] {
+            assert_eq!(attack.try_craft(&[], &mut rng), None);
+        }
+    }
 }

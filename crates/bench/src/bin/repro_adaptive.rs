@@ -1,0 +1,251 @@
+//! Reproduces the **adaptive arms-race sweep**: final accuracy of
+//! ABD-HFL under static vs *adaptive* model-poisoning, with and without
+//! the defense-side suspicion/quarantine layer, plus the two
+//! protocol-level behaviors (leader equivocation, selective
+//! withholding).
+//!
+//! Grid (25 % malicious, prefix placement, paper IID topology — 64
+//! clients in clusters of 4):
+//!
+//! * aggregator ∈ { Multi-Krum f = 1 m = 3, trimmed-mean 25 % } at every
+//!   level;
+//! * attack ∈ { ALIE z = 1.5, adaptive ALIE, IPM ε = 0.5, adaptive IPM }
+//!   — the adaptive variants bisect their magnitude against the
+//!   defense's acceptance feedback each round;
+//! * suspicion ∈ { off, on } (defaults: decay 0.8, quarantine 2.2).
+//!
+//! Two protocol scenarios ride along: `equivocate` (malicious bottom
+//! leaders send a flipped partial upward; the echo audit must convict
+//! them) and `withhold` at φ = 0.75 with one malicious follower per
+//! cluster (members drop their update exactly when the quorum still
+//! forms — impossible at φ = 1).
+//!
+//! The printed summary reports, per aggregator × family, how much more
+//! the adaptive attack degrades accuracy than the static one, and what
+//! fraction of that gap the suspicion layer recovers.
+//!
+//! Two invocations with the same `--seed` produce byte-identical
+//! manifest logs (`adaptive.manifests.jsonl`) — the determinism contract
+//! CI checks by diffing.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
+use hfl_bench::Args;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::{AggregatorKind, SuspicionConfig};
+use hfl_telemetry::Telemetry;
+
+/// Malicious fraction: 16 of 64 clients, so the first 4 bottom clusters
+/// (prefix placement) are fully malicious — leaders included, which is
+/// what makes the equivocation scenario bite.
+const PROPORTION: f64 = 0.25;
+
+fn aggregators() -> Vec<(&'static str, AggregatorKind)> {
+    vec![
+        ("multikrum", AggregatorKind::MultiKrum { f: 1, m: 3 }),
+        ("trimmed", AggregatorKind::TrimmedMean { ratio: 0.25 }),
+    ]
+}
+
+fn attacks() -> Vec<(&'static str, AttackCfg)> {
+    let place = |attack| AttackCfg::Model {
+        attack,
+        proportion: PROPORTION,
+        placement: Placement::Prefix,
+    };
+    let adapt = |attack| AttackCfg::Adaptive {
+        attack,
+        proportion: PROPORTION,
+        placement: Placement::Prefix,
+    };
+    vec![
+        ("alie-static", place(ModelAttack::Alie { z: 1.5 })),
+        ("alie-adaptive", adapt(AdaptiveAttack::alie_default())),
+        ("ipm-static", place(ModelAttack::Ipm { epsilon: 0.5 })),
+        ("ipm-adaptive", adapt(AdaptiveAttack::ipm_default())),
+    ]
+}
+
+fn base_cfg(seed: u64, rounds: usize, agg: &AggregatorKind) -> HflConfig {
+    let mut cfg = HflConfig::paper_iid(AttackCfg::None, seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = rounds;
+    cfg.data = SynthConfig {
+        train_samples: 19_200,
+        test_samples: 4_000,
+        ..SynthConfig::default()
+    };
+    cfg.levels = vec![
+        LevelAgg::Bra(agg.clone()),
+        LevelAgg::Bra(agg.clone()),
+        LevelAgg::Bra(agg.clone()),
+    ];
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(60, 12);
+
+    println!(
+        "## Adaptive arms race — attack × aggregator × suspicion \
+         ({:.0}% malicious, prefix placement)\n",
+        PROPORTION * 100.0
+    );
+
+    let mut csv = Vec::new();
+    let mut manifests = Vec::new();
+    let mut rows = Vec::new();
+    // (agg, attack, suspicion) -> final accuracy, for the gap summary.
+    let mut acc: Vec<(String, f64)> = Vec::new();
+
+    for (agg_name, agg) in aggregators() {
+        for (atk_name, atk) in attacks() {
+            let mut cells = vec![format!("{agg_name}/{atk_name}")];
+            for suspicion in [false, true] {
+                let susp_name = if suspicion { "on" } else { "off" };
+                let label = format!("{agg_name}/{atk_name}/susp-{susp_name}");
+                if !args.matches(&label) {
+                    cells.push("—".to_string());
+                    continue;
+                }
+                let mut cfg = base_cfg(args.seed, rounds, &agg);
+                cfg.attack = atk.clone();
+                if suspicion {
+                    cfg.suspicion = Some(SuspicionConfig::default());
+                }
+                let exp = match Experiment::try_prepare(&cfg) {
+                    Ok(exp) => exp,
+                    Err(e) => {
+                        eprintln!("  {label}: skipped ({e})");
+                        cells.push("invalid".to_string());
+                        continue;
+                    }
+                };
+                let run = run_prepared_with(&exp, &Telemetry::disabled());
+                eprintln!(
+                    "  {label}: acc {} (quarantined {})",
+                    pct(run.result.final_accuracy),
+                    run.result.quarantined_total
+                );
+                csv.push(format!(
+                    "{agg_name},{atk_name},{susp_name},{rounds},{:.4},{},{}",
+                    run.result.final_accuracy,
+                    run.result.quarantined_total,
+                    run.result.withheld_total
+                ));
+                cells.push(pct(run.result.final_accuracy));
+                acc.push((label, run.result.final_accuracy));
+                manifests.push(run.manifest);
+            }
+            rows.push(cells);
+        }
+    }
+
+    // Protocol-level scenarios.
+    for proto in ["equivocate", "withhold"] {
+        let label = format!("proto/{proto}");
+        let mut cells = vec![label.clone()];
+        if !args.matches(&label) {
+            cells.push("—".to_string());
+            cells.push("—".to_string());
+            rows.push(cells);
+            continue;
+        }
+        let mut cfg = base_cfg(args.seed, rounds, &AggregatorKind::MultiKrum { f: 1, m: 3 });
+        cfg.attack = AttackCfg::Model {
+            attack: ModelAttack::Alie { z: 1.5 },
+            proportion: PROPORTION,
+            placement: Placement::Prefix,
+        };
+        match proto {
+            "equivocate" => {
+                cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+                cfg.suspicion = Some(SuspicionConfig::default());
+            }
+            "withhold" => {
+                cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+                cfg.quorum = 0.75;
+                // One malicious *follower* per 4-cluster (clients 1, 5,
+                // 9, …). A fully malicious prefix cluster could never
+                // withhold without sinking its own quorum, and spread
+                // placement lands on ids 0, 4, 8, … — all leaders,
+                // which the pivotal rule also excludes.
+                let n = cfg.topology.build(cfg.seed).num_clients();
+                cfg.malicious_override = Some((0..n).map(|c| c % 4 == 1).collect());
+            }
+            other => unreachable!("unknown protocol scenario {other}"),
+        }
+        let exp = match Experiment::try_prepare(&cfg) {
+            Ok(exp) => exp,
+            Err(e) => {
+                eprintln!("  {label}: skipped ({e})");
+                continue;
+            }
+        };
+        let run = run_prepared_with(&exp, &Telemetry::disabled());
+        eprintln!(
+            "  {label}: acc {} (quarantined {}, withheld {})",
+            pct(run.result.final_accuracy),
+            run.result.quarantined_total,
+            run.result.withheld_total
+        );
+        csv.push(format!(
+            "proto,{proto},on,{rounds},{:.4},{},{}",
+            run.result.final_accuracy, run.result.quarantined_total, run.result.withheld_total
+        ));
+        cells.push(pct(run.result.final_accuracy));
+        cells.push(format!(
+            "q={} w={}",
+            run.result.quarantined_total, run.result.withheld_total
+        ));
+        manifests.push(run.manifest);
+        rows.push(cells);
+    }
+
+    println!(
+        "{}",
+        markdown_table(&["scenario", "suspicion off", "suspicion on"], &rows)
+    );
+
+    // Gap summary: adaptive-over-static degradation and suspicion
+    // recovery, per aggregator × attack family.
+    let get = |label: &str| acc.iter().find(|(l, _)| l == label).map(|(_, a)| *a);
+    println!("\n### Adaptive gap and suspicion recovery\n");
+    for (agg_name, _) in aggregators() {
+        for family in ["alie", "ipm"] {
+            let (Some(st), Some(ad), Some(ad_susp)) = (
+                get(&format!("{agg_name}/{family}-static/susp-off")),
+                get(&format!("{agg_name}/{family}-adaptive/susp-off")),
+                get(&format!("{agg_name}/{family}-adaptive/susp-on")),
+            ) else {
+                continue;
+            };
+            let gap = st - ad;
+            let recovered = ad_susp - ad;
+            let frac = if gap > 1e-4 {
+                format!("{:.0}% of the gap", recovered / gap * 100.0)
+            } else {
+                "no gap to recover".to_string()
+            };
+            println!(
+                "- {agg_name}/{family}: static {} → adaptive {} (gap {:+.1} pts); \
+                 suspicion recovers {:+.1} pts ({frac})",
+                pct(st),
+                pct(ad),
+                -gap * 100.0,
+                recovered * 100.0,
+            );
+        }
+    }
+
+    write_csv_or_exit(
+        &args.out_dir,
+        "adaptive",
+        "aggregator,attack,suspicion,rounds,final_accuracy,quarantined_total,withheld_total",
+        &csv,
+    );
+    write_manifests_or_exit(&args.out_dir, "adaptive", &manifests);
+}

@@ -1,0 +1,162 @@
+//! Cross-cluster echo/audit: the defense against equivocating leaders.
+//!
+//! A cluster leader that aggregates its members' models holds a
+//! privileged position: nothing in plain BRA forces the value it sends
+//! *upward* to equal the value it echoes *back to its cluster*. An
+//! equivocating leader exploits that to poison the parent level while
+//! looking honest to its children.
+//!
+//! The audit closes the gap with digests: every cluster member hashes
+//! the partial the leader echoed to it, and the parent-level collector
+//! hashes the partial the leader sent up. The parent cross-checks the
+//! two — any mismatch between the up-sent digest and the members'
+//! majority echo digest is cryptographic-free but unforgeable-in-
+//! simulation evidence of equivocation (an equivocating leader cannot
+//! make two different vectors hash alike without controlling the hash).
+//! Digests are 8 bytes, so the audit costs one tiny message per member
+//! per round — negligible next to model transfers.
+//!
+//! Detection latency is one round: the audit compares values at round
+//! end, and repair (using the members' echoed value, ignoring the
+//! corrupt up-send) applies from the next round.
+
+/// FNV-1a 64-bit digest of a model vector's little-endian bytes. Not
+/// cryptographic — the simulation's adversary model does not include
+/// hash collisions — but stable across platforms and runs.
+pub fn hash_update(update: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for x in update {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// The digests one audit instance compares for one cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EchoReport {
+    /// Digest of the partial the leader sent upward.
+    pub up_digest: u64,
+    /// Digests of the partial each member received as the leader's echo.
+    pub member_digests: Vec<u64>,
+}
+
+impl EchoReport {
+    /// True when the up-sent value disagrees with the members' majority
+    /// echo — equivocation. A report with no member echoes cannot
+    /// convict (nothing to compare against).
+    pub fn equivocated(&self) -> bool {
+        if self.member_digests.is_empty() {
+            return false;
+        }
+        let majority = majority_digest(&self.member_digests);
+        self.up_digest != majority
+    }
+}
+
+/// The most frequent digest (ties broken toward the smallest value, so
+/// the audit is deterministic). A Byzantine *member* lying about its
+/// echo cannot frame an honest leader unless liars outnumber honest
+/// members.
+fn majority_digest(digests: &[u64]) -> u64 {
+    let mut sorted = digests.to_vec();
+    sorted.sort_unstable();
+    let mut best = sorted[0];
+    let mut best_count = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        if j - i > best_count {
+            best_count = j - i;
+            best = sorted[i];
+        }
+        i = j;
+    }
+    best
+}
+
+/// Audit cost for one cluster of `members` members: each member sends
+/// one digest to the parent collector, and the leader's up-send is
+/// already in flight (no extra message). Returns `(messages, bytes)` —
+/// digests are 8 bytes.
+pub fn echo_cost(members: usize) -> (u64, u64) {
+    (members as u64, 8 * members as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_separating() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.0, 3.000001];
+        assert_eq!(hash_update(&a), hash_update(&a));
+        assert_ne!(hash_update(&a), hash_update(&b));
+        assert_ne!(hash_update(&a), hash_update(&[]));
+        // Sign matters (an equivocator's −flip·partial must not collide).
+        assert_ne!(hash_update(&[1.0]), hash_update(&[-1.0]));
+    }
+
+    #[test]
+    fn honest_leader_passes_audit() {
+        let partial = [0.25f32, -0.5];
+        let d = hash_update(&partial);
+        let report = EchoReport {
+            up_digest: d,
+            member_digests: vec![d; 4],
+        };
+        assert!(!report.equivocated());
+    }
+
+    #[test]
+    fn equivocator_is_detected() {
+        let truth = [0.25f32, -0.5];
+        let corrupt = [-0.25f32, 0.5];
+        let report = EchoReport {
+            up_digest: hash_update(&corrupt),
+            member_digests: vec![hash_update(&truth); 4],
+        };
+        assert!(report.equivocated());
+    }
+
+    #[test]
+    fn lying_minority_member_cannot_frame_the_leader() {
+        let truth = hash_update(&[1.0f32]);
+        let lie = hash_update(&[2.0f32]);
+        let report = EchoReport {
+            up_digest: truth,
+            member_digests: vec![truth, truth, lie, truth],
+        };
+        assert!(!report.equivocated());
+    }
+
+    #[test]
+    fn empty_echo_set_cannot_convict() {
+        let report = EchoReport {
+            up_digest: 7,
+            member_digests: vec![],
+        };
+        assert!(!report.equivocated());
+    }
+
+    #[test]
+    fn majority_tie_breaks_deterministically() {
+        // 2 vs 2 tie: smallest digest wins, both runs agree.
+        assert_eq!(majority_digest(&[5, 9, 9, 5]), 5);
+        assert_eq!(majority_digest(&[9, 5, 5, 9]), 5);
+    }
+
+    #[test]
+    fn echo_cost_is_digest_sized() {
+        assert_eq!(echo_cost(4), (4, 32));
+        assert_eq!(echo_cost(0), (0, 0));
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod approx_agreement;
 pub mod committee;
+pub mod echo;
 pub mod eval;
 pub mod gossip;
 pub mod pbft;
@@ -55,6 +56,7 @@ use serde::{Deserialize, Serialize};
 
 pub use approx_agreement::ApproxAgreement;
 pub use committee::CommitteeConsensus;
+pub use echo::{hash_update, EchoReport};
 pub use eval::{DistanceEvaluator, ProposalEvaluator};
 pub use gossip::GossipAverage;
 pub use pbft::PbftConsensus;

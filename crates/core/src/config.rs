@@ -5,12 +5,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use hfl_attacks::{DataAttack, ModelAttack, Placement};
+use hfl_attacks::{AdaptiveAttack, DataAttack, ModelAttack, Placement, ProtocolAttack};
 use hfl_consensus::ConsensusKind;
 use hfl_faults::{FaultPlan, FaultPlanError};
 use hfl_ml::synth::SynthConfig;
 use hfl_ml::{LinearSoftmax, Mlp, Model, SgdConfig};
-use hfl_robust::AggregatorKind;
+use hfl_robust::{AggregatorKind, Krum, SuspicionConfig};
 use hfl_simnet::Hierarchy;
 
 use crate::correction::CorrectionPolicy;
@@ -131,6 +131,17 @@ pub enum AttackCfg {
         /// Which clients are malicious.
         placement: Placement,
     },
+    /// Adaptive model poisoning: the coalition tunes its attack magnitude
+    /// each round from defense feedback (`hfl_attacks::adaptive`),
+    /// bisecting toward the defense's acceptance boundary.
+    Adaptive {
+        /// The tunable attack family and its magnitude bounds.
+        attack: AdaptiveAttack,
+        /// Fraction of bottom-level clients malicious.
+        proportion: f64,
+        /// Which clients are malicious.
+        placement: Placement,
+    },
 }
 
 impl AttackCfg {
@@ -138,9 +149,9 @@ impl AttackCfg {
     pub fn proportion(&self) -> f64 {
         match self {
             AttackCfg::None => 0.0,
-            AttackCfg::Data { proportion, .. } | AttackCfg::Model { proportion, .. } => {
-                *proportion
-            }
+            AttackCfg::Data { proportion, .. }
+            | AttackCfg::Model { proportion, .. }
+            | AttackCfg::Adaptive { proportion, .. } => *proportion,
         }
     }
 
@@ -148,9 +159,9 @@ impl AttackCfg {
     pub fn placement(&self) -> Placement {
         match self {
             AttackCfg::None => Placement::Prefix,
-            AttackCfg::Data { placement, .. } | AttackCfg::Model { placement, .. } => {
-                *placement
-            }
+            AttackCfg::Data { placement, .. }
+            | AttackCfg::Model { placement, .. }
+            | AttackCfg::Adaptive { placement, .. } => *placement,
         }
     }
 }
@@ -219,6 +230,27 @@ pub struct HflConfig {
     /// byte-identical to configs predating this field.
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// Defense-side suspicion layer (`hfl_robust::suspicion`): per-client
+    /// decayed scores fed by aggregator evidence, quarantine above a
+    /// threshold. `None` (the default) keeps the memoryless defense and
+    /// the aggregation path byte-identical to configs predating this
+    /// field.
+    #[serde(default)]
+    pub suspicion: Option<SuspicionConfig>,
+    /// Protocol-level Byzantine behavior of malicious nodes (leader
+    /// equivocation, selective withholding) on top of whatever `attack`
+    /// does to updates. `None` (the default) keeps malicious nodes
+    /// protocol-honest.
+    #[serde(default)]
+    pub protocol_attack: Option<ProtocolAttack>,
+    /// When true, a Krum/Multi-Krum level whose smallest cluster violates
+    /// the `n ≥ 2f + 3` guarantee bound is a [`ConfigError::KrumUnsound`]
+    /// at validation time. Off by default because the paper's own
+    /// evaluation (f = 1 on clusters of 4) violates the strict bound —
+    /// default mode records the degradation as a telemetry anomaly
+    /// instead.
+    #[serde(default)]
+    pub strict_guarantees: bool,
 }
 
 impl HflConfig {
@@ -253,6 +285,9 @@ impl HflConfig {
             malicious_override: None,
             churn_leave_prob: 0.0,
             faults: None,
+            suspicion: None,
+            protocol_attack: None,
+            strict_guarantees: false,
         }
     }
 
@@ -333,8 +368,65 @@ impl HflConfig {
                 prob: self.churn_leave_prob,
             });
         }
+        if let AttackCfg::Adaptive { attack, .. } = &self.attack {
+            let (init, max) = attack.bounds();
+            if !(init > 0.0 && init.is_finite()) {
+                return Err(ConfigError::AdaptiveAttackOutOfRange {
+                    what: "init magnitude",
+                    value: f64::from(init),
+                });
+            }
+            if !(max.is_finite() && max >= init) {
+                return Err(ConfigError::AdaptiveAttackOutOfRange {
+                    what: "max magnitude",
+                    value: f64::from(max),
+                });
+            }
+        }
+        if let Some(s) = &self.suspicion {
+            if let Some((what, value)) = s.invalid_param() {
+                return Err(ConfigError::SuspicionOutOfRange { what, value });
+            }
+        }
+        if let Some(ProtocolAttack::Equivocate { flip_scale }) = &self.protocol_attack {
+            if !(flip_scale.is_finite() && *flip_scale > 0.0) {
+                return Err(ConfigError::ProtocolAttackOutOfRange {
+                    value: f64::from(*flip_scale),
+                });
+            }
+        }
+        if self.strict_guarantees {
+            for (level, agg) in self.levels.iter().enumerate() {
+                let f = match agg {
+                    LevelAgg::Bra(AggregatorKind::Krum { f })
+                    | LevelAgg::Bra(AggregatorKind::MultiKrum { f, .. }) => *f,
+                    _ => continue,
+                };
+                // The inputs a level-l cluster aggregates come from its
+                // own members (level-(l+1) leaders or bottom clients), so
+                // its own size bounds n.
+                let n_min = hierarchy
+                    .level(level)
+                    .clusters
+                    .iter()
+                    .map(|c| c.len())
+                    .min()
+                    .unwrap_or(0);
+                if !Krum::guarantee_holds(f, n_min) {
+                    return Err(ConfigError::KrumUnsound { level, f, n_min });
+                }
+            }
+        }
         if let Some(plan) = &self.faults {
             plan.validate(hierarchy).map_err(ConfigError::Faults)?;
+            // The fault-injected aggregation path deliberately predates
+            // the arms-race layer; combining them is not yet modeled.
+            if self.suspicion.is_some()
+                || self.protocol_attack.is_some()
+                || matches!(self.attack, AttackCfg::Adaptive { .. })
+            {
+                return Err(ConfigError::FaultsWithArmsRace);
+            }
         }
         Ok(())
     }
@@ -400,6 +492,38 @@ pub enum ConfigError {
     },
     /// The fault plan doesn't fit the hierarchy.
     Faults(FaultPlanError),
+    /// Adaptive attack magnitude bounds are unusable.
+    AdaptiveAttackOutOfRange {
+        /// Which bound is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A suspicion-layer parameter is out of range.
+    SuspicionOutOfRange {
+        /// Which parameter is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Equivocation flip scale must be finite and positive.
+    ProtocolAttackOutOfRange {
+        /// The offending flip scale.
+        value: f64,
+    },
+    /// With `strict_guarantees`, a Krum/Multi-Krum level whose smallest
+    /// cluster violates `n ≥ 2f + 3`.
+    KrumUnsound {
+        /// The offending level.
+        level: usize,
+        /// Configured Byzantine count.
+        f: usize,
+        /// Smallest cluster size at that level.
+        n_min: usize,
+    },
+    /// Fault injection cannot be combined with the arms-race layer
+    /// (adaptive attack, protocol attack, or suspicion).
+    FaultsWithArmsRace,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -430,6 +554,24 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "churn leave probability must be in [0, 1), got {prob}")
             }
             ConfigError::Faults(e) => write!(f, "{e}"),
+            ConfigError::AdaptiveAttackOutOfRange { what, value } => {
+                write!(f, "adaptive attack {what} out of range ({value})")
+            }
+            ConfigError::SuspicionOutOfRange { what, value } => {
+                write!(f, "suspicion {what} out of range ({value})")
+            }
+            ConfigError::ProtocolAttackOutOfRange { value } => {
+                write!(f, "equivocation flip scale must be finite and positive, got {value}")
+            }
+            ConfigError::KrumUnsound { level, f: byz, n_min } => write!(
+                f,
+                "Krum guarantee n >= 2f + 3 violated at level {level}: f = {byz} needs clusters of at least {}, smallest has {n_min}",
+                2 * byz + 3
+            ),
+            ConfigError::FaultsWithArmsRace => write!(
+                f,
+                "fault injection cannot be combined with adaptive/protocol attacks or the suspicion layer"
+            ),
         }
     }
 }
@@ -512,6 +654,91 @@ mod tests {
         let err = cfg.try_validate(&h).unwrap_err();
         assert!(matches!(err, ConfigError::QuorumOutOfRange { .. }));
         assert!(err.to_string().contains("quorum must be in (0, 1]"));
+    }
+
+    #[test]
+    fn strict_guarantees_rejects_paper_krum_but_default_accepts() {
+        // Paper default: Multi-Krum f = 1 on clusters of 4 — violates the
+        // strict n >= 2f + 3 bound but is accepted in default mode.
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.strict_guarantees = true;
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::KrumUnsound { f: 1, n_min: 4, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("2f + 3"), "{err}");
+        // A sound configuration passes even strictly: f = 1 needs n >= 5.
+        cfg.topology = TopologyCfg::Ecsm {
+            total_levels: 3,
+            m: 5,
+            n_top: 5,
+        };
+        let h5 = cfg.topology.build(0);
+        assert_eq!(cfg.try_validate(&h5), Ok(()));
+    }
+
+    #[test]
+    fn adaptive_and_suspicion_params_are_range_checked() {
+        let mut cfg = HflConfig::paper_iid(
+            AttackCfg::Adaptive {
+                attack: AdaptiveAttack::alie_default(),
+                proportion: 0.25,
+                placement: Placement::Prefix,
+            },
+            0,
+        );
+        let h = cfg.topology.build(0);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+
+        cfg.attack = AttackCfg::Adaptive {
+            attack: AdaptiveAttack::Alie {
+                z_init: 2.0,
+                z_max: 1.0, // max below init
+            },
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        };
+        assert!(matches!(
+            cfg.try_validate(&h),
+            Err(ConfigError::AdaptiveAttackOutOfRange { .. })
+        ));
+
+        cfg.attack = AttackCfg::None;
+        cfg.suspicion = Some(SuspicionConfig {
+            decay: 1.5,
+            ..SuspicionConfig::default()
+        });
+        assert!(matches!(
+            cfg.try_validate(&h),
+            Err(ConfigError::SuspicionOutOfRange { what: "decay", .. })
+        ));
+        cfg.suspicion = Some(SuspicionConfig::default());
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+
+        cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 0.0 });
+        assert!(matches!(
+            cfg.try_validate(&h),
+            Err(ConfigError::ProtocolAttackOutOfRange { .. })
+        ));
+        cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn faults_cannot_combine_with_arms_race() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.faults = Some(hfl_faults::FaultPlan::new().crash_stop(5, 3));
+        cfg.suspicion = Some(SuspicionConfig::default());
+        assert_eq!(
+            cfg.try_validate(&h),
+            Err(ConfigError::FaultsWithArmsRace)
+        );
+        cfg.suspicion = None;
+        assert_eq!(cfg.try_validate(&h), Ok(()));
     }
 
     #[test]

@@ -507,12 +507,32 @@ pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
 /// (`sim_*` counters, `pipeline_*` histograms, trace anomaly count) and
 /// returns the run's [`RunManifest`] (label `"pipeline"`; the per-round
 /// series is empty — pipeline timing lives in the histograms).
+///
+/// The arms-race layer (adaptive attacks, suspicion/quarantine,
+/// protocol attacks) is a sequential-runner feature: the async driver
+/// runs static attacks only. A config carrying any arms-race field is
+/// still accepted — the fields are ignored here and an
+/// `Event::Anomaly { kind: "arms_race_ignored" }` is emitted once so
+/// the omission is visible in the trace.
 pub fn run_pipeline_with(
     cfg: &HflConfig,
     pcfg: &PipelineConfig,
     telem: &Telemetry,
 ) -> (PipelineResult, RunManifest) {
     assert!(pcfg.rounds > 0, "pipeline needs at least one round");
+    if telem.enabled()
+        && (cfg.suspicion.is_some()
+            || cfg.protocol_attack.is_some()
+            || matches!(cfg.attack, crate::config::AttackCfg::Adaptive { .. }))
+    {
+        telem.emit(hfl_telemetry::Event::Anomaly {
+            kind: "arms_race_ignored".into(),
+            detail: "the async pipeline driver ignores adaptive attacks, the \
+                     suspicion layer and protocol attacks; use the sequential \
+                     runner for arms-race experiments"
+                .into(),
+        });
+    }
     let exp = Arc::new(Experiment::prepare(cfg));
     let pcfg = Arc::new(pcfg.clone());
     let h = &exp.hierarchy;

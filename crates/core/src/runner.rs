@@ -19,7 +19,10 @@
 
 use rand::seq::SliceRandom;
 
-use hfl_attacks::malicious_mask;
+use hfl_attacks::{
+    malicious_mask, AdaptiveAdversary, AttackFeedback, ModelAttack, ProtocolAttack,
+};
+use hfl_consensus::echo::{echo_cost, hash_update, EchoReport};
 use hfl_consensus::eval::AccuracyEvaluator;
 use hfl_consensus::quorum_size;
 use hfl_faults::FaultInjector;
@@ -28,9 +31,11 @@ use hfl_ml::rng::rng_for_n;
 use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{Dataset, Model};
+use hfl_robust::{evidence, AggregatorKind, Krum, SuspicionChange, SuspicionTracker};
 use hfl_simnet::Hierarchy;
 use hfl_telemetry::{
-    fnv1a_hex, Event, FaultRecord, RoundRecord, RunManifest, RunTotals, Telemetry,
+    fnv1a_hex, ClientScore, Event, FaultRecord, RoundRecord, RunManifest, RunTotals,
+    SuspicionRecord, SuspicionSection, Telemetry,
 };
 
 use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg};
@@ -54,6 +59,12 @@ pub struct RunResult {
     /// Total bottom-level client-round updates lost to injected faults
     /// (crashes, partitions, loss bursts). Zero for fault-free runs.
     pub faulted_total: u64,
+    /// Total client-round updates excluded by the suspicion layer's
+    /// quarantine. Zero when the layer is disabled.
+    pub quarantined_total: u64,
+    /// Total client-round updates a withholding coalition kept back.
+    /// Zero without the `Withhold` protocol attack.
+    pub withheld_total: u64,
 }
 
 /// A run's result plus its [`RunManifest`] — what the instrumented entry
@@ -80,6 +91,83 @@ pub struct CostCounters {
     pub absent: u64,
     /// Bottom-level updates lost to injected faults.
     pub faulted: u64,
+    /// Updates excluded by the suspicion layer's quarantine.
+    pub quarantined: u64,
+    /// Updates a withholding coalition kept back.
+    pub withheld: u64,
+}
+
+/// Mutable arms-race state threaded through a run: the coalition's
+/// adaptive magnitude search, the defense-side suspicion tracker, and
+/// protocol-attack bookkeeping (which equivocators the echo audit has
+/// caught). Built once per run by [`run_prepared_with`] when the config
+/// enables any of the three; `None` keeps the pre-existing clean or
+/// faulted aggregation paths byte-identical.
+pub struct ArmsRace {
+    adversary: Option<AdaptiveAdversary>,
+    suspicion: Option<SuspicionTracker>,
+    /// `Some(flip_scale)` while malicious bottom leaders equivocate.
+    equivocate: Option<f32>,
+    /// Malicious members withhold pivotally.
+    withhold: bool,
+    /// Equivocators convicted by the echo audit (by device id): they are
+    /// repaired — behave honestly — from the round after detection.
+    detected: Vec<bool>,
+    /// Coalition feedback accumulated during the current round.
+    feedback: AttackFeedback,
+}
+
+impl ArmsRace {
+    /// Arms-race state for an experiment, or `None` when its config uses
+    /// neither an adaptive attack, a protocol attack, nor suspicion.
+    pub fn for_experiment(exp: &Experiment) -> Option<Self> {
+        let cfg = exp.config();
+        let adversary = match &cfg.attack {
+            AttackCfg::Adaptive { attack, .. } => {
+                Some(AdaptiveAdversary::new(attack.clone()))
+            }
+            _ => None,
+        };
+        let suspicion = cfg
+            .suspicion
+            .map(|s| SuspicionTracker::new(exp.hierarchy.num_clients(), s));
+        let (equivocate, withhold) = match &cfg.protocol_attack {
+            Some(ProtocolAttack::Equivocate { flip_scale }) => (Some(*flip_scale), false),
+            Some(ProtocolAttack::Withhold) => (None, true),
+            None => (None, false),
+        };
+        if adversary.is_none() && suspicion.is_none() && cfg.protocol_attack.is_none() {
+            return None;
+        }
+        Some(Self {
+            adversary,
+            suspicion,
+            equivocate,
+            withhold,
+            detected: vec![false; exp.hierarchy.num_clients()],
+            feedback: AttackFeedback::default(),
+        })
+    }
+
+    /// The adaptive adversary's concrete crafted attack for this round.
+    pub fn current_attack(&self) -> Option<ModelAttack> {
+        self.adversary.as_ref().map(AdaptiveAdversary::current_attack)
+    }
+
+    /// The magnitude-search state, when the attack is adaptive.
+    pub fn adversary(&self) -> Option<&AdaptiveAdversary> {
+        self.adversary.as_ref()
+    }
+
+    /// The suspicion tracker, when the defense layer is enabled.
+    pub fn suspicion(&self) -> Option<&SuspicionTracker> {
+        self.suspicion.as_ref()
+    }
+
+    /// Device ids the echo audit has convicted of equivocation so far.
+    pub fn detected_equivocators(&self) -> Vec<usize> {
+        (0..self.detected.len()).filter(|&d| self.detected[d]).collect()
+    }
 }
 
 /// Pre-built, reusable experiment state (task generation and partitioning
@@ -197,6 +285,24 @@ impl Experiment {
     /// Returns one update per client (crafted updates substituted for
     /// model-poisoning attackers).
     pub fn train_round(&self, global: &[f32], round: usize) -> Vec<Vec<f32>> {
+        self.train_round_with(global, round, None, &Telemetry::disabled())
+    }
+
+    /// [`Self::train_round`] with an optional adaptive-attack override
+    /// (the arms race's current crafted attack replaces the configured
+    /// static one) and telemetry for anomalies.
+    ///
+    /// With no honest updates to estimate from (malicious proportion
+    /// 1.0), crafting degrades to re-sending the round's starting global
+    /// model instead of panicking, and the degradation is recorded as an
+    /// `attack_no_honest_updates` anomaly event.
+    pub fn train_round_with(
+        &self,
+        global: &[f32],
+        round: usize,
+        adaptive: Option<&ModelAttack>,
+        telem: &Telemetry,
+    ) -> Vec<Vec<f32>> {
         let cfg = &self.config;
         let n = self.client_data.len();
         let threads = hfl_parallel::default_threads();
@@ -214,20 +320,36 @@ impl Experiment {
             model.params().to_vec()
         });
 
-        if let AttackCfg::Model { attack, .. } = &cfg.attack {
+        let crafting = adaptive.or(match &cfg.attack {
+            AttackCfg::Model { attack, .. } => Some(attack),
+            _ => None,
+        });
+        if let Some(attack) = crafting {
             let honest: Vec<&[f32]> = updates
                 .iter()
                 .zip(&self.malicious)
                 .filter(|(_, bad)| !**bad)
                 .map(|(u, _)| u.as_slice())
                 .collect();
-            if !honest.is_empty() {
-                let mut rng = rng_for_n(cfg.seed, &[round as u64, 0xE71]);
-                let crafted = attack.craft(&honest, &mut rng);
-                for (u, bad) in updates.iter_mut().zip(&self.malicious) {
-                    if *bad {
-                        u.copy_from_slice(&crafted);
+            let mut rng = rng_for_n(cfg.seed, &[round as u64, 0xE71]);
+            let crafted = match attack.try_craft(&honest, &mut rng) {
+                Some(c) => c,
+                None => {
+                    if telem.enabled() {
+                        telem.emit(Event::Anomaly {
+                            kind: "attack_no_honest_updates".into(),
+                            detail: format!(
+                                "round {round}: no honest updates to craft from, \
+                                 degrading to the stale global model"
+                            ),
+                        });
                     }
+                    global.to_vec()
+                }
+            };
+            for (u, bad) in updates.iter_mut().zip(&self.malicious) {
+                if *bad {
+                    u.copy_from_slice(&crafted);
                 }
             }
         }
@@ -235,10 +357,13 @@ impl Experiment {
     }
 
     /// True when this device misbehaves *inside* aggregation protocols
-    /// (only model-poisoning adversaries do; data poisoners follow the
-    /// protocol honestly — paper Appendix D).
+    /// (only model-poisoning adversaries — static or adaptive — do; data
+    /// poisoners follow the protocol honestly — paper Appendix D).
     fn protocol_byzantine(&self, device: usize) -> bool {
-        matches!(self.config.attack, AttackCfg::Model { .. }) && self.malicious[device]
+        matches!(
+            self.config.attack,
+            AttackCfg::Model { .. } | AttackCfg::Adaptive { .. }
+        ) && self.malicious[device]
     }
 
     /// Which clients participate this round under churn (Assumption 3).
@@ -951,6 +1076,414 @@ impl Experiment {
         global
     }
 
+    /// The arms-race aggregation path (active when the config enables an
+    /// adaptive attack, a protocol attack, or the suspicion layer). A
+    /// third textually-separate sibling of the clean and faulted paths,
+    /// for the same reason those two are separate: the clean path's RNG
+    /// stream is the determinism baseline and must not be perturbed.
+    ///
+    /// Additions over the clean path, all at the bottom level:
+    ///
+    /// - **Quarantine**: clients the suspicion layer has quarantined are
+    ///   excluded from their cluster's inputs — unless that would empty
+    ///   the cluster (the defense must not DoS itself).
+    /// - **Pivotal withholding**: under [`ProtocolAttack::Withhold`],
+    ///   malicious members drop their update exactly when the cluster
+    ///   still forms its quorum without them (only possible at φ < 1).
+    /// - **Evidence**: after each bottom aggregation,
+    ///   [`evidence::judge`] (for BRA) or the consensus exclusion list
+    ///   (for CBA) feeds per-client strikes into the suspicion tracker
+    ///   and acceptance feedback to the adaptive adversary.
+    /// - **Equivocation + echo audit**: malicious, undetected bottom
+    ///   leaders under [`ProtocolAttack::Equivocate`] send
+    ///   `−flip_scale · partial` upward while echoing the true partial
+    ///   to their members; every bottom cluster is audited with 8-byte
+    ///   digests ([`hfl_consensus::echo`]), and a convicted leader is
+    ///   repaired (behaves honestly) from the next round.
+    /// - **Round close**: suspicion transitions become events and
+    ///   manifest records; the adversary consumes its feedback and moves
+    ///   its magnitude.
+    pub fn aggregate_round_armed(
+        &self,
+        arms: &mut ArmsRace,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        susp_log: &mut Vec<SuspicionRecord>,
+    ) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = &self.hierarchy;
+        let bottom = h.bottom_level();
+        let d = updates[0].len();
+        let model_bytes = (d * 4) as u64;
+        let active = self.active_mask(round);
+        cost.absent += active.iter().filter(|a| !**a).count() as u64;
+        if telem.enabled() {
+            for (client, present) in active.iter().enumerate() {
+                if !present {
+                    telem.emit(Event::ChurnAbsence { round, client });
+                }
+            }
+        }
+
+        arms.feedback = AttackFeedback::default();
+        // Echo audits collected this round: (cluster, leader, report).
+        let mut audits: Vec<(usize, usize, EchoReport)> = Vec::new();
+
+        let mut carried: Vec<Vec<f32>> = updates.to_vec();
+
+        for l in (1..=bottom).rev() {
+            let level = h.level(l);
+            let mut next: Vec<Vec<f32>> = carried.clone();
+            for (ci, cluster) in level.clusters.iter().enumerate() {
+                let mut present: Vec<usize> = (0..cluster.len())
+                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
+                    .collect();
+                if l == bottom {
+                    if let Some(tracker) = &arms.suspicion {
+                        let kept: Vec<usize> = present
+                            .iter()
+                            .copied()
+                            .filter(|&mi| !tracker.is_quarantined(cluster.members[mi]))
+                            .collect();
+                        if !kept.is_empty() {
+                            cost.quarantined += (present.len() - kept.len()) as u64;
+                            present = kept;
+                        }
+                    }
+                    if arms.withhold {
+                        let withholding: Vec<usize> = present
+                            .iter()
+                            .copied()
+                            .filter(|&mi| {
+                                let dev = cluster.members[mi];
+                                self.malicious[dev] && dev != cluster.leader()
+                            })
+                            .collect();
+                        let quorum_all = quorum_size(cfg.quorum, present.len());
+                        if !withholding.is_empty()
+                            && present.len() - withholding.len() >= quorum_all
+                        {
+                            cost.withheld += withholding.len() as u64;
+                            if telem.enabled() {
+                                for &mi in &withholding {
+                                    telem.emit(Event::UpdateWithheld {
+                                        round,
+                                        client: cluster.members[mi],
+                                    });
+                                }
+                            }
+                            present.retain(|mi| !withholding.contains(mi));
+                        }
+                    }
+                }
+                let mut order = present;
+                let mut rng =
+                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
+                order.shuffle(&mut rng);
+                let quorum = quorum_size(cfg.quorum, order.len());
+                let kept: Vec<usize> = {
+                    let mut k = order[..quorum.min(order.len())].to_vec();
+                    k.sort_unstable();
+                    k
+                };
+                let inputs: Vec<&[f32]> = kept
+                    .iter()
+                    .map(|&mi| carried[cluster.members[mi]].as_slice())
+                    .collect();
+                let partial = match &cfg.levels[l] {
+                    LevelAgg::Bra(kind) => {
+                        let count = (quorum + cluster.len()) as u64;
+                        cost.messages += count;
+                        cost.bytes += count * model_bytes;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count,
+                                bytes: count * model_bytes,
+                            });
+                        }
+                        let partial = kind.build().aggregate(&inputs, None);
+                        if l == bottom {
+                            let verdict = evidence::judge(kind, &inputs);
+                            for (pos, &mi) in kept.iter().enumerate() {
+                                let dev = cluster.members[mi];
+                                if verdict.strikes[pos] > 0.0 {
+                                    if let Some(t) = arms.suspicion.as_mut() {
+                                        t.strike(dev, verdict.strikes[pos]);
+                                    }
+                                }
+                                if self.malicious[dev] {
+                                    arms.feedback.submitted += 1;
+                                    if verdict.accepted[pos] {
+                                        arms.feedback.accepted += 1;
+                                    }
+                                }
+                            }
+                        }
+                        partial
+                    }
+                    LevelAgg::Cba(kind) => {
+                        let byz: Vec<bool> = kept
+                            .iter()
+                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
+                            .collect();
+                        let own: Vec<Vec<f32>> =
+                            inputs.iter().map(|i| i.to_vec()).collect();
+                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
+                        let mech = kind.build();
+                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
+                        hfl_consensus::telemetry::record_outcome(
+                            telem.registry(),
+                            mech.name(),
+                            &out,
+                        );
+                        cost.messages += out.messages;
+                        cost.bytes += out.bytes;
+                        cost.excluded += out.excluded.len() as u64;
+                        if telem.enabled() {
+                            telem.emit(Event::MessagesSent {
+                                round,
+                                level: l,
+                                count: out.messages,
+                                bytes: out.bytes,
+                            });
+                            for &proposal in &out.excluded {
+                                telem.emit(Event::ProposalExcluded {
+                                    round,
+                                    level: l,
+                                    cluster: ci,
+                                    proposal,
+                                });
+                            }
+                        }
+                        if l == bottom {
+                            for (pos, &mi) in kept.iter().enumerate() {
+                                let dev = cluster.members[mi];
+                                let excluded = out.excluded.contains(&pos);
+                                if excluded {
+                                    if let Some(t) = arms.suspicion.as_mut() {
+                                        t.strike(dev, evidence::STRIKE_WORST);
+                                    }
+                                }
+                                if self.malicious[dev] {
+                                    arms.feedback.submitted += 1;
+                                    if !excluded {
+                                        arms.feedback.accepted += 1;
+                                    }
+                                }
+                            }
+                        }
+                        out.decided
+                    }
+                };
+                if telem.enabled() {
+                    telem.emit(Event::ClusterAggregated {
+                        round,
+                        level: l,
+                        cluster: ci,
+                        inputs: inputs.len(),
+                        quorum,
+                    });
+                }
+                if l == bottom {
+                    let leader = cluster.leader();
+                    let up = match arms.equivocate {
+                        Some(flip)
+                            if self.malicious[leader] && !arms.detected[leader] =>
+                        {
+                            partial.iter().map(|x| -flip * x).collect::<Vec<f32>>()
+                        }
+                        _ => partial.clone(),
+                    };
+                    // Every member echoes the digest of the partial it
+                    // received; the parent collector digests the up-sent
+                    // value. 8 bytes per member, negligible next to the
+                    // model transfers.
+                    let (msgs, bts) = echo_cost(cluster.len());
+                    cost.messages += msgs;
+                    cost.bytes += bts;
+                    audits.push((
+                        ci,
+                        leader,
+                        EchoReport {
+                            up_digest: hash_update(&up),
+                            member_digests: vec![hash_update(&partial); cluster.len()],
+                        },
+                    ));
+                    next[leader] = up;
+                } else {
+                    next[cluster.leader()] = partial;
+                }
+            }
+            carried = next;
+        }
+
+        // Global aggregation at the top cluster (identical to the clean
+        // path — the arms race only acts at the bottom).
+        let top = &h.level(0).clusters[0];
+        let proposals: Vec<&[f32]> = top
+            .members
+            .iter()
+            .map(|&dev| carried[dev].as_slice())
+            .collect();
+        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
+        let global = match &cfg.levels[0] {
+            LevelAgg::Bra(kind) => {
+                let count = (2 * top.len()) as u64;
+                cost.messages += count;
+                cost.bytes += count * model_bytes;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count,
+                        bytes: count * model_bytes,
+                    });
+                }
+                kind.build().aggregate(&proposals, None)
+            }
+            LevelAgg::Cba(kind) => {
+                let shards = self.task.test.split_even(top.len());
+                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
+                let byz: Vec<bool> = top
+                    .members
+                    .iter()
+                    .map(|&dev| self.protocol_byzantine(dev))
+                    .collect();
+                let mech = kind.build();
+                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
+                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
+                cost.messages += out.messages;
+                cost.bytes += out.bytes;
+                cost.excluded += out.excluded.len() as u64;
+                if telem.enabled() {
+                    telem.emit(Event::MessagesSent {
+                        round,
+                        level: 0,
+                        count: out.messages,
+                        bytes: out.bytes,
+                    });
+                    for &proposal in &out.excluded {
+                        telem.emit(Event::ProposalExcluded {
+                            round,
+                            level: 0,
+                            cluster: 0,
+                            proposal,
+                        });
+                    }
+                }
+                out.decided
+            }
+        };
+        if telem.enabled() {
+            telem.emit(Event::ClusterAggregated {
+                round,
+                level: 0,
+                cluster: 0,
+                inputs: proposals.len(),
+                quorum: proposals.len(),
+            });
+        }
+
+        // Dissemination, as in the clean path.
+        for l in 1..=bottom {
+            let per_level = h.level(l).num_nodes() as u64;
+            cost.messages += per_level;
+            cost.bytes += per_level * model_bytes;
+            if telem.enabled() {
+                telem.emit(Event::MessagesSent {
+                    round,
+                    level: l,
+                    count: per_level,
+                    bytes: per_level * model_bytes,
+                });
+            }
+        }
+
+        // Round close, phase 1: the echo audit convicts equivocators.
+        // Detection latency is one round by construction — the corrupt
+        // partial already propagated — and repair applies from the next.
+        for (ci, leader, report) in audits {
+            if report.equivocated() {
+                arms.detected[leader] = true;
+                telem
+                    .registry()
+                    .counter("hfl_equivocations_total", &[])
+                    .inc(1);
+                if telem.enabled() {
+                    telem.emit(Event::EquivocationDetected {
+                        round,
+                        level: bottom,
+                        cluster: ci,
+                        leader,
+                    });
+                }
+                if let Some(t) = arms.suspicion.as_mut() {
+                    t.strike(leader, 3.0 * evidence::STRIKE_WORST);
+                }
+                susp_log.push(SuspicionRecord {
+                    round,
+                    kind: "equivocation".into(),
+                    client: leader,
+                    score: arms
+                        .suspicion
+                        .as_ref()
+                        .map(|t| t.score(leader))
+                        .unwrap_or(0.0),
+                });
+            }
+        }
+
+        // Phase 2: the suspicion layer closes its round.
+        if let Some(t) = arms.suspicion.as_mut() {
+            for change in t.end_round() {
+                match change {
+                    SuspicionChange::Quarantined { client, score } => {
+                        if telem.enabled() {
+                            telem.emit(Event::ClientQuarantined { round, client, score });
+                        }
+                        susp_log.push(SuspicionRecord {
+                            round,
+                            kind: "quarantined".into(),
+                            client,
+                            score,
+                        });
+                    }
+                    SuspicionChange::Released { client, score } => {
+                        if telem.enabled() {
+                            telem.emit(Event::ClientReleased { round, client, score });
+                        }
+                        susp_log.push(SuspicionRecord {
+                            round,
+                            kind: "released".into(),
+                            client,
+                            score,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 3: the adversary consumes its feedback and adapts.
+        if let Some(adv) = arms.adversary.as_mut() {
+            let fb = arms.feedback;
+            if telem.enabled() {
+                telem.emit(Event::AttackAdapted {
+                    round,
+                    magnitude: f64::from(adv.magnitude()),
+                    submitted: fb.submitted,
+                    accepted: fb.accepted,
+                });
+            }
+            adv.observe(round, fb);
+        }
+
+        global
+    }
+
     /// Test accuracy of a parameter vector.
     pub fn evaluate(&self, params: &[f32]) -> f64 {
         let mut model = self.template.clone_box();
@@ -1004,7 +1537,46 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     let excluded_c = telem.registry().counter("hfl_excluded_total", &[]);
     let absent_c = telem.registry().counter("hfl_absent_total", &[]);
     let faulted_c = telem.registry().counter("hfl_faulted_total", &[]);
+    let quarantined_c = telem.registry().counter("hfl_quarantined_total", &[]);
+    let withheld_c = telem.registry().counter("hfl_withheld_total", &[]);
     let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
+
+    // Arms-race state (adaptive adversary, suspicion tracker, protocol
+    // attacks). `None` for plain configs, which then take the exact
+    // pre-existing clean/faulted paths.
+    let mut arms = ArmsRace::for_experiment(exp);
+    let mut susp_records: Vec<SuspicionRecord> = Vec::new();
+
+    // Outside strict mode, a Krum/Multi-Krum level whose smallest
+    // cluster violates n ≥ 2f + 3 is allowed (the paper's own defaults
+    // do this) but flagged once at run start.
+    if !cfg.strict_guarantees && telem.enabled() {
+        for (level, agg) in cfg.levels.iter().enumerate() {
+            let f = match agg {
+                LevelAgg::Bra(AggregatorKind::Krum { f })
+                | LevelAgg::Bra(AggregatorKind::MultiKrum { f, .. }) => *f,
+                _ => continue,
+            };
+            let n_min = exp
+                .hierarchy
+                .level(level)
+                .clusters
+                .iter()
+                .map(|c| c.len())
+                .min()
+                .unwrap_or(0);
+            if !Krum::guarantee_holds(f, n_min) {
+                telem.emit(Event::Anomaly {
+                    kind: "krum_guarantee_degraded".into(),
+                    detail: format!(
+                        "level {level}: Krum assumes n >= 2f + 3 but the smallest \
+                         cluster has n = {n_min} with f = {f}; selection still runs \
+                         but its Byzantine guarantee does not hold"
+                    ),
+                });
+            }
+        }
+    }
 
     for round in 0..cfg.rounds {
         if telem.enabled() {
@@ -1031,20 +1603,37 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
                 }
             }
         }
-        let updates = exp.train_round(&global, round);
-        global = exp.aggregate_round_logged(&updates, round, &mut cost, telem, &mut fault_log);
+        let adaptive = arms.as_ref().and_then(ArmsRace::current_attack);
+        let updates = exp.train_round_with(&global, round, adaptive.as_ref(), telem);
+        global = match arms.as_mut() {
+            Some(a) => exp.aggregate_round_armed(
+                a,
+                &updates,
+                round,
+                &mut cost,
+                telem,
+                &mut susp_records,
+            ),
+            None => {
+                exp.aggregate_round_logged(&updates, round, &mut cost, telem, &mut fault_log)
+            }
+        };
         let delta = CostCounters {
             messages: cost.messages - before.messages,
             bytes: cost.bytes - before.bytes,
             excluded: cost.excluded - before.excluded,
             absent: cost.absent - before.absent,
             faulted: cost.faulted - before.faulted,
+            quarantined: cost.quarantined - before.quarantined,
+            withheld: cost.withheld - before.withheld,
         };
         messages_c.inc(delta.messages);
         bytes_c.inc(delta.bytes);
         excluded_c.inc(delta.excluded);
         absent_c.inc(delta.absent);
         faulted_c.inc(delta.faulted);
+        quarantined_c.inc(delta.quarantined);
+        withheld_c.inc(delta.withheld);
         manifest.faults.extend(fault_log);
 
         let mut round_accuracy = None;
@@ -1083,6 +1672,34 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
         absent: cost.absent,
     };
     manifest.final_accuracy = final_accuracy;
+    // The suspicion section appears iff the suspicion layer ran (or a
+    // protocol attack produced records): absent keys keep pre-v3
+    // manifests byte-identical for unchanged configs.
+    let suspicion_ran = arms
+        .as_ref()
+        .is_some_and(|a| a.suspicion.is_some());
+    if suspicion_ran || !susp_records.is_empty() {
+        let final_scores = arms
+            .as_ref()
+            .and_then(|a| a.suspicion.as_ref())
+            .map(|t| {
+                t.scores()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, &s)| s > 0.0 || t.is_quarantined(c))
+                    .map(|(c, &s)| ClientScore {
+                        client: c,
+                        score: s,
+                        quarantined: t.is_quarantined(c),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        manifest.suspicion = Some(SuspicionSection {
+            events: susp_records,
+            final_scores,
+        });
+    }
     manifest.metrics = telem.registry().snapshot();
 
     InstrumentedRun {
@@ -1094,6 +1711,8 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
             excluded_total: cost.excluded,
             absent_total: cost.absent,
             faulted_total: cost.faulted,
+            quarantined_total: cost.quarantined,
+            withheld_total: cost.withheld,
         },
         manifest,
     }

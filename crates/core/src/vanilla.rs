@@ -140,6 +140,8 @@ pub fn run_vanilla_prepared_with(
             excluded_total: 0,
             absent_total,
             faulted_total: 0,
+            quarantined_total: 0,
+            withheld_total: 0,
         },
         manifest,
     }

@@ -1,0 +1,235 @@
+//! Aggregator evidence: after a rule has run over a cluster's updates,
+//! which inputs did it *accept* (actually use in the aggregate) and
+//! which does it consider suspicious enough to strike?
+//!
+//! The two signals are deliberately decoupled:
+//!
+//! * **Acceptance** is the public feedback an adaptive adversary can
+//!   observe (its update visibly moved, or failed to move, the
+//!   aggregate). It answers "was I inside the acceptance region this
+//!   round?".
+//! * **Strikes** feed the suspicion tracker and are persistence-
+//!   oriented: only the most extreme inputs of a round are struck, so a
+//!   client must be the outlier *repeatedly* to cross the quarantine
+//!   threshold. An adaptive attacker pinned at the edge of acceptance
+//!   still ranks worst round after round and accrues strikes, while an
+//!   honest client is only occasionally the worst — that asymmetry is
+//!   what lets the defense win the arms race without a single-round
+//!   oracle.
+//!
+//! Per rule family:
+//!
+//! | Rule | Acceptance | Strike evidence |
+//! |---|---|---|
+//! | Krum / Multi-Krum | selected set membership | worst score rank 1.0, runner-up 0.5 |
+//! | Trimmed mean | trimmed-coordinate fraction < 0.75 | most-trimmed input 1.0, runner-up 0.5 |
+//! | Median / GeoMed / others | residual ≤ 1.5 × median residual | worst residual 1.0, runner-up 0.5 (when > 2 × median) |
+//! | FedAvg | everything | none (no robustness signal) |
+
+use crate::krum::krum_scores;
+use crate::trimmed_mean::TrimmedMean;
+use crate::{AggregatorKind, MultiKrum};
+
+/// Strike weight for the single most suspicious input of a round.
+pub const STRIKE_WORST: f64 = 1.0;
+/// Strike weight for the runner-up (only assigned when n ≥ 4, so small
+/// clusters don't strike half their membership every round).
+pub const STRIKE_RUNNER_UP: f64 = 0.5;
+
+/// Per-input verdicts of one aggregation instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Acceptance {
+    /// `accepted[i]`: input `i` was used by the rule.
+    pub accepted: Vec<bool>,
+    /// `strikes[i]`: suspicion evidence weight for input `i` (0 for
+    /// unremarkable inputs).
+    pub strikes: Vec<f64>,
+}
+
+impl Acceptance {
+    fn all_accepted(n: usize) -> Self {
+        Self {
+            accepted: vec![true; n],
+            strikes: vec![0.0; n],
+        }
+    }
+}
+
+/// Judges one cluster's `updates` under the given rule. With fewer than
+/// three inputs there is no meaningful outlier structure: everything is
+/// accepted and nothing is struck.
+pub fn judge(kind: &AggregatorKind, updates: &[&[f32]]) -> Acceptance {
+    let n = updates.len();
+    if n < 3 {
+        return Acceptance::all_accepted(n);
+    }
+    match kind {
+        AggregatorKind::FedAvg => Acceptance::all_accepted(n),
+        AggregatorKind::Krum { f } => judge_by_scores(&krum_scores(updates, *f), 1),
+        AggregatorKind::MultiKrum { f, m } => {
+            let scores = krum_scores(updates, *f);
+            let selected = MultiKrum::new(*f, (*m).max(1)).select(updates);
+            let mut acc = judge_by_scores(&scores, selected.len());
+            // Membership of the actual selection is the ground truth for
+            // acceptance (scores only order; `m` decides the cut).
+            acc.accepted = vec![false; n];
+            for &i in &selected {
+                acc.accepted[i] = true;
+            }
+            acc
+        }
+        AggregatorKind::TrimmedMean { ratio } => judge_trimmed(updates, *ratio),
+        _ => judge_by_residual(kind, updates),
+    }
+}
+
+/// Shared rank logic: given per-input badness scores (higher = worse),
+/// accept the `keep` best and strike the worst (+ runner-up when n ≥ 4).
+fn judge_by_scores(scores: &[f64], keep: usize) -> Acceptance {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|a, b| scores[*a].total_cmp(&scores[*b]));
+    let mut accepted = vec![false; n];
+    for &i in idx.iter().take(keep.max(1).min(n)) {
+        accepted[i] = true;
+    }
+    let mut strikes = vec![0.0; n];
+    strikes[idx[n - 1]] = STRIKE_WORST;
+    if n >= 4 {
+        strikes[idx[n - 2]] = STRIKE_RUNNER_UP;
+    }
+    Acceptance { accepted, strikes }
+}
+
+/// Trimmed mean: an input's badness is the fraction of coordinates on
+/// which it landed in a trimmed tail. The expected fraction for an
+/// inlier is `2t/n`; inputs clipped on ≥ 75 % of coordinates were
+/// effectively excluded from the aggregate.
+fn judge_trimmed(updates: &[&[f32]], ratio: f64) -> Acceptance {
+    let n = updates.len();
+    let d = updates[0].len();
+    let t = TrimmedMean::new(ratio).trim_count(n);
+    if t == 0 || d == 0 {
+        return Acceptance::all_accepted(n);
+    }
+    let mut clipped = vec![0usize; n];
+    let mut col: Vec<(f32, usize)> = Vec::with_capacity(n);
+    for j in 0..d {
+        col.clear();
+        col.extend(updates.iter().enumerate().map(|(i, u)| (u[j], i)));
+        col.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(_, i) in col.iter().take(t).chain(col.iter().rev().take(t)) {
+            clipped[i] += 1;
+        }
+    }
+    let frac: Vec<f64> = clipped.iter().map(|&c| c as f64 / d as f64).collect();
+    let accepted: Vec<bool> = frac.iter().map(|&fr| fr < 0.75).collect();
+    // Strike only above-random clipping: with everything i.i.d. each
+    // input is clipped on ~2t/n of coordinates.
+    let baseline = (2.0 * t as f64 / n as f64).min(0.99);
+    let mut acc = judge_by_scores(&frac, n);
+    acc.accepted = accepted;
+    for (s, fr) in acc.strikes.iter_mut().zip(&frac) {
+        if *fr <= 1.5 * baseline {
+            *s = 0.0;
+        }
+    }
+    acc
+}
+
+/// Distance-to-aggregate residuals: generic evidence for median, GeoMed,
+/// clipping, clustering, AutoGM. Inputs far from the robust aggregate
+/// relative to the cohort's median residual were effectively down-
+/// weighted or ignored.
+fn judge_by_residual(kind: &AggregatorKind, updates: &[&[f32]]) -> Acceptance {
+    let n = updates.len();
+    let agg = kind.build().aggregate(updates, None);
+    let res: Vec<f64> = updates
+        .iter()
+        .map(|u| hfl_tensor::ops::dist(u, &agg))
+        .collect();
+    let mut sorted = res.clone();
+    sorted.sort_by(f64::total_cmp);
+    let med = sorted[n / 2].max(1e-12);
+    let accepted: Vec<bool> = res.iter().map(|&r| r <= 1.5 * med + 1e-9).collect();
+    let mut acc = judge_by_scores(&res, n);
+    acc.accepted = accepted;
+    for (s, r) in acc.strikes.iter_mut().zip(&res) {
+        if *r <= 2.0 * med {
+            *s = 0.0;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+
+    fn refs(v: &[Vec<f32>]) -> Vec<&[f32]> {
+        v.iter().map(|x| x.as_slice()).collect()
+    }
+
+    #[test]
+    fn multikrum_strikes_the_outlier() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.1, 6, &[50.0, 50.0], 1);
+        let acc = judge(&AggregatorKind::MultiKrum { f: 1, m: 6 }, &refs(&updates));
+        assert!(!acc.accepted[6], "outlier must not be selected");
+        assert_eq!(acc.strikes[6], STRIKE_WORST);
+        assert!(acc.accepted[..6].iter().filter(|a| **a).count() >= 5);
+    }
+
+    #[test]
+    fn trimmed_mean_strikes_the_clipped_input() {
+        let updates = cluster_with_outliers(&[0.0, 0.0, 0.0], 0.2, 8, &[100.0, 100.0, 100.0], 1);
+        let acc = judge(&AggregatorKind::TrimmedMean { ratio: 0.2 }, &refs(&updates));
+        assert!(!acc.accepted[8], "fully-clipped input must be rejected");
+        assert_eq!(acc.strikes[8], STRIKE_WORST);
+        assert!(acc.accepted[..8].iter().all(|a| *a), "inliers accepted");
+    }
+
+    #[test]
+    fn residual_evidence_flags_the_far_input() {
+        let updates = cluster_with_outliers(&[2.0, -1.0], 0.1, 7, &[-60.0, 60.0], 1);
+        for kind in [
+            AggregatorKind::Median,
+            AggregatorKind::GeoMed,
+            AggregatorKind::CenteredClip { tau: 1.0, iters: 3 },
+        ] {
+            let acc = judge(&kind, &refs(&updates));
+            assert!(!acc.accepted[7], "{kind:?} must reject the outlier");
+            assert_eq!(acc.strikes[7], STRIKE_WORST, "{kind:?}");
+            assert!(acc.strikes[..7].iter().all(|s| *s == 0.0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fedavg_judges_nothing() {
+        let updates = cluster_with_outliers(&[0.0], 0.1, 3, &[9.0], 1);
+        let acc = judge(&AggregatorKind::FedAvg, &refs(&updates));
+        assert!(acc.accepted.iter().all(|a| *a));
+        assert!(acc.strikes.iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn tiny_clusters_are_not_judged() {
+        let a = vec![1.0f32];
+        let b = vec![-1.0f32];
+        let acc = judge(&AggregatorKind::Krum { f: 1 }, &[&a, &b]);
+        assert_eq!(acc.accepted, vec![true, true]);
+        assert_eq!(acc.strikes, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn homogeneous_round_strikes_at_most_the_rank_tail() {
+        // With no real outlier the worst-ranked input still gets struck
+        // (rank evidence is relative) — but never more than two inputs,
+        // and the runner-up only at half weight.
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.3, 8, &[1.0, 1.0], 0);
+        let acc = judge(&AggregatorKind::MultiKrum { f: 2, m: 6 }, &refs(&updates));
+        let struck: Vec<f64> = acc.strikes.iter().copied().filter(|s| *s > 0.0).collect();
+        assert!(struck.len() <= 2);
+        assert!(struck.iter().sum::<f64>() <= STRIKE_WORST + STRIKE_RUNNER_UP);
+    }
+}

@@ -40,10 +40,12 @@
 pub mod autogm;
 pub mod clipping;
 pub mod clustering;
+pub mod evidence;
 pub mod geomed;
 pub mod krum;
 pub mod mean;
 pub mod median;
+pub mod suspicion;
 pub mod trimmed_mean;
 
 use serde::{Deserialize, Serialize};
@@ -51,10 +53,12 @@ use serde::{Deserialize, Serialize};
 pub use autogm::AutoGm;
 pub use clipping::CenteredClip;
 pub use clustering::CosineClustering;
+pub use evidence::Acceptance;
 pub use geomed::GeoMed;
 pub use krum::{Krum, MultiKrum};
 pub use mean::FedAvg;
 pub use median::CoordMedian;
+pub use suspicion::{SuspicionChange, SuspicionConfig, SuspicionTracker};
 pub use trimmed_mean::TrimmedMean;
 
 /// A Byzantine-robust aggregation rule over flat parameter vectors.

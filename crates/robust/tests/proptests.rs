@@ -47,6 +47,34 @@ fn honest_box(honest: &[Vec<f32>], eps: f32) -> (Vec<f32>, Vec<f32>) {
     (lo, hi)
 }
 
+/// Honest updates in a tight box around a center far from the origin,
+/// plus the coalition strength `n_bad = ⌊(n_good − 1)/2⌋` (strict honest
+/// majority) and a sign-flip magnitude κ. Keeping `‖center‖` large makes
+/// the reflected point `−κ · mean(honest)` unambiguously far from the
+/// honest cloud, so resilience failures can't hide in noise.
+fn signflip_scenario() -> impl Strategy<Value = (Vec<Vec<f32>>, usize, f32)> {
+    (4usize..10, prop::collection::vec(2.0f32..5.0, 4), 2.0f32..6.0)
+        .prop_flat_map(|(n_good, center, kappa)| {
+            let noise = prop::collection::vec(prop::collection::vec(-0.5f32..0.5, 4), n_good);
+            (Just(center), noise, Just((n_good - 1) / 2), Just(kappa))
+        })
+        .prop_map(|(center, noise, n_bad, kappa)| {
+            let honest: Vec<Vec<f32>> = noise
+                .into_iter()
+                .map(|d| center.iter().zip(&d).map(|(c, x)| c + x).collect())
+                .collect();
+            (honest, n_bad, kappa)
+        })
+}
+
+/// The unanimous coalition vector: `−κ · mean(honest)`.
+fn signflip_point(honest: &[Vec<f32>], kappa: f32) -> Vec<f32> {
+    let refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+    let mut mean = vec![0.0f32; honest[0].len()];
+    hfl_tensor::ops::mean_of(&refs, &mut mean);
+    mean.iter().map(|m| -kappa * m).collect()
+}
+
 fn all_inputs<'a>(honest: &'a [Vec<f32>], bad: &'a [f32], n_bad: usize) -> Vec<&'a [f32]> {
     let mut refs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
     refs.extend(std::iter::repeat_n(bad, n_bad));
@@ -154,6 +182,76 @@ proptest! {
         for j in 0..4 {
             let want: f32 = honest.iter().map(|h| h[j]).sum::<f32>() / honest.len() as f32;
             prop_assert!((out[j] - want).abs() <= 1e-3);
+        }
+    }
+
+    // ≤ f-resilience under a *unanimous sign-flip coalition*: every
+    // Byzantine input is the same `−κ · mean(honest)` vector (the
+    // colluding-coalition shape the runner's model attacks produce,
+    // unlike the arbitrary `bad` point above). With a strict honest
+    // majority, each rule must stay with the honest cloud rather than
+    // the coalition's reflected point.
+
+    #[test]
+    fn median_resists_unanimous_sign_flip((honest, n_bad, kappa) in signflip_scenario()) {
+        let bad = signflip_point(&honest, kappa);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = CoordMedian.aggregate(&refs, None);
+        let (lo, hi) = honest_box(&honest, 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j],
+                "median coord {j}: {} outside [{}, {}]", out[j], lo[j], hi[j]);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_resists_unanimous_sign_flip((honest, n_bad, kappa) in signflip_scenario()) {
+        let bad = signflip_point(&honest, kappa);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let ratio = (n_bad as f64 / refs.len() as f64).min(0.49);
+        let out = TrimmedMean::new(ratio).aggregate(&refs, None);
+        let (lo, hi) = honest_box(&honest, 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j]);
+        }
+    }
+
+    #[test]
+    fn krum_family_rejects_unanimous_sign_flip((honest, n_bad, kappa) in signflip_scenario()) {
+        let bad = signflip_point(&honest, kappa);
+        prop_assume!(honest.iter().all(|h| hfl_tensor::ops::dist(h, &bad) > 10.0));
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = Krum::new(n_bad).aggregate(&refs, None);
+        prop_assert!(honest.iter().any(|h| h.as_slice() == out.as_slice()),
+            "Krum picked the coalition's point");
+        let selected = MultiKrum::new(n_bad, honest.len()).select(&refs);
+        prop_assert!(selected.iter().all(|&i| i < honest.len()),
+            "Multi-Krum selected coalition index in {selected:?}");
+    }
+
+    #[test]
+    fn geomed_sides_with_the_honest_majority((honest, n_bad, kappa) in signflip_scenario()) {
+        let bad = signflip_point(&honest, kappa);
+        prop_assume!(n_bad >= 1);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = GeoMed::default().aggregate(&refs, None);
+        let mut centroid = vec![0.0f32; 4];
+        let hrefs: Vec<&[f32]> = honest.iter().map(|h| h.as_slice()).collect();
+        hfl_tensor::ops::mean_of(&hrefs, &mut centroid);
+        prop_assert!(
+            hfl_tensor::ops::dist(&out, &centroid) < hfl_tensor::ops::dist(&out, &bad),
+            "geomed landed nearer the coalition than the honest centroid"
+        );
+    }
+
+    #[test]
+    fn centered_clip_resists_unanimous_sign_flip((honest, n_bad, kappa) in signflip_scenario()) {
+        let bad = signflip_point(&honest, kappa);
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let out = CenteredClip::new(1.0, 3).aggregate(&refs, None);
+        let (lo, hi) = honest_box(&honest, 3.0 + 1e-3);
+        for j in 0..out.len() {
+            prop_assert!(out[j] >= lo[j] && out[j] <= hi[j]);
         }
     }
 

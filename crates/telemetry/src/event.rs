@@ -138,6 +138,58 @@ pub enum Event {
         /// Members a fault-free round would have drawn from.
         expected: usize,
     },
+    /// The suspicion layer crossed a client's score over the quarantine
+    /// threshold: its updates are excluded until released.
+    ClientQuarantined {
+        /// Round index (0-based).
+        round: usize,
+        /// The quarantined client.
+        client: usize,
+        /// The score at the transition.
+        score: f64,
+    },
+    /// A quarantined client's score decayed below the release threshold
+    /// (rehabilitation): its updates re-enter aggregation.
+    ClientReleased {
+        /// Round index (0-based).
+        round: usize,
+        /// The released client.
+        client: usize,
+        /// The score at the transition.
+        score: f64,
+    },
+    /// The echo/audit digest check caught a cluster leader sending a
+    /// different aggregate upward than it echoed to its members.
+    EquivocationDetected {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level of the equivocating cluster (bottom).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The equivocating leader's device id.
+        leader: usize,
+    },
+    /// The adaptive adversary moved its attack magnitude after observing
+    /// one round of defense feedback.
+    AttackAdapted {
+        /// Round index (0-based) of the feedback consumed.
+        round: usize,
+        /// The magnitude that was used this round.
+        magnitude: f64,
+        /// Crafted updates the coalition submitted this round.
+        submitted: u64,
+        /// Of those, updates the defense accepted.
+        accepted: u64,
+    },
+    /// A malicious member selectively withheld its update (the cluster
+    /// could form its quorum without it).
+    UpdateWithheld {
+        /// Round index (0-based).
+        round: usize,
+        /// The withholding client.
+        client: usize,
+    },
 }
 
 /// An event sink. Implementations must be cheap and thread-safe: events

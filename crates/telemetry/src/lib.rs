@@ -43,7 +43,10 @@ use std::sync::Arc;
 
 pub use event::{Event, MemoryRecorder, NullRecorder, Recorder};
 pub use json::{Json, JsonError};
-pub use manifest::{fnv1a_hex, BuildInfo, FaultRecord, RoundRecord, RunManifest, RunTotals};
+pub use manifest::{
+    fnv1a_hex, BuildInfo, ClientScore, FaultRecord, RoundRecord, RunManifest, RunTotals,
+    SuspicionRecord, SuspicionSection,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
 pub use span::SimSpan;
 #[cfg(feature = "wall-clock")]

@@ -13,7 +13,9 @@ use crate::metrics::{HistogramStats, MetricSample, MetricValue};
 
 /// Manifest schema version, bumped on any incompatible shape change.
 /// v2 added the `faults` log (injected faults and recovery actions).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 added the optional `suspicion` section (quarantine events and
+/// final per-client scores from the defense-side suspicion layer).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit hash of `bytes`, rendered as 16 lowercase hex chars.
 /// Used to fingerprint configs (hash of the config's `Debug` rendering)
@@ -208,6 +210,118 @@ impl FaultRecord {
     }
 }
 
+/// One suspicion-layer state transition (quarantine or release), as
+/// recorded in the manifest's suspicion section (schema v3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuspicionRecord {
+    /// Round (0-based) the transition happened.
+    pub round: usize,
+    /// Stable kind label (`quarantined`, `released`, `equivocation`).
+    pub kind: String,
+    /// The client (or leader) the transition concerns.
+    pub client: usize,
+    /// Suspicion score at the transition.
+    pub score: f64,
+}
+
+impl SuspicionRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("round".into(), Json::UInt(self.round as u64)),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("client".into(), Json::UInt(self.client as u64)),
+            ("score".into(), Json::Num(self.score)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            round: u64_field(v, "round")? as usize,
+            kind: str_field(v, "kind")?,
+            client: u64_field(v, "client")? as usize,
+            score: f64_field(v, "score")?,
+        })
+    }
+}
+
+/// End-of-run suspicion score of one client (schema v3). Only clients
+/// with a nonzero score or an active quarantine appear.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientScore {
+    /// Client id.
+    pub client: usize,
+    /// Final suspicion score.
+    pub score: f64,
+    /// True when the client ended the run quarantined.
+    pub quarantined: bool,
+}
+
+impl ClientScore {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("client".into(), Json::UInt(self.client as u64)),
+            ("score".into(), Json::Num(self.score)),
+            ("quarantined".into(), Json::Bool(self.quarantined)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            client: u64_field(v, "client")? as usize,
+            score: f64_field(v, "score")?,
+            quarantined: v
+                .get("quarantined")
+                .and_then(Json::as_bool)
+                .ok_or("score.quarantined")?,
+        })
+    }
+}
+
+/// The manifest's suspicion section (schema v3): what the defense-side
+/// suspicion layer did over the run. Present only for runs with the
+/// layer enabled.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuspicionSection {
+    /// Quarantine/release/equivocation transitions, in occurrence order.
+    pub events: Vec<SuspicionRecord>,
+    /// End-of-run scores of implicated clients, ascending by client.
+    pub final_scores: Vec<ClientScore>,
+}
+
+impl SuspicionSection {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "events".into(),
+                Json::Arr(self.events.iter().map(SuspicionRecord::to_json).collect()),
+            ),
+            (
+                "final_scores".into(),
+                Json::Arr(self.final_scores.iter().map(ClientScore::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            events: v
+                .get("events")
+                .and_then(Json::as_arr)
+                .ok_or("suspicion.events")?
+                .iter()
+                .map(SuspicionRecord::from_json)
+                .collect::<Result<_, _>>()?,
+            final_scores: v
+                .get("final_scores")
+                .and_then(Json::as_arr)
+                .ok_or("suspicion.final_scores")?
+                .iter()
+                .map(ClientScore::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// The manifest of one run. Field order in the JSON output matches the
 /// struct declaration order, always.
 #[derive(Clone, Debug, PartialEq)]
@@ -230,6 +344,9 @@ pub struct RunManifest {
     /// Injected faults and recovery actions, in occurrence order (empty
     /// for fault-free runs; absent in pre-v2 manifests).
     pub faults: Vec<FaultRecord>,
+    /// Suspicion-layer record (`None` when the layer was disabled;
+    /// absent in pre-v3 manifests). Emitted only when present.
+    pub suspicion: Option<SuspicionSection>,
     /// Final test accuracy.
     pub final_accuracy: f64,
     /// Sorted registry snapshot at end of run.
@@ -249,6 +366,7 @@ impl RunManifest {
             rounds: Vec::new(),
             totals: RunTotals::default(),
             faults: Vec::new(),
+            suspicion: None,
             final_accuracy: 0.0,
             metrics: Vec::new(),
         }
@@ -256,7 +374,7 @@ impl RunManifest {
 
     /// Serializes to one compact, deterministic JSON line.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::UInt(u64::from(self.schema))),
             ("label".into(), Json::Str(self.label.clone())),
             ("seed".into(), Json::UInt(self.seed)),
@@ -271,13 +389,16 @@ impl RunManifest {
                 "faults".into(),
                 Json::Arr(self.faults.iter().map(FaultRecord::to_json).collect()),
             ),
-            ("final_accuracy".into(), Json::Num(self.final_accuracy)),
-            (
-                "metrics".into(),
-                Json::Arr(self.metrics.iter().map(sample_to_json).collect()),
-            ),
-        ])
-        .to_string()
+        ];
+        if let Some(s) = &self.suspicion {
+            fields.push(("suspicion".into(), s.to_json()));
+        }
+        fields.push(("final_accuracy".into(), Json::Num(self.final_accuracy)));
+        fields.push((
+            "metrics".into(),
+            Json::Arr(self.metrics.iter().map(sample_to_json).collect()),
+        ));
+        Json::Obj(fields).to_string()
     }
 
     /// Parses a manifest produced by [`Self::to_json`].
@@ -313,6 +434,11 @@ impl RunManifest {
                     .map(FaultRecord::from_json)
                     .collect::<Result<_, _>>()?,
                 None => Vec::new(),
+            },
+            // Absent in pre-v3 manifests and for runs without the layer.
+            suspicion: match v.get("suspicion") {
+                Some(s) => Some(SuspicionSection::from_json(s)?),
+                None => None,
             },
             final_accuracy: v
                 .get("final_accuracy")
@@ -536,6 +662,73 @@ mod tests {
         let back = RunManifest::from_json(&text).expect("lenient parse");
         assert!(back.faults.is_empty());
         assert_eq!(back.seed, m.seed);
+    }
+
+    fn with_suspicion(seed: u64) -> RunManifest {
+        let mut m = sample_manifest(seed);
+        m.suspicion = Some(SuspicionSection {
+            events: vec![
+                SuspicionRecord {
+                    round: 2,
+                    kind: "quarantined".into(),
+                    client: 3,
+                    score: 2.44,
+                },
+                SuspicionRecord {
+                    round: 4,
+                    kind: "equivocation".into(),
+                    client: 0,
+                    score: 3.0,
+                },
+                SuspicionRecord {
+                    round: 9,
+                    kind: "released".into(),
+                    client: 3,
+                    score: 0.61,
+                },
+            ],
+            final_scores: vec![
+                ClientScore {
+                    client: 0,
+                    score: 1.2,
+                    quarantined: true,
+                },
+                ClientScore {
+                    client: 3,
+                    score: 0.4,
+                    quarantined: false,
+                },
+            ],
+        });
+        m
+    }
+
+    #[test]
+    fn suspicion_section_roundtrips() {
+        let m = with_suspicion(7);
+        let back = RunManifest::from_json(&m.to_json()).expect("parse back");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn suspicion_sits_between_faults_and_final_accuracy() {
+        let text = with_suspicion(8).to_json();
+        let faults_at = text.find("\"faults\"").unwrap();
+        let susp_at = text.find("\"suspicion\"").unwrap();
+        let acc_at = text.find("\"final_accuracy\"").unwrap();
+        assert!(faults_at < susp_at && susp_at < acc_at);
+        assert!(text.contains("\"quarantined\""));
+    }
+
+    #[test]
+    fn suspicion_key_is_absent_when_layer_disabled() {
+        let m = sample_manifest(9);
+        assert!(m.suspicion.is_none());
+        let text = m.to_json();
+        assert!(!text.contains("\"suspicion\""));
+        // Pre-v3 manifests (no key at all) parse leniently to None.
+        let back = RunManifest::from_json(&text).expect("lenient parse");
+        assert!(back.suspicion.is_none());
     }
 
     #[test]

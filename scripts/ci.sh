@@ -18,3 +18,14 @@ cargo run --release -p hfl-bench --bin repro_faults -- \
 diff "$tmp/a/faults.manifests.jsonl" "$tmp/b/faults.manifests.jsonl" \
     || { echo "repro_faults manifests differ across same-seed runs"; exit 1; }
 echo "repro_faults determinism gate passed"
+
+# Arms-race smoke + determinism gate: the adaptive adversary, suspicion
+# layer and protocol attacks are stateful across rounds — two same-seed
+# sweeps must still produce byte-identical manifest logs.
+cargo run --release -p hfl-bench --bin repro_adaptive -- \
+    --quick --seed 42 --out "$tmp/c" >/dev/null
+cargo run --release -p hfl-bench --bin repro_adaptive -- \
+    --quick --seed 42 --out "$tmp/d" >/dev/null
+diff "$tmp/c/adaptive.manifests.jsonl" "$tmp/d/adaptive.manifests.jsonl" \
+    || { echo "repro_adaptive manifests differ across same-seed runs"; exit 1; }
+echo "repro_adaptive determinism gate passed"

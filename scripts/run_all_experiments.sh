@@ -23,4 +23,6 @@ run repro_efficiency --out "$OUT"
 run repro_robustness_ablation --out "$OUT"
 run repro_async --out "$OUT"
 run repro_acsm --out "$OUT"
+run repro_faults --out "$OUT"
+run repro_adaptive --out "$OUT"
 echo "all experiments done; markdown in $OUT/*.md, raw data in $OUT/*.csv"

@@ -1,0 +1,289 @@
+//! Arms-race integration tests: the full stack under the adaptive
+//! adversary, the suspicion/quarantine layer, and the protocol-level
+//! attacks (leader equivocation, selective withholding).
+
+use abd_hfl::attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
+use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl::core::runner::run_abd_hfl_with;
+use abd_hfl::robust::{AggregatorKind, SuspicionConfig};
+use abd_hfl::telemetry::{Event, Telemetry};
+
+/// The quick topology (64 clients, bottom clusters of 4) with Multi-Krum
+/// at every level — BRA everywhere so the evidence path, not consensus,
+/// is what the tests exercise.
+fn arms_cfg(attack: AttackCfg, seed: u64, rounds: usize) -> HflConfig {
+    let mut cfg = HflConfig::quick(attack, seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = rounds;
+    let mk = AggregatorKind::MultiKrum { f: 1, m: 3 };
+    cfg.levels = vec![
+        LevelAgg::Bra(mk.clone()),
+        LevelAgg::Bra(mk.clone()),
+        LevelAgg::Bra(mk),
+    ];
+    cfg
+}
+
+/// One malicious *follower* per bottom cluster (clients 1, 5, 9, …):
+/// exactly the f = 1 the aggregator assumes, spread so every cluster has
+/// honest members to observe.
+fn one_follower_per_cluster_mask(n: usize) -> Vec<bool> {
+    (0..n).map(|c| c % 4 == 1).collect()
+}
+
+#[test]
+fn adaptive_adversary_emits_bounded_magnitudes_and_moves() {
+    let attack = AttackCfg::Adaptive {
+        attack: AdaptiveAttack::alie_default(),
+        proportion: 0.25,
+        placement: Placement::Prefix,
+    };
+    let cfg = arms_cfg(attack, 301, 10);
+    let (telem, rec) = Telemetry::recording();
+    let run = run_abd_hfl_with(&cfg, &telem);
+    let magnitudes: Vec<f64> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::AttackAdapted {
+                magnitude,
+                submitted,
+                ..
+            } => {
+                assert!(*submitted > 0, "malicious inputs must reach aggregation");
+                Some(*magnitude)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        magnitudes.len(),
+        cfg.rounds,
+        "one adaptation step per round"
+    );
+    let (_, z_max) = AdaptiveAttack::alie_default().bounds();
+    assert!(
+        magnitudes
+            .iter()
+            .all(|m| *m > 0.0 && *m <= f64::from(z_max) + 1e-9),
+        "magnitudes must stay inside the attack's bounds: {magnitudes:?}"
+    );
+    assert!(
+        magnitudes.windows(2).any(|w| w[0] != w[1]),
+        "bisection must actually move the magnitude: {magnitudes:?}"
+    );
+    assert!(run.result.final_accuracy.is_finite());
+}
+
+#[test]
+fn suspicion_quarantines_the_coalition_not_the_honest() {
+    // One sign-flipping follower per cluster at scale 10: the outlier is
+    // rank-worst in its cluster every pre-convergence round, so honest
+    // members collect at most the 0.5 runner-up strike while the
+    // malicious member collects 1.0. With threshold 3.0 the runner-up
+    // steady state (2.5) can never cross, and over 7 rounds even the
+    // post-quarantine worst-rank strikes leave every honest client
+    // strictly below threshold — quarantines are provably ⊆ malicious.
+    let mut cfg = arms_cfg(
+        AttackCfg::Model {
+            attack: ModelAttack::SignFlip { scale: 10.0 },
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        },
+        302,
+        7,
+    );
+    let n = cfg.topology.build(cfg.seed).num_clients();
+    cfg.malicious_override = Some(one_follower_per_cluster_mask(n));
+    cfg.suspicion = Some(SuspicionConfig {
+        decay: 0.8,
+        quarantine_threshold: 3.0,
+        release_threshold: 0.8,
+    });
+    let run = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    assert!(
+        run.result.quarantined_total > 0,
+        "the coalition must lose client-rounds to quarantine"
+    );
+    let suspicion = run
+        .manifest
+        .suspicion
+        .as_ref()
+        .expect("suspicion section must be in the manifest when the layer runs");
+    let quarantined: Vec<usize> = suspicion
+        .events
+        .iter()
+        .filter(|e| e.kind == "quarantined")
+        .map(|e| e.client)
+        .collect();
+    assert!(
+        quarantined.len() >= n / 8,
+        "expected most of the 16 attackers quarantined, got {quarantined:?}"
+    );
+    assert!(
+        quarantined.iter().all(|c| c % 4 == 1),
+        "every quarantined client must be malicious: {quarantined:?}"
+    );
+    assert!(
+        suspicion
+            .final_scores
+            .iter()
+            .filter(|s| s.quarantined)
+            .all(|s| s.client % 4 == 1),
+        "final quarantine flags must only mark malicious clients"
+    );
+}
+
+#[test]
+fn equivocating_leaders_are_convicted_by_the_echo_audit() {
+    // Prefix placement at 25 % makes bottom clusters 0–3 fully malicious
+    // — leaders included. Under Equivocate each of those leaders sends a
+    // flipped partial upward exactly once: the member echo catches the
+    // digest mismatch in the same round and the leader is repaired.
+    let mut cfg = arms_cfg(
+        AttackCfg::Model {
+            attack: ModelAttack::Alie { z: 1.5 },
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        },
+        303,
+        8,
+    );
+    cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+    cfg.suspicion = Some(SuspicionConfig::default());
+    let (telem, rec) = Telemetry::recording();
+    let run = run_abd_hfl_with(&cfg, &telem);
+    let detections: Vec<(usize, usize)> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::EquivocationDetected { round, leader, .. } => Some((*round, *leader)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        detections.len(),
+        4,
+        "each of the 4 malicious leaders is convicted exactly once: {detections:?}"
+    );
+    for (round, leader) in &detections {
+        assert!(
+            *round <= 1,
+            "detection latency must be within 2 rounds, got round {round}"
+        );
+        assert!(
+            leader % 4 == 0 && *leader < 16,
+            "convicted node {leader} is not a malicious bottom leader"
+        );
+    }
+    assert!(
+        run.result.final_accuracy.is_finite(),
+        "the run must survive equivocation"
+    );
+}
+
+#[test]
+fn withholding_is_pivotal_only_below_full_quorum() {
+    let base = |quorum: f64| {
+        let mut cfg = arms_cfg(
+            AttackCfg::Model {
+                attack: ModelAttack::SignFlip { scale: 2.0 },
+                proportion: 0.25,
+                placement: Placement::Prefix,
+            },
+            304,
+            5,
+        );
+        let n = cfg.topology.build(cfg.seed).num_clients();
+        cfg.malicious_override = Some(one_follower_per_cluster_mask(n));
+        cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+        cfg.quorum = quorum;
+        cfg
+    };
+    // φ = 0.75 of a 4-cluster needs 3 models: the single malicious
+    // follower can withhold and the quorum still forms.
+    let (telem, rec) = Telemetry::recording();
+    let degraded = run_abd_hfl_with(&base(0.75), &telem);
+    assert!(
+        degraded.result.withheld_total > 0,
+        "withholding must fire at φ = 0.75"
+    );
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| matches!(e, Event::UpdateWithheld { .. })),
+        "withheld updates must be visible as events"
+    );
+    // φ = 1 needs every present member: withholding would break the
+    // quorum, so the pivotal rule never fires.
+    let full = run_abd_hfl_with(&base(1.0), &Telemetry::disabled());
+    assert_eq!(
+        full.result.withheld_total, 0,
+        "withholding must never fire at φ = 1"
+    );
+}
+
+#[test]
+fn all_malicious_population_degrades_instead_of_panicking() {
+    let mut cfg = arms_cfg(
+        AttackCfg::Model {
+            attack: ModelAttack::SignFlip { scale: 1.0 },
+            proportion: 1.0,
+            placement: Placement::Prefix,
+        },
+        305,
+        3,
+    );
+    cfg.suspicion = Some(SuspicionConfig::default());
+    let (telem, rec) = Telemetry::recording();
+    let run = run_abd_hfl_with(&cfg, &telem);
+    assert!(run.result.final_accuracy.is_finite());
+    assert!(
+        rec.events().iter().any(|e| matches!(
+            e,
+            Event::Anomaly { kind, .. } if kind == "attack_no_honest_updates"
+        )),
+        "crafting with no honest updates must be recorded as an anomaly"
+    );
+}
+
+#[test]
+fn same_seed_arms_race_runs_have_byte_identical_manifests() {
+    let build = || {
+        let mut cfg = arms_cfg(
+            AttackCfg::Adaptive {
+                attack: AdaptiveAttack::ipm_default(),
+                proportion: 0.25,
+                placement: Placement::Prefix,
+            },
+            306,
+            8,
+        );
+        cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+        cfg.suspicion = Some(SuspicionConfig::default());
+        cfg
+    };
+    let a = run_abd_hfl_with(&build(), &Telemetry::disabled());
+    let b = run_abd_hfl_with(&build(), &Telemetry::disabled());
+    assert_eq!(
+        a.manifest.to_json(),
+        b.manifest.to_json(),
+        "identical seeds must give byte-identical manifests under the full arms race"
+    );
+    assert!(
+        a.manifest.suspicion.is_some(),
+        "the suspicion section must be present when the layer is enabled"
+    );
+}
+
+#[test]
+fn suspicion_off_keeps_the_manifest_schema_lean() {
+    let cfg = arms_cfg(AttackCfg::None, 307, 3);
+    let run = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    assert!(
+        run.manifest.suspicion.is_none(),
+        "plain runs must not grow a suspicion section"
+    );
+    assert_eq!(run.result.quarantined_total, 0);
+    assert_eq!(run.result.withheld_total, 0);
+}
