@@ -4,7 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
+use abd_hfl_core::pipeline::PipelineConfig;
+use abd_hfl_core::run::RunOptions;
 use hfl_ml::synth::SynthConfig;
 use hfl_simnet::engine::{Actor, Ctx, NodeId, Simulation};
 use hfl_simnet::DelayModel;
@@ -64,7 +65,7 @@ fn bench_pipeline_round(c: &mut Criterion) {
         ..PipelineConfig::default()
     };
     c.bench_function("pipeline_2_rounds_64_clients", |b| {
-        b.iter(|| black_box(run_pipeline(&cfg, &pcfg)))
+        b.iter(|| black_box(RunOptions::pipeline(&pcfg).run(&cfg).into_pipeline().0))
     });
 }
 

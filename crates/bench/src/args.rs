@@ -38,11 +38,11 @@ impl Args {
     /// On malformed flags (the binaries are developer tools; failing fast
     /// beats guessing).
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Self::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
@@ -104,7 +104,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::parse_from(s.split_whitespace().map(String::from))
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! collapses beyond it.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use abd_hfl_core::theory;
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
@@ -55,8 +55,7 @@ fn main() {
             let sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
             let honest_flags: Vec<bool> = (0..clusters.len()).map(|i| i < n_honest).collect();
             let psi = theory::relative_reliable_number(&sizes, &honest_flags);
-            let proportion =
-                mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
+            let proportion = mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
             psis.push(psi);
             props.push(proportion);
 
@@ -82,7 +81,7 @@ fn main() {
                 test_samples: 4_000,
                 ..SynthConfig::default()
             };
-            let r = run_abd_hfl(&cfg);
+            let r = run(&cfg);
             accs.push(r.final_accuracy);
             csv.push(format!(
                 "{honest_cluster_frac},{psi:.4},{proportion:.4},{rep},{:.4}",

@@ -9,7 +9,8 @@
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
 use abd_hfl_core::correction::CorrectionPolicy;
-use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
+use abd_hfl_core::pipeline::PipelineConfig;
+use abd_hfl_core::run::RunOptions;
 use hfl_bench::report::{markdown_table, write_csv_or_exit};
 use hfl_bench::Args;
 use hfl_ml::synth::SynthConfig;
@@ -53,7 +54,10 @@ fn main() {
                 collect_timeout: timeout,
                 ..PipelineConfig::default()
             };
-            let res = run_pipeline(&base_cfg(args.seed), &pcfg);
+            let res = RunOptions::pipeline(&pcfg)
+                .run(&base_cfg(args.seed))
+                .into_pipeline()
+                .0;
             rows.push(vec![
                 name.to_string(),
                 format!("{:.1} ms", res.mean_period * 1e3),
@@ -82,7 +86,10 @@ fn main() {
                 collect_timeout: Some(SimTime::from_millis(80)),
                 ..PipelineConfig::default()
             };
-            let res = run_pipeline(&base_cfg(args.seed + 1), &pcfg);
+            let res = RunOptions::pipeline(&pcfg)
+                .run(&base_cfg(args.seed + 1))
+                .into_pipeline()
+                .0;
             rows.push(vec![
                 format!("{:.0}%", loss * 100.0),
                 format!("{:.1} ms", res.mean_period * 1e3),
@@ -143,20 +150,20 @@ fn main() {
             // The correction factor matters while the model is moving
             // (staleness costs information); at the plateau every policy
             // converges. Report both phases.
-            let early = run_pipeline(
-                &cfg,
-                &PipelineConfig {
-                    rounds: 8,
-                    ..PipelineConfig::default()
-                },
-            );
-            let plateau = run_pipeline(
-                &cfg,
-                &PipelineConfig {
-                    rounds: (3 * rounds).max(24),
-                    ..PipelineConfig::default()
-                },
-            );
+            let early = RunOptions::pipeline(&PipelineConfig {
+                rounds: 8,
+                ..PipelineConfig::default()
+            })
+            .run(&cfg)
+            .into_pipeline()
+            .0;
+            let plateau = RunOptions::pipeline(&PipelineConfig {
+                rounds: (3 * rounds).max(24),
+                ..PipelineConfig::default()
+            })
+            .run(&cfg)
+            .into_pipeline()
+            .0;
             rows.push(vec![
                 name.to_string(),
                 format!("{:.1}%", early.final_accuracy * 100.0),
@@ -174,7 +181,11 @@ fn main() {
         println!(
             "{}",
             markdown_table(
-                &["correction policy", "early (8 rounds)", "plateau (24+ rounds)"],
+                &[
+                    "correction policy",
+                    "early (8 rounds)",
+                    "plateau (24+ rounds)"
+                ],
                 &rows
             )
         );

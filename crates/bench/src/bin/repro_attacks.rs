@@ -128,7 +128,8 @@ fn main() {
 }
 
 fn backdoor_deep_dive(args: &Args, rounds: usize) {
-    use abd_hfl_core::runner::{CostCounters, Experiment};
+    use abd_hfl_core::engine::{CostCounters, RoundEngine};
+    use abd_hfl_core::runner::Experiment;
     use hfl_ml::metrics::backdoor_success_rate;
 
     let (offset, width, value, target) = (0usize, 8usize, 6.0f32, 7u8);
@@ -160,12 +161,21 @@ fn backdoor_deep_dive(args: &Args, rounds: usize) {
         // hand for the ASR probe (the run_* wrappers only report
         // accuracy).
         let exp = Experiment::prepare(&cfg);
+        let mut engine = RoundEngine::for_experiment(&exp);
         let mut global = exp.template.params().to_vec();
         let mut cost = CostCounters::default();
+        let telem = hfl_telemetry::Telemetry::disabled();
         for round in 0..cfg.rounds {
             let updates = exp.train_round(&global, round);
             global = if abd {
-                exp.aggregate_round(&updates, round, &mut cost)
+                engine.aggregate_round(
+                    &updates,
+                    round,
+                    &mut cost,
+                    &telem,
+                    &mut Vec::new(),
+                    &mut Vec::new(),
+                )
             } else {
                 let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
                 AggregatorKind::FedAvg.build().aggregate(&refs, None)

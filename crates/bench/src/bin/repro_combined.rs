@@ -1,0 +1,197 @@
+//! Reproduces the **combined-stress sweep**: the adaptive arms race
+//! (adaptive ALIE poisoning + suspicion/quarantine defense, leader
+//! equivocation) running *concurrently* with injected infrastructure
+//! faults — the composition the `RoundEngine` layer stack makes legal
+//! (the old textually-separate round paths rejected faults + arms-race
+//! configs outright).
+//!
+//! Grid (25 % malicious, prefix placement, paper IID ECSM topology —
+//! 64 clients in clusters of 4, Multi-Krum f = 1 m = 3 at every level):
+//!
+//! * fault scenario ∈
+//!   * `none` — no injected faults (pure arms-race baseline);
+//!   * `crash-f` — 1 follower crash-stopped per bottom cluster at
+//!     round 5;
+//!   * `leader+f` — a bottom-cluster *leader* killed (deputy
+//!     promotion) on top of the follower crashes;
+//!   * `partition` — one honest bottom cluster cut off for 3 rounds,
+//!     then healed;
+//! * suspicion ∈ { off, on } (defaults: decay 0.8, quarantine 2.2).
+//!
+//! Every cell runs the adaptive ALIE attack plus equivocating malicious
+//! leaders, so the defense must convict equivocators and quarantine
+//! poisoners *while* the fault layer is promoting deputies and riding
+//! out partitions. Availability is `1 − faulted / (clients · rounds)`.
+//!
+//! Two invocations with the same `--seed` produce byte-identical
+//! manifest logs (`combined.manifests.jsonl`) — the determinism
+//! contract CI checks by diffing.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_attacks::{AdaptiveAttack, Placement, ProtocolAttack};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
+use hfl_bench::Args;
+use hfl_faults::FaultPlan;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::{AggregatorKind, SuspicionConfig};
+use hfl_simnet::Hierarchy;
+use hfl_telemetry::Telemetry;
+
+/// Malicious fraction: 16 of 64 clients — the first 4 bottom clusters
+/// under prefix placement, leaders included (so equivocation bites).
+const PROPORTION: f64 = 0.25;
+
+/// The round every scenario's faults strike at.
+const FAULT_ROUND: usize = 5;
+
+/// Crash-stops the first follower of every bottom cluster.
+fn crash_followers(mut plan: FaultPlan, h: &Hierarchy) -> FaultPlan {
+    let bottom = h.bottom_level();
+    for cluster in &h.level(bottom).clusters {
+        for &m in cluster.members.iter().skip(1).take(1) {
+            plan = plan.crash_stop(FAULT_ROUND, m);
+        }
+    }
+    plan
+}
+
+/// The fault plan for a named scenario, `None` for the fault-free cell.
+fn scenario_plan(name: &str, h: &Hierarchy) -> Option<FaultPlan> {
+    match name {
+        "none" => None,
+        "crash-f" => Some(crash_followers(FaultPlan::new(), h)),
+        "leader+f" => Some(crash_followers(
+            // Kill the leader of the last (honest, under prefix
+            // placement) bottom cluster: its deputy takes over while
+            // the suspicion layer is busy convicting equivocators.
+            FaultPlan::new().kill_leader(
+                FAULT_ROUND,
+                h.bottom_level(),
+                h.level(h.bottom_level()).clusters.len() - 1,
+                None,
+            ),
+            h,
+        )),
+        "partition" => {
+            // Cut off the last bottom cluster for 3 rounds.
+            let members = h
+                .level(h.bottom_level())
+                .clusters
+                .last()
+                .expect("bottom level has clusters")
+                .members
+                .clone();
+            Some(FaultPlan::new().partition(FAULT_ROUND, vec![members], FAULT_ROUND + 3))
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+fn base_cfg(seed: u64, rounds: usize) -> HflConfig {
+    let agg = AggregatorKind::MultiKrum { f: 1, m: 3 };
+    let mut cfg = HflConfig::paper_iid(AttackCfg::None, seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = rounds;
+    cfg.data = SynthConfig {
+        train_samples: 19_200,
+        test_samples: 4_000,
+        ..SynthConfig::default()
+    };
+    cfg.levels = vec![
+        LevelAgg::Bra(agg.clone()),
+        LevelAgg::Bra(agg.clone()),
+        LevelAgg::Bra(agg),
+    ];
+    cfg.attack = AttackCfg::Adaptive {
+        attack: AdaptiveAttack::alie_default(),
+        proportion: PROPORTION,
+        placement: Placement::Prefix,
+    };
+    cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(60, 12);
+
+    println!(
+        "## Combined stress — faults × suspicion under adaptive ALIE + equivocation \
+         ({:.0}% malicious, faults at round {FAULT_ROUND})\n",
+        PROPORTION * 100.0
+    );
+
+    let scenarios = ["none", "crash-f", "leader+f", "partition"];
+
+    let mut csv = Vec::new();
+    let mut manifests = Vec::new();
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        let mut cells = vec![scenario.to_string()];
+        for suspicion in [false, true] {
+            let susp_name = if suspicion { "on" } else { "off" };
+            let label = format!("{scenario}/susp-{susp_name}");
+            if !args.matches(&label) {
+                cells.push("—".to_string());
+                continue;
+            }
+            let mut cfg = base_cfg(args.seed, rounds);
+            if suspicion {
+                cfg.suspicion = Some(SuspicionConfig::default());
+            }
+            let h = cfg.topology.build(cfg.seed);
+            cfg.faults = scenario_plan(scenario, &h);
+            let exp = match Experiment::try_prepare(&cfg) {
+                Ok(exp) => exp,
+                Err(e) => {
+                    eprintln!("  {label}: skipped ({e})");
+                    cells.push("invalid".to_string());
+                    continue;
+                }
+            };
+            let run = run_prepared_with(&exp, &Telemetry::disabled());
+            let clients = h.num_clients();
+            let availability = 1.0 - run.result.faulted_total as f64 / (clients * rounds) as f64;
+            eprintln!(
+                "  {label}: acc {} avail {:.3} (quarantined {}, fault log {})",
+                pct(run.result.final_accuracy),
+                availability,
+                run.result.quarantined_total,
+                run.manifest.faults.len()
+            );
+            csv.push(format!(
+                "{scenario},{susp_name},{rounds},{:.4},{:.4},{},{}",
+                run.result.final_accuracy,
+                availability,
+                run.result.faulted_total,
+                run.result.quarantined_total
+            ));
+            cells.push(format!(
+                "{} / {:.1}%",
+                pct(run.result.final_accuracy),
+                availability * 100.0
+            ));
+            manifests.push(run.manifest);
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "fault scenario (acc / availability)",
+                "suspicion off",
+                "suspicion on"
+            ],
+            &rows
+        )
+    );
+    write_csv_or_exit(
+        &args.out_dir,
+        "combined",
+        "scenario,suspicion,rounds,final_accuracy,availability,faulted_total,quarantined_total",
+        &csv,
+    );
+    write_manifests_or_exit(&args.out_dir, "combined", &manifests);
+}

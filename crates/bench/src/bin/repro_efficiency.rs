@@ -6,12 +6,12 @@
 //!   delay τ′ × small/big global-aggregation delay τg).
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::pipeline::{run_pipeline, run_pipeline_with, PipelineConfig};
+use abd_hfl_core::pipeline::PipelineConfig;
+use abd_hfl_core::run::RunOptions;
 use hfl_bench::report::{markdown_table, write_csv_or_exit, write_manifests_or_exit};
 use hfl_bench::Args;
 use hfl_ml::synth::SynthConfig;
 use hfl_simnet::DelayModel;
-use hfl_telemetry::Telemetry;
 
 fn main() {
     let args = Args::parse();
@@ -38,7 +38,7 @@ fn main() {
             rounds,
             ..PipelineConfig::default()
         };
-        let (res, mut manifest) = run_pipeline_with(&c, &pcfg, &Telemetry::disabled());
+        let (res, mut manifest) = RunOptions::pipeline(&pcfg).run(&c).into_pipeline();
         manifest.label = format!("efficiency/flag{flag}");
         manifests.push(manifest);
         let mean = |f: fn(&abd_hfl_core::pipeline::RoundTiming) -> f64| {
@@ -84,11 +84,10 @@ fn main() {
             rounds,
             ..PipelineConfig::default()
         };
-        let res = run_pipeline(&cfg, &pcfg);
-        let mean_nu =
-            res.rounds.iter().map(|r| r.nu).sum::<f64>() / res.rounds.len().max(1) as f64;
-        let mean_w = res.rounds.iter().map(|r| r.sigma_w).sum::<f64>()
-            / res.rounds.len().max(1) as f64;
+        let res = RunOptions::pipeline(&pcfg).run(&cfg).into_pipeline().0;
+        let mean_nu = res.rounds.iter().map(|r| r.nu).sum::<f64>() / res.rounds.len().max(1) as f64;
+        let mean_w =
+            res.rounds.iter().map(|r| r.sigma_w).sum::<f64>() / res.rounds.len().max(1) as f64;
         rows.push(vec![
             name.to_string(),
             format!("{:.1} ms", mean_w * 1e3),
@@ -136,7 +135,7 @@ fn main() {
             leaf_uplink: leaf,
             ..PipelineConfig::default()
         };
-        let res = run_pipeline(&cfg, &pcfg);
+        let res = RunOptions::pipeline(&pcfg).run(&cfg).into_pipeline().0;
         let nrounds = res.rounds.len().max(1) as f64;
         let mean_w = res.rounds.iter().map(|r| r.sigma_w).sum::<f64>() / nrounds;
         let mean_nu = res.rounds.iter().map(|r| r.nu).sum::<f64>() / nrounds;

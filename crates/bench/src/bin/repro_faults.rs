@@ -8,9 +8,9 @@
 //! * `none`       — fault-free baseline;
 //! * `crash-f`    — f = 1 follower crash-stopped in every bottom cluster;
 //! * `leader+f`   — a bottom-cluster *leader* killed (deputy promotion)
-//!                  on top of the f-follower crashes;
+//!   on top of the f-follower crashes;
 //! * `crash-2f`   — 2f = 2 followers crash-stopped per bottom cluster,
-//!                  beyond the Multi-Krum assumption.
+//!   beyond the Multi-Krum assumption.
 //!
 //! Availability is the fraction of expected bottom-level updates that
 //! reached their aggregation: `1 − faulted / (clients · rounds)`.

@@ -6,7 +6,7 @@
 //! `round,abd_mean,abd_lo,abd_hi,vanilla_mean,vanilla_lo,vanilla_hi`.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla};
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::ci::summarize_series;
@@ -61,7 +61,7 @@ fn main() {
                         eval_every,
                         ..base
                     };
-                    let abd = run_abd_hfl(&cfg);
+                    let abd = run(&cfg);
                     let van = run_vanilla(&cfg, paper_vanilla_aggregator(iid, 64));
                     if round_axis.is_empty() {
                         round_axis = abd.accuracy.iter().map(|(r, _)| *r).collect();

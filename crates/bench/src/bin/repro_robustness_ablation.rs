@@ -12,7 +12,7 @@
 //!    Trimmed-Mean vs AutoGM inside the hierarchy at a fixed attack.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
 use hfl_bench::Args;
@@ -52,14 +52,17 @@ fn main() {
         println!("## Ablation 1 — top-level vote policy (Type I sweep)\n");
         let mut rows = Vec::new();
         for (name, kind) in [
-            ("majority-survival (paper reading)", ConsensusKind::VoteMajority),
+            (
+                "majority-survival (paper reading)",
+                ConsensusKind::VoteMajority,
+            ),
             ("fixed exclude-1", ConsensusKind::Vote { exclude: 1 }),
         ] {
             let mut row = vec![name.to_string()];
             for p in [0.3, 0.45, 0.578] {
                 let mut cfg = base_cfg(p, rounds, derive_seed(args.seed, 0xAB1));
                 cfg.levels[0] = LevelAgg::Cba(kind.clone());
-                let r = run_abd_hfl(&cfg);
+                let r = run(&cfg);
                 row.push(pct(r.final_accuracy));
                 csv.push(format!("vote,{name},{p},{:.4}", r.final_accuracy));
                 eprintln!("  vote/{name} p={p}: {}", pct(r.final_accuracy));
@@ -81,7 +84,7 @@ fn main() {
             for p in [0.0, 0.3] {
                 let mut cfg = base_cfg(p, rounds, derive_seed(args.seed, 0xAB2));
                 cfg.quorum = quorum;
-                let r = run_abd_hfl(&cfg);
+                let r = run(&cfg);
                 row.push(pct(r.final_accuracy));
                 csv.push(format!("quorum,{quorum},{p},{:.4}", r.final_accuracy));
                 eprintln!("  quorum {quorum} p={p}: {}", pct(r.final_accuracy));
@@ -101,7 +104,7 @@ fn main() {
         for leave in [0.0, 0.1, 0.3, 0.5] {
             let mut cfg = base_cfg(0.0, rounds, derive_seed(args.seed, 0xAB3));
             cfg.churn_leave_prob = leave;
-            let r = run_abd_hfl(&cfg);
+            let r = run(&cfg);
             rows.push(vec![
                 format!("{:.0}%", leave * 100.0),
                 pct(r.final_accuracy),
@@ -123,16 +126,22 @@ fn main() {
         for (name, kind) in [
             ("multi-krum f=1", AggregatorKind::MultiKrum { f: 1, m: 3 }),
             ("median", AggregatorKind::Median),
-            ("trimmed-mean 25%", AggregatorKind::TrimmedMean { ratio: 0.25 }),
+            (
+                "trimmed-mean 25%",
+                AggregatorKind::TrimmedMean { ratio: 0.25 },
+            ),
             ("geomed", AggregatorKind::GeoMed),
             ("autogm", AggregatorKind::AutoGm { kappa: 3.0 }),
-            ("centered-clip", AggregatorKind::CenteredClip { tau: 1.0, iters: 3 }),
+            (
+                "centered-clip",
+                AggregatorKind::CenteredClip { tau: 1.0, iters: 3 },
+            ),
             ("fedavg (none)", AggregatorKind::FedAvg),
         ] {
             let mut cfg = base_cfg(0.3, rounds, derive_seed(args.seed, 0xAB4));
             cfg.levels[1] = LevelAgg::Bra(kind.clone());
             cfg.levels[2] = LevelAgg::Bra(kind.clone());
-            let r = run_abd_hfl(&cfg);
+            let r = run(&cfg);
             rows.push(vec![name.to_string(), pct(r.final_accuracy)]);
             csv.push(format!("bra,{name},0.3,{:.4}", r.final_accuracy));
             eprintln!("  bra/{name}: {}", pct(r.final_accuracy));
@@ -152,7 +161,7 @@ fn main() {
             };
             let mut cfg = base_cfg(0.0, rounds, derive_seed(args.seed, 0xAB5));
             cfg.attack = attack;
-            let abd = run_abd_hfl(&cfg);
+            let abd = run(&cfg);
             let vanilla = abd_hfl_core::vanilla::run_vanilla(
                 &cfg,
                 abd_hfl_core::vanilla::paper_vanilla_aggregator(true, 64),
@@ -163,7 +172,10 @@ fn main() {
                 pct(vanilla.final_accuracy),
             ]);
             csv.push(format!("modelattack,abd,{p},{:.4}", abd.final_accuracy));
-            csv.push(format!("modelattack,vanilla,{p},{:.4}", vanilla.final_accuracy));
+            csv.push(format!(
+                "modelattack,vanilla,{p},{:.4}",
+                vanilla.final_accuracy
+            ));
             eprintln!(
                 "  modelattack p={p}: abd {} vanilla {}",
                 pct(abd.final_accuracy),

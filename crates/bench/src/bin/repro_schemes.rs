@@ -7,7 +7,7 @@
 //! Scheme 3 cheapest).
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use abd_hfl_core::scheme::Scheme;
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
@@ -56,7 +56,7 @@ fn main() {
                 test_samples: 4_000,
                 ..SynthConfig::default()
             };
-            let r = run_abd_hfl(&cfg);
+            let r = run(&cfg);
             accs.push(r.final_accuracy);
             msgs.push(r.messages as f64);
             bytes.push(r.bytes as f64);

@@ -11,7 +11,7 @@
 //! ```
 
 use abd_hfl_core::config::{AttackCfg, HflConfig};
-use abd_hfl_core::runner::run_abd_hfl_with;
+use abd_hfl_core::run::RunOptions;
 use abd_hfl_core::vanilla::{paper_vanilla_aggregator, run_vanilla_with};
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
@@ -83,26 +83,24 @@ fn main() {
                             // per-run, not cumulative across the grid.
                             let telem = Telemetry::disabled();
                             let mut run = if abd {
-                                run_abd_hfl_with(&cfg, &telem)
+                                RunOptions::new().telemetry(&telem).run(&cfg).into_sync()
                             } else {
-                                run_vanilla_with(
-                                    &cfg,
-                                    paper_vanilla_aggregator(iid, 64),
-                                    &telem,
-                                )
+                                run_vanilla_with(&cfg, paper_vanilla_aggregator(iid, 64), &telem)
                             };
                             let acc = run.result.final_accuracy;
                             run.manifest.label = format!("table5/{label}/p{p}/rep{rep}");
                             manifests.push(run.manifest);
-                            csv_rows.push(format!(
-                                "{dist},{atk},{model},{p},{rep},{acc:.4}"
-                            ));
+                            csv_rows.push(format!("{dist},{atk},{model},{p},{rep},{acc:.4}"));
                             acc
                         })
                         .collect();
                     let s = Summary::of(&accs);
                     cells.push(pct(s.mean));
-                    eprintln!("  {label} p={p:>5}: {} (±{:.1})", pct(s.mean), s.std * 100.0);
+                    eprintln!(
+                        "  {label} p={p:>5}: {} (±{:.1})",
+                        pct(s.mean),
+                        s.std * 100.0
+                    );
                 }
                 let mut row = vec![dist.to_string(), atk.to_string(), model.to_string()];
                 row.extend(cells);
@@ -112,8 +110,10 @@ fn main() {
     }
 
     let mut headers = vec!["dist", "attack", "model"];
-    let prop_labels: Vec<String> =
-        PROPORTIONS.iter().map(|p| format!("{:.1}%", p * 100.0)).collect();
+    let prop_labels: Vec<String> = PROPORTIONS
+        .iter()
+        .map(|p| format!("{:.1}%", p * 100.0))
+        .collect();
     headers.extend(prop_labels.iter().map(|s| s.as_str()));
     println!("\n## Table V — final testing accuracy on global models\n");
     println!("{}", markdown_table(&headers, &table_rows));

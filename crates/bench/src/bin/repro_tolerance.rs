@@ -5,7 +5,7 @@
 //! clients.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use abd_hfl_core::theory;
 use hfl_attacks::{DataAttack, Placement};
 use hfl_bench::report::{markdown_table, pct, write_csv_or_exit};
@@ -38,7 +38,15 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["level ℓ", "max ratio", "max count (Nt=4, m=4)", "level size"], &rows)
+        markdown_table(
+            &[
+                "level ℓ",
+                "max ratio",
+                "max count (Nt=4, m=4)",
+                "level size"
+            ],
+            &rows
+        )
     );
     println!(
         "Paper's §V-A bound at the bottom (ℓ = 2): {:.4} %\n",
@@ -79,12 +87,10 @@ fn main() {
                 continue;
             }
             let mask = theory::definition4_placement(&h, top_byz, pc);
-            let proportion =
-                mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
+            let proportion = mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
             let mut accs = Vec::new();
             for rep in 0..reps {
-                let seed =
-                    derive_seed(args.seed, 0x701 + ((rep as u64) << 16) + levels as u64);
+                let seed = derive_seed(args.seed, 0x701 + ((rep as u64) << 16) + levels as u64);
                 let mut cfg = HflConfig::paper_iid(
                     AttackCfg::Data {
                         attack: DataAttack::type_i(),
@@ -113,7 +119,7 @@ fn main() {
                     test_samples: 4_000,
                     ..SynthConfig::default()
                 };
-                let r = run_abd_hfl(&cfg);
+                let r = run(&cfg);
                 accs.push(r.final_accuracy);
                 csv.push(format!(
                     "{levels},{m},{n_top},{case},{proportion:.4},{rep},{:.4}",

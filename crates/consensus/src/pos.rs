@@ -32,7 +32,10 @@ impl StakeVote {
             stakes.iter().all(|s| *s >= 0.0),
             "stakes must be non-negative"
         );
-        assert!(stakes.iter().sum::<f64>() > 0.0, "total stake must be positive");
+        assert!(
+            stakes.iter().sum::<f64>() > 0.0,
+            "total stake must be positive"
+        );
         Self {
             stakes,
             rel_tol: 0.2,
@@ -72,21 +75,20 @@ impl Consensus for StakeVote {
 
         // Stake-weighted positive vote mass per proposal.
         let mut mass = vec![0.0f64; n];
-        for v in 0..n {
+        for (v, &bad) in byzantine.iter().enumerate().take(n) {
             let scores: Vec<f64> = proposals.iter().map(|p| eval.score(v, p)).collect();
             let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let worst = scores.iter().cloned().fold(f64::INFINITY, f64::min);
             let cut = best - self.rel_tol * (best - worst);
             for (p, s) in scores.iter().enumerate() {
-                let up = if byzantine[v] { *s < cut } else { *s >= cut };
+                let up = if bad { *s < cut } else { *s >= cut };
                 if up {
                     mass[p] += self.stakes[v];
                 }
             }
         }
 
-        let mut excluded: Vec<usize> =
-            (0..n).filter(|&p| mass[p] * 2.0 <= total).collect();
+        let mut excluded: Vec<usize> = (0..n).filter(|&p| mass[p] * 2.0 <= total).collect();
         if excluded.len() == n {
             let keep = (0..n)
                 .max_by(|&a, &b| {
@@ -151,7 +153,11 @@ mod tests {
         // One honest whale (stake 10) plus three Byzantine voters: the
         // whale's upvotes carry a strict majority of the stake.
         let out = decide(vec![10.0, 1.0, 1.0, 1.0], &[false, true, true, true]);
-        assert_eq!(out.excluded, vec![3], "whale should protect honest proposals");
+        assert_eq!(
+            out.excluded,
+            vec![3],
+            "whale should protect honest proposals"
+        );
     }
 
     #[test]
@@ -168,7 +174,10 @@ mod tests {
     fn zero_stake_voter_is_ignored() {
         let a = decide(vec![1.0, 1.0, 1.0, 0.0], &[false, false, false, true]);
         let b = decide(vec![1.0, 1.0, 1.0, 0.0], &[false; 4]);
-        assert_eq!(a.excluded, b.excluded, "zero-stake Byzantine flip changed outcome");
+        assert_eq!(
+            a.excluded, b.excluded,
+            "zero-stake Byzantine flip changed outcome"
+        );
     }
 
     #[test]

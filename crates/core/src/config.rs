@@ -336,7 +336,9 @@ impl HflConfig {
             return Err(ConfigError::ZeroEvalEvery);
         }
         if !(self.quorum > 0.0 && self.quorum <= 1.0) {
-            return Err(ConfigError::QuorumOutOfRange { quorum: self.quorum });
+            return Err(ConfigError::QuorumOutOfRange {
+                quorum: self.quorum,
+            });
         }
         if self.levels.len() != hierarchy.num_levels() {
             return Err(ConfigError::LevelsLengthMismatch {
@@ -419,16 +421,19 @@ impl HflConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate(hierarchy).map_err(ConfigError::Faults)?;
-            // The fault-injected aggregation path deliberately predates
-            // the arms-race layer; combining them is not yet modeled.
-            if self.suspicion.is_some()
-                || self.protocol_attack.is_some()
-                || matches!(self.attack, AttackCfg::Adaptive { .. })
-            {
-                return Err(ConfigError::FaultsWithArmsRace);
-            }
         }
         Ok(())
+    }
+
+    /// True when this config engages the arms race: an adaptive attack,
+    /// a protocol attack, or the suspicion layer. The round engine
+    /// stacks its defense and adversary layers exactly when this holds;
+    /// faults compose freely with all of it.
+    #[must_use]
+    pub fn arms_race(&self) -> bool {
+        self.suspicion.is_some()
+            || self.protocol_attack.is_some()
+            || matches!(self.attack, AttackCfg::Adaptive { .. })
     }
 
     /// Validates internal consistency against the built hierarchy.
@@ -521,9 +526,6 @@ pub enum ConfigError {
         /// Smallest cluster size at that level.
         n_min: usize,
     },
-    /// Fault injection cannot be combined with the arms-race layer
-    /// (adaptive attack, protocol attack, or suspicion).
-    FaultsWithArmsRace,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -567,10 +569,6 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "Krum guarantee n >= 2f + 3 violated at level {level}: f = {byz} needs clusters of at least {}, smallest has {n_min}",
                 2 * byz + 3
-            ),
-            ConfigError::FaultsWithArmsRace => write!(
-                f,
-                "fault injection cannot be combined with adaptive/protocol attacks or the suspicion layer"
             ),
         }
     }
@@ -728,16 +726,15 @@ mod tests {
     }
 
     #[test]
-    fn faults_cannot_combine_with_arms_race() {
+    fn faults_compose_with_arms_race() {
         let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
         let h = cfg.topology.build(0);
+        assert!(!cfg.arms_race());
         cfg.faults = Some(hfl_faults::FaultPlan::new().crash_stop(5, 3));
         cfg.suspicion = Some(SuspicionConfig::default());
-        assert_eq!(
-            cfg.try_validate(&h),
-            Err(ConfigError::FaultsWithArmsRace)
-        );
-        cfg.suspicion = None;
+        assert!(cfg.arms_race());
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.protocol_attack = Some(ProtocolAttack::Withhold);
         assert_eq!(cfg.try_validate(&h), Ok(()));
     }
 

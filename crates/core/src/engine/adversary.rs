@@ -1,0 +1,168 @@
+//! The adversary layer: the coalition's side of the arms race — the
+//! adaptive magnitude search fed by acceptance feedback, pivotal
+//! withholding, and leader equivocation (with repair after the echo
+//! audit convicts).
+
+use hfl_attacks::{AdaptiveAdversary, AttackFeedback, ModelAttack, ProtocolAttack};
+use hfl_consensus::quorum_size;
+use hfl_robust::evidence::Acceptance;
+
+use super::layer::{ClusterCtx, RoundCtx, RoundLayer};
+use crate::config::AttackCfg;
+use crate::runner::Experiment;
+
+/// Adaptive-attack + protocol-attack semantics for the round engine.
+pub struct AdversaryLayer<'e> {
+    adversary: Option<AdaptiveAdversary>,
+    /// `Some(flip_scale)` while malicious bottom leaders equivocate.
+    equivocate: Option<f32>,
+    /// Malicious members withhold pivotally.
+    withhold: bool,
+    /// Equivocators convicted by the echo audit (by device id): they
+    /// are repaired — behave honestly — from the round after detection.
+    detected: Vec<bool>,
+    /// Coalition feedback accumulated during the current round.
+    feedback: AttackFeedback,
+    malicious: &'e [bool],
+    /// The quorum fraction φ (pivotal withholding must not break it).
+    phi: f64,
+}
+
+impl<'e> AdversaryLayer<'e> {
+    /// The adversary layer for an experiment, when its config engages
+    /// the arms race (adaptive attack, protocol attack, or suspicion —
+    /// the last so acceptance feedback stays observable symmetrically
+    /// with the defense).
+    pub fn for_experiment(exp: &'e Experiment) -> Option<Self> {
+        let cfg = exp.config();
+        if !cfg.arms_race() {
+            return None;
+        }
+        let adversary = match &cfg.attack {
+            AttackCfg::Adaptive { attack, .. } => Some(AdaptiveAdversary::new(attack.clone())),
+            _ => None,
+        };
+        let (equivocate, withhold) = match &cfg.protocol_attack {
+            Some(ProtocolAttack::Equivocate { flip_scale }) => (Some(*flip_scale), false),
+            Some(ProtocolAttack::Withhold) => (None, true),
+            None => (None, false),
+        };
+        Some(Self {
+            adversary,
+            equivocate,
+            withhold,
+            detected: vec![false; exp.hierarchy.num_clients()],
+            feedback: AttackFeedback::default(),
+            malicious: &exp.malicious,
+            phi: cfg.quorum,
+        })
+    }
+
+    /// The magnitude-search state, when the attack is adaptive.
+    pub fn adversary(&self) -> Option<&AdaptiveAdversary> {
+        self.adversary.as_ref()
+    }
+
+    /// Device ids the echo audit has convicted of equivocation so far.
+    pub fn detected_equivocators(&self) -> Vec<usize> {
+        (0..self.detected.len())
+            .filter(|&d| self.detected[d])
+            .collect()
+    }
+}
+
+impl RoundLayer for AdversaryLayer<'_> {
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+
+    fn begin_aggregate(&mut self, _round: usize) {
+        self.feedback = AttackFeedback::default();
+    }
+
+    fn training_attack(&self) -> Option<ModelAttack> {
+        self.adversary
+            .as_ref()
+            .map(AdaptiveAdversary::current_attack)
+    }
+
+    fn wants_verdicts(&self) -> bool {
+        true
+    }
+
+    /// Pivotal withholding: malicious members drop their update exactly
+    /// when the cluster still forms its quorum without them (only
+    /// possible at φ < 1).
+    fn filter_members(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        present: &mut Vec<usize>,
+    ) {
+        if !cl.at_bottom() || !self.withhold {
+            return;
+        }
+        let withholding: Vec<usize> = present
+            .iter()
+            .copied()
+            .filter(|&mi| {
+                let dev = cl.members[mi];
+                self.malicious[dev] && dev != cl.leader
+            })
+            .collect();
+        let quorum_all = quorum_size(self.phi, present.len());
+        if !withholding.is_empty() && present.len() - withholding.len() >= quorum_all {
+            ctx.cost.withheld += withholding.len() as u64;
+            for &mi in &withholding {
+                ctx.telem.update_withheld(ctx.round, cl.members[mi]);
+            }
+            present.retain(|mi| !withholding.contains(mi));
+        }
+    }
+
+    /// Acceptance feedback: did the coalition's crafted updates make it
+    /// into the aggregate this round?
+    fn observe_verdict(&mut self, _cl: &ClusterCtx<'_>, kept: &[usize], verdict: &Acceptance) {
+        for (pos, &dev) in kept.iter().enumerate() {
+            if self.malicious[dev] {
+                self.feedback.submitted += 1;
+                if verdict.accepted[pos] {
+                    self.feedback.accepted += 1;
+                }
+            }
+        }
+    }
+
+    /// Equivocation: a malicious, undetected bottom leader sends
+    /// `−flip_scale · partial` upward while echoing the true partial to
+    /// its members.
+    fn upward_value(&self, cl: &ClusterCtx<'_>, partial: &[f32]) -> Option<Vec<f32>> {
+        if !cl.at_bottom() {
+            return None;
+        }
+        match self.equivocate {
+            Some(flip) if self.malicious[cl.leader] && !self.detected[cl.leader] => {
+                Some(partial.iter().map(|x| -flip * x).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Round close, phase 3: consume the defense's convictions (repair
+    /// from next round), then feed the acceptance feedback to the
+    /// magnitude search.
+    fn close_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        for &leader in &ctx.convicted {
+            self.detected[leader] = true;
+        }
+        if let Some(adv) = self.adversary.as_mut() {
+            ctx.telem.attack_adapted(
+                ctx.round,
+                f64::from(adv.magnitude()),
+                self.feedback.submitted,
+                self.feedback.accepted,
+            );
+            adv.observe(ctx.round, self.feedback);
+        }
+    }
+}

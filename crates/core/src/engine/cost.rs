@@ -1,0 +1,161 @@
+//! The round cost ledger: the `CostCounters` accumulators plus the one
+//! shared set of charging helpers every transfer in a round goes
+//! through. Before the engine, the BRA/CBA/dissemination accounting
+//! blocks were copied into each of the three round paths; now a
+//! message is counted (and its `MessagesSent` event emitted) in exactly
+//! one place per kind.
+
+use hfl_consensus::ConsensusOutcome;
+
+use super::layer::RoundCtx;
+
+/// Mutable cost accumulators threaded through a round of aggregation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostCounters {
+    /// Model-bearing messages.
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Proposals excluded by consensus.
+    pub excluded: u64,
+    /// Client-round absences from churn.
+    pub absent: u64,
+    /// Bottom-level updates lost to injected faults.
+    pub faulted: u64,
+    /// Updates excluded by the suspicion layer's quarantine.
+    pub quarantined: u64,
+    /// Updates a withholding coalition kept back.
+    pub withheld: u64,
+}
+
+impl CostCounters {
+    /// Per-round delta: this ledger minus a snapshot taken at round
+    /// start (counters are monotone, so plain subtraction is safe).
+    pub fn since(&self, before: &CostCounters) -> CostCounters {
+        CostCounters {
+            messages: self.messages - before.messages,
+            bytes: self.bytes - before.bytes,
+            excluded: self.excluded - before.excluded,
+            absent: self.absent - before.absent,
+            faulted: self.faulted - before.faulted,
+            quarantined: self.quarantined - before.quarantined,
+            withheld: self.withheld - before.withheld,
+        }
+    }
+}
+
+impl RoundCtx<'_> {
+    /// Charges `count` model-bearing transfers at `level` (each
+    /// `model_bytes` on the wire) and emits the `MessagesSent` event.
+    /// Used for BRA collect+broadcast and for dissemination.
+    pub fn charge_transfers(&mut self, level: usize, count: u64) {
+        let bytes = count * self.model_bytes;
+        self.cost.messages += count;
+        self.cost.bytes += bytes;
+        self.telem.messages_sent(self.round, level, count, bytes);
+    }
+
+    /// Charges a consensus instance's own accounting (messages, bytes,
+    /// exclusions), records its per-mechanism registry metrics, and
+    /// emits the `MessagesSent` / `ProposalExcluded` events.
+    pub fn charge_consensus(
+        &mut self,
+        level: usize,
+        cluster: usize,
+        mechanism: &'static str,
+        out: &ConsensusOutcome,
+    ) {
+        self.telem
+            .consensus_outcome(self.round, level, cluster, mechanism, out);
+        self.cost.messages += out.messages;
+        self.cost.bytes += out.bytes;
+        self.cost.excluded += out.excluded.len() as u64;
+    }
+
+    /// Charges a bottom cluster's echo-audit digests (8 bytes per
+    /// member; cost-only, no event — digests ride on existing links).
+    pub fn charge_echo(&mut self, members: usize) {
+        let (messages, bytes) = hfl_consensus::echo::echo_cost(members);
+        self.cost.messages += messages;
+        self.cost.bytes += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
+    use crate::engine::RoundEngine;
+    use crate::runner::Experiment;
+    use hfl_robust::AggregatorKind;
+
+    /// Every transfer in an all-BRA round goes through
+    /// `charge_transfers`, so the ledger must match the closed form of
+    /// Algorithms 3–5 exactly. Two bottom clusters of 3 under a top
+    /// cluster of 2, full quorum, no churn:
+    ///
+    /// ```text
+    /// bottom:        2 clusters × (3 uploads + 3 broadcasts) = 12
+    /// top:           2 proposals × (upload + broadcast)      =  4
+    /// dissemination: 6 bottom nodes                          =  6
+    /// ```
+    #[test]
+    fn ledger_pins_the_closed_form_for_a_two_cluster_round() {
+        let mut cfg = HflConfig::quick(AttackCfg::None, 9);
+        cfg.topology = TopologyCfg::Ecsm {
+            total_levels: 2,
+            m: 3,
+            n_top: 2,
+        };
+        cfg.levels = vec![LevelAgg::Bra(AggregatorKind::FedAvg); 2];
+        cfg.flag_level = 1;
+        cfg.quorum = 1.0;
+        cfg.churn_leave_prob = 0.0;
+        let exp = Experiment::prepare(&cfg);
+        let mut engine = RoundEngine::for_experiment(&exp);
+
+        let dim = 10;
+        let updates = vec![vec![0.5f32; dim]; 6];
+        let telem = hfl_telemetry::Telemetry::disabled();
+        let mut cost = CostCounters::default();
+        engine.aggregate_round(
+            &updates,
+            0,
+            &mut cost,
+            &telem,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
+
+        assert_eq!(cost.messages, 12 + 4 + 6);
+        assert_eq!(cost.bytes, cost.messages * (dim as u64 * 4));
+        assert_eq!(cost.excluded, 0);
+        assert_eq!(cost.absent, 0);
+        assert_eq!(cost.faulted, 0);
+        assert_eq!(cost.quarantined, 0);
+        assert_eq!(cost.withheld, 0);
+    }
+
+    /// `since` reports the monotone delta between two snapshots.
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let before = CostCounters {
+            messages: 10,
+            bytes: 400,
+            excluded: 1,
+            ..CostCounters::default()
+        };
+        let after = CostCounters {
+            messages: 25,
+            bytes: 1_000,
+            excluded: 3,
+            absent: 2,
+            ..CostCounters::default()
+        };
+        let d = after.since(&before);
+        assert_eq!(d.messages, 15);
+        assert_eq!(d.bytes, 600);
+        assert_eq!(d.excluded, 2);
+        assert_eq!(d.absent, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The defense layer: the quarantine filter, per-aggregation evidence
+//! strikes, and the echo audit that convicts equivocating leaders.
+//! Owns the run's [`SuspicionTracker`] when the config enables it; the
+//! audit itself runs whenever the arms race is active at all, so a
+//! suspicion-free adaptive run still pays the (tiny) digest cost — as
+//! the paper's protocol always ships the echoes.
+
+use hfl_consensus::echo::{hash_update, EchoReport};
+use hfl_robust::{evidence, SuspicionChange, SuspicionTracker};
+use hfl_telemetry::SuspicionRecord;
+
+use super::layer::{ClusterCtx, RoundCtx, RoundLayer};
+use crate::runner::Experiment;
+
+/// Quarantine + evidence + echo-audit semantics for the round engine.
+pub struct DefenseLayer {
+    tracker: Option<SuspicionTracker>,
+    /// Echo audits collected this round: `(cluster, leader, report)`.
+    audits: Vec<(usize, usize, EchoReport)>,
+    /// The hierarchy's bottom level (audited clusters live there).
+    bottom: usize,
+}
+
+impl DefenseLayer {
+    /// The defense layer for an experiment, when its config engages the
+    /// arms race (adaptive attack, protocol attack, or suspicion).
+    pub fn for_experiment(exp: &Experiment) -> Option<Self> {
+        let cfg = exp.config();
+        if !cfg.arms_race() {
+            return None;
+        }
+        Some(Self {
+            tracker: cfg
+                .suspicion
+                .map(|s| SuspicionTracker::new(exp.hierarchy.num_clients(), s)),
+            audits: Vec::new(),
+            bottom: exp.hierarchy.bottom_level(),
+        })
+    }
+
+    /// The suspicion tracker, when the config enables it.
+    pub fn tracker(&self) -> Option<&SuspicionTracker> {
+        self.tracker.as_ref()
+    }
+}
+
+impl RoundLayer for DefenseLayer {
+    fn name(&self) -> &'static str {
+        "defense"
+    }
+
+    fn begin_aggregate(&mut self, _round: usize) {
+        self.audits.clear();
+    }
+
+    fn wants_verdicts(&self) -> bool {
+        true
+    }
+
+    /// Quarantined clients are excluded from their cluster's inputs —
+    /// unless that would empty the cluster (the defense must not DoS
+    /// itself).
+    fn filter_members(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        present: &mut Vec<usize>,
+    ) {
+        if !cl.at_bottom() {
+            return;
+        }
+        if let Some(tracker) = &self.tracker {
+            let kept: Vec<usize> = present
+                .iter()
+                .copied()
+                .filter(|&mi| !tracker.is_quarantined(cl.members[mi]))
+                .collect();
+            if !kept.is_empty() {
+                ctx.cost.quarantined += (present.len() - kept.len()) as u64;
+                *present = kept;
+            }
+        }
+    }
+
+    /// Strikes from the aggregation's evidence feed the tracker.
+    fn observe_verdict(
+        &mut self,
+        _cl: &ClusterCtx<'_>,
+        kept: &[usize],
+        verdict: &evidence::Acceptance,
+    ) {
+        let Some(tracker) = self.tracker.as_mut() else {
+            return;
+        };
+        for (pos, &dev) in kept.iter().enumerate() {
+            if verdict.strikes[pos] > 0.0 {
+                tracker.strike(dev, verdict.strikes[pos]);
+            }
+        }
+    }
+
+    /// Every member echoes the digest of the partial it received; the
+    /// parent collector digests the up-sent value. 8 bytes per member,
+    /// negligible next to the model transfers.
+    fn audit_cluster(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        partial: &[f32],
+        up: &[f32],
+    ) {
+        if !cl.at_bottom() {
+            return;
+        }
+        ctx.charge_echo(cl.members.len());
+        self.audits.push((
+            cl.index,
+            cl.leader,
+            EchoReport {
+                up_digest: hash_update(up),
+                member_digests: vec![hash_update(partial); cl.members.len()],
+            },
+        ));
+    }
+
+    /// Round close, phase 1: the echo audit convicts equivocators
+    /// (detection latency is one round by construction — the corrupt
+    /// partial already propagated; repair applies from the next round
+    /// via [`RoundCtx::convicted`]). Phase 2: the suspicion layer
+    /// closes its round.
+    fn close_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let round = ctx.round;
+        for (ci, leader, report) in self.audits.drain(..) {
+            if report.equivocated() {
+                ctx.convicted.push(leader);
+                ctx.telem
+                    .equivocation_detected(round, self.bottom, ci, leader);
+                if let Some(t) = self.tracker.as_mut() {
+                    t.strike(leader, 3.0 * evidence::STRIKE_WORST);
+                }
+                ctx.susp_log.push(SuspicionRecord {
+                    round,
+                    kind: "equivocation".into(),
+                    client: leader,
+                    score: self
+                        .tracker
+                        .as_ref()
+                        .map(|t| t.score(leader))
+                        .unwrap_or(0.0),
+                });
+            }
+        }
+        if let Some(t) = self.tracker.as_mut() {
+            for change in t.end_round() {
+                match change {
+                    SuspicionChange::Quarantined { client, score } => {
+                        ctx.telem.client_quarantined(round, client, score);
+                        ctx.susp_log.push(SuspicionRecord {
+                            round,
+                            kind: "quarantined".into(),
+                            client,
+                            score,
+                        });
+                    }
+                    SuspicionChange::Released { client, score } => {
+                        ctx.telem.client_released(round, client, score);
+                        ctx.susp_log.push(SuspicionRecord {
+                            round,
+                            kind: "released".into(),
+                            client,
+                            score,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The fault layer: wraps a compiled [`FaultInjector`] and gives the
+//! canonical round its crash/partition/straggler semantics — leader
+//! failover via the slot/carrier model, degraded quorums over the
+//! survivors, straggler-last arrival order, and delivery-reach
+//! accounting for broadcasts.
+
+use hfl_faults::FaultInjector;
+use hfl_simnet::Hierarchy;
+use hfl_telemetry::FaultRecord;
+
+use super::layer::{ClusterCtx, CollectorChoice, RoundCtx, RoundLayer};
+use crate::runner::Experiment;
+
+/// Crash/partition/straggler semantics for the round engine.
+pub struct FaultLayer<'e> {
+    inj: &'e FaultInjector,
+    hierarchy: &'e Hierarchy,
+    /// `produced[slot]`: the slot's carried model is fresh this round.
+    produced: Vec<bool>,
+    /// `carrier[slot]`: physical device holding the slot's model
+    /// (differs from the slot after a failover promoted a deputy).
+    carrier: Vec<usize>,
+}
+
+impl<'e> FaultLayer<'e> {
+    /// The fault layer for an experiment, when its config carries a
+    /// compiled fault plan.
+    pub fn for_experiment(exp: &'e Experiment) -> Option<Self> {
+        exp.injector().map(|inj| Self {
+            inj,
+            hierarchy: &exp.hierarchy,
+            produced: Vec::new(),
+            carrier: Vec::new(),
+        })
+    }
+}
+
+impl RoundLayer for FaultLayer<'_> {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn open_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        // Scheduled faults activating this round go into the log first;
+        // whatever the aggregation observes (failover, degraded
+        // quorums) is appended in order.
+        for ev in self.inj.faults_at(ctx.round) {
+            ctx.fault_log.push(FaultRecord {
+                round: ctx.round,
+                kind: ev.kind.clone(),
+                detail: ev.detail.clone(),
+            });
+            ctx.telem.fault_injected(ctx.round, &ev.kind, &ev.detail);
+        }
+    }
+
+    fn begin_aggregate(&mut self, round: usize) {
+        let n = self.hierarchy.num_clients();
+        self.produced = (0..n).map(|dev| !self.inj.crashed(dev, round)).collect();
+        self.carrier = (0..n).collect();
+    }
+
+    /// Failover: the collector is the first member whose physical
+    /// carrier is alive (and, at the bottom, present under churn).
+    fn select_collector(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+    ) -> Option<CollectorChoice> {
+        let round = ctx.round;
+        let collector_slot = cl.members.iter().copied().find(|&m| {
+            !self.inj.crashed(self.carrier[m], round) && (!cl.at_bottom() || cl.active[m])
+        });
+        let Some(collector_slot) = collector_slot else {
+            self.produced[cl.leader] = false;
+            ctx.fault_log.push(FaultRecord {
+                round,
+                kind: "degraded_quorum".into(),
+                detail: format!(
+                    "level {l} cluster {ci}: no member able to collect (0 of {expected})",
+                    l = cl.level,
+                    ci = cl.index,
+                    expected = cl.expected
+                ),
+            });
+            ctx.telem
+                .degraded_quorum(round, cl.level, cl.index, 0, cl.expected);
+            return Some(CollectorChoice::SkipCluster);
+        };
+        let collector = self.carrier[collector_slot];
+        if collector_slot != cl.leader {
+            ctx.fault_log.push(FaultRecord {
+                round,
+                kind: "leader_failover".into(),
+                detail: format!(
+                    "level {l} cluster {ci}: node {collector} promoted over node {leader}",
+                    l = cl.level,
+                    ci = cl.index,
+                    leader = cl.leader
+                ),
+            });
+            ctx.telem
+                .leader_failover(round, cl.level, cl.index, cl.leader, collector);
+        }
+        Some(CollectorChoice::Collect { device: collector })
+    }
+
+    /// Members lost to crashes, partitions or loss bursts are simply
+    /// missing; the engine's quorum then degrades to ⌈φ·alive⌉ over the
+    /// survivors (Algorithm 4's timeout branch) instead of hanging.
+    fn filter_members(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        present: &mut Vec<usize>,
+    ) {
+        let round = ctx.round;
+        let mut removed_by_fault = 0usize;
+        present.retain(|&mi| {
+            let m = cl.members[mi];
+            if cl.at_bottom() {
+                if self.inj.crashed(m, round) {
+                    removed_by_fault += 1;
+                    return false;
+                }
+            } else if !self.produced[m] {
+                removed_by_fault += 1;
+                return false;
+            }
+            let phys = self.carrier[m];
+            if phys != cl.collector
+                && (self.inj.partitioned(phys, cl.collector, round)
+                    || self.inj.drop_upload(round, cl.level, cl.index, m))
+            {
+                removed_by_fault += 1;
+                return false;
+            }
+            true
+        });
+        if cl.at_bottom() {
+            ctx.cost.faulted += removed_by_fault as u64;
+        }
+        if removed_by_fault > 0 {
+            ctx.fault_log.push(FaultRecord {
+                round,
+                kind: "degraded_quorum".into(),
+                detail: format!(
+                    "level {l} cluster {ci}: {alive} of {expected} contributed",
+                    l = cl.level,
+                    ci = cl.index,
+                    alive = present.len(),
+                    expected = cl.expected
+                ),
+            });
+            ctx.telem
+                .degraded_quorum(round, cl.level, cl.index, present.len(), cl.expected);
+        }
+    }
+
+    /// Stragglers arrive last; the stable sort keeps the shuffled
+    /// arrival order among equally-fast members.
+    fn reorder_arrivals(&self, round: usize, cl: &ClusterCtx<'_>, order: &mut Vec<usize>) {
+        order.sort_by(|&a, &b| {
+            let fa = self.inj.straggle_factor(self.carrier[cl.members[a]], round);
+            let fb = self.inj.straggle_factor(self.carrier[cl.members[b]], round);
+            fa.total_cmp(&fb)
+        });
+    }
+
+    /// Broadcasts only reach members whose device is up.
+    fn broadcast_reach(&self, round: usize, cl: &ClusterCtx<'_>) -> Option<u64> {
+        Some(
+            cl.members
+                .iter()
+                .filter(|&&m| !self.inj.crashed(self.carrier[m], round))
+                .count() as u64,
+        )
+    }
+
+    fn after_cluster(&mut self, _ctx: &mut RoundCtx<'_>, cl: &ClusterCtx<'_>) {
+        self.produced[cl.leader] = true;
+        self.carrier[cl.leader] = cl.collector;
+    }
+
+    fn cluster_skipped(&mut self, _ctx: &mut RoundCtx<'_>, cl: &ClusterCtx<'_>) {
+        self.produced[cl.leader] = false;
+    }
+
+    /// Global aggregation runs over the slots that produced a partial
+    /// and can reach the top collector; with nothing produced anywhere
+    /// the engine falls back to the stale carried values rather than
+    /// crash — the run records the anomaly and continues.
+    fn select_top(&mut self, ctx: &mut RoundCtx<'_>, top: &ClusterCtx<'_>) -> Option<Vec<usize>> {
+        let round = ctx.round;
+        let alive_slots: Vec<usize> = top
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.produced[m])
+            .collect();
+        let expected = top.members.len();
+        let final_slots = match alive_slots.first() {
+            Some(&first) => {
+                let coll = self.carrier[first];
+                if first != top.leader {
+                    ctx.fault_log.push(FaultRecord {
+                        round,
+                        kind: "leader_failover".into(),
+                        detail: format!(
+                            "level 0 cluster 0: node {coll} promoted over node {}",
+                            top.leader
+                        ),
+                    });
+                    ctx.telem.leader_failover(round, 0, 0, top.leader, coll);
+                }
+                alive_slots
+                    .into_iter()
+                    .filter(|&m| {
+                        let phys = self.carrier[m];
+                        phys == coll
+                            || (!self.inj.partitioned(phys, coll, round)
+                                && !self.inj.drop_upload(round, 0, 0, m))
+                    })
+                    .collect()
+            }
+            None => {
+                ctx.fault_log.push(FaultRecord {
+                    round,
+                    kind: "degraded_quorum".into(),
+                    detail: "level 0 cluster 0: no fresh partials, using stale models".into(),
+                });
+                ctx.telem.anomaly(
+                    "global_aggregation_stalled",
+                    format!("round {round}: no fresh partials reached the top"),
+                );
+                top.members.to_vec()
+            }
+        };
+        if final_slots.len() < expected {
+            ctx.telem
+                .degraded_quorum(round, 0, 0, final_slots.len(), expected);
+            ctx.fault_log.push(FaultRecord {
+                round,
+                kind: "degraded_quorum".into(),
+                detail: format!(
+                    "level 0 cluster 0: {alive} of {expected} contributed",
+                    alive = final_slots.len()
+                ),
+            });
+        }
+        Some(final_slots)
+    }
+
+    /// Dissemination reaches every device that is up (crashed nodes
+    /// rejoin with the current global on recovery).
+    fn dissemination_reach(&self, round: usize, level: usize) -> Option<u64> {
+        Some(
+            self.hierarchy
+                .level(level)
+                .clusters
+                .iter()
+                .flat_map(|c| c.members.iter())
+                .filter(|&&m| !self.inj.crashed(m, round))
+                .count() as u64,
+        )
+    }
+}

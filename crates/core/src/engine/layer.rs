@@ -1,0 +1,203 @@
+//! The layer hook contract: what a pluggable round layer may observe
+//! and decide at each phase of [`super::RoundEngine`]'s canonical round.
+//!
+//! A layer is consulted at fixed points; every hook defaults to a
+//! no-op, so a layer only implements the phases it cares about. Hooks
+//! come in two flavours:
+//!
+//! * **Decision hooks** return `Option<T>`: the first layer in stack
+//!   order with an opinion wins ([`RoundLayer::select_collector`],
+//!   [`RoundLayer::broadcast_reach`], [`RoundLayer::upward_value`],
+//!   [`RoundLayer::select_top`], [`RoundLayer::dissemination_reach`],
+//!   [`RoundLayer::training_attack`]). `None` everywhere falls back to
+//!   the engine's fault-free default.
+//! * **Filter/observer hooks** run for *every* layer in stack order
+//!   ([`RoundLayer::filter_members`], [`RoundLayer::observe_verdict`],
+//!   [`RoundLayer::audit_cluster`], [`RoundLayer::close_round`], ...):
+//!   each layer sees the previous layer's output.
+//!
+//! The stack order is fixed by [`super::RoundEngine::for_experiment`]:
+//! faults first (the physical world acts before anyone reasons about
+//! it), then the defense, then the adversary (which reacts to what the
+//! defense left standing).
+
+use hfl_attacks::ModelAttack;
+use hfl_robust::evidence::Acceptance;
+use hfl_telemetry::{FaultRecord, SuspicionRecord};
+
+use super::cost::CostCounters;
+use super::telemetry::TelemetryLayer;
+
+/// Mutable per-round context shared by the engine and its layers: the
+/// cost ledger, the telemetry emitter, and the manifest logs.
+pub struct RoundCtx<'r> {
+    /// The global round index.
+    pub round: usize,
+    /// Payload size of one model transfer (`4 · d` bytes).
+    pub model_bytes: u64,
+    /// The run's cost accumulators.
+    pub cost: &'r mut CostCounters,
+    /// Structured-event emitter (no-ops when recording is disabled).
+    pub telem: TelemetryLayer<'r>,
+    /// Manifest fault log for this round (filled even when event
+    /// recording is disabled, like the per-round time series).
+    pub fault_log: &'r mut Vec<FaultRecord>,
+    /// Manifest suspicion log for the run.
+    pub susp_log: &'r mut Vec<SuspicionRecord>,
+    /// Leaders convicted of equivocation during this round's close —
+    /// written by the defense layer's audit, consumed by layers later
+    /// in the stack (the adversary repairs convicted equivocators).
+    pub convicted: Vec<usize>,
+}
+
+/// One cluster aggregation site, as the hooks see it.
+pub struct ClusterCtx<'c> {
+    /// Aggregation level (0 = top).
+    pub level: usize,
+    /// The hierarchy's bottom level.
+    pub bottom: usize,
+    /// Cluster index within the level.
+    pub index: usize,
+    /// Member slot ids (global node ids).
+    pub members: &'c [usize],
+    /// The slot that owns the collection role.
+    pub leader: usize,
+    /// How many members were expected before faults (the churn-present
+    /// count at the bottom, the full cluster above).
+    pub expected: usize,
+    /// This round's churn presence mask over all clients.
+    pub active: &'c [bool],
+    /// Physical device collecting for this cluster (differs from
+    /// `leader` after a failover).
+    pub collector: usize,
+}
+
+impl ClusterCtx<'_> {
+    /// True at the hierarchy's bottom (client) level, where training
+    /// updates enter and most layers act.
+    pub fn at_bottom(&self) -> bool {
+        self.level == self.bottom
+    }
+}
+
+/// A layer's answer to "who collects for this cluster?".
+pub enum CollectorChoice {
+    /// Proceed with this physical device as the collector.
+    Collect {
+        /// The collecting device id.
+        device: usize,
+    },
+    /// Nobody can collect; the layer has recorded why and the engine
+    /// skips the cluster for this round.
+    SkipCluster,
+}
+
+/// A pluggable layer of the round engine. All hooks default to no-ops;
+/// see the module docs for stack-order semantics.
+#[allow(unused_variables)]
+pub trait RoundLayer {
+    /// Short stable identifier, used in introspection and docs.
+    fn name(&self) -> &'static str;
+
+    /// Round-open phase, before local training. Called once per round
+    /// by [`super::RoundEngine::run_round`] (not by the bare
+    /// aggregation entry point): scheduled-fault activation is
+    /// announced here.
+    fn open_round(&mut self, ctx: &mut RoundCtx<'_>) {}
+
+    /// Reset per-aggregation state (slot freshness, per-round audit and
+    /// feedback accumulators). Called at the top of every aggregation.
+    fn begin_aggregate(&mut self, round: usize) {}
+
+    /// The crafted model attack malicious clients substitute this
+    /// round, when this layer steers one (the adaptive adversary).
+    fn training_attack(&self) -> Option<ModelAttack> {
+        None
+    }
+
+    /// True when this layer wants per-input acceptance verdicts
+    /// ([`RoundLayer::observe_verdict`]) computed at the bottom level.
+    fn wants_verdicts(&self) -> bool {
+        false
+    }
+
+    /// Choose the physical collector for a cluster (`cl.collector`
+    /// still holds the default, the leader slot). A fault layer
+    /// promotes a deputy over a crashed leader here.
+    fn select_collector(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+    ) -> Option<CollectorChoice> {
+        None
+    }
+
+    /// Remove members that cannot contribute (crashed, partitioned,
+    /// quarantined, withholding...). `present` holds member indices
+    /// into `cl.members`; churn-absent members are already gone.
+    fn filter_members(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        present: &mut Vec<usize>,
+    ) {
+    }
+
+    /// Reorder the shuffled arrival order (stragglers arrive last).
+    fn reorder_arrivals(&self, round: usize, cl: &ClusterCtx<'_>, order: &mut Vec<usize>) {}
+
+    /// How many members the leader's partial-broadcast reaches (BRA
+    /// levels only). Default: the whole cluster.
+    fn broadcast_reach(&self, round: usize, cl: &ClusterCtx<'_>) -> Option<u64> {
+        None
+    }
+
+    /// Observe the per-input acceptance verdict of a bottom cluster's
+    /// aggregation. `kept[i]` is the device whose update was input `i`.
+    /// The defense turns strikes into suspicion; the adversary reads
+    /// acceptance as its feedback signal.
+    fn observe_verdict(&mut self, cl: &ClusterCtx<'_>, kept: &[usize], verdict: &Acceptance) {}
+
+    /// The value the cluster's leader actually sends upward, when it
+    /// differs from the honest partial (equivocation).
+    fn upward_value(&self, cl: &ClusterCtx<'_>, partial: &[f32]) -> Option<Vec<f32>> {
+        None
+    }
+
+    /// Audit the cluster's consensus/echo phase: `partial` is what the
+    /// members saw, `up` what went upward. The defense collects echo
+    /// digests here (and pays their cost).
+    fn audit_cluster(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        partial: &[f32],
+        up: &[f32],
+    ) {
+    }
+
+    /// The cluster aggregated successfully (slot bookkeeping).
+    fn after_cluster(&mut self, ctx: &mut RoundCtx<'_>, cl: &ClusterCtx<'_>) {}
+
+    /// The cluster produced nothing this round (no collector or no
+    /// contributors survived the filters).
+    fn cluster_skipped(&mut self, ctx: &mut RoundCtx<'_>, cl: &ClusterCtx<'_>) {}
+
+    /// Choose which top-cluster slots propose to the global
+    /// aggregation. Default: all of them.
+    fn select_top(&mut self, ctx: &mut RoundCtx<'_>, top: &ClusterCtx<'_>) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// How many level-`level` nodes the dissemination broadcast
+    /// reaches. Default: all of them.
+    fn dissemination_reach(&self, round: usize, level: usize) -> Option<u64> {
+        None
+    }
+
+    /// Round-close phase, after dissemination: echo convictions,
+    /// suspicion transitions, adversary adaptation — in stack order, so
+    /// the defense's convictions (via [`RoundCtx::convicted`]) are
+    /// visible to the adversary's close.
+    fn close_round(&mut self, ctx: &mut RoundCtx<'_>) {}
+}

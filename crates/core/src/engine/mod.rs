@@ -1,0 +1,420 @@
+//! The round engine: **one** canonical execution of an ABD-HFL global
+//! round, expressed as explicit phases with pluggable layer hooks.
+//!
+//! Phases (paper Algorithms 1–6):
+//!
+//! 1. **Round open** — scheduled faults activate
+//!    ([`RoundLayer::open_round`]).
+//! 2. **Local training** (Algorithm 2) — every client trains in
+//!    parallel; the adversary layer may substitute this round's crafted
+//!    attack ([`RoundLayer::training_attack`]).
+//! 3. **Bottom-up aggregation** (Algorithms 3–4) — per cluster:
+//!    collector selection (failover), member filtering (crashes,
+//!    partitions, quarantine, withholding), seeded arrival shuffle +
+//!    straggler reorder, quorum cut, BRA/CBA aggregation, acceptance
+//!    verdicts, upward value (equivocation) and the echo audit.
+//! 4. **Global aggregation** (Algorithm 6) — top-slot selection
+//!    (fault fallback) and BRA or validation-voting consensus.
+//! 5. **Dissemination + round close** (Algorithm 5) — reach-aware
+//!    broadcast accounting, then the close hooks in stack order: echo
+//!    convictions, suspicion transitions, adversary adaptation.
+//!
+//! The layer stack replaces what used to be three textually-separate
+//! copies of this round (`aggregate_round_clean` / `_faulted` /
+//! `_armed`): a clean run is the empty stack, a faulted run is
+//! `[faults]`, an arms-race run is `[defense, adversary]` — and, newly
+//! possible, a combined run is `[faults, defense, adversary]`. With a
+//! given stack the engine reproduces the corresponding pre-refactor
+//! path byte-for-byte: same RNG stream order, same cost accounting,
+//! same event sequence (pinned by `tests/golden_manifests.rs`).
+
+pub mod adversary;
+pub mod cost;
+pub mod defense;
+pub mod fault;
+pub mod layer;
+pub mod telemetry;
+
+pub use adversary::AdversaryLayer;
+pub use cost::CostCounters;
+pub use defense::DefenseLayer;
+pub use fault::FaultLayer;
+pub use layer::{ClusterCtx, CollectorChoice, RoundCtx, RoundLayer};
+pub use telemetry::TelemetryLayer;
+
+use rand::seq::SliceRandom;
+
+use hfl_attacks::{AdaptiveAdversary, ModelAttack};
+use hfl_consensus::eval::AccuracyEvaluator;
+use hfl_consensus::quorum_size;
+use hfl_ml::rng::rng_for_n;
+use hfl_robust::evidence::{self, Acceptance};
+use hfl_robust::SuspicionTracker;
+use hfl_telemetry::{FaultRecord, SuspicionRecord, Telemetry};
+
+use crate::config::LevelAgg;
+use crate::runner::Experiment;
+
+/// Executes canonical rounds for one experiment through a stack of
+/// [`RoundLayer`]s. The engine owns no RNG state of its own — every
+/// stream is derived from `(seed, round, …)`, so a given `(config,
+/// seed)` is reproducible regardless of how many engines ran before.
+pub struct RoundEngine<'e> {
+    exp: &'e Experiment,
+    fault: Option<FaultLayer<'e>>,
+    defense: Option<DefenseLayer>,
+    adversary: Option<AdversaryLayer<'e>>,
+}
+
+impl<'e> RoundEngine<'e> {
+    /// The canonical stack for an experiment's config: the fault layer
+    /// when a fault plan is compiled, and the defense + adversary pair
+    /// when the arms race is engaged. All absent for a plain config,
+    /// which makes the engine the fault-free reference path.
+    pub fn for_experiment(exp: &'e Experiment) -> Self {
+        Self {
+            exp,
+            fault: FaultLayer::for_experiment(exp),
+            defense: DefenseLayer::for_experiment(exp),
+            adversary: AdversaryLayer::for_experiment(exp),
+        }
+    }
+
+    /// Fault layer only — the semantics of the legacy
+    /// `aggregate_round*` entry points, which predate the arms race.
+    pub(crate) fn fault_only(exp: &'e Experiment) -> Self {
+        Self {
+            exp,
+            fault: FaultLayer::for_experiment(exp),
+            defense: None,
+            adversary: None,
+        }
+    }
+
+    fn layers(&self) -> impl Iterator<Item = &(dyn RoundLayer + 'e)> + '_ {
+        let f = self.fault.as_ref().map(|l| l as &(dyn RoundLayer + 'e));
+        let d = self.defense.as_ref().map(|l| l as &(dyn RoundLayer + 'e));
+        let a = self.adversary.as_ref().map(|l| l as &(dyn RoundLayer + 'e));
+        f.into_iter().chain(d).chain(a)
+    }
+
+    fn layers_mut(&mut self) -> impl Iterator<Item = &mut (dyn RoundLayer + 'e)> + '_ {
+        let f = self.fault.as_mut().map(|l| l as &mut (dyn RoundLayer + 'e));
+        let d = self
+            .defense
+            .as_mut()
+            .map(|l| l as &mut (dyn RoundLayer + 'e));
+        let a = self
+            .adversary
+            .as_mut()
+            .map(|l| l as &mut (dyn RoundLayer + 'e));
+        f.into_iter().chain(d).chain(a)
+    }
+
+    /// Names of the active layers, in stack order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers().map(RoundLayer::name).collect()
+    }
+
+    /// The defense's suspicion tracker, when the config enables it.
+    pub fn suspicion(&self) -> Option<&SuspicionTracker> {
+        self.defense.as_ref().and_then(DefenseLayer::tracker)
+    }
+
+    /// The adversary's magnitude-search state, when the attack is
+    /// adaptive.
+    pub fn adversary(&self) -> Option<&AdaptiveAdversary> {
+        self.adversary.as_ref().and_then(AdversaryLayer::adversary)
+    }
+
+    /// Device ids the echo audit has convicted of equivocation so far.
+    pub fn detected_equivocators(&self) -> Vec<usize> {
+        self.adversary
+            .as_ref()
+            .map(AdversaryLayer::detected_equivocators)
+            .unwrap_or_default()
+    }
+
+    /// The crafted model attack malicious clients substitute this
+    /// round (the adaptive adversary's current magnitude), if any layer
+    /// steers one.
+    pub fn training_attack(&self) -> Option<ModelAttack> {
+        self.layers().find_map(RoundLayer::training_attack)
+    }
+
+    /// Executes one full round: round-open hooks (scheduled faults),
+    /// local training with the current crafted attack, then bottom-up
+    /// aggregation. Returns the new global model.
+    pub fn run_round(
+        &mut self,
+        global: &[f32],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+        susp_log: &mut Vec<SuspicionRecord>,
+    ) -> Vec<f32> {
+        {
+            let mut ctx = RoundCtx {
+                round,
+                model_bytes: (self.exp.template.param_len() * 4) as u64,
+                cost: &mut *cost,
+                telem: TelemetryLayer::new(telem),
+                fault_log: &mut *fault_log,
+                susp_log: &mut *susp_log,
+                convicted: Vec::new(),
+            };
+            for layer in self.layers_mut() {
+                layer.open_round(&mut ctx);
+            }
+        }
+        let attack = self.training_attack();
+        let updates = self
+            .exp
+            .train_round_with(global, round, attack.as_ref(), telem);
+        self.aggregate_round(&updates, round, cost, telem, fault_log, susp_log)
+    }
+
+    /// Phases 3–5: one round of bottom-up aggregation over per-client
+    /// updates, through the layer stack. Returns the new global model
+    /// and accumulates cost counters and manifest logs.
+    pub fn aggregate_round(
+        &mut self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+        susp_log: &mut Vec<SuspicionRecord>,
+    ) -> Vec<f32> {
+        let exp = self.exp;
+        let cfg = exp.config();
+        let h = &exp.hierarchy;
+        let bottom = h.bottom_level();
+        let model_bytes = (updates[0].len() * 4) as u64;
+        let active = exp.active_mask(round);
+
+        let mut ctx = RoundCtx {
+            round,
+            model_bytes,
+            cost,
+            telem: TelemetryLayer::new(telem),
+            fault_log,
+            susp_log,
+            convicted: Vec::new(),
+        };
+        for layer in self.layers_mut() {
+            layer.begin_aggregate(round);
+        }
+        ctx.cost.absent += active.iter().filter(|a| !**a).count() as u64;
+        ctx.telem.churn_absences(round, &active);
+
+        let wants_verdicts = self.layers().any(RoundLayer::wants_verdicts);
+
+        // carried[slot] = the model this node carries upward: its local
+        // update at the bottom, the partial aggregate of the cluster it
+        // leads above.
+        let mut carried: Vec<Vec<f32>> = updates.to_vec();
+
+        // Partial aggregation: levels L down to 1.
+        for l in (1..=bottom).rev() {
+            let level = h.level(l);
+            let mut next: Vec<Vec<f32>> = carried.clone();
+            for (ci, cluster) in level.clusters.iter().enumerate() {
+                let leader = cluster.leader();
+                let expected = if l == bottom {
+                    cluster.members.iter().filter(|&&m| active[m]).count()
+                } else {
+                    cluster.len()
+                };
+                let mut cl = ClusterCtx {
+                    level: l,
+                    bottom,
+                    index: ci,
+                    members: &cluster.members,
+                    leader,
+                    expected,
+                    active: &active,
+                    collector: leader,
+                };
+                let mut choice = None;
+                for layer in self.layers_mut() {
+                    if let Some(c) = layer.select_collector(&mut ctx, &cl) {
+                        choice = Some(c);
+                        break;
+                    }
+                }
+                match choice {
+                    Some(CollectorChoice::SkipCluster) => continue,
+                    Some(CollectorChoice::Collect { device }) => cl.collector = device,
+                    None => {}
+                }
+
+                // Churn removes absent bottom members; the layers then
+                // take out whatever crashed, partitioned, quarantined
+                // or withholding members remain.
+                let mut present: Vec<usize> = (0..cluster.len())
+                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
+                    .collect();
+                for layer in self.layers_mut() {
+                    layer.filter_members(&mut ctx, &cl, &mut present);
+                }
+                if present.is_empty() {
+                    for layer in self.layers_mut() {
+                        layer.cluster_skipped(&mut ctx, &cl);
+                    }
+                    continue;
+                }
+
+                // The quorum keeps the first ⌈φ·present⌉ of a seeded
+                // random arrival order (Algorithm 4's wait-until-quorum).
+                let mut order = present;
+                let mut rng = rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
+                order.shuffle(&mut rng);
+                for layer in self.layers() {
+                    layer.reorder_arrivals(round, &cl, &mut order);
+                }
+                let quorum = quorum_size(cfg.quorum, order.len());
+                let kept: Vec<usize> = {
+                    let mut k = order[..quorum.min(order.len())].to_vec();
+                    k.sort_unstable();
+                    k
+                };
+                let inputs: Vec<&[f32]> = kept
+                    .iter()
+                    .map(|&mi| carried[cluster.members[mi]].as_slice())
+                    .collect();
+                let kept_devices: Vec<usize> = kept.iter().map(|&mi| cluster.members[mi]).collect();
+                let want_verdict = wants_verdicts && l == bottom;
+
+                let (partial, verdict) = match &cfg.levels[l] {
+                    LevelAgg::Bra(kind) => {
+                        // Members upload to the collector; the partial
+                        // broadcasts back as far as it can reach
+                        // (Algorithm 3).
+                        let reach = self
+                            .layers()
+                            .find_map(|ly| ly.broadcast_reach(round, &cl))
+                            .unwrap_or(cluster.len() as u64);
+                        ctx.charge_transfers(l, quorum as u64 + reach);
+                        let partial = kind.build().aggregate(&inputs, None);
+                        let verdict = want_verdict.then(|| evidence::judge(kind, &inputs));
+                        (partial, verdict)
+                    }
+                    LevelAgg::Cba(kind) => {
+                        let byz: Vec<bool> = kept
+                            .iter()
+                            .map(|&mi| exp.protocol_byzantine(cluster.members[mi]))
+                            .collect();
+                        let own: Vec<Vec<f32>> = inputs.iter().map(|i| i.to_vec()).collect();
+                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
+                        let mech = kind.build();
+                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
+                        ctx.charge_consensus(l, ci, mech.name(), &out);
+                        // Consensus exclusion is the CBA acceptance
+                        // verdict: excluded inputs are struck worst.
+                        let verdict = want_verdict.then(|| {
+                            let mut acc = Acceptance {
+                                accepted: vec![true; kept.len()],
+                                strikes: vec![0.0; kept.len()],
+                            };
+                            for &p in &out.excluded {
+                                acc.accepted[p] = false;
+                                acc.strikes[p] = evidence::STRIKE_WORST;
+                            }
+                            acc
+                        });
+                        (out.decided, verdict)
+                    }
+                };
+                if let Some(v) = &verdict {
+                    for layer in self.layers_mut() {
+                        layer.observe_verdict(&cl, &kept_devices, v);
+                    }
+                }
+                ctx.telem
+                    .cluster_aggregated(round, l, ci, kept_devices.len(), quorum);
+
+                // What goes upward may differ from what the members saw
+                // (equivocation); the audit sees both sides.
+                let up = self.layers().find_map(|ly| ly.upward_value(&cl, &partial));
+                {
+                    let up_ref: &[f32] = up.as_deref().unwrap_or(&partial);
+                    for layer in self.layers_mut() {
+                        layer.audit_cluster(&mut ctx, &cl, &partial, up_ref);
+                    }
+                }
+                next[leader] = up.unwrap_or(partial);
+                for layer in self.layers_mut() {
+                    layer.after_cluster(&mut ctx, &cl);
+                }
+            }
+            carried = next;
+        }
+
+        // Global aggregation at the top cluster (Algorithm 6).
+        let top = &h.level(0).clusters[0];
+        let top_cl = ClusterCtx {
+            level: 0,
+            bottom,
+            index: 0,
+            members: &top.members,
+            leader: top.leader(),
+            expected: top.len(),
+            active: &active,
+            collector: top.leader(),
+        };
+        let mut slots = None;
+        for layer in self.layers_mut() {
+            if let Some(s) = layer.select_top(&mut ctx, &top_cl) {
+                slots = Some(s);
+                break;
+            }
+        }
+        let final_slots = slots.unwrap_or_else(|| top.members.clone());
+        let proposals: Vec<&[f32]> = final_slots
+            .iter()
+            .map(|&dev| carried[dev].as_slice())
+            .collect();
+        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
+        let global = match &cfg.levels[0] {
+            LevelAgg::Bra(kind) => {
+                ctx.charge_transfers(0, (2 * proposals.len()) as u64);
+                kind.build().aggregate(&proposals, None)
+            }
+            LevelAgg::Cba(kind) => {
+                // Validation voting over the test shards (Appendix D.B).
+                let shards = exp.task.test.split_even(proposals.len().max(1));
+                let eval = AccuracyEvaluator::new(exp.template.clone_box(), shards);
+                let byz: Vec<bool> = final_slots
+                    .iter()
+                    .map(|&dev| exp.protocol_byzantine(dev))
+                    .collect();
+                let mech = kind.build();
+                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
+                ctx.charge_consensus(0, 0, mech.name(), &out);
+                out.decided
+            }
+        };
+        ctx.telem
+            .cluster_aggregated(round, 0, 0, proposals.len(), proposals.len());
+
+        // Dissemination: the global model travels one model-transfer
+        // per reachable node per level on its way down (Algorithm 5).
+        for l in 1..=bottom {
+            let per_level = self
+                .layers()
+                .find_map(|ly| ly.dissemination_reach(round, l))
+                .unwrap_or(h.level(l).num_nodes() as u64);
+            ctx.charge_transfers(l, per_level);
+        }
+
+        // Round close, in stack order: defense convictions and
+        // suspicion transitions first, then the adversary adapts.
+        for layer in self.layers_mut() {
+            layer.close_round(&mut ctx);
+        }
+
+        global
+    }
+}

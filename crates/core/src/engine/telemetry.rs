@@ -1,0 +1,230 @@
+//! The telemetry layer: one emitter owning every structured event the
+//! round engine produces, so event names, payloads and the
+//! enabled-check discipline live in a single place instead of being
+//! copied into each round path.
+//!
+//! Unlike the other layers this one is not in the [`super::RoundLayer`]
+//! stack — it is carried inside [`super::RoundCtx`] and invoked by the
+//! engine and the layers alike. Every method no-ops when recording is
+//! disabled; registry counters (which feed the manifest's metrics
+//! snapshot) are kept regardless, matching the pre-engine behaviour.
+
+use hfl_consensus::ConsensusOutcome;
+use hfl_telemetry::{Event, Registry, Telemetry};
+
+/// Event emitter + registry handle for one run.
+#[derive(Clone, Copy)]
+pub struct TelemetryLayer<'t> {
+    telem: &'t Telemetry,
+}
+
+impl<'t> TelemetryLayer<'t> {
+    /// Wraps a telemetry bundle.
+    pub fn new(telem: &'t Telemetry) -> Self {
+        Self { telem }
+    }
+
+    /// True when structured events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.telem.enabled()
+    }
+
+    /// The metrics registry (always live, even when events are off).
+    pub fn registry(&self) -> &'t Registry {
+        self.telem.registry()
+    }
+
+    /// One `ChurnAbsence` per client absent under churn this round.
+    pub fn churn_absences(&self, round: usize, active: &[bool]) {
+        if !self.telem.enabled() {
+            return;
+        }
+        for (client, present) in active.iter().enumerate() {
+            if !present {
+                self.telem.emit(Event::ChurnAbsence { round, client });
+            }
+        }
+    }
+
+    /// A batch of model-bearing transfers at one level.
+    pub fn messages_sent(&self, round: usize, level: usize, count: u64, bytes: u64) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::MessagesSent {
+                round,
+                level,
+                count,
+                bytes,
+            });
+        }
+    }
+
+    /// A consensus outcome's transfers and exclusions, plus the
+    /// per-mechanism registry metrics.
+    pub fn consensus_outcome(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        mechanism: &'static str,
+        out: &ConsensusOutcome,
+    ) {
+        hfl_consensus::telemetry::record_outcome(self.telem.registry(), mechanism, out);
+        if !self.telem.enabled() {
+            return;
+        }
+        self.telem.emit(Event::MessagesSent {
+            round,
+            level,
+            count: out.messages,
+            bytes: out.bytes,
+        });
+        for &proposal in &out.excluded {
+            self.telem.emit(Event::ProposalExcluded {
+                round,
+                level,
+                cluster,
+                proposal,
+            });
+        }
+    }
+
+    /// A cluster finished aggregating.
+    pub fn cluster_aggregated(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        inputs: usize,
+        quorum: usize,
+    ) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::ClusterAggregated {
+                round,
+                level,
+                cluster,
+                inputs,
+                quorum,
+            });
+        }
+    }
+
+    /// A scheduled fault activated.
+    pub fn fault_injected(&self, round: usize, kind: &str, detail: &str) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::FaultInjected {
+                round,
+                kind: kind.to_string(),
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// A cluster aggregated with fewer contributors than expected.
+    pub fn degraded_quorum(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        alive: usize,
+        expected: usize,
+    ) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::DegradedQuorum {
+                round,
+                level,
+                cluster,
+                alive,
+                expected,
+            });
+        }
+    }
+
+    /// A deputy was promoted over a failed leader.
+    pub fn leader_failover(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        failed: usize,
+        promoted: usize,
+    ) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::LeaderFailover {
+                round,
+                level,
+                cluster,
+                failed,
+                promoted,
+            });
+        }
+    }
+
+    /// A free-form anomaly.
+    pub fn anomaly(&self, kind: &str, detail: String) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::Anomaly {
+                kind: kind.to_string(),
+                detail,
+            });
+        }
+    }
+
+    /// A withholding coalition member kept its update back.
+    pub fn update_withheld(&self, round: usize, client: usize) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::UpdateWithheld { round, client });
+        }
+    }
+
+    /// The echo audit convicted an equivocating leader. The
+    /// `hfl_equivocations_total` counter is bumped even when event
+    /// recording is off.
+    pub fn equivocation_detected(&self, round: usize, level: usize, cluster: usize, leader: usize) {
+        self.telem
+            .registry()
+            .counter("hfl_equivocations_total", &[])
+            .inc(1);
+        if self.telem.enabled() {
+            self.telem.emit(Event::EquivocationDetected {
+                round,
+                level,
+                cluster,
+                leader,
+            });
+        }
+    }
+
+    /// The suspicion layer quarantined a client.
+    pub fn client_quarantined(&self, round: usize, client: usize, score: f64) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::ClientQuarantined {
+                round,
+                client,
+                score,
+            });
+        }
+    }
+
+    /// The suspicion layer released a client.
+    pub fn client_released(&self, round: usize, client: usize, score: f64) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::ClientReleased {
+                round,
+                client,
+                score,
+            });
+        }
+    }
+
+    /// The adaptive adversary closed its round.
+    pub fn attack_adapted(&self, round: usize, magnitude: f64, submitted: u64, accepted: u64) {
+        if self.telem.enabled() {
+            self.telem.emit(Event::AttackAdapted {
+                round,
+                magnitude,
+                submitted,
+                accepted,
+            });
+        }
+    }
+}

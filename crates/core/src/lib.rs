@@ -10,16 +10,20 @@
 //! * [`theory`] — Theorems 1–2, Corollaries 1–3 (ECSM) and Theorem 3
 //!   (ACSM) as checked analytic functions.
 //! * [`correction`] — the correction factor of Eq. (1).
-//! * [`runner`] — the synchronous-round reference driver (the paper's own
-//!   evaluation mode) for ABD-HFL.
+//! * [`runner`] — experiment preparation and the synchronous-round
+//!   reference driver (the paper's own evaluation mode) for ABD-HFL.
+//! * [`engine`] — the round engine: one canonical round as explicit
+//!   phases, with fault/defense/adversary semantics as pluggable layers.
+//! * [`run`] — the unified entry point ([`run::RunOptions`]) in front of
+//!   both drivers, with optional telemetry.
 //! * [`vanilla`] — the star-topology vanilla-FL baseline.
 //! * [`pipeline`] — the asynchronous pipeline learning workflow on the
 //!   discrete-event simulator, measuring the efficiency indicator ν.
 //!
-//! Every driver also has a `_with` variant taking an
-//! [`hfl_telemetry::Telemetry`] bundle: structured events, `hfl_*`
-//! metrics and a deterministic [`hfl_telemetry::RunManifest`] per run
-//! (see DESIGN.md §"Telemetry & run manifests").
+//! Attaching an [`hfl_telemetry::Telemetry`] bundle to a run yields
+//! structured events, `hfl_*` metrics and a deterministic
+//! [`hfl_telemetry::RunManifest`] (see DESIGN.md §"Telemetry & run
+//! manifests").
 //!
 //! # Example
 //!
@@ -27,7 +31,7 @@
 //!
 //! ```no_run
 //! use abd_hfl_core::config::{AttackCfg, HflConfig};
-//! use abd_hfl_core::runner::run_abd_hfl;
+//! use abd_hfl_core::run::run;
 //! use hfl_attacks::{DataAttack, Placement};
 //!
 //! let cfg = HflConfig::paper_iid(
@@ -38,13 +42,15 @@
 //!     },
 //!     42,
 //! );
-//! let result = run_abd_hfl(&cfg);
+//! let result = run(&cfg);
 //! assert!(result.final_accuracy > 0.85); // vanilla FL sits at ~10 % here
 //! ```
 
 pub mod config;
 pub mod correction;
+pub mod engine;
 pub mod pipeline;
+pub mod run;
 pub mod runner;
 pub mod scheme;
 pub mod theory;
@@ -52,6 +58,9 @@ pub mod vanilla;
 
 pub use config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, ModelCfg, TopologyCfg};
 pub use correction::CorrectionPolicy;
-pub use runner::{run_abd_hfl, run_abd_hfl_with, InstrumentedRun, RunResult};
+pub use run::{Driver, RunOptions, RunOutput};
+#[allow(deprecated)]
+pub use runner::{run_abd_hfl, run_abd_hfl_with};
+pub use runner::{InstrumentedRun, RunResult};
 pub use scheme::Scheme;
 pub use vanilla::{run_vanilla, run_vanilla_with};

@@ -310,11 +310,7 @@ impl DeviceActor {
             return;
         };
         self.aggregated.insert((level, round));
-        let refs: Vec<&[f32]> = collector
-            .inputs
-            .iter()
-            .map(|(_, p)| p.as_slice())
-            .collect();
+        let refs: Vec<&[f32]> = collector.inputs.iter().map(|(_, p)| p.as_slice()).collect();
         let cfg = self.exp.config();
         let aggregated = match &cfg.levels[level] {
             LevelAgg::Bra(kind) => kind.build().aggregate(&refs, None),
@@ -322,7 +318,9 @@ impl DeviceActor {
                 let own: Vec<Vec<f32>> = refs.iter().map(|r| r.to_vec()).collect();
                 let eval = hfl_consensus::DistanceEvaluator::new(&own);
                 let byz = vec![false; refs.len()];
-                kind.build().decide(&refs, &byz, &eval, &mut self.rng).decided
+                kind.build()
+                    .decide(&refs, &byz, &eval, &mut self.rng)
+                    .decided
             }
         };
         let cluster = if level == 0 {
@@ -396,10 +394,13 @@ impl DeviceActor {
             if level >= self.exp.config().flag_level.max(1) && level <= bottom {
                 for &m in &h.level(level).clusters[cluster].members {
                     if m != self.id {
-                        ctx.send(m, Msg::Flag {
-                            round,
-                            params: Arc::clone(&params),
-                        });
+                        ctx.send(
+                            m,
+                            Msg::Flag {
+                                round,
+                                params: Arc::clone(&params),
+                            },
+                        );
                     }
                 }
             }
@@ -429,10 +430,13 @@ impl DeviceActor {
             if level <= bottom {
                 for &m in &h.level(level).clusters[cluster].members {
                     if m != self.id {
-                        ctx.send(m, Msg::Global {
-                            round,
-                            params: Arc::clone(&params),
-                        });
+                        ctx.send(
+                            m,
+                            Msg::Global {
+                                round,
+                                params: Arc::clone(&params),
+                            },
+                        );
                     }
                 }
             }
@@ -448,8 +452,8 @@ impl DeviceActor {
             // Mid-training: merge with the correction factor. Staleness is
             // measured in elapsed local-iteration units.
             let elapsed = ctx.now().saturating_sub(self.train_started).as_secs_f64();
-            let iter_secs = self.pcfg.train_delay.mean_micros() / 1e6
-                / cfg.local_iters.max(1) as f64;
+            let iter_secs =
+                self.pcfg.train_delay.mean_micros() / 1e6 / cfg.local_iters.max(1) as f64;
             let staleness = if iter_secs > 0.0 {
                 elapsed / iter_secs
             } else {
@@ -498,15 +502,28 @@ impl Actor<Msg> for DeviceActor {
 
 /// Runs the asynchronous pipeline workflow and extracts the timing
 /// decomposition from the trace.
+#[deprecated(note = "use `crate::run::RunOptions::pipeline`")]
 pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
-    run_pipeline_with(cfg, pcfg, &Telemetry::disabled()).0
+    pipeline_run(cfg, pcfg, &Telemetry::disabled()).0
 }
 
-/// [`run_pipeline`] with telemetry: bridges the simulator's trace stream
-/// into the recorder (as `Event::Sim`), records network/timing metrics
-/// (`sim_*` counters, `pipeline_*` histograms, trace anomaly count) and
-/// returns the run's [`RunManifest`] (label `"pipeline"`; the per-round
-/// series is empty — pipeline timing lives in the histograms).
+/// [`run_pipeline`] with telemetry: returns the timing decomposition
+/// together with the run's [`RunManifest`].
+#[deprecated(note = "use `crate::run::RunOptions::pipeline` with \
+                     `RunOptions::telemetry`")]
+pub fn run_pipeline_with(
+    cfg: &HflConfig,
+    pcfg: &PipelineConfig,
+    telem: &Telemetry,
+) -> (PipelineResult, RunManifest) {
+    pipeline_run(cfg, pcfg, telem)
+}
+
+/// The pipeline driver: bridges the simulator's trace stream into the
+/// recorder (as `Event::Sim`), records network/timing metrics (`sim_*`
+/// counters, `pipeline_*` histograms, trace anomaly count) and returns
+/// the run's [`RunManifest`] (label `"pipeline"`; the per-round series
+/// is empty — pipeline timing lives in the histograms).
 ///
 /// The arms-race layer (adaptive attacks, suspicion/quarantine,
 /// protocol attacks) is a sequential-runner feature: the async driver
@@ -514,17 +531,13 @@ pub fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
 /// still accepted — the fields are ignored here and an
 /// `Event::Anomaly { kind: "arms_race_ignored" }` is emitted once so
 /// the omission is visible in the trace.
-pub fn run_pipeline_with(
+pub(crate) fn pipeline_run(
     cfg: &HflConfig,
     pcfg: &PipelineConfig,
     telem: &Telemetry,
 ) -> (PipelineResult, RunManifest) {
     assert!(pcfg.rounds > 0, "pipeline needs at least one round");
-    if telem.enabled()
-        && (cfg.suspicion.is_some()
-            || cfg.protocol_attack.is_some()
-            || matches!(cfg.attack, crate::config::AttackCfg::Adaptive { .. }))
-    {
+    if telem.enabled() && cfg.arms_race() {
         telem.emit(hfl_telemetry::Event::Anomaly {
             kind: "arms_race_ignored".into(),
             detail: "the async pipeline driver ignores adaptive attacks, the \
@@ -574,8 +587,7 @@ pub fn run_pipeline_with(
                 let (ci, _) = h.position(lvl, dev).expect("ancestor at flag level");
                 ci
             };
-            let flag_fraction =
-                h.descendants(cfg.flag_level, flag_cluster).len() as f64 / n as f64;
+            let flag_fraction = h.descendants(cfg.flag_level, flag_cluster).len() as f64 / n as f64;
             DeviceActor {
                 id,
                 exp: Arc::clone(&exp),
@@ -705,10 +717,14 @@ pub fn run_pipeline_with(
 
     // Metrics: network totals, timing decomposition, anomaly count.
     let registry = telem.registry();
-    registry.counter("sim_messages_total", &[]).inc(stats.messages);
+    registry
+        .counter("sim_messages_total", &[])
+        .inc(stats.messages);
     registry.counter("sim_bytes_total", &[]).inc(stats.bytes);
     registry.counter("sim_events_total", &[]).inc(stats.events);
-    registry.counter("sim_dropped_total", &[]).inc(stats.dropped);
+    registry
+        .counter("sim_dropped_total", &[])
+        .inc(stats.dropped);
     registry
         .counter("trace_anomalies_total", &[])
         .inc(trace.anomalies());
@@ -756,6 +772,20 @@ mod tests {
     use super::*;
     use crate::config::{AttackCfg, HflConfig};
 
+    // Shadow the deprecated shims with the real driver so the tests
+    // exercise it directly.
+    fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
+        pipeline_run(cfg, pcfg, &Telemetry::disabled()).0
+    }
+
+    fn run_pipeline_with(
+        cfg: &HflConfig,
+        pcfg: &PipelineConfig,
+        telem: &Telemetry,
+    ) -> (PipelineResult, RunManifest) {
+        pipeline_run(cfg, pcfg, telem)
+    }
+
     fn quick_cfg(seed: u64) -> HflConfig {
         let mut cfg = HflConfig::quick(AttackCfg::None, seed);
         cfg.rounds = 4; // pipeline rounds come from PipelineConfig
@@ -796,8 +826,7 @@ mod tests {
             sequential
         );
         // And ν is meaningfully positive: aggregation is being hidden.
-        let mean_nu: f64 =
-            res.rounds.iter().map(|r| r.nu).sum::<f64>() / res.rounds.len() as f64;
+        let mean_nu: f64 = res.rounds.iter().map(|r| r.nu).sum::<f64>() / res.rounds.len() as f64;
         assert!(mean_nu > 0.05, "no pipelining benefit: ν = {mean_nu}");
     }
 
@@ -989,8 +1018,8 @@ mod tests {
         let r_high = run_pipeline(&high, &quick_pipeline(4));
         let w_low: f64 =
             r_low.rounds.iter().map(|r| r.sigma_w).sum::<f64>() / r_low.rounds.len() as f64;
-        let w_high: f64 = r_high.rounds.iter().map(|r| r.sigma_w).sum::<f64>()
-            / r_high.rounds.len() as f64;
+        let w_high: f64 =
+            r_high.rounds.iter().map(|r| r.sigma_w).sum::<f64>() / r_high.rounds.len() as f64;
         assert!(
             w_low < w_high,
             "flag at bottom should wait less: {w_low} vs {w_high}"

@@ -16,22 +16,20 @@
 //!    shards, Appendix D.B).
 //! 5. **DisseminateModel** (Algorithm 5): the new global model reaches
 //!    every device (message costs accounted level by level).
+//!
+//! Steps 3–5 (and the fault/defense/adversary semantics layered on
+//! them) execute in [`crate::engine::RoundEngine`] — one canonical
+//! round with pluggable layers; this module owns experiment
+//! preparation, the training step and the run loop around it.
 
-use rand::seq::SliceRandom;
-
-use hfl_attacks::{
-    malicious_mask, AdaptiveAdversary, AttackFeedback, ModelAttack, ProtocolAttack,
-};
-use hfl_consensus::echo::{echo_cost, hash_update, EchoReport};
-use hfl_consensus::eval::AccuracyEvaluator;
-use hfl_consensus::quorum_size;
+use hfl_attacks::{malicious_mask, ModelAttack};
 use hfl_faults::FaultInjector;
 use hfl_ml::partition::{iid_partition, noniid_partition};
 use hfl_ml::rng::rng_for_n;
 use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{Dataset, Model};
-use hfl_robust::{evidence, AggregatorKind, Krum, SuspicionChange, SuspicionTracker};
+use hfl_robust::{AggregatorKind, Krum};
 use hfl_simnet::Hierarchy;
 use hfl_telemetry::{
     fnv1a_hex, ClientScore, Event, FaultRecord, RoundRecord, RunManifest, RunTotals,
@@ -39,6 +37,9 @@ use hfl_telemetry::{
 };
 
 use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg};
+use crate::engine::RoundEngine;
+
+pub use crate::engine::CostCounters;
 
 /// Outcome of one full training run.
 #[derive(Clone, Debug)]
@@ -68,7 +69,7 @@ pub struct RunResult {
 }
 
 /// A run's result plus its [`RunManifest`] — what the instrumented entry
-/// points ([`run_abd_hfl_with`], [`run_prepared_with`]) return.
+/// points ([`crate::run::RunOptions`], [`run_prepared_with`]) return.
 #[derive(Clone, Debug)]
 pub struct InstrumentedRun {
     /// The training outcome (same shape as the uninstrumented API).
@@ -76,98 +77,6 @@ pub struct InstrumentedRun {
     /// The self-describing record of the run: config hash, seed, build
     /// info, per-round time series, totals, metrics snapshot.
     pub manifest: RunManifest,
-}
-
-/// Mutable cost accumulators threaded through a round of aggregation.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CostCounters {
-    /// Model-bearing messages.
-    pub messages: u64,
-    /// Payload bytes.
-    pub bytes: u64,
-    /// Proposals excluded by consensus.
-    pub excluded: u64,
-    /// Client-round absences from churn.
-    pub absent: u64,
-    /// Bottom-level updates lost to injected faults.
-    pub faulted: u64,
-    /// Updates excluded by the suspicion layer's quarantine.
-    pub quarantined: u64,
-    /// Updates a withholding coalition kept back.
-    pub withheld: u64,
-}
-
-/// Mutable arms-race state threaded through a run: the coalition's
-/// adaptive magnitude search, the defense-side suspicion tracker, and
-/// protocol-attack bookkeeping (which equivocators the echo audit has
-/// caught). Built once per run by [`run_prepared_with`] when the config
-/// enables any of the three; `None` keeps the pre-existing clean or
-/// faulted aggregation paths byte-identical.
-pub struct ArmsRace {
-    adversary: Option<AdaptiveAdversary>,
-    suspicion: Option<SuspicionTracker>,
-    /// `Some(flip_scale)` while malicious bottom leaders equivocate.
-    equivocate: Option<f32>,
-    /// Malicious members withhold pivotally.
-    withhold: bool,
-    /// Equivocators convicted by the echo audit (by device id): they are
-    /// repaired — behave honestly — from the round after detection.
-    detected: Vec<bool>,
-    /// Coalition feedback accumulated during the current round.
-    feedback: AttackFeedback,
-}
-
-impl ArmsRace {
-    /// Arms-race state for an experiment, or `None` when its config uses
-    /// neither an adaptive attack, a protocol attack, nor suspicion.
-    pub fn for_experiment(exp: &Experiment) -> Option<Self> {
-        let cfg = exp.config();
-        let adversary = match &cfg.attack {
-            AttackCfg::Adaptive { attack, .. } => {
-                Some(AdaptiveAdversary::new(attack.clone()))
-            }
-            _ => None,
-        };
-        let suspicion = cfg
-            .suspicion
-            .map(|s| SuspicionTracker::new(exp.hierarchy.num_clients(), s));
-        let (equivocate, withhold) = match &cfg.protocol_attack {
-            Some(ProtocolAttack::Equivocate { flip_scale }) => (Some(*flip_scale), false),
-            Some(ProtocolAttack::Withhold) => (None, true),
-            None => (None, false),
-        };
-        if adversary.is_none() && suspicion.is_none() && cfg.protocol_attack.is_none() {
-            return None;
-        }
-        Some(Self {
-            adversary,
-            suspicion,
-            equivocate,
-            withhold,
-            detected: vec![false; exp.hierarchy.num_clients()],
-            feedback: AttackFeedback::default(),
-        })
-    }
-
-    /// The adaptive adversary's concrete crafted attack for this round.
-    pub fn current_attack(&self) -> Option<ModelAttack> {
-        self.adversary.as_ref().map(AdaptiveAdversary::current_attack)
-    }
-
-    /// The magnitude-search state, when the attack is adaptive.
-    pub fn adversary(&self) -> Option<&AdaptiveAdversary> {
-        self.adversary.as_ref()
-    }
-
-    /// The suspicion tracker, when the defense layer is enabled.
-    pub fn suspicion(&self) -> Option<&SuspicionTracker> {
-        self.suspicion.as_ref()
-    }
-
-    /// Device ids the echo audit has convicted of equivocation so far.
-    pub fn detected_equivocators(&self) -> Vec<usize> {
-        (0..self.detected.len()).filter(|&d| self.detected[d]).collect()
-    }
 }
 
 /// Pre-built, reusable experiment state (task generation and partitioning
@@ -211,8 +120,7 @@ impl Experiment {
         cfg.try_validate(&hierarchy)?;
         let injector = match &cfg.faults {
             Some(plan) if !plan.is_empty() => Some(
-                FaultInjector::compile(plan, &hierarchy, cfg.seed)
-                    .map_err(ConfigError::Faults)?,
+                FaultInjector::compile(plan, &hierarchy, cfg.seed).map_err(ConfigError::Faults)?,
             ),
             _ => None,
         };
@@ -359,7 +267,7 @@ impl Experiment {
     /// True when this device misbehaves *inside* aggregation protocols
     /// (only model-poisoning adversaries — static or adaptive — do; data
     /// poisoners follow the protocol honestly — paper Appendix D).
-    fn protocol_byzantine(&self, device: usize) -> bool {
+    pub(crate) fn protocol_byzantine(&self, device: usize) -> bool {
         matches!(
             self.config.attack,
             AttackCfg::Model { .. } | AttackCfg::Adaptive { .. }
@@ -396,13 +304,24 @@ impl Experiment {
 
     /// Runs one round of bottom-up aggregation given per-client updates;
     /// returns the new global model and accumulates cost counters.
+    #[deprecated(note = "build a `crate::engine::RoundEngine` (or use the \
+                         `crate::run` entry points) instead")]
     pub fn aggregate_round(
         &self,
         updates: &[Vec<f32>],
         round: usize,
         cost: &mut CostCounters,
     ) -> Vec<f32> {
-        self.aggregate_round_with(updates, round, cost, &Telemetry::disabled())
+        let mut fault_log = Vec::new();
+        let mut susp_log = Vec::new();
+        RoundEngine::fault_only(self).aggregate_round(
+            updates,
+            round,
+            cost,
+            &Telemetry::disabled(),
+            &mut fault_log,
+            &mut susp_log,
+        )
     }
 
     /// [`Self::aggregate_round`] with telemetry: emits structured events
@@ -410,6 +329,8 @@ impl Experiment {
     /// transfers) when the recorder is enabled and records per-mechanism
     /// consensus metrics into the registry. Identical numerics and RNG
     /// stream — instrumentation only observes.
+    #[deprecated(note = "build a `crate::engine::RoundEngine` (or use the \
+                         `crate::run` entry points) instead")]
     pub fn aggregate_round_with(
         &self,
         updates: &[Vec<f32>],
@@ -418,13 +339,27 @@ impl Experiment {
         telem: &Telemetry,
     ) -> Vec<f32> {
         let mut fault_log = Vec::new();
-        self.aggregate_round_logged(updates, round, cost, telem, &mut fault_log)
+        let mut susp_log = Vec::new();
+        RoundEngine::fault_only(self).aggregate_round(
+            updates,
+            round,
+            cost,
+            telem,
+            &mut fault_log,
+            &mut susp_log,
+        )
     }
 
     /// [`Self::aggregate_round_with`] that also appends failover and
     /// degraded-quorum [`FaultRecord`]s to `fault_log` (the manifest's
     /// fault log is filled even when the recorder is disabled, like the
     /// per-round time series).
+    ///
+    /// These legacy entry points predate the arms race, so they run a
+    /// fault-only [`RoundEngine`] stack regardless of the config's
+    /// attack/suspicion settings.
+    #[deprecated(note = "build a `crate::engine::RoundEngine` (or use the \
+                         `crate::run` entry points) instead")]
     pub fn aggregate_round_logged(
         &self,
         updates: &[Vec<f32>],
@@ -433,1055 +368,15 @@ impl Experiment {
         telem: &Telemetry,
         fault_log: &mut Vec<FaultRecord>,
     ) -> Vec<f32> {
-        match &self.injector {
-            None => self.aggregate_round_clean(updates, round, cost, telem),
-            Some(inj) => {
-                self.aggregate_round_faulted(inj, updates, round, cost, telem, fault_log)
-            }
-        }
-    }
-
-    /// The fault-free aggregation path. Kept textually separate from
-    /// [`Self::aggregate_round_faulted`] on purpose: this path's RNG
-    /// stream is the determinism baseline every pre-fault manifest was
-    /// produced under, and sharing code with the fault-aware path would
-    /// make it too easy to perturb.
-    fn aggregate_round_clean(
-        &self,
-        updates: &[Vec<f32>],
-        round: usize,
-        cost: &mut CostCounters,
-        telem: &Telemetry,
-    ) -> Vec<f32> {
-        let cfg = &self.config;
-        let h = &self.hierarchy;
-        let bottom = h.bottom_level();
-        let d = updates[0].len();
-        let model_bytes = (d * 4) as u64;
-        let active = self.active_mask(round);
-        cost.absent += active.iter().filter(|a| !**a).count() as u64;
-        if telem.enabled() {
-            for (client, present) in active.iter().enumerate() {
-                if !present {
-                    telem.emit(Event::ChurnAbsence { round, client });
-                }
-            }
-        }
-
-        // models_of_level[device] = the model this level-ℓ node carries
-        // upward. At the bottom that is its local update; above, the
-        // partial aggregate of the cluster it leads.
-        let mut carried: Vec<Vec<f32>> = updates.to_vec();
-
-        // Partial aggregation: levels L down to 1.
-        for l in (1..=bottom).rev() {
-            let level = h.level(l);
-            let mut next: Vec<Vec<f32>> = carried.clone();
-            for (ci, cluster) in level.clusters.iter().enumerate() {
-                // Churn removes absent bottom members entirely; the
-                // quorum then keeps the first ⌈φ·present⌉ of a random
-                // arrival order (Algorithm 4's wait-until-quorum).
-                let present: Vec<usize> = (0..cluster.len())
-                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
-                    .collect();
-                let mut order = present;
-                let mut rng =
-                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
-                order.shuffle(&mut rng);
-                let quorum = quorum_size(cfg.quorum, order.len());
-                let kept: Vec<usize> = {
-                    let mut k = order[..quorum.min(order.len())].to_vec();
-                    k.sort_unstable();
-                    k
-                };
-                let inputs: Vec<&[f32]> = kept
-                    .iter()
-                    .map(|&mi| carried[cluster.members[mi]].as_slice())
-                    .collect();
-                let partial = match &cfg.levels[l] {
-                    LevelAgg::Bra(kind) => {
-                        // Members upload to the leader; leader broadcasts
-                        // the partial back to the cluster (Algorithm 3).
-                        let count = (quorum + cluster.len()) as u64;
-                        cost.messages += count;
-                        cost.bytes += count * model_bytes;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count,
-                                bytes: count * model_bytes,
-                            });
-                        }
-                        kind.build().aggregate(&inputs, None)
-                    }
-                    LevelAgg::Cba(kind) => {
-                        let byz: Vec<bool> = kept
-                            .iter()
-                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
-                            .collect();
-                        let own: Vec<Vec<f32>> =
-                            inputs.iter().map(|i| i.to_vec()).collect();
-                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
-                        let mech = kind.build();
-                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
-                        hfl_consensus::telemetry::record_outcome(
-                            telem.registry(),
-                            mech.name(),
-                            &out,
-                        );
-                        cost.messages += out.messages;
-                        cost.bytes += out.bytes;
-                        cost.excluded += out.excluded.len() as u64;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count: out.messages,
-                                bytes: out.bytes,
-                            });
-                            for &proposal in &out.excluded {
-                                telem.emit(Event::ProposalExcluded {
-                                    round,
-                                    level: l,
-                                    cluster: ci,
-                                    proposal,
-                                });
-                            }
-                        }
-                        out.decided
-                    }
-                };
-                if telem.enabled() {
-                    telem.emit(Event::ClusterAggregated {
-                        round,
-                        level: l,
-                        cluster: ci,
-                        inputs: inputs.len(),
-                        quorum,
-                    });
-                }
-                next[cluster.leader()] = partial;
-            }
-            carried = next;
-        }
-
-        // Global aggregation at the top cluster.
-        let top = &h.level(0).clusters[0];
-        let proposals: Vec<&[f32]> = top
-            .members
-            .iter()
-            .map(|&dev| carried[dev].as_slice())
-            .collect();
-        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
-        let global = match &cfg.levels[0] {
-            LevelAgg::Bra(kind) => {
-                let count = (2 * top.len()) as u64;
-                cost.messages += count;
-                cost.bytes += count * model_bytes;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count,
-                        bytes: count * model_bytes,
-                    });
-                }
-                kind.build().aggregate(&proposals, None)
-            }
-            LevelAgg::Cba(kind) => {
-                // Validation voting over the test shards (Appendix D.B):
-                // the 10 000 test samples split evenly over the top nodes.
-                let shards = self.task.test.split_even(top.len());
-                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
-                let byz: Vec<bool> = top
-                    .members
-                    .iter()
-                    .map(|&dev| self.protocol_byzantine(dev))
-                    .collect();
-                let mech = kind.build();
-                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
-                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
-                cost.messages += out.messages;
-                cost.bytes += out.bytes;
-                cost.excluded += out.excluded.len() as u64;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count: out.messages,
-                        bytes: out.bytes,
-                    });
-                    for &proposal in &out.excluded {
-                        telem.emit(Event::ProposalExcluded {
-                            round,
-                            level: 0,
-                            cluster: 0,
-                            proposal,
-                        });
-                    }
-                }
-                out.decided
-            }
-        };
-        if telem.enabled() {
-            telem.emit(Event::ClusterAggregated {
-                round,
-                level: 0,
-                cluster: 0,
-                inputs: proposals.len(),
-                quorum: proposals.len(),
-            });
-        }
-
-        // Dissemination: the global model travels one model-transfer per
-        // node per level on its way down (Algorithm 5).
-        for l in 1..=bottom {
-            let per_level = h.level(l).num_nodes() as u64;
-            cost.messages += per_level;
-            cost.bytes += per_level * model_bytes;
-            if telem.enabled() {
-                telem.emit(Event::MessagesSent {
-                    round,
-                    level: l,
-                    count: per_level,
-                    bytes: per_level * model_bytes,
-                });
-            }
-        }
-
-        global
-    }
-
-    /// The fault-aware aggregation path (active when the config carries
-    /// a `FaultPlan`). Differences from the clean path:
-    ///
-    /// - **Leader failover**: when a cluster's leader is crashed, the
-    ///   first alive member is promoted to collector for the round; the
-    ///   leader's *slot* keeps its role upward, with `carrier[]`
-    ///   tracking which physical device holds it.
-    /// - **Degraded quorum**: members lost to crashes, partitions or
-    ///   loss bursts are simply missing; the quorum is ⌈φ·alive⌉ over
-    ///   the survivors (Algorithm 4's timeout branch) and the round
-    ///   proceeds instead of hanging.
-    /// - **Stragglers** arrive last in the collection order, so a
-    ///   quorum below 1 sheds them first.
-    ///
-    /// Failover and degradation are appended to `fault_log` and (when
-    /// enabled) emitted as events. All randomness stays seeded: the
-    /// per-cluster arrival RNG is the same stream the clean path uses,
-    /// and burst drops hash `(seed, round, level, cluster, member)`.
-    #[allow(clippy::too_many_arguments)]
-    fn aggregate_round_faulted(
-        &self,
-        inj: &FaultInjector,
-        updates: &[Vec<f32>],
-        round: usize,
-        cost: &mut CostCounters,
-        telem: &Telemetry,
-        fault_log: &mut Vec<FaultRecord>,
-    ) -> Vec<f32> {
-        let cfg = &self.config;
-        let h = &self.hierarchy;
-        let bottom = h.bottom_level();
-        let d = updates[0].len();
-        let model_bytes = (d * 4) as u64;
-        let active = self.active_mask(round);
-        cost.absent += active.iter().filter(|a| !**a).count() as u64;
-        if telem.enabled() {
-            for (client, present) in active.iter().enumerate() {
-                if !present {
-                    telem.emit(Event::ChurnAbsence { round, client });
-                }
-            }
-        }
-
-        let n = updates.len();
-        let mut carried: Vec<Vec<f32>> = updates.to_vec();
-        // produced[slot]: carried[slot] is fresh this round.
-        // carrier[slot]: physical device holding the slot's model (differs
-        // from the slot after a failover promoted a deputy).
-        let mut produced: Vec<bool> = (0..n).map(|dev| !inj.crashed(dev, round)).collect();
-        let mut carrier: Vec<usize> = (0..n).collect();
-
-        for l in (1..=bottom).rev() {
-            let level = h.level(l);
-            let mut next = carried.clone();
-            for (ci, cluster) in level.clusters.iter().enumerate() {
-                let leader = cluster.leader();
-                let expected = if l == bottom {
-                    cluster
-                        .members
-                        .iter()
-                        .filter(|&&m| active[m])
-                        .count()
-                } else {
-                    cluster.len()
-                };
-                // Failover: the collector is the first member whose
-                // physical carrier is alive (and, at the bottom, present
-                // under churn).
-                let collector_slot = cluster.members.iter().copied().find(|&m| {
-                    !inj.crashed(carrier[m], round) && (l != bottom || active[m])
-                });
-                let Some(collector_slot) = collector_slot else {
-                    produced[leader] = false;
-                    fault_log.push(FaultRecord {
-                        round,
-                        kind: "degraded_quorum".into(),
-                        detail: format!(
-                            "level {l} cluster {ci}: no member able to collect (0 of {expected})"
-                        ),
-                    });
-                    if telem.enabled() {
-                        telem.emit(Event::DegradedQuorum {
-                            round,
-                            level: l,
-                            cluster: ci,
-                            alive: 0,
-                            expected,
-                        });
-                    }
-                    continue;
-                };
-                let collector = carrier[collector_slot];
-                if collector_slot != leader {
-                    fault_log.push(FaultRecord {
-                        round,
-                        kind: "leader_failover".into(),
-                        detail: format!(
-                            "level {l} cluster {ci}: node {collector} promoted over node {leader}"
-                        ),
-                    });
-                    if telem.enabled() {
-                        telem.emit(Event::LeaderFailover {
-                            round,
-                            level: l,
-                            cluster: ci,
-                            failed: leader,
-                            promoted: collector,
-                        });
-                    }
-                }
-                let mut removed_by_fault = 0usize;
-                let present: Vec<usize> = (0..cluster.len())
-                    .filter(|&mi| {
-                        let m = cluster.members[mi];
-                        if l == bottom {
-                            if !active[m] {
-                                return false; // churn, accounted separately
-                            }
-                            if inj.crashed(m, round) {
-                                removed_by_fault += 1;
-                                return false;
-                            }
-                        } else if !produced[m] {
-                            removed_by_fault += 1;
-                            return false;
-                        }
-                        let phys = carrier[m];
-                        if phys != collector {
-                            if inj.partitioned(phys, collector, round)
-                                || inj.drop_upload(round, l, ci, m)
-                            {
-                                removed_by_fault += 1;
-                                return false;
-                            }
-                        }
-                        true
-                    })
-                    .collect();
-                if l == bottom {
-                    cost.faulted += removed_by_fault as u64;
-                }
-                if removed_by_fault > 0 {
-                    fault_log.push(FaultRecord {
-                        round,
-                        kind: "degraded_quorum".into(),
-                        detail: format!(
-                            "level {l} cluster {ci}: {alive} of {expected} contributed",
-                            alive = present.len()
-                        ),
-                    });
-                    if telem.enabled() {
-                        telem.emit(Event::DegradedQuorum {
-                            round,
-                            level: l,
-                            cluster: ci,
-                            alive: present.len(),
-                            expected,
-                        });
-                    }
-                }
-                if present.is_empty() {
-                    produced[leader] = false;
-                    continue;
-                }
-                let mut order = present;
-                let mut rng =
-                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
-                order.shuffle(&mut rng);
-                // Stragglers arrive last; the stable sort keeps the
-                // shuffled arrival order among equally-fast members.
-                order.sort_by(|&a, &b| {
-                    let fa = inj.straggle_factor(carrier[cluster.members[a]], round);
-                    let fb = inj.straggle_factor(carrier[cluster.members[b]], round);
-                    fa.total_cmp(&fb)
-                });
-                let quorum = quorum_size(cfg.quorum, order.len());
-                let kept: Vec<usize> = {
-                    let mut k = order[..quorum].to_vec();
-                    k.sort_unstable();
-                    k
-                };
-                let inputs: Vec<&[f32]> = kept
-                    .iter()
-                    .map(|&mi| carried[cluster.members[mi]].as_slice())
-                    .collect();
-                // Broadcasts only reach members whose device is up.
-                let reachable = cluster
-                    .members
-                    .iter()
-                    .filter(|&&m| !inj.crashed(carrier[m], round))
-                    .count() as u64;
-                let partial = match &cfg.levels[l] {
-                    LevelAgg::Bra(kind) => {
-                        let count = quorum as u64 + reachable;
-                        cost.messages += count;
-                        cost.bytes += count * model_bytes;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count,
-                                bytes: count * model_bytes,
-                            });
-                        }
-                        kind.build().aggregate(&inputs, None)
-                    }
-                    LevelAgg::Cba(kind) => {
-                        let byz: Vec<bool> = kept
-                            .iter()
-                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
-                            .collect();
-                        let own: Vec<Vec<f32>> =
-                            inputs.iter().map(|i| i.to_vec()).collect();
-                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
-                        let mech = kind.build();
-                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
-                        hfl_consensus::telemetry::record_outcome(
-                            telem.registry(),
-                            mech.name(),
-                            &out,
-                        );
-                        cost.messages += out.messages;
-                        cost.bytes += out.bytes;
-                        cost.excluded += out.excluded.len() as u64;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count: out.messages,
-                                bytes: out.bytes,
-                            });
-                            for &proposal in &out.excluded {
-                                telem.emit(Event::ProposalExcluded {
-                                    round,
-                                    level: l,
-                                    cluster: ci,
-                                    proposal,
-                                });
-                            }
-                        }
-                        out.decided
-                    }
-                };
-                if telem.enabled() {
-                    telem.emit(Event::ClusterAggregated {
-                        round,
-                        level: l,
-                        cluster: ci,
-                        inputs: inputs.len(),
-                        quorum,
-                    });
-                }
-                next[leader] = partial;
-                produced[leader] = true;
-                carrier[leader] = collector;
-            }
-            carried = next;
-        }
-
-        // Global aggregation at the top cluster, over the slots that
-        // produced a partial and can reach the top collector.
-        let top = &h.level(0).clusters[0];
-        let alive_slots: Vec<usize> =
-            top.members.iter().copied().filter(|&m| produced[m]).collect();
-        let (final_slots, top_expected) = match alive_slots.first() {
-            Some(&first) => {
-                let coll = carrier[first];
-                if first != top.leader() {
-                    fault_log.push(FaultRecord {
-                        round,
-                        kind: "leader_failover".into(),
-                        detail: format!(
-                            "level 0 cluster 0: node {coll} promoted over node {}",
-                            top.leader()
-                        ),
-                    });
-                    if telem.enabled() {
-                        telem.emit(Event::LeaderFailover {
-                            round,
-                            level: 0,
-                            cluster: 0,
-                            failed: top.leader(),
-                            promoted: coll,
-                        });
-                    }
-                }
-                let kept: Vec<usize> = alive_slots
-                    .iter()
-                    .copied()
-                    .filter(|&m| {
-                        let phys = carrier[m];
-                        phys == coll
-                            || (!inj.partitioned(phys, coll, round)
-                                && !inj.drop_upload(round, 0, 0, m))
-                    })
-                    .collect();
-                (kept, top.len())
-            }
-            None => {
-                // Nothing produced anywhere: fall back to the stale
-                // carried values rather than crash — the run records the
-                // anomaly and continues.
-                fault_log.push(FaultRecord {
-                    round,
-                    kind: "degraded_quorum".into(),
-                    detail: "level 0 cluster 0: no fresh partials, using stale models".into(),
-                });
-                if telem.enabled() {
-                    telem.emit(Event::Anomaly {
-                        kind: "global_aggregation_stalled".into(),
-                        detail: format!("round {round}: no fresh partials reached the top"),
-                    });
-                }
-                (top.members.clone(), top.len())
-            }
-        };
-        if final_slots.len() < top_expected {
-            if telem.enabled() {
-                telem.emit(Event::DegradedQuorum {
-                    round,
-                    level: 0,
-                    cluster: 0,
-                    alive: final_slots.len(),
-                    expected: top_expected,
-                });
-            }
-            fault_log.push(FaultRecord {
-                round,
-                kind: "degraded_quorum".into(),
-                detail: format!(
-                    "level 0 cluster 0: {alive} of {top_expected} contributed",
-                    alive = final_slots.len()
-                ),
-            });
-        }
-        let proposals: Vec<&[f32]> = final_slots
-            .iter()
-            .map(|&dev| carried[dev].as_slice())
-            .collect();
-        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
-        let global = match &cfg.levels[0] {
-            LevelAgg::Bra(kind) => {
-                let count = (2 * proposals.len()) as u64;
-                cost.messages += count;
-                cost.bytes += count * model_bytes;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count,
-                        bytes: count * model_bytes,
-                    });
-                }
-                kind.build().aggregate(&proposals, None)
-            }
-            LevelAgg::Cba(kind) => {
-                let shards = self.task.test.split_even(proposals.len().max(1));
-                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
-                let byz: Vec<bool> = final_slots
-                    .iter()
-                    .map(|&dev| self.protocol_byzantine(dev))
-                    .collect();
-                let mech = kind.build();
-                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
-                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
-                cost.messages += out.messages;
-                cost.bytes += out.bytes;
-                cost.excluded += out.excluded.len() as u64;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count: out.messages,
-                        bytes: out.bytes,
-                    });
-                    for &proposal in &out.excluded {
-                        telem.emit(Event::ProposalExcluded {
-                            round,
-                            level: 0,
-                            cluster: 0,
-                            proposal,
-                        });
-                    }
-                }
-                out.decided
-            }
-        };
-        if telem.enabled() {
-            telem.emit(Event::ClusterAggregated {
-                round,
-                level: 0,
-                cluster: 0,
-                inputs: proposals.len(),
-                quorum: proposals.len(),
-            });
-        }
-
-        // Dissemination reaches every device that is up (crashed nodes
-        // rejoin with the current global on recovery — the model travels
-        // with the next round's training broadcast).
-        for l in 1..=bottom {
-            let per_level = h
-                .level(l)
-                .clusters
-                .iter()
-                .flat_map(|c| c.members.iter())
-                .filter(|&&m| !inj.crashed(m, round))
-                .count() as u64;
-            cost.messages += per_level;
-            cost.bytes += per_level * model_bytes;
-            if telem.enabled() {
-                telem.emit(Event::MessagesSent {
-                    round,
-                    level: l,
-                    count: per_level,
-                    bytes: per_level * model_bytes,
-                });
-            }
-        }
-
-        global
-    }
-
-    /// The arms-race aggregation path (active when the config enables an
-    /// adaptive attack, a protocol attack, or the suspicion layer). A
-    /// third textually-separate sibling of the clean and faulted paths,
-    /// for the same reason those two are separate: the clean path's RNG
-    /// stream is the determinism baseline and must not be perturbed.
-    ///
-    /// Additions over the clean path, all at the bottom level:
-    ///
-    /// - **Quarantine**: clients the suspicion layer has quarantined are
-    ///   excluded from their cluster's inputs — unless that would empty
-    ///   the cluster (the defense must not DoS itself).
-    /// - **Pivotal withholding**: under [`ProtocolAttack::Withhold`],
-    ///   malicious members drop their update exactly when the cluster
-    ///   still forms its quorum without them (only possible at φ < 1).
-    /// - **Evidence**: after each bottom aggregation,
-    ///   [`evidence::judge`] (for BRA) or the consensus exclusion list
-    ///   (for CBA) feeds per-client strikes into the suspicion tracker
-    ///   and acceptance feedback to the adaptive adversary.
-    /// - **Equivocation + echo audit**: malicious, undetected bottom
-    ///   leaders under [`ProtocolAttack::Equivocate`] send
-    ///   `−flip_scale · partial` upward while echoing the true partial
-    ///   to their members; every bottom cluster is audited with 8-byte
-    ///   digests ([`hfl_consensus::echo`]), and a convicted leader is
-    ///   repaired (behaves honestly) from the next round.
-    /// - **Round close**: suspicion transitions become events and
-    ///   manifest records; the adversary consumes its feedback and moves
-    ///   its magnitude.
-    pub fn aggregate_round_armed(
-        &self,
-        arms: &mut ArmsRace,
-        updates: &[Vec<f32>],
-        round: usize,
-        cost: &mut CostCounters,
-        telem: &Telemetry,
-        susp_log: &mut Vec<SuspicionRecord>,
-    ) -> Vec<f32> {
-        let cfg = &self.config;
-        let h = &self.hierarchy;
-        let bottom = h.bottom_level();
-        let d = updates[0].len();
-        let model_bytes = (d * 4) as u64;
-        let active = self.active_mask(round);
-        cost.absent += active.iter().filter(|a| !**a).count() as u64;
-        if telem.enabled() {
-            for (client, present) in active.iter().enumerate() {
-                if !present {
-                    telem.emit(Event::ChurnAbsence { round, client });
-                }
-            }
-        }
-
-        arms.feedback = AttackFeedback::default();
-        // Echo audits collected this round: (cluster, leader, report).
-        let mut audits: Vec<(usize, usize, EchoReport)> = Vec::new();
-
-        let mut carried: Vec<Vec<f32>> = updates.to_vec();
-
-        for l in (1..=bottom).rev() {
-            let level = h.level(l);
-            let mut next: Vec<Vec<f32>> = carried.clone();
-            for (ci, cluster) in level.clusters.iter().enumerate() {
-                let mut present: Vec<usize> = (0..cluster.len())
-                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
-                    .collect();
-                if l == bottom {
-                    if let Some(tracker) = &arms.suspicion {
-                        let kept: Vec<usize> = present
-                            .iter()
-                            .copied()
-                            .filter(|&mi| !tracker.is_quarantined(cluster.members[mi]))
-                            .collect();
-                        if !kept.is_empty() {
-                            cost.quarantined += (present.len() - kept.len()) as u64;
-                            present = kept;
-                        }
-                    }
-                    if arms.withhold {
-                        let withholding: Vec<usize> = present
-                            .iter()
-                            .copied()
-                            .filter(|&mi| {
-                                let dev = cluster.members[mi];
-                                self.malicious[dev] && dev != cluster.leader()
-                            })
-                            .collect();
-                        let quorum_all = quorum_size(cfg.quorum, present.len());
-                        if !withholding.is_empty()
-                            && present.len() - withholding.len() >= quorum_all
-                        {
-                            cost.withheld += withholding.len() as u64;
-                            if telem.enabled() {
-                                for &mi in &withholding {
-                                    telem.emit(Event::UpdateWithheld {
-                                        round,
-                                        client: cluster.members[mi],
-                                    });
-                                }
-                            }
-                            present.retain(|mi| !withholding.contains(mi));
-                        }
-                    }
-                }
-                let mut order = present;
-                let mut rng =
-                    rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
-                order.shuffle(&mut rng);
-                let quorum = quorum_size(cfg.quorum, order.len());
-                let kept: Vec<usize> = {
-                    let mut k = order[..quorum.min(order.len())].to_vec();
-                    k.sort_unstable();
-                    k
-                };
-                let inputs: Vec<&[f32]> = kept
-                    .iter()
-                    .map(|&mi| carried[cluster.members[mi]].as_slice())
-                    .collect();
-                let partial = match &cfg.levels[l] {
-                    LevelAgg::Bra(kind) => {
-                        let count = (quorum + cluster.len()) as u64;
-                        cost.messages += count;
-                        cost.bytes += count * model_bytes;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count,
-                                bytes: count * model_bytes,
-                            });
-                        }
-                        let partial = kind.build().aggregate(&inputs, None);
-                        if l == bottom {
-                            let verdict = evidence::judge(kind, &inputs);
-                            for (pos, &mi) in kept.iter().enumerate() {
-                                let dev = cluster.members[mi];
-                                if verdict.strikes[pos] > 0.0 {
-                                    if let Some(t) = arms.suspicion.as_mut() {
-                                        t.strike(dev, verdict.strikes[pos]);
-                                    }
-                                }
-                                if self.malicious[dev] {
-                                    arms.feedback.submitted += 1;
-                                    if verdict.accepted[pos] {
-                                        arms.feedback.accepted += 1;
-                                    }
-                                }
-                            }
-                        }
-                        partial
-                    }
-                    LevelAgg::Cba(kind) => {
-                        let byz: Vec<bool> = kept
-                            .iter()
-                            .map(|&mi| self.protocol_byzantine(cluster.members[mi]))
-                            .collect();
-                        let own: Vec<Vec<f32>> =
-                            inputs.iter().map(|i| i.to_vec()).collect();
-                        let eval = hfl_consensus::DistanceEvaluator::new(&own);
-                        let mech = kind.build();
-                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
-                        hfl_consensus::telemetry::record_outcome(
-                            telem.registry(),
-                            mech.name(),
-                            &out,
-                        );
-                        cost.messages += out.messages;
-                        cost.bytes += out.bytes;
-                        cost.excluded += out.excluded.len() as u64;
-                        if telem.enabled() {
-                            telem.emit(Event::MessagesSent {
-                                round,
-                                level: l,
-                                count: out.messages,
-                                bytes: out.bytes,
-                            });
-                            for &proposal in &out.excluded {
-                                telem.emit(Event::ProposalExcluded {
-                                    round,
-                                    level: l,
-                                    cluster: ci,
-                                    proposal,
-                                });
-                            }
-                        }
-                        if l == bottom {
-                            for (pos, &mi) in kept.iter().enumerate() {
-                                let dev = cluster.members[mi];
-                                let excluded = out.excluded.contains(&pos);
-                                if excluded {
-                                    if let Some(t) = arms.suspicion.as_mut() {
-                                        t.strike(dev, evidence::STRIKE_WORST);
-                                    }
-                                }
-                                if self.malicious[dev] {
-                                    arms.feedback.submitted += 1;
-                                    if !excluded {
-                                        arms.feedback.accepted += 1;
-                                    }
-                                }
-                            }
-                        }
-                        out.decided
-                    }
-                };
-                if telem.enabled() {
-                    telem.emit(Event::ClusterAggregated {
-                        round,
-                        level: l,
-                        cluster: ci,
-                        inputs: inputs.len(),
-                        quorum,
-                    });
-                }
-                if l == bottom {
-                    let leader = cluster.leader();
-                    let up = match arms.equivocate {
-                        Some(flip)
-                            if self.malicious[leader] && !arms.detected[leader] =>
-                        {
-                            partial.iter().map(|x| -flip * x).collect::<Vec<f32>>()
-                        }
-                        _ => partial.clone(),
-                    };
-                    // Every member echoes the digest of the partial it
-                    // received; the parent collector digests the up-sent
-                    // value. 8 bytes per member, negligible next to the
-                    // model transfers.
-                    let (msgs, bts) = echo_cost(cluster.len());
-                    cost.messages += msgs;
-                    cost.bytes += bts;
-                    audits.push((
-                        ci,
-                        leader,
-                        EchoReport {
-                            up_digest: hash_update(&up),
-                            member_digests: vec![hash_update(&partial); cluster.len()],
-                        },
-                    ));
-                    next[leader] = up;
-                } else {
-                    next[cluster.leader()] = partial;
-                }
-            }
-            carried = next;
-        }
-
-        // Global aggregation at the top cluster (identical to the clean
-        // path — the arms race only acts at the bottom).
-        let top = &h.level(0).clusters[0];
-        let proposals: Vec<&[f32]> = top
-            .members
-            .iter()
-            .map(|&dev| carried[dev].as_slice())
-            .collect();
-        let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
-        let global = match &cfg.levels[0] {
-            LevelAgg::Bra(kind) => {
-                let count = (2 * top.len()) as u64;
-                cost.messages += count;
-                cost.bytes += count * model_bytes;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count,
-                        bytes: count * model_bytes,
-                    });
-                }
-                kind.build().aggregate(&proposals, None)
-            }
-            LevelAgg::Cba(kind) => {
-                let shards = self.task.test.split_even(top.len());
-                let eval = AccuracyEvaluator::new(self.template.clone_box(), shards);
-                let byz: Vec<bool> = top
-                    .members
-                    .iter()
-                    .map(|&dev| self.protocol_byzantine(dev))
-                    .collect();
-                let mech = kind.build();
-                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
-                hfl_consensus::telemetry::record_outcome(telem.registry(), mech.name(), &out);
-                cost.messages += out.messages;
-                cost.bytes += out.bytes;
-                cost.excluded += out.excluded.len() as u64;
-                if telem.enabled() {
-                    telem.emit(Event::MessagesSent {
-                        round,
-                        level: 0,
-                        count: out.messages,
-                        bytes: out.bytes,
-                    });
-                    for &proposal in &out.excluded {
-                        telem.emit(Event::ProposalExcluded {
-                            round,
-                            level: 0,
-                            cluster: 0,
-                            proposal,
-                        });
-                    }
-                }
-                out.decided
-            }
-        };
-        if telem.enabled() {
-            telem.emit(Event::ClusterAggregated {
-                round,
-                level: 0,
-                cluster: 0,
-                inputs: proposals.len(),
-                quorum: proposals.len(),
-            });
-        }
-
-        // Dissemination, as in the clean path.
-        for l in 1..=bottom {
-            let per_level = h.level(l).num_nodes() as u64;
-            cost.messages += per_level;
-            cost.bytes += per_level * model_bytes;
-            if telem.enabled() {
-                telem.emit(Event::MessagesSent {
-                    round,
-                    level: l,
-                    count: per_level,
-                    bytes: per_level * model_bytes,
-                });
-            }
-        }
-
-        // Round close, phase 1: the echo audit convicts equivocators.
-        // Detection latency is one round by construction — the corrupt
-        // partial already propagated — and repair applies from the next.
-        for (ci, leader, report) in audits {
-            if report.equivocated() {
-                arms.detected[leader] = true;
-                telem
-                    .registry()
-                    .counter("hfl_equivocations_total", &[])
-                    .inc(1);
-                if telem.enabled() {
-                    telem.emit(Event::EquivocationDetected {
-                        round,
-                        level: bottom,
-                        cluster: ci,
-                        leader,
-                    });
-                }
-                if let Some(t) = arms.suspicion.as_mut() {
-                    t.strike(leader, 3.0 * evidence::STRIKE_WORST);
-                }
-                susp_log.push(SuspicionRecord {
-                    round,
-                    kind: "equivocation".into(),
-                    client: leader,
-                    score: arms
-                        .suspicion
-                        .as_ref()
-                        .map(|t| t.score(leader))
-                        .unwrap_or(0.0),
-                });
-            }
-        }
-
-        // Phase 2: the suspicion layer closes its round.
-        if let Some(t) = arms.suspicion.as_mut() {
-            for change in t.end_round() {
-                match change {
-                    SuspicionChange::Quarantined { client, score } => {
-                        if telem.enabled() {
-                            telem.emit(Event::ClientQuarantined { round, client, score });
-                        }
-                        susp_log.push(SuspicionRecord {
-                            round,
-                            kind: "quarantined".into(),
-                            client,
-                            score,
-                        });
-                    }
-                    SuspicionChange::Released { client, score } => {
-                        if telem.enabled() {
-                            telem.emit(Event::ClientReleased { round, client, score });
-                        }
-                        susp_log.push(SuspicionRecord {
-                            round,
-                            kind: "released".into(),
-                            client,
-                            score,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Phase 3: the adversary consumes its feedback and adapts.
-        if let Some(adv) = arms.adversary.as_mut() {
-            let fb = arms.feedback;
-            if telem.enabled() {
-                telem.emit(Event::AttackAdapted {
-                    round,
-                    magnitude: f64::from(adv.magnitude()),
-                    submitted: fb.submitted,
-                    accepted: fb.accepted,
-                });
-            }
-            adv.observe(round, fb);
-        }
-
-        global
+        let mut susp_log = Vec::new();
+        RoundEngine::fault_only(self).aggregate_round(
+            updates,
+            round,
+            cost,
+            telem,
+            fault_log,
+            &mut susp_log,
+        )
     }
 
     /// Test accuracy of a parameter vector.
@@ -1497,12 +392,16 @@ impl Experiment {
 }
 
 /// Runs the full ABD-HFL training loop described by `cfg`.
+#[deprecated(note = "use `crate::run::run` (or `crate::run::RunOptions` \
+                     for telemetry and driver selection)")]
 pub fn run_abd_hfl(cfg: &HflConfig) -> RunResult {
-    run_abd_hfl_with(cfg, &Telemetry::disabled()).result
+    run_prepared(&Experiment::prepare(cfg))
 }
 
 /// [`run_abd_hfl`] with telemetry: returns the result together with the
 /// run's [`RunManifest`].
+#[deprecated(note = "use `crate::run::RunOptions` with \
+                     `RunOptions::telemetry`")]
 pub fn run_abd_hfl_with(cfg: &HflConfig, telem: &Telemetry) -> InstrumentedRun {
     let exp = Experiment::prepare(cfg);
     run_prepared_with(&exp, telem)
@@ -1541,10 +440,10 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     let withheld_c = telem.registry().counter("hfl_withheld_total", &[]);
     let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
 
-    // Arms-race state (adaptive adversary, suspicion tracker, protocol
-    // attacks). `None` for plain configs, which then take the exact
-    // pre-existing clean/faulted paths.
-    let mut arms = ArmsRace::for_experiment(exp);
+    // The round engine with the config's layer stack: faults when a
+    // plan is compiled, defense + adversary when the arms race is
+    // engaged, empty for plain configs.
+    let mut engine = RoundEngine::for_experiment(exp);
     let mut susp_records: Vec<SuspicionRecord> = Vec::new();
 
     // Outside strict mode, a Krum/Multi-Krum level whose smallest
@@ -1583,50 +482,16 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
             telem.emit(Event::RoundStarted { round });
         }
         let before = cost;
-        // Scheduled faults activating this round go into the log first,
-        // then whatever the aggregation path observes (failover,
-        // degraded quorums) is appended in order.
         let mut fault_log: Vec<FaultRecord> = Vec::new();
-        if let Some(inj) = exp.injector() {
-            for ev in inj.faults_at(round) {
-                fault_log.push(FaultRecord {
-                    round,
-                    kind: ev.kind.clone(),
-                    detail: ev.detail.clone(),
-                });
-                if telem.enabled() {
-                    telem.emit(Event::FaultInjected {
-                        round,
-                        kind: ev.kind.clone(),
-                        detail: ev.detail.clone(),
-                    });
-                }
-            }
-        }
-        let adaptive = arms.as_ref().and_then(ArmsRace::current_attack);
-        let updates = exp.train_round_with(&global, round, adaptive.as_ref(), telem);
-        global = match arms.as_mut() {
-            Some(a) => exp.aggregate_round_armed(
-                a,
-                &updates,
-                round,
-                &mut cost,
-                telem,
-                &mut susp_records,
-            ),
-            None => {
-                exp.aggregate_round_logged(&updates, round, &mut cost, telem, &mut fault_log)
-            }
-        };
-        let delta = CostCounters {
-            messages: cost.messages - before.messages,
-            bytes: cost.bytes - before.bytes,
-            excluded: cost.excluded - before.excluded,
-            absent: cost.absent - before.absent,
-            faulted: cost.faulted - before.faulted,
-            quarantined: cost.quarantined - before.quarantined,
-            withheld: cost.withheld - before.withheld,
-        };
+        global = engine.run_round(
+            &global,
+            round,
+            &mut cost,
+            telem,
+            &mut fault_log,
+            &mut susp_records,
+        );
+        let delta = cost.since(&before);
         messages_c.inc(delta.messages);
         bytes_c.inc(delta.bytes);
         excluded_c.inc(delta.excluded);
@@ -1675,13 +540,9 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     // The suspicion section appears iff the suspicion layer ran (or a
     // protocol attack produced records): absent keys keep pre-v3
     // manifests byte-identical for unchanged configs.
-    let suspicion_ran = arms
-        .as_ref()
-        .is_some_and(|a| a.suspicion.is_some());
-    if suspicion_ran || !susp_records.is_empty() {
-        let final_scores = arms
-            .as_ref()
-            .and_then(|a| a.suspicion.as_ref())
+    if engine.suspicion().is_some() || !susp_records.is_empty() {
+        let final_scores = engine
+            .suspicion()
             .map(|t| {
                 t.scores()
                     .iter()
@@ -1726,7 +587,7 @@ pub fn run_repeated(cfg: &HflConfig, repetitions: usize) -> Vec<RunResult> {
         .map(|k| {
             let mut c = cfg.clone();
             c.seed = hfl_ml::rng::derive_seed(cfg.seed, 0x2E9 + k as u64);
-            run_abd_hfl(&c)
+            run_prepared(&Experiment::prepare(&c))
         })
         .collect()
 }
@@ -1736,6 +597,16 @@ mod tests {
     use super::*;
     use crate::config::HflConfig;
     use hfl_attacks::{DataAttack, Placement};
+
+    // Shadow the deprecated shims with the unified entry point so the
+    // tests exercise the current API.
+    fn run_abd_hfl(cfg: &HflConfig) -> RunResult {
+        crate::run::run(cfg)
+    }
+
+    fn run_abd_hfl_with(cfg: &HflConfig, telem: &Telemetry) -> InstrumentedRun {
+        run_prepared_with(&Experiment::prepare(cfg), telem)
+    }
 
     fn quick(attack: AttackCfg, seed: u64) -> HflConfig {
         let mut cfg = HflConfig::quick(attack, seed);

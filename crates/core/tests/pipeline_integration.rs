@@ -3,12 +3,16 @@
 //! reference driver on what is learned.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
-use abd_hfl_core::pipeline::{run_pipeline, PipelineConfig};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::pipeline::{PipelineConfig, PipelineResult};
+use abd_hfl_core::run::{run as run_abd_hfl, RunOptions};
 use hfl_consensus::ConsensusKind;
 use hfl_ml::synth::SynthConfig;
 use hfl_robust::AggregatorKind;
 use hfl_simnet::DelayModel;
+
+fn run_pipeline(cfg: &HflConfig, pcfg: &PipelineConfig) -> PipelineResult {
+    RunOptions::pipeline(pcfg).run(cfg).into_pipeline().0
+}
 
 fn small_cfg(seed: u64) -> HflConfig {
     let mut cfg = HflConfig::quick(AttackCfg::None, seed);

@@ -2,7 +2,7 @@
 //! running through the synchronous driver.
 
 use abd_hfl_core::config::{AttackCfg, HflConfig, ModelCfg};
-use abd_hfl_core::runner::run_abd_hfl;
+use abd_hfl_core::run::run;
 use abd_hfl_core::scheme::Scheme;
 use hfl_attacks::{DataAttack, Placement};
 use hfl_consensus::ConsensusKind;
@@ -30,7 +30,7 @@ fn every_scheme_trains_cleanly() {
             AggregatorKind::MultiKrum { f: 1, m: 3 },
             ConsensusKind::VoteMajority,
         );
-        let r = run_abd_hfl(&cfg);
+        let r = run(&cfg);
         assert!(
             r.final_accuracy > 0.6,
             "{} clean run failed: {}",
@@ -56,7 +56,7 @@ fn scheme1_beats_scheme3_under_heavy_attack() {
             AggregatorKind::MultiKrum { f: 1, m: 3 },
             ConsensusKind::VoteMajority,
         );
-        run_abd_hfl(&cfg).final_accuracy
+        run(&cfg).final_accuracy
     };
     let s1 = run_scheme(Scheme::Scheme1);
     let s3 = run_scheme(Scheme::Scheme3);
@@ -74,7 +74,7 @@ fn scheme4_pays_more_messages_than_scheme3() {
             AggregatorKind::MultiKrum { f: 1, m: 3 },
             ConsensusKind::VoteMajority,
         );
-        run_abd_hfl(&cfg).bytes
+        run(&cfg).bytes
     };
     assert!(
         bytes_of(Scheme::Scheme4) > bytes_of(Scheme::Scheme3),
@@ -87,7 +87,7 @@ fn mlp_model_runs_through_the_full_stack() {
     let mut cfg = fast(AttackCfg::None, 24);
     cfg.model = ModelCfg::Mlp { hidden: 16 };
     cfg.sgd.lr = 0.3;
-    let r = run_abd_hfl(&cfg);
+    let r = run(&cfg);
     assert!(r.final_accuracy > 0.5, "MLP run: {}", r.final_accuracy);
 }
 
@@ -103,8 +103,12 @@ fn mlp_survives_type_i_attack() {
     cfg.eval_every = 20;
     cfg.model = ModelCfg::Mlp { hidden: 16 };
     cfg.sgd.lr = 0.3;
-    let r = run_abd_hfl(&cfg);
-    assert!(r.final_accuracy > 0.5, "MLP attacked run: {}", r.final_accuracy);
+    let r = run(&cfg);
+    assert!(
+        r.final_accuracy > 0.5,
+        "MLP attacked run: {}",
+        r.final_accuracy
+    );
 }
 
 #[test]
@@ -113,8 +117,12 @@ fn stake_vote_top_level_works() {
     cfg.levels[0] = abd_hfl_core::config::LevelAgg::Cba(ConsensusKind::StakeVote {
         stakes: vec![1.0, 2.0, 3.0, 4.0],
     });
-    let r = run_abd_hfl(&cfg);
-    assert!(r.final_accuracy > 0.6, "stake-vote run: {}", r.final_accuracy);
+    let r = run(&cfg);
+    assert!(
+        r.final_accuracy > 0.6,
+        "stake-vote run: {}",
+        r.final_accuracy
+    );
 }
 
 #[test]
@@ -127,6 +135,6 @@ fn autogm_partials_work_under_attack() {
     let mut cfg = fast(attack, 27);
     cfg.levels[1] = abd_hfl_core::config::LevelAgg::Bra(AggregatorKind::AutoGm { kappa: 3.0 });
     cfg.levels[2] = abd_hfl_core::config::LevelAgg::Bra(AggregatorKind::AutoGm { kappa: 3.0 });
-    let r = run_abd_hfl(&cfg);
+    let r = run(&cfg);
     assert!(r.final_accuracy > 0.6, "AutoGM run: {}", r.final_accuracy);
 }

@@ -230,7 +230,6 @@ impl FaultInjector {
                 }
             }
         }
-        drop(record);
         for (node, at, rec) in crashes {
             inj.crash_from[node] = Some(at);
             inj.recover_at[node] = rec;
@@ -289,8 +288,7 @@ impl FaultInjector {
     pub fn churn_leave_prob(&self, round: usize) -> Option<f64> {
         self.churn
             .iter()
-            .filter(|c| round >= c.from && c.until.is_none_or(|u| round < u))
-            .next_back()
+            .rfind(|c| round >= c.from && c.until.is_none_or(|u| round < u))
             .map(|c| c.prob)
     }
 

@@ -53,9 +53,8 @@ impl LinearSoftmax {
         assert_eq!(x.len(), self.dim);
         assert_eq!(probs.len(), self.classes);
         let bias = self.classes * self.dim;
-        for c in 0..self.classes {
-            probs[c] =
-                hfl_tensor::ops::dot(self.w_row(c), x) as f32 + self.theta[bias + c];
+        for (c, p) in probs.iter_mut().enumerate() {
+            *p = hfl_tensor::ops::dot(self.w_row(c), x) as f32 + self.theta[bias + c];
         }
         softmax_in_place(probs);
     }
@@ -99,11 +98,7 @@ impl Model for LinearSoftmax {
             for (c, err) in probs.iter().enumerate() {
                 let coeff = inv_n * *err;
                 if coeff != 0.0 {
-                    hfl_tensor::ops::axpy(
-                        coeff,
-                        x,
-                        &mut grad[c * self.dim..(c + 1) * self.dim],
-                    );
+                    hfl_tensor::ops::axpy(coeff, x, &mut grad[c * self.dim..(c + 1) * self.dim]);
                 }
                 grad[bias_off + c] += coeff;
             }
@@ -152,7 +147,9 @@ mod tests {
         let mut ds = Dataset::empty(3, 3);
         ds.push(&[1.0, 0.5, -0.5], 0);
         ds.push(&[-1.0, 0.2, 0.3], 2);
-        let p0: Vec<f32> = (0..m.param_len()).map(|i| 0.05 * (i as f32 - 5.0)).collect();
+        let p0: Vec<f32> = (0..m.param_len())
+            .map(|i| 0.05 * (i as f32 - 5.0))
+            .collect();
         m.set_params(&p0);
 
         let idx = [0usize, 1];

@@ -103,8 +103,8 @@ pub fn noniid_partition(
 
     // Anchors: one shard of each label in the anchor's label window.
     for (a, &client) in honest_ids.iter().take(n_anchors).enumerate() {
-        for l in (a * lpc)..((a + 1) * lpc).min(k) {
-            let shard = shards_of_label[l].pop().expect("quota >= 1 per label");
+        for shards in &mut shards_of_label[(a * lpc)..((a + 1) * lpc).min(k)] {
+            let shard = shards.pop().expect("quota >= 1 per label");
             assigned[client].push(shard);
         }
     }
@@ -114,9 +114,9 @@ pub fn noniid_partition(
     // distinct-labels bound because each client gets exactly lpc shards.
     let mut leftovers: Vec<Vec<usize>> = shards_of_label.into_iter().flatten().collect();
     leftovers.shuffle(&mut rng);
-    for client in 0..n_clients {
-        while assigned[client].len() < lpc {
-            assigned[client].push(leftovers.pop().expect("shard accounting broke"));
+    for client_shards in &mut assigned {
+        while client_shards.len() < lpc {
+            client_shards.push(leftovers.pop().expect("shard accounting broke"));
         }
     }
     assert!(leftovers.is_empty(), "unassigned shards remain");

@@ -135,9 +135,7 @@ where
         return identity();
     }
     let partials = par_map_indexed(n, threads, f);
-    partials
-        .into_iter()
-        .fold(identity(), |acc, x| combine(acc, x))
+    partials.into_iter().fold(identity(), combine)
 }
 
 /// Fork-join: runs the two closures potentially in parallel and returns

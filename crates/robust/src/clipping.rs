@@ -73,15 +73,21 @@ mod tests {
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
         let out = CenteredClip::new(1.0, 5).aggregate(&refs, None);
         // One outlier can shift the estimate by at most iters·τ/n = 0.5.
-        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.8, "got {out:?}");
+        assert!(
+            hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.8,
+            "got {out:?}"
+        );
     }
 
     #[test]
     fn no_attack_converges_to_mean_neighborhood() {
-        let updates = vec![vec![0.0f32, 0.0], vec![2.0f32, 2.0]];
+        let updates = [vec![0.0f32, 0.0], vec![2.0f32, 2.0]];
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
         let out = CenteredClip::new(10.0, 20).aggregate(&refs, None);
-        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 1e-3, "got {out:?}");
+        assert!(
+            hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 1e-3,
+            "got {out:?}"
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ impl CosineClustering {
             }
             root
         }
-        for i in 0..n {
-            for (off, s) in sims[i].iter().enumerate() {
+        for (i, row) in sims.iter().enumerate() {
+            for (off, s) in row.iter().enumerate() {
                 if *s >= self.threshold {
                     let j = i + 1 + off;
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));

@@ -186,8 +186,13 @@ mod tests {
 
     #[test]
     fn multikrum_m_equals_n_is_mean_when_no_attack() {
-        let updates = vec![vec![0.0f32, 2.0], vec![2.0f32, 0.0], vec![1.0f32, 1.0],
-                           vec![1.0f32, 1.0], vec![1.0f32, 1.0]];
+        let updates = [
+            vec![0.0f32, 2.0],
+            vec![2.0f32, 0.0],
+            vec![1.0f32, 1.0],
+            vec![1.0f32, 1.0],
+            vec![1.0f32, 1.0],
+        ];
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
         let out = MultiKrum::new(1, 5).aggregate(&refs, None);
         assert!(hfl_tensor::ops::approx_eq(&out, &[1.0, 1.0], 1e-6));
@@ -214,7 +219,7 @@ mod tests {
         // f is clamped so scoring always keeps at least one distance;
         // with two honest near-identical updates and f=5, Krum still
         // returns one of them.
-        let u = vec![vec![1.0f32], vec![1.1f32], vec![0.9f32]];
+        let u = [vec![1.0f32], vec![1.1f32], vec![0.9f32]];
         let refs: Vec<&[f32]> = u.iter().map(|x| x.as_slice()).collect();
         let out = Krum::new(5).aggregate(&refs, None);
         assert!((out[0] - 1.0).abs() <= 0.11);

@@ -2,9 +2,9 @@
 //! scores, quarantine above a threshold, rehabilitation on decay.
 //!
 //! The hierarchy's aggregation rules are memoryless — a client that
-//! sign-flips every round is treated identically in round 50 and round
-//! 1. The tracker accumulates the per-round strike evidence the rules
-//! already produce ([`crate::evidence`]) into a score
+//! sign-flips every round is treated identically in round 50 and in
+//! round 1. The tracker accumulates the per-round strike evidence the
+//! rules already produce ([`crate::evidence`]) into a score
 //!
 //! ```text
 //! score[c] ← decay · (score[c] + strikes_this_round[c])
@@ -175,8 +175,10 @@ mod tests {
 
     #[test]
     fn invalid_params_are_caught() {
-        let mut c = SuspicionConfig::default();
-        c.decay = 1.0;
+        let mut c = SuspicionConfig {
+            decay: 1.0,
+            ..SuspicionConfig::default()
+        };
         assert_eq!(c.invalid_param(), Some(("decay", 1.0)));
         c = SuspicionConfig::default();
         c.quarantine_threshold = 0.0;

@@ -113,7 +113,7 @@ pub struct RoundRecord {
 }
 
 impl RoundRecord {
-    fn to_json(&self) -> Json {
+    fn to_json(self) -> Json {
         Json::Obj(vec![
             ("round".into(), Json::UInt(self.round as u64)),
             (
@@ -160,7 +160,7 @@ pub struct RunTotals {
 }
 
 impl RunTotals {
-    fn to_json(&self) -> Json {
+    fn to_json(self) -> Json {
         Json::Obj(vec![
             ("messages".into(), Json::UInt(self.messages)),
             ("bytes".into(), Json::UInt(self.bytes)),
@@ -257,7 +257,7 @@ pub struct ClientScore {
 }
 
 impl ClientScore {
-    fn to_json(&self) -> Json {
+    fn to_json(self) -> Json {
         Json::Obj(vec![
             ("client".into(), Json::UInt(self.client as u64)),
             ("score".into(), Json::Num(self.score)),
@@ -297,7 +297,7 @@ impl SuspicionSection {
             ),
             (
                 "final_scores".into(),
-                Json::Arr(self.final_scores.iter().map(ClientScore::to_json).collect()),
+                Json::Arr(self.final_scores.iter().map(|c| c.to_json()).collect()),
             ),
         ])
     }
@@ -382,7 +382,7 @@ impl RunManifest {
             ("build".into(), self.build.to_json()),
             (
                 "rounds".into(),
-                Json::Arr(self.rounds.iter().map(RoundRecord::to_json).collect()),
+                Json::Arr(self.rounds.iter().map(|r| r.to_json()).collect()),
             ),
             ("totals".into(), self.totals.to_json()),
             (
@@ -463,11 +463,15 @@ fn str_field(v: &Json, key: &str) -> Result<String, String> {
 }
 
 fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
-    v.get(key).and_then(Json::as_u64).ok_or_else(|| key.to_string())
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| key.to_string())
 }
 
 fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
-    v.get(key).and_then(Json::as_f64).ok_or_else(|| key.to_string())
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| key.to_string())
 }
 
 fn sample_to_json(s: &MetricSample) -> Json {
@@ -519,7 +523,11 @@ fn sample_from_json(v: &Json) -> Result<MetricSample, String> {
         })
         .collect::<Result<_, _>>()?;
     let vv = v.get("value").ok_or("metric.value")?;
-    let value = match vv.get("type").and_then(Json::as_str).ok_or("metric.value.type")? {
+    let value = match vv
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("metric.value.type")?
+    {
         "counter" => MetricValue::Counter(u64_field(vv, "value")?),
         "gauge" => MetricValue::Gauge(f64_field(vv, "value")?),
         "histogram" => MetricValue::Histogram(HistogramStats {

@@ -8,7 +8,7 @@
 
 use abd_hfl::attacks::{DataAttack, ModelAttack, Placement};
 use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::runner::run_abd_hfl;
+use abd_hfl::core::run::run;
 use abd_hfl::core::vanilla::run_vanilla;
 use abd_hfl::robust::AggregatorKind;
 
@@ -99,7 +99,7 @@ fn main() {
         cfg.rounds = 20;
         cfg.eval_every = 20;
         let vanilla = run_vanilla(&cfg, AggregatorKind::FedAvg);
-        let abd = run_abd_hfl(&cfg);
+        let abd = run(&cfg);
         println!(
             "{:<26}  {:>15.1}%  {:>9.1}%",
             name,

@@ -6,11 +6,11 @@
 //! cargo run --release --example byzantine_resilience
 //! ```
 
+use abd_hfl::attacks::{DataAttack, Placement};
 use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::runner::run_abd_hfl;
+use abd_hfl::core::run::run;
 use abd_hfl::core::theory;
 use abd_hfl::core::vanilla::{paper_vanilla_aggregator, run_vanilla};
-use abd_hfl::attacks::{DataAttack, Placement};
 
 fn main() {
     let proportions = [0.0, 0.2, 0.4, 0.578, 0.65];
@@ -33,7 +33,7 @@ fn main() {
         let mut cfg = HflConfig::quick(attack, 7);
         cfg.rounds = 40;
         cfg.eval_every = 40;
-        let abd = run_abd_hfl(&cfg);
+        let abd = run(&cfg);
         let vanilla = run_vanilla(&cfg, paper_vanilla_aggregator(true, 64));
         let marker = if p > bound { " (beyond bound)" } else { "" };
         println!(

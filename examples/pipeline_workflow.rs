@@ -8,7 +8,8 @@
 //! ```
 
 use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::pipeline::{run_pipeline, PipelineConfig};
+use abd_hfl::core::pipeline::PipelineConfig;
+use abd_hfl::core::run::RunOptions;
 use abd_hfl::ml::synth::SynthConfig;
 
 fn main() {
@@ -25,10 +26,14 @@ fn main() {
 
     for flag_level in [1usize, 2] {
         cfg.flag_level = flag_level;
-        let res = run_pipeline(&cfg, &pcfg);
+        let res = RunOptions::pipeline(&pcfg).run(&cfg).into_pipeline().0;
         println!(
             "\n=== flag level ℓF = {flag_level} ({} the top) ===",
-            if flag_level == 1 { "next to" } else { "far from" }
+            if flag_level == 1 {
+                "next to"
+            } else {
+                "far from"
+            }
         );
         println!(
             "{:>5}  {:>10}  {:>10}  {:>8}",

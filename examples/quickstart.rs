@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::runner::run_abd_hfl;
-use abd_hfl::core::theory;
 use abd_hfl::attacks::{DataAttack, Placement};
+use abd_hfl::core::config::{AttackCfg, HflConfig};
+use abd_hfl::core::run::run;
+use abd_hfl::core::theory;
 
 fn main() {
     // The paper's topology: 3 levels, clusters of 4, 4 top nodes, 64
@@ -30,7 +30,7 @@ fn main() {
         theory::paper_tolerance_bound() * 100.0
     );
 
-    let result = run_abd_hfl(&cfg);
+    let result = run(&cfg);
     println!("\nround  test-accuracy");
     for (round, acc) in &result.accuracy {
         println!("{round:>5}  {:.1}%", acc * 100.0);

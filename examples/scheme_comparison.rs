@@ -5,11 +5,11 @@
 //! cargo run --release --example scheme_comparison
 //! ```
 
+use abd_hfl::attacks::{DataAttack, Placement};
 use abd_hfl::consensus::ConsensusKind;
 use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::runner::run_abd_hfl;
+use abd_hfl::core::run::run;
 use abd_hfl::core::scheme::Scheme;
-use abd_hfl::attacks::{DataAttack, Placement};
 use abd_hfl::robust::AggregatorKind;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
             AggregatorKind::MultiKrum { f: 1, m: 3 },
             ConsensusKind::VoteMajority,
         );
-        let r = run_abd_hfl(&cfg);
+        let r = run(&cfg);
         println!(
             "{:<38}  {:>8.1}%  {:>10}  {:>10.1}",
             scheme.name(),

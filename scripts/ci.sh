@@ -29,3 +29,14 @@ cargo run --release -p hfl-bench --bin repro_adaptive -- \
 diff "$tmp/c/adaptive.manifests.jsonl" "$tmp/d/adaptive.manifests.jsonl" \
     || { echo "repro_adaptive manifests differ across same-seed runs"; exit 1; }
 echo "repro_adaptive determinism gate passed"
+
+# Combined-stress smoke + determinism gate: faults and the arms race in
+# the same run exercise every layer of the round engine at once — two
+# same-seed sweeps must still produce byte-identical manifest logs.
+cargo run --release -p hfl-bench --bin repro_combined -- \
+    --quick --seed 42 --out "$tmp/e" >/dev/null
+cargo run --release -p hfl-bench --bin repro_combined -- \
+    --quick --seed 42 --out "$tmp/f" >/dev/null
+diff "$tmp/e/combined.manifests.jsonl" "$tmp/f/combined.manifests.jsonl" \
+    || { echo "repro_combined manifests differ across same-seed runs"; exit 1; }
+echo "repro_combined determinism gate passed"

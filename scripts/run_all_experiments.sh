@@ -25,4 +25,5 @@ run repro_async --out "$OUT"
 run repro_acsm --out "$OUT"
 run repro_faults --out "$OUT"
 run repro_adaptive --out "$OUT"
+run repro_combined --out "$OUT"
 echo "all experiments done; markdown in $OUT/*.md, raw data in $OUT/*.csv"

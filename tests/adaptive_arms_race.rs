@@ -4,9 +4,16 @@
 
 use abd_hfl::attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
 use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg};
-use abd_hfl::core::runner::run_abd_hfl_with;
+use abd_hfl::core::run::RunOptions;
 use abd_hfl::robust::{AggregatorKind, SuspicionConfig};
 use abd_hfl::telemetry::{Event, Telemetry};
+
+fn run_abd_hfl_with(
+    cfg: &abd_hfl::core::HflConfig,
+    telem: &Telemetry,
+) -> abd_hfl::core::InstrumentedRun {
+    RunOptions::new().telemetry(telem).run(cfg).into_sync()
+}
 
 /// The quick topology (64 clients, bottom clusters of 4) with Multi-Krum
 /// at every level — BRA everywhere so the evidence path, not consensus,

@@ -3,9 +3,17 @@
 //! the `hfl-faults` subsystem).
 
 use abd_hfl::core::config::{AttackCfg, HflConfig};
-use abd_hfl::core::runner::{run_abd_hfl_with, run_prepared_with, Experiment};
+use abd_hfl::core::run::RunOptions;
+use abd_hfl::core::runner::{run_prepared_with, Experiment};
 use abd_hfl::faults::FaultPlan;
 use abd_hfl::telemetry::Telemetry;
+
+fn run_abd_hfl_with(
+    cfg: &abd_hfl::core::HflConfig,
+    telem: &Telemetry,
+) -> abd_hfl::core::InstrumentedRun {
+    RunOptions::new().telemetry(telem).run(cfg).into_sync()
+}
 
 fn fast(seed: u64) -> HflConfig {
     let mut cfg = HflConfig::quick(AttackCfg::None, seed);

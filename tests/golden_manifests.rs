@@ -1,0 +1,219 @@
+//! Golden-manifest regression tests for the round engine.
+//!
+//! Each fixture freezes one aggregation mode as it behaved before the
+//! `RoundEngine` refactor collapsed the three textually-separate round
+//! paths (clean / faulted / armed): the committed files under
+//! `tests/golden/` hold the manifest JSON and the structured-event
+//! stream of a small same-seed run, and the test asserts the engine
+//! still reproduces them **byte-identically** — same RNG stream order,
+//! same cost accounting, same event sequence.
+//!
+//! Regenerate (after an *intentional* change to round semantics) with:
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test --test golden_manifests
+//! ```
+//!
+//! The fixtures are a function of the `rand` implementation the
+//! workspace was built against (seeded streams feed SGD, shuffles and
+//! consensus votes). `rng_fingerprint.txt` records the stream identity
+//! the goldens were generated under; when a different `rand` build is
+//! detected the byte-comparison is skipped (two in-process runs are
+//! still compared, so determinism itself stays asserted).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use abd_hfl::attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
+use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl::core::runner::{run_prepared_with, Experiment, InstrumentedRun};
+use abd_hfl::faults::FaultPlan;
+use abd_hfl::ml::synth::SynthConfig;
+use abd_hfl::robust::SuspicionConfig;
+use abd_hfl::telemetry::Telemetry;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Identity of the seeded RNG streams this build produces: a few draws
+/// from the two generator entry points the runner uses. Distinct `rand`
+/// implementations (or versions) yield a different line.
+fn rng_fingerprint() -> String {
+    use rand::RngCore;
+    let mut a = abd_hfl::ml::rng::rng_for_n(0xF00D, &[1, 2, 3]);
+    let mut b: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0xBEEF);
+    format!(
+        "{:016x}-{:016x}-{:016x}",
+        a.next_u64(),
+        b.next_u64(),
+        abd_hfl::ml::rng::derive_seed(7, 0x42)
+    )
+}
+
+/// True when the committed goldens were generated under this build's
+/// RNG streams (always true in update mode, which rewrites them).
+fn fingerprint_matches() -> bool {
+    let path = golden_dir().join("rng_fingerprint.txt");
+    match fs::read_to_string(&path) {
+        Ok(s) => s.trim() == rng_fingerprint(),
+        Err(_) => false,
+    }
+}
+
+fn update_mode() -> bool {
+    std::env::var_os("GOLDEN_UPDATE").is_some()
+}
+
+/// The shared small task every fixture runs (quick config, smaller
+/// synthetic task so four fixtures stay cheap).
+fn base(attack: AttackCfg, seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(attack, seed);
+    cfg.rounds = 4;
+    cfg.eval_every = 2;
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 800,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+/// The fault-free path: churn and a sub-unit quorum exercised.
+fn clean_fixture() -> HflConfig {
+    let mut cfg = base(AttackCfg::None, 2024);
+    cfg.quorum = 0.75;
+    cfg.churn_leave_prob = 0.1;
+    cfg
+}
+
+/// The fault-injected path: a follower crash, a leader kill (deputy
+/// promotion), a healing partition and a straggler, under φ = 0.75.
+fn faulted_fixture() -> HflConfig {
+    let mut cfg = base(AttackCfg::None, 2025);
+    cfg.quorum = 0.75;
+    let split: Vec<usize> = (0..24).collect();
+    let rest: Vec<usize> = (24..64).collect();
+    cfg.faults = Some(
+        FaultPlan::new()
+            .crash_stop(1, 2)
+            .kill_leader(1, 2, 1, None)
+            .partition(2, vec![split, rest], 3)
+            .straggler(1, 6, 8.0, None),
+    );
+    cfg
+}
+
+/// The arms-race path: adaptive ALIE coalition, suspicion/quarantine
+/// defense, equivocating leaders audited by echo digests.
+fn armed_fixture() -> HflConfig {
+    let mut cfg = base(
+        AttackCfg::Adaptive {
+            attack: AdaptiveAttack::alie_default(),
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        },
+        2026,
+    );
+    cfg.suspicion = Some(SuspicionConfig::default());
+    cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+    cfg
+}
+
+/// Arms race, CBA-at-the-bottom variant: a static sign-flip coalition
+/// withholding pivotally below full quorum, consensus exclusions
+/// feeding the suspicion strikes.
+fn withhold_fixture() -> HflConfig {
+    let mut cfg = base(
+        AttackCfg::Model {
+            attack: ModelAttack::SignFlip { scale: 2.0 },
+            proportion: 0.25,
+            placement: Placement::Random,
+        },
+        2027,
+    );
+    cfg.quorum = 0.75;
+    cfg.levels[2] = LevelAgg::Cba(abd_hfl::consensus::ConsensusKind::VoteMajority);
+    cfg.suspicion = Some(SuspicionConfig::default());
+    cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+    cfg
+}
+
+/// Runs a fixture with a recording telemetry bundle, returning the run
+/// plus the rendered event stream (one debug-formatted event per line).
+fn run_fixture(cfg: &HflConfig) -> (InstrumentedRun, String) {
+    let exp = Experiment::prepare(cfg);
+    let (telem, rec) = Telemetry::recording();
+    let run = run_prepared_with(&exp, &telem);
+    let events: String = rec.events().iter().map(|e| format!("{e:?}\n")).collect();
+    (run, events)
+}
+
+fn check_golden(name: &str, cfg: &HflConfig) {
+    let (run, events) = run_fixture(cfg);
+    let manifest = run.manifest.to_json();
+
+    // Determinism holds regardless of which rand build is linked: a
+    // second in-process run must agree byte-for-byte.
+    let (rerun, reevents) = run_fixture(cfg);
+    assert_eq!(
+        manifest,
+        rerun.manifest.to_json(),
+        "{name}: same-seed manifests differ within one build"
+    );
+    assert_eq!(
+        events, reevents,
+        "{name}: same-seed event streams differ within one build"
+    );
+
+    let dir = golden_dir();
+    let manifest_path = dir.join(format!("{name}.manifest.json"));
+    let events_path = dir.join(format!("{name}.events.txt"));
+    if update_mode() {
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("rng_fingerprint.txt"), rng_fingerprint() + "\n").unwrap();
+        fs::write(&manifest_path, manifest + "\n").unwrap();
+        fs::write(&events_path, events).unwrap();
+        return;
+    }
+    if !fingerprint_matches() {
+        eprintln!(
+            "{name}: goldens were generated under a different rand build \
+             (rng fingerprint mismatch); skipping the byte comparison"
+        );
+        return;
+    }
+    let want_manifest = fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("{name}: missing golden manifest ({e}); run GOLDEN_UPDATE=1"));
+    let want_events = fs::read_to_string(&events_path)
+        .unwrap_or_else(|e| panic!("{name}: missing golden events ({e}); run GOLDEN_UPDATE=1"));
+    assert_eq!(
+        manifest,
+        want_manifest.trim_end_matches('\n'),
+        "{name}: manifest diverged from the pre-refactor golden"
+    );
+    assert_eq!(
+        events, want_events,
+        "{name}: event stream diverged from the pre-refactor golden"
+    );
+}
+
+#[test]
+fn clean_round_path_matches_golden() {
+    check_golden("clean", &clean_fixture());
+}
+
+#[test]
+fn faulted_round_path_matches_golden() {
+    check_golden("faulted", &faulted_fixture());
+}
+
+#[test]
+fn armed_round_path_matches_golden() {
+    check_golden("armed", &armed_fixture());
+}
+
+#[test]
+fn withholding_round_path_matches_golden() {
+    check_golden("withhold", &withhold_fixture());
+}

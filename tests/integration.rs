@@ -6,7 +6,8 @@
 use abd_hfl::attacks::{DataAttack, ModelAttack, Placement};
 use abd_hfl::consensus::ConsensusKind;
 use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
-use abd_hfl::core::runner::{run_abd_hfl, run_prepared, Experiment};
+use abd_hfl::core::run::run as run_abd_hfl;
+use abd_hfl::core::runner::{run_prepared, Experiment};
 use abd_hfl::core::theory;
 use abd_hfl::core::vanilla::{paper_vanilla_aggregator, run_vanilla};
 use abd_hfl::ml::synth::SynthConfig;
@@ -112,8 +113,7 @@ fn definition4_at_bound_holds_beyond_breaks() {
 
     let run_with = |per_cluster: usize, seed: u64| {
         let mask = theory::definition4_placement(&h, 1, per_cluster);
-        let proportion =
-            mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
+        let proportion = mask.iter().filter(|b| **b).count() as f64 / mask.len() as f64;
         let mut cfg = fast(
             AttackCfg::Data {
                 attack: DataAttack::type_i(),

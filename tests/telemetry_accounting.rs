@@ -11,9 +11,16 @@
 //! ```
 
 use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg, TopologyCfg};
-use abd_hfl::core::runner::run_abd_hfl_with;
+use abd_hfl::core::run::RunOptions;
 use abd_hfl::robust::AggregatorKind;
 use abd_hfl::telemetry::{Event, Telemetry};
+
+fn run_abd_hfl_with(
+    cfg: &abd_hfl::core::HflConfig,
+    telem: &Telemetry,
+) -> abd_hfl::core::InstrumentedRun {
+    RunOptions::new().telemetry(telem).run(cfg).into_sync()
+}
 
 /// An all-BRA configuration where every message is countable exactly:
 /// full quorum, no churn, no attack.
