@@ -1,0 +1,165 @@
+//! The scenario-fuzzer entry point: draws random-but-seeded scenarios,
+//! runs each through the round engine, and holds every run to the five
+//! `hfl-oracle` invariants (quorum safety, accounting conservation,
+//! determinism, Byzantine degradation bound, honest-quarantine bound).
+//!
+//! ```sh
+//! # CI budget (also the acceptance gate):
+//! cargo run --release -p hfl-bench --bin fuzz_oracle -- --iters 200 --seed 42
+//!
+//! # Prove the oracles catch a broken quorum rule, end to end:
+//! cargo run --release -p hfl-bench --bin fuzz_oracle -- --mutation quorum --seed 42
+//! ```
+//!
+//! On a real violation the failing scenario is shrunk to a minimal
+//! spec and persisted as a TOML case under `tests/corpus/`, which
+//! `tests/oracle_corpus.rs` replays forever after. `--mutation` runs
+//! the same pipeline against deliberately corrupted observations (the
+//! harness's self-check, see `DESIGN.md` §10) and writes its repro
+//! under `target/oracle/` instead — the corpus is reserved for real
+//! engine failures.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hfl_oracle::harness::{check, Mutation};
+use hfl_oracle::scenario::{ScenarioGen, ScenarioSpec};
+use hfl_oracle::{shrink, toml};
+
+struct FuzzArgs {
+    iters: usize,
+    seed: u64,
+    mutation: Option<Mutation>,
+    corpus_dir: PathBuf,
+    out_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz_oracle [--iters N] [--seed S] \
+         [--mutation quorum|conservation|determinism] \
+         [--corpus-dir DIR] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> FuzzArgs {
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = FuzzArgs {
+        iters: 50,
+        seed: 42,
+        mutation: None,
+        corpus_dir: workspace.join("tests/corpus"),
+        out_dir: workspace.join("target/oracle"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                args.seed = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--mutation" => {
+                let name = value();
+                args.mutation = Some(Mutation::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mutation `{name}`");
+                    usage()
+                }));
+            }
+            "--corpus-dir" => args.corpus_dir = PathBuf::from(value()),
+            "--out" => args.out_dir = PathBuf::from(value()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Re-runs a shrink candidate under the active mutation; invalid specs
+/// (a topology edit orphaning a fault) count as "does not fail".
+fn still_fails(spec: &ScenarioSpec, mutation: Option<Mutation>) -> bool {
+    matches!(check(spec, mutation), Ok((_, v)) if !v.is_empty())
+}
+
+fn write_case(dir: &Path, stem: &str, spec: &ScenarioSpec) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("{stem}.toml"));
+    std::fs::write(&path, toml::to_toml(spec))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut gen = ScenarioGen::new(args.seed);
+
+    if let Some(mutation) = args.mutation {
+        // Self-check mode: corrupted observations MUST trip an oracle.
+        for i in 0..args.iters.max(1) {
+            let spec = gen.draw();
+            let (_, violations) =
+                check(&spec, Some(mutation)).expect("generated spec must be valid");
+            if violations.is_empty() {
+                continue;
+            }
+            println!(
+                "mutation `{}` caught at iteration {i}: {}",
+                mutation.name(),
+                violations[0]
+            );
+            let minimal = shrink::shrink(&spec, |s| still_fails(s, Some(mutation)));
+            let path = write_case(
+                &args.out_dir,
+                &format!("mutation_{}", mutation.name()),
+                &minimal,
+            );
+            println!(
+                "minimal repro ({} clients, {} rounds): {}",
+                minimal.num_clients(),
+                minimal.rounds,
+                path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "mutation `{}` was NOT caught in {} iterations — the oracles are blind to it",
+            mutation.name(),
+            args.iters
+        );
+        return ExitCode::FAILURE;
+    }
+
+    for i in 0..args.iters {
+        let spec = gen.draw();
+        let (_, violations) = check(&spec, None).expect("generated spec must be valid");
+        if violations.is_empty() {
+            if (i + 1) % 25 == 0 {
+                println!("{}/{} scenarios clean", i + 1, args.iters);
+            }
+            continue;
+        }
+        eprintln!("iteration {i} (seed {}) violated:", args.seed);
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!("shrinking...");
+        let minimal = shrink::shrink(&spec, |s| still_fails(s, None));
+        let stem = format!("fuzz_seed{}_iter{i}", args.seed);
+        let path = write_case(&args.corpus_dir, &stem, &minimal);
+        eprintln!(
+            "minimal repro ({} clients, {} rounds) persisted to {} — \
+             replayed by tests/oracle_corpus.rs",
+            minimal.num_clients(),
+            minimal.rounds,
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "all {} scenarios upheld the five oracles (seed {})",
+        args.iters, args.seed
+    );
+    ExitCode::SUCCESS
+}

@@ -6,8 +6,10 @@
 //! one place per kind.
 
 use hfl_consensus::ConsensusOutcome;
+use hfl_simnet::topology::Hierarchy;
 
 use super::layer::RoundCtx;
+use crate::config::{HflConfig, LevelAgg};
 
 /// Mutable cost accumulators threaded through a round of aggregation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -42,6 +44,41 @@ impl CostCounters {
             withheld: self.withheld - before.withheld,
         }
     }
+}
+
+/// Closed-form message count of one fault-free round (Algorithms 3–5):
+/// what the ledger must report when nothing removes contributors — no
+/// faults, no churn, no quarantine, no withholding. Per BRA cluster at
+/// levels `1..=bottom` the leader collects `⌈φ·|C|⌉` uploads and
+/// broadcasts the partial to the whole cluster; the top aggregation
+/// charges an upload and a broadcast per proposal; dissemination then
+/// pays one transfer per node per level on the way down.
+///
+/// Every one of these transfers is a model payload, so the matching
+/// byte count is `messages × 4·d`. Returns `None` when any level uses
+/// CBA: consensus rounds have outcome-dependent costs (vote traffic,
+/// exclusions) with no config-only closed form.
+///
+/// This is the predictor behind `hfl-oracle`'s accounting-conservation
+/// invariant: the fuzzer holds every eligible generated scenario to
+/// this count exactly.
+pub fn clean_round_messages(cfg: &HflConfig, h: &Hierarchy) -> Option<u64> {
+    if cfg.levels.iter().any(|l| matches!(l, LevelAgg::Cba(_))) {
+        return None;
+    }
+    let bottom = h.bottom_level();
+    let mut messages = 0u64;
+    for l in 1..=bottom {
+        for c in &h.level(l).clusters {
+            let quorum = hfl_consensus::quorum_size(cfg.quorum, c.len());
+            messages += quorum as u64 + c.len() as u64;
+        }
+    }
+    messages += 2 * h.level(0).num_nodes() as u64;
+    for l in 1..=bottom {
+        messages += h.level(l).num_nodes() as u64;
+    }
+    Some(messages)
 }
 
 impl RoundCtx<'_> {
@@ -128,12 +165,37 @@ mod tests {
         );
 
         assert_eq!(cost.messages, 12 + 4 + 6);
+        assert_eq!(
+            clean_round_messages(&cfg, &exp.hierarchy),
+            Some(cost.messages),
+            "the closed-form predictor must match the ledger"
+        );
         assert_eq!(cost.bytes, cost.messages * (dim as u64 * 4));
         assert_eq!(cost.excluded, 0);
         assert_eq!(cost.absent, 0);
         assert_eq!(cost.faulted, 0);
         assert_eq!(cost.quarantined, 0);
         assert_eq!(cost.withheld, 0);
+    }
+
+    /// The predictor follows the quorum fraction and refuses CBA levels.
+    #[test]
+    fn clean_round_predictor_tracks_quorum_and_rejects_cba() {
+        let mut cfg = HflConfig::quick(AttackCfg::None, 9);
+        cfg.topology = TopologyCfg::Ecsm {
+            total_levels: 2,
+            m: 4,
+            n_top: 2,
+        };
+        cfg.levels = vec![LevelAgg::Bra(AggregatorKind::FedAvg); 2];
+        cfg.flag_level = 1;
+        cfg.quorum = 0.5;
+        let h = cfg.topology.build(cfg.seed);
+        // 2 clusters × (⌈0.5·4⌉ + 4) + 2·2 top + 8 dissemination.
+        assert_eq!(clean_round_messages(&cfg, &h), Some(2 * (2 + 4) + 4 + 8));
+
+        cfg.levels[1] = LevelAgg::Cba(hfl_consensus::ConsensusKind::VoteMajority);
+        assert_eq!(clean_round_messages(&cfg, &h), None);
     }
 
     /// `since` reports the monotone delta between two snapshots.

@@ -42,7 +42,7 @@ use crate::engine::RoundEngine;
 pub use crate::engine::CostCounters;
 
 /// Outcome of one full training run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// `(round, test accuracy)` at each evaluation point (always includes
     /// the final round).

@@ -1,0 +1,215 @@
+//! Runs one scenario through the real entry points and collects the
+//! cross-run observations the oracles judge.
+//!
+//! A scenario costs two fully independent instrumented runs (prepare +
+//! train, so the determinism oracle compares end-to-end reproductions,
+//! not a cached experiment) plus, when the Byzantine-degradation oracle
+//! applies, a third same-seed run with the attack stripped.
+//!
+//! [`Mutation`] injects deliberate corruptions *at the observation
+//! boundary* — the values a buggy engine would have produced — so CI
+//! can prove the oracles and the shrinker actually catch a broken
+//! quorum rule or a leaked message without compiling a broken engine
+//! (see `DESIGN.md` §10).
+
+use abd_hfl_core::config::ConfigError;
+use abd_hfl_core::engine::cost::clean_round_messages;
+use abd_hfl_core::runner::{run_prepared_with, Experiment, RunResult};
+use hfl_telemetry::{Event, RunManifest, Telemetry};
+
+use crate::scenario::{AttackSpec, ProtocolSpec, ScenarioSpec};
+
+/// Relative accuracy slack of the Byzantine-degradation oracle: under
+/// an in-tolerance static attack the final accuracy must stay within
+/// this of the same-seed clean run.
+pub const BYZANTINE_EPSILON: f64 = 0.25;
+
+/// Everything the oracles look at for one scenario.
+pub struct Observations {
+    /// The scenario that was run.
+    pub spec: ScenarioSpec,
+    /// Outcome of the primary run.
+    pub result: RunResult,
+    /// Manifest of the primary run.
+    pub manifest: RunManifest,
+    /// `manifest.to_json()` of the primary run.
+    pub manifest_json: String,
+    /// Manifest JSON of the independent same-seed rerun.
+    pub rerun_manifest_json: String,
+    /// Structured events of the primary run.
+    pub events: Vec<Event>,
+    /// `cluster_sizes[level][cluster]` of the built hierarchy.
+    pub cluster_sizes: Vec<Vec<usize>>,
+    /// Malicious-member count of each bottom cluster.
+    pub malicious_per_cluster: Vec<usize>,
+    /// Bytes of one model transfer (`4·d`).
+    pub model_bytes: u64,
+    /// Closed-form per-round message count, when the scenario is clean
+    /// enough for [`clean_round_messages`] to apply exactly.
+    pub expected_round_messages: Option<u64>,
+    /// Final accuracy of the attack-stripped same-seed twin, when the
+    /// Byzantine-degradation oracle is eligible.
+    pub clean_final_accuracy: Option<f64>,
+}
+
+impl Observations {
+    /// True when nothing in the scenario removes contributors: the
+    /// strict quorum / closed-form accounting forms apply.
+    pub fn is_clean(&self) -> bool {
+        let s = &self.spec;
+        s.faults.is_empty() && s.churn == 0.0 && !s.suspicion && s.protocol == ProtocolSpec::None
+    }
+}
+
+/// True when the scenario qualifies for the Byzantine-degradation
+/// oracle: a static attack, full quorum (so the kept set is the whole
+/// cluster and per-cluster tolerance arithmetic holds), nothing else
+/// removing contributors, and every bottom cluster's malicious count
+/// within the aggregator's tolerance.
+fn byzantine_bound_eligible(spec: &ScenarioSpec, malicious_per_cluster: &[usize]) -> bool {
+    let worst = malicious_per_cluster.iter().copied().max().unwrap_or(0);
+    spec.attack.is_static()
+        && spec.proportion > 0.0
+        && spec.protocol == ProtocolSpec::None
+        && spec.faults.is_empty()
+        && spec.churn == 0.0
+        && spec.phi == 1.0
+        && worst >= 1
+        && worst <= spec.agg.tolerance(spec.m)
+        && spec.rounds >= 3
+}
+
+/// Runs `spec` and gathers [`Observations`]. `Err` means the spec does
+/// not lower to a consistent config — a generator or corpus bug, never
+/// an engine bug, so the fuzz loop treats it as fatal.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<Observations, ConfigError> {
+    let cfg = spec.to_config();
+
+    let exp = Experiment::try_prepare(&cfg)?;
+    let (telem, rec) = Telemetry::recording();
+    let run = run_prepared_with(&exp, &telem);
+    let events = rec.events();
+
+    // Fully independent reproduction: fresh prepare, fresh telemetry.
+    let rerun_exp = Experiment::try_prepare(&cfg)?;
+    let (rerun_telem, _rerun_rec) = Telemetry::recording();
+    let rerun = run_prepared_with(&rerun_exp, &rerun_telem);
+
+    let h = &exp.hierarchy;
+    let cluster_sizes: Vec<Vec<usize>> = (0..h.num_levels())
+        .map(|l| h.level(l).clusters.iter().map(|c| c.len()).collect())
+        .collect();
+    let bottom = h.bottom_level();
+    let malicious_per_cluster: Vec<usize> = h
+        .level(bottom)
+        .clusters
+        .iter()
+        .map(|c| c.members.iter().filter(|&&d| exp.malicious[d]).count())
+        .collect();
+
+    let clean_final_accuracy = if byzantine_bound_eligible(spec, &malicious_per_cluster) {
+        let mut clean_spec = spec.clone();
+        clean_spec.attack = AttackSpec::None;
+        clean_spec.proportion = 0.0;
+        let clean_cfg = clean_spec.to_config();
+        let clean_exp = Experiment::try_prepare(&clean_cfg)?;
+        let clean = run_prepared_with(&clean_exp, &Telemetry::disabled());
+        Some(clean.result.final_accuracy)
+    } else {
+        None
+    };
+
+    let manifest_json = run.manifest.to_json();
+    Ok(Observations {
+        // The closed form models only the base protocol: the arms race
+        // (suspicion, protocol attacks, adaptive attacks) stacks the
+        // defense layer, whose echo audit ships extra digests.
+        expected_round_messages: if spec.faults.is_empty() && spec.churn == 0.0 && !cfg.arms_race()
+        {
+            clean_round_messages(&cfg, h)
+        } else {
+            None
+        },
+        spec: spec.clone(),
+        result: run.result,
+        manifest: run.manifest,
+        manifest_json,
+        rerun_manifest_json: rerun.manifest.to_json(),
+        events,
+        cluster_sizes,
+        malicious_per_cluster,
+        model_bytes: 4 * exp.template.param_len() as u64,
+        clean_final_accuracy,
+    })
+}
+
+/// A deliberate corruption of the observations — what a buggy engine
+/// would have reported. Used by `fuzz_oracle --mutation` to prove the
+/// oracle layer catches the failure class end to end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Every aggregation closes one input short of its quorum (a broken
+    /// `quorum_size`, an off-by-one in the kept set...).
+    QuorumUndershoot,
+    /// The manifest's message total drifts from the per-round ledger
+    /// (a transfer charged to the total but not the round, or vice
+    /// versa).
+    InflateMessages,
+    /// The same-seed rerun produces a different manifest byte stream
+    /// (any nondeterminism: unseeded RNG, map-order iteration...).
+    SkewRerun,
+}
+
+impl Mutation {
+    /// Parses the `--mutation` flag names.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "quorum" => Some(Mutation::QuorumUndershoot),
+            "conservation" => Some(Mutation::InflateMessages),
+            "determinism" => Some(Mutation::SkewRerun),
+            _ => None,
+        }
+    }
+
+    /// The `--mutation` flag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::QuorumUndershoot => "quorum",
+            Mutation::InflateMessages => "conservation",
+            Mutation::SkewRerun => "determinism",
+        }
+    }
+
+    /// Applies the corruption to `obs` in place.
+    pub fn apply(&self, obs: &mut Observations) {
+        match self {
+            Mutation::QuorumUndershoot => {
+                for ev in &mut obs.events {
+                    if let Event::ClusterAggregated { inputs, .. } = ev {
+                        *inputs = inputs.saturating_sub(1);
+                    }
+                }
+            }
+            Mutation::InflateMessages => {
+                obs.manifest.totals.messages += 17;
+            }
+            Mutation::SkewRerun => {
+                obs.rerun_manifest_json.push(' ');
+            }
+        }
+    }
+}
+
+/// Runs `spec`, optionally applies a [`Mutation`], and checks every
+/// oracle: the fuzz loop's single step.
+pub fn check(
+    spec: &ScenarioSpec,
+    mutation: Option<Mutation>,
+) -> Result<(Observations, Vec<crate::oracles::Violation>), ConfigError> {
+    let mut obs = run_scenario(spec)?;
+    if let Some(m) = mutation {
+        m.apply(&mut obs);
+    }
+    let violations = crate::oracles::check_all(&obs);
+    Ok((obs, violations))
+}

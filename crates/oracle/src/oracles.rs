@@ -1,0 +1,325 @@
+//! The five invariant oracles.
+//!
+//! Each oracle inspects [`Observations`] — manifests, structured
+//! events, registry metrics, hierarchy shape — and reports every
+//! violation it finds. An empty report from [`check_all`] is the
+//! fuzzer's definition of "this scenario behaved".
+//!
+//! | # | Oracle | Claim checked |
+//! |---|---|---|
+//! | 1 | `quorum_safety` | no aggregation closes below `⌈φ·present⌉` (Theorem 1 / Algorithm 4) |
+//! | 2 | `accounting_conservation` | every recorded message/byte total is internally consistent and, on clean runs, equals the closed form of Algorithms 3–5 |
+//! | 3 | `determinism` | same seed ⇒ byte-identical manifests |
+//! | 4 | `byzantine_bound` | an in-tolerance static attack degrades accuracy by at most ε (Theorems 2–3) |
+//! | 5 | `honest_quarantine` | runs with no attack never quarantine anyone |
+
+use hfl_consensus::quorum_size;
+use hfl_telemetry::{Event, MetricValue};
+
+use crate::harness::{Observations, BYZANTINE_EPSILON};
+
+/// One oracle violation: which invariant broke and how.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable oracle name (`quorum_safety`, ...).
+    pub oracle: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Runs every oracle; the returned list is empty iff the scenario
+/// upheld all five invariants.
+pub fn check_all(obs: &Observations) -> Vec<Violation> {
+    let mut out = Vec::new();
+    quorum_safety(obs, &mut out);
+    accounting_conservation(obs, &mut out);
+    determinism(obs, &mut out);
+    byzantine_bound(obs, &mut out);
+    honest_quarantine(obs, &mut out);
+    out
+}
+
+fn violation(out: &mut Vec<Violation>, oracle: &'static str, detail: String) {
+    out.push(Violation { oracle, detail });
+}
+
+/// Oracle 1 — no aggregation may close with fewer inputs than the
+/// quorum it reported, unless the fault layer explicitly sanctioned a
+/// degraded close (`DegradedQuorum`) for that same site. On clean
+/// scenarios the reported quorum itself must equal
+/// `quorum_size(φ, |cluster|)` recomputed from the config.
+fn quorum_safety(obs: &Observations, out: &mut Vec<Violation>) {
+    let degraded: Vec<(usize, usize, usize)> = obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::DegradedQuorum {
+                round,
+                level,
+                cluster,
+                ..
+            } => Some((*round, *level, *cluster)),
+            _ => None,
+        })
+        .collect();
+    let strict = obs.is_clean();
+    for ev in &obs.events {
+        let Event::ClusterAggregated {
+            round,
+            level,
+            cluster,
+            inputs,
+            quorum,
+        } = ev
+        else {
+            continue;
+        };
+        if inputs < quorum && !degraded.contains(&(*round, *level, *cluster)) {
+            violation(
+                out,
+                "quorum_safety",
+                format!(
+                    "round {round} level {level} cluster {cluster}: closed with \
+                     {inputs} inputs below quorum {quorum} with no DegradedQuorum record"
+                ),
+            );
+        }
+        if strict && *level > 0 {
+            let size = obs.cluster_sizes[*level][*cluster];
+            let want = quorum_size(obs.spec.phi, size);
+            if *quorum != want {
+                violation(
+                    out,
+                    "quorum_safety",
+                    format!(
+                        "round {round} level {level} cluster {cluster}: quorum {quorum} \
+                         but ⌈φ·{size}⌉ = {want} on a clean run"
+                    ),
+                );
+            }
+            if *inputs != want {
+                violation(
+                    out,
+                    "quorum_safety",
+                    format!(
+                        "round {round} level {level} cluster {cluster}: aggregated \
+                         {inputs} inputs, expected exactly the quorum {want} on a clean run"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Oracle 2 — the cost ledger must be conserved across every view that
+/// reports it: manifest totals vs the per-round time series, the
+/// metrics registry, the `RoundFinished` event stream, and (clean
+/// all-BRA runs) the closed form of Algorithms 3–5.
+fn accounting_conservation(obs: &Observations, out: &mut Vec<Violation>) {
+    let m = &obs.manifest;
+    let sums = m.rounds.iter().fold((0u64, 0u64, 0u64, 0u64), |a, r| {
+        (
+            a.0 + r.messages,
+            a.1 + r.bytes,
+            a.2 + r.excluded,
+            a.3 + r.absent,
+        )
+    });
+    let totals = [
+        ("messages", sums.0, m.totals.messages),
+        ("bytes", sums.1, m.totals.bytes),
+        ("excluded", sums.2, m.totals.excluded),
+        ("absent", sums.3, m.totals.absent),
+    ];
+    for (what, per_round, total) in totals {
+        if per_round != total {
+            violation(
+                out,
+                "accounting_conservation",
+                format!("per-round {what} sum to {per_round} but totals say {total}"),
+            );
+        }
+    }
+
+    let counter = |name: &str| -> Option<u64> {
+        m.metrics
+            .iter()
+            .find_map(|s| match (&s.value, s.name.as_str()) {
+                (MetricValue::Counter(v), n) if n == name => Some(*v),
+                _ => None,
+            })
+    };
+    for (name, want) in [
+        ("hfl_messages_total", m.totals.messages),
+        ("hfl_bytes_total", m.totals.bytes),
+    ] {
+        match counter(name) {
+            Some(got) if got != want => violation(
+                out,
+                "accounting_conservation",
+                format!("registry {name} = {got} but manifest totals say {want}"),
+            ),
+            None => violation(
+                out,
+                "accounting_conservation",
+                format!("registry counter {name} missing from the manifest"),
+            ),
+            _ => {}
+        }
+    }
+
+    let (ev_messages, ev_bytes) = obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RoundFinished {
+                messages, bytes, ..
+            } => Some((*messages, *bytes)),
+            _ => None,
+        })
+        .fold((0u64, 0u64), |a, (ms, bs)| (a.0 + ms, a.1 + bs));
+    if ev_messages != m.totals.messages || ev_bytes != m.totals.bytes {
+        violation(
+            out,
+            "accounting_conservation",
+            format!(
+                "RoundFinished events sum to {ev_messages} msgs / {ev_bytes} bytes, \
+                 manifest totals say {} / {}",
+                m.totals.messages, m.totals.bytes
+            ),
+        );
+    }
+
+    if let Some(per_round) = obs.expected_round_messages {
+        let want = per_round * obs.spec.rounds as u64;
+        if m.totals.messages != want {
+            violation(
+                out,
+                "accounting_conservation",
+                format!(
+                    "clean run recorded {} messages, closed form says \
+                     {per_round} × {} rounds = {want}",
+                    m.totals.messages, obs.spec.rounds
+                ),
+            );
+        }
+        let want_bytes = m.totals.messages * obs.model_bytes;
+        if m.totals.bytes != want_bytes {
+            violation(
+                out,
+                "accounting_conservation",
+                format!(
+                    "clean run recorded {} bytes, {} messages × {} model bytes = {want_bytes}",
+                    m.totals.bytes, m.totals.messages, obs.model_bytes
+                ),
+            );
+        }
+    }
+}
+
+/// Oracle 3 — two fully independent same-seed reproductions must render
+/// byte-identical manifests.
+fn determinism(obs: &Observations, out: &mut Vec<Violation>) {
+    if obs.manifest_json != obs.rerun_manifest_json {
+        let at = obs
+            .manifest_json
+            .bytes()
+            .zip(obs.rerun_manifest_json.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| obs.manifest_json.len().min(obs.rerun_manifest_json.len()));
+        violation(
+            out,
+            "determinism",
+            format!(
+                "same-seed manifests diverge at byte {at}: ...{} vs ...{}",
+                excerpt(&obs.manifest_json, at),
+                excerpt(&obs.rerun_manifest_json, at)
+            ),
+        );
+    }
+}
+
+fn excerpt(s: &str, at: usize) -> &str {
+    let start = at.saturating_sub(12);
+    let end = (at + 24).min(s.len());
+    // Manifest JSON is ASCII, so byte slicing is char-safe.
+    s.get(start..end).unwrap_or("<non-ascii>")
+}
+
+/// Oracle 4 — when every bottom cluster's malicious count is within the
+/// aggregator's tolerance and the attack is static, final accuracy must
+/// stay within [`BYZANTINE_EPSILON`] of the same-seed clean twin
+/// (eligibility is decided in the harness, which then runs the twin).
+fn byzantine_bound(obs: &Observations, out: &mut Vec<Violation>) {
+    let Some(clean) = obs.clean_final_accuracy else {
+        return;
+    };
+    let attacked = obs.result.final_accuracy;
+    if (clean - attacked).abs() > BYZANTINE_EPSILON {
+        violation(
+            out,
+            "byzantine_bound",
+            format!(
+                "in-tolerance {:?} (worst cluster {} of {} malicious, tolerance {}) moved \
+                 accuracy {clean:.3} → {attacked:.3}, beyond ε = {BYZANTINE_EPSILON}",
+                obs.spec.attack,
+                obs.malicious_per_cluster.iter().max().unwrap_or(&0),
+                obs.spec.m,
+                obs.spec.agg.tolerance(obs.spec.m),
+            ),
+        );
+    }
+}
+
+/// Oracle 5 — with no attack configured every client is honest, so
+/// nothing may ever be quarantined: not in the run totals, not in the
+/// suspicion event log, not in the registry.
+fn honest_quarantine(obs: &Observations, out: &mut Vec<Violation>) {
+    use crate::scenario::{AttackSpec, ProtocolSpec};
+    if obs.spec.attack != AttackSpec::None || obs.spec.protocol != ProtocolSpec::None {
+        return;
+    }
+    if obs.result.quarantined_total > 0 {
+        violation(
+            out,
+            "honest_quarantine",
+            format!(
+                "attack-free run lost {} client-rounds to quarantine",
+                obs.result.quarantined_total
+            ),
+        );
+    }
+    if let Some(susp) = &obs.manifest.suspicion {
+        let quarantined: Vec<usize> = susp
+            .events
+            .iter()
+            .filter(|e| e.kind == "quarantined")
+            .map(|e| e.client)
+            .collect();
+        if !quarantined.is_empty() {
+            violation(
+                out,
+                "honest_quarantine",
+                format!("attack-free run quarantined honest clients {quarantined:?}"),
+            );
+        }
+        for score in &susp.final_scores {
+            if score.quarantined {
+                violation(
+                    out,
+                    "honest_quarantine",
+                    format!(
+                        "attack-free run left honest client {} flagged quarantined",
+                        score.client
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Scenario descriptions and the seeded generator.
+//!
+//! A [`ScenarioSpec`] is deliberately *flat*: every field is a scalar,
+//! a small enum, or a list of flat fault events, so specs serialize to
+//! a dozen TOML lines ([`crate::toml`]), shrink by simple field edits
+//! ([`crate::shrink`]), and diff readably in a corpus directory.
+
+use abd_hfl_core::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, TopologyCfg};
+use hfl_attacks::{AdaptiveAttack, DataAttack, ModelAttack, Placement};
+use hfl_faults::FaultPlan;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::{AggregatorKind, SuspicionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregation rule used at every BRA level of the scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggSpec {
+    /// Plain averaging (no robustness).
+    FedAvg,
+    /// Krum with assumed `f`.
+    Krum {
+        /// Assumed Byzantine count.
+        f: usize,
+    },
+    /// Multi-Krum selecting `m` of the inputs.
+    MultiKrum {
+        /// Assumed Byzantine count.
+        f: usize,
+        /// Selection size.
+        m: usize,
+    },
+    /// Coordinate-wise median.
+    Median,
+    /// Coordinate-wise trimmed mean.
+    TrimmedMean {
+        /// Per-tail trim ratio.
+        ratio: f64,
+    },
+    /// Geometric median (Weiszfeld).
+    GeoMed,
+}
+
+impl AggSpec {
+    /// The concrete aggregator.
+    pub fn kind(&self) -> AggregatorKind {
+        match self {
+            AggSpec::FedAvg => AggregatorKind::FedAvg,
+            AggSpec::Krum { f } => AggregatorKind::Krum { f: *f },
+            AggSpec::MultiKrum { f, m } => AggregatorKind::MultiKrum { f: *f, m: *m },
+            AggSpec::Median => AggregatorKind::Median,
+            AggSpec::TrimmedMean { ratio } => AggregatorKind::TrimmedMean { ratio: *ratio },
+            AggSpec::GeoMed => AggregatorKind::GeoMed,
+        }
+    }
+
+    /// How many Byzantine members per cluster the rule tolerates (the
+    /// eligibility bound of the Byzantine-degradation oracle) given the
+    /// cluster size `n`.
+    pub fn tolerance(&self, n: usize) -> usize {
+        match self {
+            AggSpec::FedAvg => 0,
+            AggSpec::Krum { f } | AggSpec::MultiKrum { f, .. } => {
+                // The Krum guarantee needs n ≥ 2f + 3.
+                (*f).min(n.saturating_sub(3) / 2)
+            }
+            AggSpec::Median | AggSpec::GeoMed => (n.saturating_sub(1)) / 2,
+            AggSpec::TrimmedMean { ratio } => ((n as f64) * ratio).floor() as usize,
+        }
+    }
+}
+
+/// The Byzantine client behaviour of the scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttackSpec {
+    /// Everybody honest.
+    None,
+    /// Static sign flip at `scale`.
+    SignFlip {
+        /// Magnitude multiplier.
+        scale: f64,
+    },
+    /// Static *A Little Is Enough* at `z` standard deviations.
+    Alie {
+        /// Standard-deviation shift.
+        z: f64,
+    },
+    /// Static inner-product manipulation at `epsilon`.
+    Ipm {
+        /// Negative-scaling factor.
+        epsilon: f64,
+    },
+    /// Data poisoning: all labels flipped to class 9.
+    LabelFlip,
+    /// The adaptive ALIE adversary (bisecting magnitude).
+    AdaptiveAlie,
+    /// The adaptive IPM adversary.
+    AdaptiveIpm,
+}
+
+impl AttackSpec {
+    /// True for the static (non-adaptive) attack families — the only
+    /// ones the Byzantine-degradation oracle covers.
+    pub fn is_static(&self) -> bool {
+        matches!(
+            self,
+            AttackSpec::SignFlip { .. }
+                | AttackSpec::Alie { .. }
+                | AttackSpec::Ipm { .. }
+                | AttackSpec::LabelFlip
+        )
+    }
+
+    fn to_cfg(&self, proportion: f64, placement: Placement) -> AttackCfg {
+        match self {
+            AttackSpec::None => AttackCfg::None,
+            AttackSpec::SignFlip { scale } => AttackCfg::Model {
+                attack: ModelAttack::SignFlip {
+                    scale: *scale as f32,
+                },
+                proportion,
+                placement,
+            },
+            AttackSpec::Alie { z } => AttackCfg::Model {
+                attack: ModelAttack::Alie { z: *z as f32 },
+                proportion,
+                placement,
+            },
+            AttackSpec::Ipm { epsilon } => AttackCfg::Model {
+                attack: ModelAttack::Ipm {
+                    epsilon: *epsilon as f32,
+                },
+                proportion,
+                placement,
+            },
+            AttackSpec::LabelFlip => AttackCfg::Data {
+                attack: DataAttack::LabelFlipAll { target: 9 },
+                proportion,
+                placement,
+            },
+            AttackSpec::AdaptiveAlie => AttackCfg::Adaptive {
+                attack: AdaptiveAttack::alie_default(),
+                proportion,
+                placement,
+            },
+            AttackSpec::AdaptiveIpm => AttackCfg::Adaptive {
+                attack: AdaptiveAttack::ipm_default(),
+                proportion,
+                placement,
+            },
+        }
+    }
+}
+
+/// Protocol-level misbehaviour (leader equivocation, withholding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// No protocol attack.
+    None,
+    /// Leaders of malicious clusters equivocate.
+    Equivocate,
+    /// The coalition withholds pivotally.
+    Withhold,
+}
+
+/// One scheduled fault, flattened for TOML round-tripping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// `node` crashes at `at` and never recovers.
+    CrashStop {
+        /// Activation round.
+        at: usize,
+        /// Crashing device.
+        node: usize,
+    },
+    /// `node` crashes at `at` and recovers at `recover`.
+    CrashRecover {
+        /// Activation round.
+        at: usize,
+        /// Crashing device.
+        node: usize,
+        /// Recovery round.
+        recover: usize,
+    },
+    /// The bottom-level leader of `cluster` is killed at `at`.
+    KillLeader {
+        /// Activation round.
+        at: usize,
+        /// Bottom-level cluster index.
+        cluster: usize,
+    },
+    /// `node`'s uplink slows by `factor` from `at` onward.
+    Straggler {
+        /// Activation round.
+        at: usize,
+        /// Straggling device.
+        node: usize,
+        /// Delay multiplier.
+        factor: f64,
+    },
+    /// Uniform message loss `prob` during `[at, until)`.
+    LossBurst {
+        /// Activation round.
+        at: usize,
+        /// Per-message loss probability.
+        prob: f64,
+        /// Healing round.
+        until: usize,
+    },
+}
+
+/// A complete, flat description of one fuzzed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// The run seed (data, shuffles, SGD, placements).
+    pub seed: u64,
+    /// Hierarchy depth (2 or 3 levels).
+    pub total_levels: usize,
+    /// Cluster size below the top.
+    pub m: usize,
+    /// Top-cluster size.
+    pub n_top: usize,
+    /// Training rounds.
+    pub rounds: usize,
+    /// Local SGD iterations per round.
+    pub local_iters: usize,
+    /// Quorum fraction φ.
+    pub phi: f64,
+    /// Aggregation rule at every level.
+    pub agg: AggSpec,
+    /// Byzantine client behaviour.
+    pub attack: AttackSpec,
+    /// Malicious fraction (ignored for `AttackSpec::None`).
+    pub proportion: f64,
+    /// Malicious placement: `true` = seeded random, `false` = prefix.
+    pub random_placement: bool,
+    /// Per-round client churn probability.
+    pub churn: f64,
+    /// Suspicion/quarantine defense layer on?
+    pub suspicion: bool,
+    /// Protocol-level attack.
+    pub protocol: ProtocolSpec,
+    /// Extreme non-IID partition (2 labels per client)?
+    pub noniid: bool,
+    /// Synthetic training-set size.
+    pub train_samples: usize,
+    /// Scheduled faults.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl ScenarioSpec {
+    /// Number of clients the spec's topology yields.
+    pub fn num_clients(&self) -> usize {
+        match self.total_levels {
+            2 => self.m * self.n_top,
+            _ => self.m * self.m * self.n_top,
+        }
+    }
+
+    /// Number of bottom-level clusters.
+    pub fn num_bottom_clusters(&self) -> usize {
+        self.num_clients() / self.m
+    }
+
+    /// Lowers the spec to a runnable config.
+    pub fn to_config(&self) -> HflConfig {
+        let placement = if self.random_placement {
+            Placement::Random
+        } else {
+            Placement::Prefix
+        };
+        let attack = self.attack.to_cfg(self.proportion, placement);
+        let mut cfg = HflConfig::quick(attack, self.seed);
+        cfg.topology = TopologyCfg::Ecsm {
+            total_levels: self.total_levels,
+            m: self.m,
+            n_top: self.n_top,
+        };
+        cfg.levels = vec![LevelAgg::Bra(self.agg.kind()); self.total_levels];
+        cfg.flag_level = 1;
+        cfg.rounds = self.rounds;
+        cfg.eval_every = self.rounds;
+        cfg.local_iters = self.local_iters;
+        cfg.quorum = self.phi;
+        cfg.churn_leave_prob = self.churn;
+        cfg.distribution = if self.noniid {
+            DataDistribution::NonIid {
+                labels_per_client: 2,
+            }
+        } else {
+            DataDistribution::Iid
+        };
+        cfg.data = SynthConfig {
+            train_samples: self.train_samples,
+            test_samples: (self.train_samples / 4).max(200),
+            ..SynthConfig::default()
+        };
+        cfg.suspicion = self.suspicion.then(SuspicionConfig::default);
+        cfg.protocol_attack = match self.protocol {
+            ProtocolSpec::None => None,
+            ProtocolSpec::Equivocate => {
+                Some(hfl_attacks::ProtocolAttack::Equivocate { flip_scale: 1.0 })
+            }
+            ProtocolSpec::Withhold => Some(hfl_attacks::ProtocolAttack::Withhold),
+        };
+        if !self.faults.is_empty() {
+            let mut plan = FaultPlan::new();
+            for ev in &self.faults {
+                plan = match *ev {
+                    FaultEvent::CrashStop { at, node } => plan.crash_stop(at, node),
+                    FaultEvent::CrashRecover { at, node, recover } => {
+                        plan.crash_recover(at, node, recover)
+                    }
+                    FaultEvent::KillLeader { at, cluster } => {
+                        plan.kill_leader(at, self.total_levels - 1, cluster, None)
+                    }
+                    FaultEvent::Straggler { at, node, factor } => {
+                        plan.straggler(at, node, factor, None)
+                    }
+                    FaultEvent::LossBurst { at, prob, until } => plan.loss_burst(at, prob, until),
+                };
+            }
+            cfg.faults = Some(plan);
+        }
+        cfg
+    }
+}
+
+/// The seeded scenario stream: same seed, same sequence of specs.
+pub struct ScenarioGen {
+    rng: StdRng,
+}
+
+impl ScenarioGen {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next scenario. Every draw is valid by construction:
+    /// fault targets are bounded by the drawn topology, rounds bound
+    /// fault schedules, and non-IID partitions only appear on
+    /// topologies with enough clients for honest label coverage.
+    pub fn draw(&mut self) -> ScenarioSpec {
+        let rng = &mut self.rng;
+        let total_levels = if rng.gen_bool(0.5) { 2 } else { 3 };
+        let m: usize = rng.gen_range(3..=4);
+        let n_top = rng.gen_range(2..=3);
+        let rounds = rng.gen_range(2..=5);
+        let phi = *[1.0, 1.0, 0.75, 0.5, 2.0 / 3.0]
+            .get(rng.gen_range(0..5usize))
+            .unwrap();
+        let agg = match rng.gen_range(0..6usize) {
+            0 => AggSpec::FedAvg,
+            1 => AggSpec::Krum { f: 1 },
+            2 => AggSpec::MultiKrum {
+                f: 1,
+                m: (m - 1).max(2),
+            },
+            3 => AggSpec::Median,
+            4 => AggSpec::TrimmedMean { ratio: 0.2 },
+            _ => AggSpec::GeoMed,
+        };
+        let attack = match rng.gen_range(0..8usize) {
+            0 | 1 => AttackSpec::None,
+            2 => AttackSpec::SignFlip {
+                scale: [1.0, 2.0, 10.0][rng.gen_range(0..3usize)],
+            },
+            3 => AttackSpec::Alie {
+                z: [0.5, 1.5][rng.gen_range(0..2usize)],
+            },
+            4 => AttackSpec::Ipm {
+                epsilon: [0.1, 1.0][rng.gen_range(0..2usize)],
+            },
+            5 => AttackSpec::LabelFlip,
+            6 => AttackSpec::AdaptiveAlie,
+            _ => AttackSpec::AdaptiveIpm,
+        };
+        let proportion = if matches!(attack, AttackSpec::None) {
+            0.0
+        } else {
+            // ≤ 1 malicious member per bottom cluster under prefix
+            // placement keeps most draws inside aggregator tolerance.
+            [0.125, 0.25][rng.gen_range(0..2usize)]
+        };
+        let suspicion = rng.gen_bool(0.4);
+        let protocol = if attack.is_static() && rng.gen_bool(0.2) {
+            if rng.gen_bool(0.5) {
+                ProtocolSpec::Equivocate
+            } else {
+                ProtocolSpec::Withhold
+            }
+        } else {
+            ProtocolSpec::None
+        };
+        let churn = if rng.gen_bool(0.25) { 0.15 } else { 0.0 };
+        let noniid = total_levels == 3 && rng.gen_bool(0.3);
+        let mut spec = ScenarioSpec {
+            seed: rng.gen_range(0..1_000_000),
+            total_levels,
+            m,
+            n_top,
+            rounds,
+            local_iters: rng.gen_range(1..=2),
+            phi,
+            agg,
+            attack,
+            proportion,
+            random_placement: rng.gen_bool(0.3),
+            churn,
+            suspicion,
+            protocol,
+            noniid,
+            train_samples: [600, 1_000, 1_600][rng.gen_range(0..3usize)],
+            faults: Vec::new(),
+        };
+        let n_faults = rng.gen_range(0..=2usize);
+        let clients = spec.num_clients();
+        let clusters = spec.num_bottom_clusters();
+        for _ in 0..n_faults {
+            let at = rng.gen_range(0..spec.rounds);
+            let ev = match rng.gen_range(0..5usize) {
+                0 => FaultEvent::CrashStop {
+                    at,
+                    node: rng.gen_range(0..clients),
+                },
+                1 => FaultEvent::CrashRecover {
+                    at,
+                    node: rng.gen_range(0..clients),
+                    recover: (at + 1).min(spec.rounds),
+                },
+                2 => FaultEvent::KillLeader {
+                    at,
+                    cluster: rng.gen_range(0..clusters),
+                },
+                3 => FaultEvent::Straggler {
+                    at,
+                    node: rng.gen_range(0..clients),
+                    factor: 4.0,
+                },
+                _ => FaultEvent::LossBurst {
+                    at,
+                    prob: 0.2,
+                    until: (at + 2).min(spec.rounds),
+                },
+            };
+            spec.faults.push(ev);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_lower_to_valid_configs() {
+        let mut gen = ScenarioGen::new(7);
+        for i in 0..50 {
+            let spec = gen.draw();
+            let cfg = spec.to_config();
+            let h = cfg.topology.build(cfg.seed);
+            cfg.try_validate(&h)
+                .unwrap_or_else(|e| panic!("draw {i} invalid: {e} ({spec:?})"));
+            assert_eq!(h.num_clients(), spec.num_clients());
+            assert_eq!(
+                h.level(h.bottom_level()).num_clusters(),
+                spec.num_bottom_clusters()
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_generators_draw_identical_streams() {
+        let mut a = ScenarioGen::new(11);
+        let mut b = ScenarioGen::new(11);
+        for _ in 0..20 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn tolerance_respects_the_krum_guarantee() {
+        assert_eq!(AggSpec::Krum { f: 1 }.tolerance(5), 1);
+        assert_eq!(AggSpec::Krum { f: 1 }.tolerance(4), 0);
+        assert_eq!(AggSpec::Median.tolerance(4), 1);
+        assert_eq!(AggSpec::FedAvg.tolerance(8), 0);
+        assert_eq!(AggSpec::TrimmedMean { ratio: 0.2 }.tolerance(4), 0);
+    }
+}

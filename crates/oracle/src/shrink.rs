@@ -1,0 +1,132 @@
+//! Greedy scenario minimization.
+//!
+//! Given a failing spec and a predicate ("does this still fail?"), the
+//! shrinker repeatedly tries a fixed list of simplifying edits — halve
+//! the rounds, drop a fault, disable a layer, flatten the hierarchy —
+//! and keeps the first edit that preserves the failure, restarting from
+//! the simplified spec. The result is the spec a human debugs and the
+//! TOML case the corpus replays.
+//!
+//! Every edit strictly simplifies (fewer rounds, fewer faults, fewer
+//! active layers, a smaller topology), so the loop terminates; the
+//! predicate typically re-runs the full harness, so shrinking a failure
+//! costs a handful of (tiny) extra runs.
+
+use crate::scenario::{AggSpec, AttackSpec, ProtocolSpec, ScenarioSpec};
+
+/// Minimizes `spec` under `still_fails`. The input spec itself is
+/// assumed to fail (the caller just observed it fail); the returned
+/// spec is guaranteed to still satisfy `still_fails`.
+pub fn shrink<F>(spec: &ScenarioSpec, mut still_fails: F) -> ScenarioSpec
+where
+    F: FnMut(&ScenarioSpec) -> bool,
+{
+    let mut best = spec.clone();
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&best) {
+            if still_fails(&cand) {
+                best = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+/// The simplifying edits, most-impactful first. Each returned candidate
+/// differs from `spec` in one aspect (topology edits also drop the
+/// fault schedule, whose node/cluster indices they would invalidate).
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let mut push = |edit: &dyn Fn(&mut ScenarioSpec)| {
+        let mut cand = spec.clone();
+        edit(&mut cand);
+        if cand != *spec {
+            out.push(cand);
+        }
+    };
+    push(&|s| s.rounds = (s.rounds / 2).max(2));
+    push(&|s| s.train_samples = (s.train_samples / 2).max(400));
+    for i in 0..spec.faults.len() {
+        push(&|s| {
+            s.faults.remove(i);
+        });
+    }
+    push(&|s| s.suspicion = false);
+    push(&|s| s.protocol = ProtocolSpec::None);
+    push(&|s| {
+        s.attack = AttackSpec::None;
+        s.proportion = 0.0;
+    });
+    push(&|s| s.churn = 0.0);
+    push(&|s| s.noniid = false);
+    push(&|s| s.local_iters = 1);
+    push(&|s| s.random_placement = false);
+    push(&|s| {
+        if s.total_levels > 2 {
+            s.total_levels = 2;
+            s.faults.clear();
+        }
+    });
+    push(&|s| {
+        if s.n_top > 2 {
+            s.n_top = 2;
+            s.faults.clear();
+        }
+    });
+    push(&|s| {
+        if s.m > 3 {
+            s.m = 3;
+            s.faults.clear();
+        }
+    });
+    push(&|s| s.agg = AggSpec::FedAvg);
+    push(&|s| s.phi = 1.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioGen;
+
+    /// Shrinking against a pure predicate (no engine run) reaches the
+    /// minimal shape the predicate allows.
+    #[test]
+    fn shrinks_to_the_smallest_spec_the_predicate_allows() {
+        let mut gen = ScenarioGen::new(5);
+        let mut spec = gen.draw();
+        spec.rounds = 5;
+        spec.total_levels = 3;
+        spec.m = 4;
+        // Failure depends only on φ < 1 (say): everything else must
+        // shrink away.
+        spec.phi = 0.5;
+        let shrunk = shrink(&spec, |s| s.phi < 1.0);
+        assert_eq!(shrunk.rounds, 2);
+        assert_eq!(shrunk.train_samples, 400);
+        assert_eq!(shrunk.total_levels, 2);
+        assert_eq!(shrunk.m, 3);
+        assert_eq!(shrunk.n_top, 2);
+        assert!(shrunk.faults.is_empty());
+        assert!(!shrunk.suspicion);
+        assert_eq!(shrunk.attack, AttackSpec::None);
+        assert_eq!(shrunk.agg, AggSpec::FedAvg);
+        assert_eq!(shrunk.phi, 0.5, "the failing ingredient must survive");
+    }
+
+    /// The shrinker never returns a spec the predicate rejects.
+    #[test]
+    fn result_still_satisfies_the_predicate() {
+        let mut gen = ScenarioGen::new(6);
+        for _ in 0..10 {
+            let spec = gen.draw();
+            let shrunk = shrink(&spec, |s| s.rounds >= 2);
+            assert!(shrunk.rounds >= 2);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! TOML round-tripping for [`ScenarioSpec`] corpus cases.
+//!
+//! The workspace deliberately carries no serialization dependencies
+//! (the telemetry manifest hand-rolls its JSON the same way), so this
+//! module implements the small TOML subset the corpus needs: scalar
+//! `key = value` lines at the root plus `[[fault]]` array-of-table
+//! sections. Rust's `f64` `Display` is shortest-round-trip, so floats
+//! survive write → parse exactly.
+
+use crate::scenario::{AggSpec, AttackSpec, FaultEvent, ProtocolSpec, ScenarioSpec};
+
+/// Corpus file schema version.
+pub const SCHEMA: u64 = 1;
+
+/// Renders a spec as a corpus TOML case.
+pub fn to_toml(spec: &ScenarioSpec) -> String {
+    let mut out = String::new();
+    let mut line = |k: &str, v: String| {
+        out.push_str(k);
+        out.push_str(" = ");
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line("schema", SCHEMA.to_string());
+    line("seed", spec.seed.to_string());
+    line("total_levels", spec.total_levels.to_string());
+    line("m", spec.m.to_string());
+    line("n_top", spec.n_top.to_string());
+    line("rounds", spec.rounds.to_string());
+    line("local_iters", spec.local_iters.to_string());
+    line("phi", spec.phi.to_string());
+    match &spec.agg {
+        AggSpec::FedAvg => line("agg", "\"fedavg\"".into()),
+        AggSpec::Krum { f } => {
+            line("agg", "\"krum\"".into());
+            line("agg_f", f.to_string());
+        }
+        AggSpec::MultiKrum { f, m } => {
+            line("agg", "\"multikrum\"".into());
+            line("agg_f", f.to_string());
+            line("agg_m", m.to_string());
+        }
+        AggSpec::Median => line("agg", "\"median\"".into()),
+        AggSpec::TrimmedMean { ratio } => {
+            line("agg", "\"trimmed_mean\"".into());
+            line("agg_ratio", ratio.to_string());
+        }
+        AggSpec::GeoMed => line("agg", "\"geomed\"".into()),
+    }
+    match &spec.attack {
+        AttackSpec::None => line("attack", "\"none\"".into()),
+        AttackSpec::SignFlip { scale } => {
+            line("attack", "\"signflip\"".into());
+            line("attack_param", scale.to_string());
+        }
+        AttackSpec::Alie { z } => {
+            line("attack", "\"alie\"".into());
+            line("attack_param", z.to_string());
+        }
+        AttackSpec::Ipm { epsilon } => {
+            line("attack", "\"ipm\"".into());
+            line("attack_param", epsilon.to_string());
+        }
+        AttackSpec::LabelFlip => line("attack", "\"labelflip\"".into()),
+        AttackSpec::AdaptiveAlie => line("attack", "\"adaptive_alie\"".into()),
+        AttackSpec::AdaptiveIpm => line("attack", "\"adaptive_ipm\"".into()),
+    }
+    line("proportion", spec.proportion.to_string());
+    line("random_placement", spec.random_placement.to_string());
+    line("churn", spec.churn.to_string());
+    line("suspicion", spec.suspicion.to_string());
+    let protocol = match spec.protocol {
+        ProtocolSpec::None => "none",
+        ProtocolSpec::Equivocate => "equivocate",
+        ProtocolSpec::Withhold => "withhold",
+    };
+    line("protocol", format!("\"{protocol}\""));
+    line("noniid", spec.noniid.to_string());
+    line("train_samples", spec.train_samples.to_string());
+    for fault in &spec.faults {
+        out.push_str("\n[[fault]]\n");
+        let mut fline = |k: &str, v: String| {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(&v);
+            out.push('\n');
+        };
+        match *fault {
+            FaultEvent::CrashStop { at, node } => {
+                fline("kind", "\"crash_stop\"".into());
+                fline("at", at.to_string());
+                fline("node", node.to_string());
+            }
+            FaultEvent::CrashRecover { at, node, recover } => {
+                fline("kind", "\"crash_recover\"".into());
+                fline("at", at.to_string());
+                fline("node", node.to_string());
+                fline("recover", recover.to_string());
+            }
+            FaultEvent::KillLeader { at, cluster } => {
+                fline("kind", "\"kill_leader\"".into());
+                fline("at", at.to_string());
+                fline("cluster", cluster.to_string());
+            }
+            FaultEvent::Straggler { at, node, factor } => {
+                fline("kind", "\"straggler\"".into());
+                fline("at", at.to_string());
+                fline("node", node.to_string());
+                fline("factor", factor.to_string());
+            }
+            FaultEvent::LossBurst { at, prob, until } => {
+                fline("kind", "\"loss_burst\"".into());
+                fline("at", at.to_string());
+                fline("prob", prob.to_string());
+                fline("until", until.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// One parsed `key = value` map (the root table or one fault table).
+#[derive(Default)]
+struct Table {
+    entries: Vec<(String, String)>,
+}
+
+impl Table {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|e| format!("bad usize `{key}`: {e}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|e| format!("bad u64 `{key}`: {e}"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|e| format!("bad f64 `{key}`: {e}"))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|e| format!("bad bool `{key}`: {e}"))
+    }
+
+    fn string(&self, key: &str) -> Result<String, String> {
+        let raw = self.req(key)?;
+        let s = raw
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("`{key}` must be a quoted string, got `{raw}`"))?;
+        Ok(s.to_string())
+    }
+}
+
+/// Parses a corpus TOML case back into a spec.
+pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
+    let mut root = Table::default();
+    let mut faults: Vec<Table> = Vec::new();
+    let mut in_fault = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let trimmed = raw.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "[[fault]]" {
+            faults.push(Table::default());
+            in_fault = true;
+            continue;
+        }
+        if trimmed.starts_with('[') {
+            return Err(format!("line {}: unknown section `{trimmed}`", ln + 1));
+        }
+        let (key, value) = trimmed
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+        let entry = (key.trim().to_string(), value.trim().to_string());
+        if in_fault {
+            faults
+                .last_mut()
+                .expect("fault table open")
+                .entries
+                .push(entry);
+        } else {
+            root.entries.push(entry);
+        }
+    }
+
+    let schema = root.u64("schema")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported corpus schema {schema} (want {SCHEMA})"
+        ));
+    }
+    let agg = match root.string("agg")?.as_str() {
+        "fedavg" => AggSpec::FedAvg,
+        "krum" => AggSpec::Krum {
+            f: root.usize("agg_f")?,
+        },
+        "multikrum" => AggSpec::MultiKrum {
+            f: root.usize("agg_f")?,
+            m: root.usize("agg_m")?,
+        },
+        "median" => AggSpec::Median,
+        "trimmed_mean" => AggSpec::TrimmedMean {
+            ratio: root.f64("agg_ratio")?,
+        },
+        "geomed" => AggSpec::GeoMed,
+        other => return Err(format!("unknown agg `{other}`")),
+    };
+    let attack = match root.string("attack")?.as_str() {
+        "none" => AttackSpec::None,
+        "signflip" => AttackSpec::SignFlip {
+            scale: root.f64("attack_param")?,
+        },
+        "alie" => AttackSpec::Alie {
+            z: root.f64("attack_param")?,
+        },
+        "ipm" => AttackSpec::Ipm {
+            epsilon: root.f64("attack_param")?,
+        },
+        "labelflip" => AttackSpec::LabelFlip,
+        "adaptive_alie" => AttackSpec::AdaptiveAlie,
+        "adaptive_ipm" => AttackSpec::AdaptiveIpm,
+        other => return Err(format!("unknown attack `{other}`")),
+    };
+    let protocol = match root.string("protocol")?.as_str() {
+        "none" => ProtocolSpec::None,
+        "equivocate" => ProtocolSpec::Equivocate,
+        "withhold" => ProtocolSpec::Withhold,
+        other => return Err(format!("unknown protocol `{other}`")),
+    };
+    let mut fault_events = Vec::new();
+    for table in &faults {
+        let ev = match table.string("kind")?.as_str() {
+            "crash_stop" => FaultEvent::CrashStop {
+                at: table.usize("at")?,
+                node: table.usize("node")?,
+            },
+            "crash_recover" => FaultEvent::CrashRecover {
+                at: table.usize("at")?,
+                node: table.usize("node")?,
+                recover: table.usize("recover")?,
+            },
+            "kill_leader" => FaultEvent::KillLeader {
+                at: table.usize("at")?,
+                cluster: table.usize("cluster")?,
+            },
+            "straggler" => FaultEvent::Straggler {
+                at: table.usize("at")?,
+                node: table.usize("node")?,
+                factor: table.f64("factor")?,
+            },
+            "loss_burst" => FaultEvent::LossBurst {
+                at: table.usize("at")?,
+                prob: table.f64("prob")?,
+                until: table.usize("until")?,
+            },
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        fault_events.push(ev);
+    }
+    Ok(ScenarioSpec {
+        seed: root.u64("seed")?,
+        total_levels: root.usize("total_levels")?,
+        m: root.usize("m")?,
+        n_top: root.usize("n_top")?,
+        rounds: root.usize("rounds")?,
+        local_iters: root.usize("local_iters")?,
+        phi: root.f64("phi")?,
+        agg,
+        attack,
+        proportion: root.f64("proportion")?,
+        random_placement: root.bool("random_placement")?,
+        churn: root.f64("churn")?,
+        suspicion: root.bool("suspicion")?,
+        protocol,
+        noniid: root.bool("noniid")?,
+        train_samples: root.usize("train_samples")?,
+        faults: fault_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioGen;
+
+    #[test]
+    fn every_generated_spec_round_trips() {
+        let mut gen = ScenarioGen::new(3);
+        for _ in 0..100 {
+            let spec = gen.draw();
+            let text = to_toml(&spec);
+            let back = from_toml(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(spec, back, "round-trip changed the spec:\n{text}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut gen = ScenarioGen::new(4);
+        let spec = gen.draw();
+        let text = format!("# corpus case\n\n{}\n# trailing\n", to_toml(&spec));
+        assert_eq!(from_toml(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_key() {
+        let mut gen = ScenarioGen::new(7);
+        let good = to_toml(&gen.draw());
+        let bad = good.replace("seed = ", "seed = x");
+        let err = from_toml(&bad).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        let err = from_toml("schema = 9\n").unwrap_err();
+        assert!(err.contains("schema 9"), "{err}");
+    }
+}

@@ -1,0 +1,110 @@
+//! A panicking worker closure must fail the whole call — never
+//! deadlock the fork-join scope, never return partially-filled results
+//! — and the caller must see a panic that names the failure: either
+//! the crate's `worker thread panicked` join message or the worker's
+//! own payload, depending on how the scope implementation propagates
+//! child panics. These tests pin that contract for both entry points,
+//! on both the parallel path and the sequential fallback.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hfl_parallel::{par_chunks_mut, par_map_indexed};
+
+/// Runs `f`, expecting it to panic; returns the payload as text.
+fn payload_of<F: FnOnce()>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("call must panic");
+    if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string payload>")
+    }
+}
+
+/// The payload must name a thread failure. Which wording arrives
+/// depends on the scope backend: crossbeam's scope returns `Err`, so
+/// the caller sees this crate's `worker thread panicked` expect
+/// message; an std-scope backend re-raises at join time with either
+/// the worker's own payload or its generic "scoped thread panicked".
+fn names_the_failure(payload: &str, original: &str) -> bool {
+    payload.contains("worker thread panicked")
+        || payload.contains("scoped thread panicked")
+        || payload.contains(original)
+}
+
+// The default hook prints every worker's backtrace before the scope
+// rethrows, which buries real failures in noise; tests that provoke
+// panics on purpose silence it first (this binary is its own process,
+// so the global hook is ours to take).
+fn silence_panics() {
+    std::panic::set_hook(Box::new(|_| {}));
+}
+
+#[test]
+fn par_map_indexed_propagates_a_worker_panic() {
+    silence_panics();
+    let payload = payload_of(|| {
+        par_map_indexed(64, 4, |i| {
+            if i == 37 {
+                panic!("index 37 is cursed");
+            }
+            i
+        });
+    });
+    assert!(
+        names_the_failure(&payload, "index 37 is cursed"),
+        "payload was: {payload}"
+    );
+}
+
+#[test]
+fn par_map_indexed_sequential_fallback_propagates_the_original_panic() {
+    silence_panics();
+    let payload = payload_of(|| {
+        par_map_indexed(8, 1, |i| {
+            if i == 3 {
+                panic!("index 3 is cursed");
+            }
+            i
+        });
+    });
+    // No worker threads on the fallback path: the caller sees the
+    // closure's own panic, unwrapped.
+    assert!(
+        payload.contains("index 3 is cursed"),
+        "payload was: {payload}"
+    );
+}
+
+#[test]
+fn par_chunks_mut_propagates_a_worker_panic() {
+    silence_panics();
+    let mut data = vec![0u32; 256];
+    let payload = payload_of(|| {
+        par_chunks_mut(&mut data, 16, 4, |base, _chunk| {
+            if base == 64 {
+                panic!("chunk at 64 is cursed");
+            }
+        });
+    });
+    assert!(
+        names_the_failure(&payload, "chunk at 64 is cursed"),
+        "payload was: {payload}"
+    );
+}
+
+#[test]
+fn par_chunks_mut_sequential_fallback_propagates_the_original_panic() {
+    silence_panics();
+    let mut data = vec![0u32; 8];
+    let payload = payload_of(|| {
+        par_chunks_mut(&mut data, 16, 4, |_base, _chunk| {
+            panic!("lone chunk is cursed");
+        });
+    });
+    assert!(
+        payload.contains("lone chunk is cursed"),
+        "payload was: {payload}"
+    );
+}

@@ -17,12 +17,20 @@
 //!   what lets the defense win the arms race without a single-round
 //!   oracle.
 //!
+//! Rank alone is relative, though: in a homogeneous cluster *somebody*
+//! is always ranked worst, and with deterministic shards the same
+//! honest client can be rank-worst every round. Every family therefore
+//! gates its strikes on the worst input actually *separating* from the
+//! cohort (the scenario fuzzer's honest-quarantine oracle,
+//! `hfl-oracle`, is what caught the ungated Krum path quarantining
+//! honest clients under the default suspicion config).
+//!
 //! Per rule family:
 //!
 //! | Rule | Acceptance | Strike evidence |
 //! |---|---|---|
-//! | Krum / Multi-Krum | selected set membership | worst score rank 1.0, runner-up 0.5 |
-//! | Trimmed mean | trimmed-coordinate fraction < 0.75 | most-trimmed input 1.0, runner-up 0.5 |
+//! | Krum / Multi-Krum | selected set membership | worst score rank 1.0, runner-up 0.5 (when score > 4 × median score) |
+//! | Trimmed mean | trimmed-coordinate fraction < 0.75 | most-trimmed input 1.0, runner-up 0.5 (when > 1.5 × expected clip fraction) |
 //! | Median / GeoMed / others | residual ≤ 1.5 × median residual | worst residual 1.0, runner-up 0.5 (when > 2 × median) |
 //! | FedAvg | everything | none (no robustness signal) |
 
@@ -35,6 +43,11 @@ pub const STRIKE_WORST: f64 = 1.0;
 /// Strike weight for the runner-up (only assigned when n ≥ 4, so small
 /// clusters don't strike half their membership every round).
 pub const STRIKE_RUNNER_UP: f64 = 0.5;
+/// Krum-family strike gate: an input is struck only when its Krum
+/// score exceeds this multiple of the cohort's median score. Scores
+/// are summed *squared* distances, so 4 corresponds to a 2× separation
+/// in distance units — the same margin `judge_by_residual` uses.
+pub const KRUM_STRIKE_GATE: f64 = 4.0;
 
 /// Per-input verdicts of one aggregation instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,11 +78,17 @@ pub fn judge(kind: &AggregatorKind, updates: &[&[f32]]) -> Acceptance {
     }
     match kind {
         AggregatorKind::FedAvg => Acceptance::all_accepted(n),
-        AggregatorKind::Krum { f } => judge_by_scores(&krum_scores(updates, *f), 1),
+        AggregatorKind::Krum { f } => {
+            let scores = krum_scores(updates, *f);
+            let mut acc = judge_by_scores(&scores, 1);
+            gate_krum_strikes(&mut acc, &scores);
+            acc
+        }
         AggregatorKind::MultiKrum { f, m } => {
             let scores = krum_scores(updates, *f);
             let selected = MultiKrum::new(*f, (*m).max(1)).select(updates);
             let mut acc = judge_by_scores(&scores, selected.len());
+            gate_krum_strikes(&mut acc, &scores);
             // Membership of the actual selection is the ground truth for
             // acceptance (scores only order; `m` decides the cut).
             acc.accepted = vec![false; n];
@@ -99,6 +118,29 @@ fn judge_by_scores(scores: &[f64], keep: usize) -> Acceptance {
         strikes[idx[n - 2]] = STRIKE_RUNNER_UP;
     }
     Acceptance { accepted, strikes }
+}
+
+/// Zeroes Krum-family strikes for inputs whose score does not clearly
+/// separate from the cohort ([`KRUM_STRIKE_GATE`] × the median score):
+/// homogeneous clusters — honest rounds — strike nobody even though
+/// the rank logic always nominates a worst input. Below four inputs
+/// strikes are dropped entirely: with n = 3 each score is a single
+/// nearest-neighbour distance, so a large score says as much about
+/// shard diversity as about the input (non-IID clusters of 3 were
+/// quarantining honest clients through this path).
+fn gate_krum_strikes(acc: &mut Acceptance, scores: &[f64]) {
+    if scores.len() < 4 {
+        acc.strikes.iter_mut().for_each(|s| *s = 0.0);
+        return;
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let med = sorted[scores.len() / 2].max(1e-12);
+    for (s, sc) in acc.strikes.iter_mut().zip(scores) {
+        if *sc <= KRUM_STRIKE_GATE * med {
+            *s = 0.0;
+        }
+    }
 }
 
 /// Trimmed mean: an input's badness is the fraction of coordinates on
@@ -177,6 +219,10 @@ mod tests {
         let acc = judge(&AggregatorKind::MultiKrum { f: 1, m: 6 }, &refs(&updates));
         assert!(!acc.accepted[6], "outlier must not be selected");
         assert_eq!(acc.strikes[6], STRIKE_WORST);
+        assert!(
+            acc.strikes[..6].iter().all(|s| *s == 0.0),
+            "inliers below the score gate collect no strikes"
+        );
         assert!(acc.accepted[..6].iter().filter(|a| **a).count() >= 5);
     }
 
@@ -222,14 +268,27 @@ mod tests {
     }
 
     #[test]
-    fn homogeneous_round_strikes_at_most_the_rank_tail() {
-        // With no real outlier the worst-ranked input still gets struck
-        // (rank evidence is relative) — but never more than two inputs,
-        // and the runner-up only at half weight.
+    fn homogeneous_round_strikes_nobody() {
+        // With no real outlier the rank logic still nominates a worst
+        // input, but the score gate zeroes the strike: deterministic
+        // shards mean the *same* honest client would be rank-worst
+        // round after round, and ungated rank strikes alone were enough
+        // to quarantine it (found by the hfl-oracle honest-quarantine
+        // invariant).
         let updates = cluster_with_outliers(&[1.0, 1.0], 0.3, 8, &[1.0, 1.0], 0);
         let acc = judge(&AggregatorKind::MultiKrum { f: 2, m: 6 }, &refs(&updates));
-        let struck: Vec<f64> = acc.strikes.iter().copied().filter(|s| *s > 0.0).collect();
-        assert!(struck.len() <= 2);
-        assert!(struck.iter().sum::<f64>() <= STRIKE_WORST + STRIKE_RUNNER_UP);
+        assert!(
+            acc.strikes.iter().all(|s| *s == 0.0),
+            "homogeneous rounds must not strike: {:?}",
+            acc.strikes
+        );
+    }
+
+    #[test]
+    fn separated_outlier_is_still_struck_through_the_gate() {
+        let updates = cluster_with_outliers(&[0.5, -0.5], 0.05, 5, &[8.0, 8.0], 1);
+        let acc = judge(&AggregatorKind::Krum { f: 1 }, &refs(&updates));
+        assert_eq!(acc.strikes[5], STRIKE_WORST);
+        assert!(acc.strikes[..5].iter().all(|s| *s == 0.0));
     }
 }

@@ -40,3 +40,17 @@ cargo run --release -p hfl-bench --bin repro_combined -- \
 diff "$tmp/e/combined.manifests.jsonl" "$tmp/f/combined.manifests.jsonl" \
     || { echo "repro_combined manifests differ across same-seed runs"; exit 1; }
 echo "repro_combined determinism gate passed"
+
+# Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the
+# iteration count with FUZZ_ITERS), then the three mutation self-checks
+# — deliberately corrupted observations must be caught by the matching
+# oracle and shrunk to a minimal repro (see DESIGN.md §10). Corpus
+# replay itself runs inside `cargo test` (tests/oracle_corpus.rs).
+cargo run --release -p hfl-bench --bin fuzz_oracle -- \
+    --iters "${FUZZ_ITERS:-200}" --seed 42
+for mutation in quorum conservation determinism; do
+    cargo run --release -p hfl-bench --bin fuzz_oracle -- \
+        --mutation "$mutation" --seed 42 --out "$tmp/oracle" >/dev/null \
+        || { echo "oracle mutation check '$mutation' was not caught"; exit 1; }
+done
+echo "oracle fuzz + mutation gates passed"

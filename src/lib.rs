@@ -11,6 +11,7 @@ pub use hfl_attacks as attacks;
 pub use hfl_consensus as consensus;
 pub use hfl_faults as faults;
 pub use hfl_ml as ml;
+pub use hfl_oracle as oracle;
 pub use hfl_parallel as parallel;
 pub use hfl_robust as robust;
 pub use hfl_simnet as simnet;

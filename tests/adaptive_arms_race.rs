@@ -84,13 +84,12 @@ fn adaptive_adversary_emits_bounded_magnitudes_and_moves() {
 
 #[test]
 fn suspicion_quarantines_the_coalition_not_the_honest() {
-    // One sign-flipping follower per cluster at scale 10: the outlier is
-    // rank-worst in its cluster every pre-convergence round, so honest
-    // members collect at most the 0.5 runner-up strike while the
-    // malicious member collects 1.0. With threshold 3.0 the runner-up
-    // steady state (2.5) can never cross, and over 7 rounds even the
-    // post-quarantine worst-rank strikes leave every honest client
-    // strictly below threshold — quarantines are provably ⊆ malicious.
+    // One sign-flipping follower per cluster at scale 10: the outlier's
+    // Krum score separates from the honest cohort by far more than the
+    // evidence gate's 4 × median, so it collects the 1.0 worst-rank
+    // strike every pre-quarantine round, while honest members — inside
+    // the gate — collect none. With threshold 3.0 the attacker crosses
+    // within 4 rounds and quarantines are provably ⊆ malicious.
     let mut cfg = arms_cfg(
         AttackCfg::Model {
             attack: ModelAttack::SignFlip { scale: 10.0 },

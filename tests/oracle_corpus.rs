@@ -1,0 +1,41 @@
+//! Replays every corpus case in `tests/corpus/` against all five
+//! oracles. Cases land here in two ways: seeded by hand as diverse
+//! regression anchors, or persisted automatically by `fuzz_oracle`
+//! when it shrinks a real violation — either way, once a case is in
+//! the corpus it must pass forever.
+
+use abd_hfl::oracle::harness::check;
+use abd_hfl::oracle::toml::from_toml;
+
+#[test]
+fn every_corpus_case_upholds_all_five_oracles() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {dir}: {e}"))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "corpus at {dir} is empty — the seeded cases are missing"
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let spec =
+            from_toml(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let (_, violations) = check(&spec, None)
+            .unwrap_or_else(|e| panic!("{} is not a valid scenario: {e}", path.display()));
+        assert!(
+            violations.is_empty(),
+            "{} regressed:\n{}",
+            path.display(),
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! The deprecated entry-point shims (`run_abd_hfl*`, `run_pipeline*`)
+//! must stay *byte-identical* to the unified `run::RunOptions` driver —
+//! same result and same rendered manifest — until they are removed.
+//! (The in-crate tests check scalar outcomes; this suite pins the whole
+//! manifest byte stream, which is what downstream tooling diffs.)
+
+#![allow(deprecated)]
+
+use abd_hfl::attacks::{ModelAttack, Placement};
+use abd_hfl::core::config::{AttackCfg, HflConfig};
+use abd_hfl::core::pipeline::{run_pipeline, run_pipeline_with, PipelineConfig};
+use abd_hfl::core::run::RunOptions;
+use abd_hfl::core::runner::{run_abd_hfl, run_abd_hfl_with};
+use abd_hfl::robust::SuspicionConfig;
+use abd_hfl::telemetry::Telemetry;
+
+fn tiny(attack: AttackCfg, seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(attack, seed);
+    cfg.rounds = 3;
+    cfg.eval_every = 3;
+    cfg
+}
+
+fn signflip() -> AttackCfg {
+    AttackCfg::Model {
+        attack: ModelAttack::SignFlip { scale: 2.0 },
+        proportion: 0.25,
+        placement: Placement::Prefix,
+    }
+}
+
+/// The sync shim and the unified driver render byte-identical manifests
+/// (and identical results) for clean, attacked, and arms-race configs.
+#[test]
+fn sync_shim_manifest_is_byte_identical_to_the_unified_driver() {
+    let mut armed = tiny(signflip(), 46);
+    armed.suspicion = Some(SuspicionConfig::default());
+    for cfg in [tiny(AttackCfg::None, 44), tiny(signflip(), 45), armed] {
+        let (telem_a, _rec_a) = Telemetry::recording();
+        let shim = run_abd_hfl_with(&cfg, &telem_a);
+        let (telem_b, _rec_b) = Telemetry::recording();
+        let unified = RunOptions::new().telemetry(&telem_b).run(&cfg).into_sync();
+        assert_eq!(shim.result, unified.result);
+        assert_eq!(
+            shim.manifest.to_json(),
+            unified.manifest.to_json(),
+            "sync shim manifest diverged from run::RunOptions"
+        );
+    }
+}
+
+/// Same for the pipeline shim pair.
+#[test]
+fn pipeline_shim_manifest_is_byte_identical_to_the_unified_driver() {
+    let cfg = tiny(signflip(), 47);
+    let pcfg = PipelineConfig {
+        rounds: 2,
+        ..PipelineConfig::default()
+    };
+    let (telem_a, _rec_a) = Telemetry::recording();
+    let (shim_res, shim_manifest) = run_pipeline_with(&cfg, &pcfg, &telem_a);
+    let (telem_b, _rec_b) = Telemetry::recording();
+    let (uni_res, uni_manifest) = RunOptions::pipeline(&pcfg)
+        .telemetry(&telem_b)
+        .run(&cfg)
+        .into_pipeline();
+    assert_eq!(shim_res.final_accuracy, uni_res.final_accuracy);
+    assert_eq!(shim_res.messages, uni_res.messages);
+    assert_eq!(
+        shim_manifest.to_json(),
+        uni_manifest.to_json(),
+        "pipeline shim manifest diverged from run::RunOptions::pipeline"
+    );
+}
+
+/// The telemetry-free shims agree with their instrumented twins (the
+/// disabled-telemetry path must not change the computation).
+#[test]
+fn telemetry_free_shims_match_their_instrumented_twins() {
+    let cfg = tiny(signflip(), 48);
+    let bare = run_abd_hfl(&cfg);
+    let instrumented = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    assert_eq!(bare, instrumented.result);
+
+    let pcfg = PipelineConfig {
+        rounds: 2,
+        ..PipelineConfig::default()
+    };
+    let bare = run_pipeline(&cfg, &pcfg);
+    let (instrumented, _) = run_pipeline_with(&cfg, &pcfg, &Telemetry::disabled());
+    assert_eq!(bare.final_accuracy, instrumented.final_accuracy);
+    assert_eq!(bare.messages, instrumented.messages);
+}
