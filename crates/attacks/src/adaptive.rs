@@ -168,6 +168,40 @@ impl AdaptiveAdversary {
         &self.history
     }
 
+    /// The full bisection state `(lo, hi, current, history)` for
+    /// checkpointing.
+    pub fn search_state(&self) -> (f32, f32, f32, &[(usize, f32, bool)]) {
+        (self.lo, self.hi, self.current, &self.history)
+    }
+
+    /// Overwrites the bisection state from a checkpoint. The window must
+    /// be finite and inside `[0, max]` of the configured family.
+    pub fn restore_search(
+        &mut self,
+        lo: f32,
+        hi: f32,
+        current: f32,
+        history: Vec<(usize, f32, bool)>,
+    ) -> Result<(), String> {
+        if !(lo.is_finite() && hi.is_finite() && current.is_finite()) {
+            return Err(format!("non-finite search window ({lo}, {hi}, {current})"));
+        }
+        if !(0.0 <= lo && lo <= hi && hi <= self.max) {
+            return Err(format!(
+                "search window ({lo}, {hi}) outside [0, {}]",
+                self.max
+            ));
+        }
+        if !(0.0..=self.max).contains(&current) {
+            return Err(format!("magnitude {current} outside [0, {}]", self.max));
+        }
+        self.lo = lo;
+        self.hi = hi;
+        self.current = current;
+        self.history = history;
+        Ok(())
+    }
+
     /// Consumes one round of defense feedback and moves the magnitude:
     /// accepted ⇒ the boundary is above `current` (raise `lo`); rejected
     /// ⇒ it is below (lower `hi`); next magnitude is the interval

@@ -1,0 +1,207 @@
+//! Divergence bisection tool: given two runs that *should* agree, find
+//! the first round where they stop agreeing.
+//!
+//! Two modes:
+//!
+//! ```sh
+//! # Manifest mode — compare two saved `RunManifest` JSON files (e.g.
+//! # the pair `snapshot_resume` leaves behind on a failure):
+//! cargo run --release -p hfl-bench --bin bisect_divergence -- \
+//!     --manifest-a results/snapshot/armed.straight.manifest.json \
+//!     --manifest-b results/snapshot/armed.resumed.manifest.json
+//!
+//! # Spec mode — run two scenario TOMLs (the corpus format) with
+//! # per-round snapshot capture and bisect the *full engine state*
+//! # (model bytes, layer state, accounting), which catches silent
+//! # divergences the manifest never surfaces:
+//! cargo run --release -p hfl-bench --bin bisect_divergence -- \
+//!     --spec-a tests/corpus/a.toml --spec-b tests/corpus/b.toml
+//! ```
+//!
+//! Exit code: 0 when the runs agree, 1 when a divergence is found
+//! (printed with its round and first differing component), 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use abd_hfl_core::runner::{run_prepared_snapshotting, Experiment};
+use hfl_oracle::toml;
+use hfl_snapshot::{bisect_first, first_divergence, EngineSnapshot};
+use hfl_telemetry::{RunManifest, Telemetry};
+
+struct BisectArgs {
+    manifest_a: Option<PathBuf>,
+    manifest_b: Option<PathBuf>,
+    spec_a: Option<PathBuf>,
+    spec_b: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bisect_divergence --manifest-a A.json --manifest-b B.json\n\
+         \x20      bisect_divergence --spec-a A.toml --spec-b B.toml"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> BisectArgs {
+    let mut args = BisectArgs {
+        manifest_a: None,
+        manifest_b: None,
+        spec_a: None,
+        spec_b: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || PathBuf::from(it.next().unwrap_or_else(|| usage()));
+        match flag.as_str() {
+            "--manifest-a" => args.manifest_a = Some(value()),
+            "--manifest-b" => args.manifest_b = Some(value()),
+            "--spec-a" => args.spec_a = Some(value()),
+            "--spec-b" => args.spec_b = Some(value()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn read_manifest(path: &PathBuf) -> RunManifest {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    RunManifest::from_json(text.trim())
+        .unwrap_or_else(|e| panic!("{} is not a run manifest: {e}", path.display()))
+}
+
+fn report(d: &hfl_snapshot::Divergence) {
+    println!("first divergence: round {} ({})", d.round, d.component);
+    println!("  a: {}", summarize(&d.a));
+    println!("  b: {}", summarize(&d.b));
+}
+
+/// Keeps terminal output sane when the differing component renders
+/// large (a full metrics dump, a long event list).
+fn summarize(s: &str) -> String {
+    const LIMIT: usize = 200;
+    let line = s.lines().next().unwrap_or("");
+    if line.len() > LIMIT {
+        let cut = (0..=LIMIT)
+            .rev()
+            .find(|&i| line.is_char_boundary(i))
+            .unwrap_or(0);
+        format!("{}… ({} bytes)", &line[..cut], s.len())
+    } else if s.lines().count() > 1 {
+        format!("{}… ({} lines)", line, s.lines().count())
+    } else {
+        line.to_string()
+    }
+}
+
+fn manifest_mode(a: &PathBuf, b: &PathBuf) -> ExitCode {
+    let (ma, mb) = (read_manifest(a), read_manifest(b));
+    match first_divergence(&ma, &mb, |round, diff| {
+        println!(
+            "probe round {round}: {}",
+            if diff { "diverged" } else { "agrees" }
+        );
+    }) {
+        Some(d) => {
+            report(&d);
+            ExitCode::FAILURE
+        }
+        None => {
+            println!(
+                "manifests are byte-identical over {} rounds",
+                ma.rounds.len()
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Runs one spec capturing a snapshot after every round; the snapshot
+/// stream is the run's full state trajectory.
+fn capture(path: &PathBuf) -> Vec<EngineSnapshot> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = toml::from_toml(&text)
+        .unwrap_or_else(|e| panic!("{} is not a scenario spec: {e}", path.display()));
+    let cfg = spec.to_config();
+    let exp = Experiment::prepare(&cfg);
+    let (telem, _rec) = Telemetry::recording();
+    let (run, mut snapshots) = run_prepared_snapshotting(&exp, &telem, 1);
+    // The capture loop stops one short of the horizon (a final-round
+    // snapshot has nothing left to resume); synthesize the terminal
+    // state from the finished run so the last round is bisectable too.
+    snapshots.push(EngineSnapshot {
+        round: cfg.rounds,
+        rounds: run.manifest.rounds.clone(),
+        faults: run.manifest.faults.clone(),
+        metrics: run.manifest.metrics.clone(),
+        ..snapshots.last().cloned().unwrap_or_else(|| {
+            panic!(
+                "{}: spec must run at least 2 rounds to capture",
+                path.display()
+            )
+        })
+    });
+    snapshots
+}
+
+fn spec_mode(a: &PathBuf, b: &PathBuf) -> ExitCode {
+    let (sa, sb) = (capture(a), capture(b));
+    let len = sa.len().max(sb.len());
+    let first = bisect_first(len, |i| {
+        let differs = match (sa.get(i), sb.get(i)) {
+            (Some(x), Some(y)) => x.to_bytes() != y.to_bytes(),
+            _ => true,
+        };
+        println!(
+            "probe round {}: {}",
+            i + 1,
+            if differs { "diverged" } else { "agrees" }
+        );
+        differs
+    });
+    match first {
+        Some(i) => {
+            match (sa.get(i), sb.get(i)) {
+                (Some(x), Some(y)) => {
+                    let what = if x.model != y.model {
+                        "model parameters"
+                    } else if x.layers != y.layers {
+                        "layer state"
+                    } else if x.rounds != y.rounds {
+                        "round records"
+                    } else {
+                        "accounting/metrics"
+                    };
+                    println!(
+                        "first divergence: engine state after round {} ({what})",
+                        i + 1
+                    );
+                }
+                _ => println!("first divergence: run lengths differ at round {}", i + 1),
+            }
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("engine state identical after every one of {len} rounds");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match (
+        &args.manifest_a,
+        &args.manifest_b,
+        &args.spec_a,
+        &args.spec_b,
+    ) {
+        (Some(a), Some(b), None, None) => manifest_mode(a, b),
+        (None, None, Some(a), Some(b)) => spec_mode(a, b),
+        _ => usage(),
+    }
+}

@@ -22,7 +22,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use hfl_oracle::harness::{check, Mutation};
+use hfl_oracle::harness::{check, check_cached, Mutation, SnapshotCache};
 use hfl_oracle::scenario::{ScenarioGen, ScenarioSpec};
 use hfl_oracle::{shrink, toml};
 
@@ -30,6 +30,7 @@ struct FuzzArgs {
     iters: usize,
     seed: u64,
     mutation: Option<Mutation>,
+    snapshots: bool,
     corpus_dir: PathBuf,
     out_dir: PathBuf,
 }
@@ -37,7 +38,7 @@ struct FuzzArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz_oracle [--iters N] [--seed S] \
-         [--mutation quorum|conservation|determinism] \
+         [--mutation quorum|conservation|determinism] [--snapshots] \
          [--corpus-dir DIR] [--out DIR]"
     );
     std::process::exit(2);
@@ -49,6 +50,7 @@ fn parse_args() -> FuzzArgs {
         iters: 50,
         seed: 42,
         mutation: None,
+        snapshots: false,
         corpus_dir: workspace.join("tests/corpus"),
         out_dir: workspace.join("target/oracle"),
     };
@@ -69,6 +71,7 @@ fn parse_args() -> FuzzArgs {
                     usage()
                 }));
             }
+            "--snapshots" => args.snapshots = true,
             "--corpus-dir" => args.corpus_dir = PathBuf::from(value()),
             "--out" => args.out_dir = PathBuf::from(value()),
             _ => usage(),
@@ -77,10 +80,38 @@ fn parse_args() -> FuzzArgs {
     args
 }
 
+/// One oracle check, through the snapshot cache when `--snapshots` is
+/// on so horizon-halving shrink candidates resume instead of replaying
+/// their prefix.
+fn run_check(
+    spec: &ScenarioSpec,
+    mutation: Option<Mutation>,
+    cache: &mut Option<SnapshotCache>,
+) -> Result<(hfl_oracle::Observations, Vec<hfl_oracle::Violation>), abd_hfl_core::config::ConfigError>
+{
+    match cache.as_mut() {
+        Some(c) => check_cached(spec, mutation, c),
+        None => check(spec, mutation),
+    }
+}
+
 /// Re-runs a shrink candidate under the active mutation; invalid specs
 /// (a topology edit orphaning a fault) count as "does not fail".
-fn still_fails(spec: &ScenarioSpec, mutation: Option<Mutation>) -> bool {
-    matches!(check(spec, mutation), Ok((_, v)) if !v.is_empty())
+fn still_fails(
+    spec: &ScenarioSpec,
+    mutation: Option<Mutation>,
+    cache: &mut Option<SnapshotCache>,
+) -> bool {
+    matches!(run_check(spec, mutation, cache), Ok((_, v)) if !v.is_empty())
+}
+
+fn report_rounds(cache: &Option<SnapshotCache>) {
+    if let Some(c) = cache {
+        println!(
+            "rounds executed: {} (saved {} by snapshot resume)",
+            c.rounds_executed, c.rounds_saved
+        );
+    }
 }
 
 fn write_case(dir: &Path, stem: &str, spec: &ScenarioSpec) -> PathBuf {
@@ -94,13 +125,14 @@ fn write_case(dir: &Path, stem: &str, spec: &ScenarioSpec) -> PathBuf {
 fn main() -> ExitCode {
     let args = parse_args();
     let mut gen = ScenarioGen::new(args.seed);
+    let mut cache = args.snapshots.then(SnapshotCache::new);
 
     if let Some(mutation) = args.mutation {
         // Self-check mode: corrupted observations MUST trip an oracle.
         for i in 0..args.iters.max(1) {
             let spec = gen.draw();
             let (_, violations) =
-                check(&spec, Some(mutation)).expect("generated spec must be valid");
+                run_check(&spec, Some(mutation), &mut cache).expect("generated spec must be valid");
             if violations.is_empty() {
                 continue;
             }
@@ -109,7 +141,7 @@ fn main() -> ExitCode {
                 mutation.name(),
                 violations[0]
             );
-            let minimal = shrink::shrink(&spec, |s| still_fails(s, Some(mutation)));
+            let minimal = shrink::shrink(&spec, |s| still_fails(s, Some(mutation), &mut cache));
             let path = write_case(
                 &args.out_dir,
                 &format!("mutation_{}", mutation.name()),
@@ -121,6 +153,7 @@ fn main() -> ExitCode {
                 minimal.rounds,
                 path.display()
             );
+            report_rounds(&cache);
             return ExitCode::SUCCESS;
         }
         eprintln!(
@@ -133,7 +166,8 @@ fn main() -> ExitCode {
 
     for i in 0..args.iters {
         let spec = gen.draw();
-        let (_, violations) = check(&spec, None).expect("generated spec must be valid");
+        let (_, violations) =
+            run_check(&spec, None, &mut cache).expect("generated spec must be valid");
         if violations.is_empty() {
             if (i + 1) % 25 == 0 {
                 println!("{}/{} scenarios clean", i + 1, args.iters);
@@ -145,7 +179,7 @@ fn main() -> ExitCode {
             eprintln!("  {v}");
         }
         eprintln!("shrinking...");
-        let minimal = shrink::shrink(&spec, |s| still_fails(s, None));
+        let minimal = shrink::shrink(&spec, |s| still_fails(s, None, &mut cache));
         let stem = format!("fuzz_seed{}_iter{i}", args.seed);
         let path = write_case(&args.corpus_dir, &stem, &minimal);
         eprintln!(
@@ -155,11 +189,13 @@ fn main() -> ExitCode {
             minimal.rounds,
             path.display()
         );
+        report_rounds(&cache);
         return ExitCode::FAILURE;
     }
     println!(
         "all {} scenarios upheld the five oracles (seed {})",
         args.iters, args.seed
     );
+    report_rounds(&cache);
     ExitCode::SUCCESS
 }

@@ -1,0 +1,158 @@
+//! Performance baseline: fixed-seed sweeps distilled into one
+//! machine-readable `BENCH_6.json` so CI can track end-to-end round
+//! throughput, aggregation-kernel latency and per-round traffic
+//! across commits without a Criterion run.
+//!
+//! ```sh
+//! cargo run --release -p hfl-bench --bin perf_baseline -- --out results
+//! cargo run --release -p hfl-bench --bin perf_baseline -- --quick   # CI
+//! ```
+//!
+//! Emitted shape (all numbers positive, self-validated before exit):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "seed": 42,
+//!   "rounds": 20,
+//!   "rounds_per_sec": 12.3,
+//!   "bytes_per_round": 1234567,
+//!   "messages_per_round": 181,
+//!   "kernels": [{"name": "fedavg", "n": 16, "dim": 1024, "ns_per_op": 4567}, ...]
+//! }
+//! ```
+//!
+//! Timings use `std::time::Instant` around otherwise fully
+//! deterministic work, so everything except the two timing fields is
+//! reproducible byte-for-byte.
+
+use std::path::Path;
+use std::time::Instant;
+
+use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_bench::Args;
+use hfl_robust::AggregatorKind;
+use hfl_telemetry::{Json, Telemetry};
+
+/// Deterministic pseudo-updates for the kernel sweep: `n` vectors of
+/// dimension `dim`, values in roughly [-1, 1] from a splitmix-style
+/// integer hash (no RNG state to carry).
+fn synth_updates(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| {
+                    let mut x = (i as u64) << 32 | j as u64;
+                    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    x ^= x >> 31;
+                    ((x % 2_000) as f32 / 1_000.0) - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Median-of-reps wall time for one closure, in nanoseconds.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
+    let mut times: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(20, 6);
+    let reps = args.effective_reps(3, 2);
+    let (kn, kdim, kiters) = if args.quick {
+        (16, 256, 5)
+    } else {
+        (16, 1024, 20)
+    };
+
+    // --- end-to-end: the clean quick config at a fixed seed ---
+    let mut cfg = HflConfig::quick(AttackCfg::None, args.seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = rounds;
+    let exp = Experiment::prepare(&cfg);
+    let mut last_run = None;
+    let e2e_ns = time_ns(reps, || {
+        let (telem, _rec) = Telemetry::recording();
+        last_run = Some(run_prepared_with(&exp, &telem));
+    });
+    let run = last_run.expect("at least one timed rep ran");
+    let rounds_per_sec = rounds as f64 / (e2e_ns as f64 / 1e9);
+    let bytes_per_round = run.manifest.totals.bytes / rounds as u64;
+    let messages_per_round = run.manifest.totals.messages / rounds as u64;
+
+    // --- aggregation kernels over a fixed synthetic input ---
+    let updates = synth_updates(kn, kdim);
+    let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+    let kernels: Vec<(&'static str, AggregatorKind)> = vec![
+        ("fedavg", AggregatorKind::FedAvg),
+        ("krum", AggregatorKind::Krum { f: 2 }),
+        ("multikrum", AggregatorKind::MultiKrum { f: 2, m: 8 }),
+        ("median", AggregatorKind::Median),
+        ("trimmed_mean", AggregatorKind::TrimmedMean { ratio: 0.2 }),
+        ("geomed", AggregatorKind::GeoMed),
+        (
+            "centered_clip",
+            AggregatorKind::CenteredClip { tau: 1.0, iters: 3 },
+        ),
+        (
+            "cosine_clustering",
+            AggregatorKind::CosineClustering { threshold: 0.0 },
+        ),
+        ("autogm", AggregatorKind::AutoGm { kappa: 3.0 }),
+    ];
+    let mut kernel_rows = Vec::new();
+    for (name, kind) in &kernels {
+        let agg = kind.build();
+        let ns = time_ns(reps, || {
+            for _ in 0..kiters {
+                let out = agg.aggregate(&refs, None);
+                assert_eq!(out.len(), kdim, "{name} returned a wrong dimension");
+            }
+        });
+        let ns_per_op = (ns / kiters as u128).max(1) as u64;
+        println!("kernel {name}: {ns_per_op} ns/op (n={kn}, dim={kdim})");
+        kernel_rows.push(Json::Obj(vec![
+            ("name".into(), Json::Str((*name).to_string())),
+            ("n".into(), Json::UInt(kn as u64)),
+            ("dim".into(), Json::UInt(kdim as u64)),
+            ("ns_per_op".into(), Json::UInt(ns_per_op)),
+        ]));
+    }
+
+    // Self-validate: a zero anywhere means the harness mis-measured,
+    // and a silent zero would poison trend tracking.
+    assert!(rounds_per_sec > 0.0, "non-positive round throughput");
+    assert!(bytes_per_round > 0, "zero bytes per round");
+    assert!(messages_per_round > 0, "zero messages per round");
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::UInt(1)),
+        ("seed".into(), Json::UInt(args.seed)),
+        ("rounds".into(), Json::UInt(rounds as u64)),
+        ("rounds_per_sec".into(), Json::Num(rounds_per_sec)),
+        ("bytes_per_round".into(), Json::UInt(bytes_per_round)),
+        ("messages_per_round".into(), Json::UInt(messages_per_round)),
+        ("kernels".into(), Json::Arr(kernel_rows)),
+    ]);
+    let dir = Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join("BENCH_6.json");
+    std::fs::write(&path, doc.to_string() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!(
+        "rounds/sec {rounds_per_sec:.2}, bytes/round {bytes_per_round}, \
+         messages/round {messages_per_round}"
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,231 @@
+//! Snapshot-resume determinism gate: runs a fixture config straight
+//! through, then again as capture-at-round-k + resume-from-snapshot
+//! (through the serialized byte codec, so the on-disk path is what is
+//! proven), and demands the two final manifests be **byte-identical**.
+//!
+//! ```sh
+//! # The CI gate (one line per fixture; non-zero exit on any mismatch):
+//! cargo run --release -p hfl-bench --bin snapshot_resume -- --out results/snapshot
+//!
+//! # One fixture, custom horizon and checkpoint:
+//! cargo run --release -p hfl-bench --bin snapshot_resume -- \
+//!     --config faulted --rounds 20 --at 10
+//! ```
+//!
+//! The fixtures mirror `tests/golden_manifests.rs`: the clean path
+//! (churn + sub-unit quorum), the fault-injected path, the arms-race
+//! path (adaptive ALIE + suspicion + equivocation) and the withholding
+//! CBA path — every layer with restorable state is crossed at least
+//! once. Both manifests are persisted under `--out` for post-mortems.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl_core::runner::{
+    resume_prepared_with, run_prepared_snapshotting, Experiment, InstrumentedRun,
+};
+use hfl_attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
+use hfl_faults::FaultPlan;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::SuspicionConfig;
+use hfl_snapshot::EngineSnapshot;
+use hfl_telemetry::Telemetry;
+
+struct ResumeArgs {
+    config: Option<String>,
+    rounds: usize,
+    at: Option<usize>,
+    out_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snapshot_resume [--config clean|faulted|armed|withhold] \
+         [--rounds N] [--at K] [--quick] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ResumeArgs {
+    let mut args = ResumeArgs {
+        config: None,
+        rounds: 20,
+        at: None,
+        out_dir: PathBuf::from("results/snapshot"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--config" => args.config = Some(value()),
+            "--rounds" => args.rounds = value().parse().unwrap_or_else(|_| usage()),
+            "--at" => args.at = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--quick" => args.rounds = 8,
+            "--out" => args.out_dir = PathBuf::from(value()),
+            _ => usage(),
+        }
+    }
+    if args.rounds < 2 {
+        eprintln!("--rounds must be at least 2 (need a non-empty prefix and suffix)");
+        usage();
+    }
+    args
+}
+
+/// The shared small task every fixture runs, stretched to the requested
+/// horizon (`eval_every = 2` so the checkpoint prefix contains
+/// evaluation records, exercising accuracy-log restoration).
+fn base(attack: AttackCfg, seed: u64, rounds: usize) -> HflConfig {
+    let mut cfg = HflConfig::quick(attack, seed);
+    cfg.rounds = rounds;
+    cfg.eval_every = 2;
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 800,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+fn fixture(name: &str, rounds: usize) -> HflConfig {
+    match name {
+        "clean" => {
+            let mut cfg = base(AttackCfg::None, 2024, rounds);
+            cfg.quorum = 0.75;
+            cfg.churn_leave_prob = 0.1;
+            cfg
+        }
+        "faulted" => {
+            let mut cfg = base(AttackCfg::None, 2025, rounds);
+            cfg.quorum = 0.75;
+            let split: Vec<usize> = (0..24).collect();
+            let rest: Vec<usize> = (24..64).collect();
+            cfg.faults = Some(
+                FaultPlan::new()
+                    .crash_stop(1, 2)
+                    .kill_leader(1, 2, 1, None)
+                    .partition(2, vec![split, rest], 3)
+                    .straggler(1, 6, 8.0, None),
+            );
+            cfg
+        }
+        "armed" => {
+            let mut cfg = base(
+                AttackCfg::Adaptive {
+                    attack: AdaptiveAttack::alie_default(),
+                    proportion: 0.25,
+                    placement: Placement::Prefix,
+                },
+                2026,
+                rounds,
+            );
+            cfg.suspicion = Some(SuspicionConfig::default());
+            cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+            cfg
+        }
+        "withhold" => {
+            let mut cfg = base(
+                AttackCfg::Model {
+                    attack: ModelAttack::SignFlip { scale: 2.0 },
+                    proportion: 0.25,
+                    placement: Placement::Random,
+                },
+                2027,
+                rounds,
+            );
+            cfg.quorum = 0.75;
+            cfg.levels[2] = LevelAgg::Cba(hfl_consensus::ConsensusKind::VoteMajority);
+            cfg.suspicion = Some(SuspicionConfig::default());
+            cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+            cfg
+        }
+        other => {
+            eprintln!("unknown fixture `{other}`");
+            usage()
+        }
+    }
+}
+
+fn write_or_exit(path: &Path, content: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    }
+    std::fs::write(path, content)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Runs one fixture both ways and compares the manifests. Returns true
+/// when they match byte-for-byte.
+fn check_fixture(name: &str, rounds: usize, at: usize, out_dir: &Path) -> bool {
+    let cfg = fixture(name, rounds);
+
+    // Straight through, capturing a snapshot at round `at`.
+    let exp = Experiment::prepare(&cfg);
+    let (telem, _rec) = Telemetry::recording();
+    let (straight, snapshots) = run_prepared_snapshotting(&exp, &telem, at);
+    let snap = snapshots
+        .iter()
+        .find(|s| s.round == at)
+        .unwrap_or_else(|| panic!("{name}: no snapshot captured at round {at}"));
+
+    // Round-trip through the byte codec: resume from what a file would
+    // hold, not from the in-memory value.
+    let bytes = snap.to_bytes();
+    let snap = EngineSnapshot::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{name}: snapshot codec round-trip failed: {e}"));
+
+    let resumed: InstrumentedRun = {
+        let exp = Experiment::prepare(&cfg);
+        let (telem, _rec) = Telemetry::recording();
+        resume_prepared_with(&exp, &telem, &snap)
+            .unwrap_or_else(|e| panic!("{name}: resume refused: {e}"))
+    };
+
+    let straight_json = straight.manifest.to_json();
+    let resumed_json = resumed.manifest.to_json();
+    write_or_exit(
+        &out_dir.join(format!("{name}.straight.manifest.json")),
+        &straight_json,
+    );
+    write_or_exit(
+        &out_dir.join(format!("{name}.resumed.manifest.json")),
+        &resumed_json,
+    );
+
+    let ok = straight_json == resumed_json;
+    println!(
+        "{name}: straight({rounds}) vs capture@{at}+resume → {} ({} snapshot bytes)",
+        if ok { "byte-identical" } else { "DIVERGED" },
+        bytes.len(),
+    );
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let at = args.at.unwrap_or(args.rounds / 2).max(1);
+    if at >= args.rounds {
+        eprintln!("--at must be before --rounds (got {at} >= {})", args.rounds);
+        usage();
+    }
+    let names: Vec<&str> = match &args.config {
+        Some(one) => vec![one.as_str()],
+        None => vec!["clean", "faulted", "armed", "withhold"],
+    };
+    let mut all_ok = true;
+    for name in names {
+        all_ok &= check_fixture(name, args.rounds, at, &args.out_dir);
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "resume diverged from straight-through execution; \
+             compare the manifest pairs under {}",
+            args.out_dir.display()
+        );
+        ExitCode::FAILURE
+    }
+}

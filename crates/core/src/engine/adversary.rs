@@ -6,6 +6,7 @@
 use hfl_attacks::{AdaptiveAdversary, AttackFeedback, ModelAttack, ProtocolAttack};
 use hfl_consensus::quorum_size;
 use hfl_robust::evidence::Acceptance;
+use hfl_snapshot::{LayerState, SearchState};
 
 use super::layer::{ClusterCtx, RoundCtx, RoundLayer};
 use crate::config::AttackCfg;
@@ -164,5 +165,54 @@ impl RoundLayer for AdversaryLayer<'_> {
             );
             adv.observe(ctx.round, self.feedback);
         }
+    }
+
+    /// Cross-round state: the magnitude-search window (adaptive attacks
+    /// only) and which coalition leaders know themselves convicted. The
+    /// feedback accumulator is per-round and resets on every
+    /// `begin_aggregate`.
+    fn snapshot_state(&self, _round: usize) -> Option<LayerState> {
+        Some(LayerState::Adversary {
+            search: self.adversary.as_ref().map(|adv| {
+                let (lo, hi, current, history) = adv.search_state();
+                SearchState {
+                    lo,
+                    hi,
+                    current,
+                    history: history.to_vec(),
+                }
+            }),
+            detected: self.detected.clone(),
+        })
+    }
+
+    fn restore_state(&mut self, _round: usize, state: &LayerState) -> Result<(), String> {
+        let LayerState::Adversary { search, detected } = state else {
+            return Err(format!(
+                "adversary layer handed {} state",
+                state.layer_name()
+            ));
+        };
+        if detected.len() != self.detected.len() {
+            return Err(format!(
+                "conviction flags are for {} clients, population has {}",
+                detected.len(),
+                self.detected.len()
+            ));
+        }
+        match (self.adversary.as_mut(), search) {
+            (Some(adv), Some(s)) => {
+                adv.restore_search(s.lo, s.hi, s.current, s.history.clone())?;
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err("snapshot has no search state but the attack is adaptive".to_string());
+            }
+            (None, Some(_)) => {
+                return Err("snapshot carries search state but the attack is static".to_string());
+            }
+        }
+        self.detected.copy_from_slice(detected);
+        Ok(())
     }
 }

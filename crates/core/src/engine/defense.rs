@@ -7,6 +7,7 @@
 
 use hfl_consensus::echo::{hash_update, EchoReport};
 use hfl_robust::{evidence, SuspicionChange, SuspicionTracker};
+use hfl_snapshot::{LayerState, TrackerState};
 use hfl_telemetry::SuspicionRecord;
 
 use super::layer::{ClusterCtx, RoundCtx, RoundLayer};
@@ -172,6 +173,34 @@ impl RoundLayer for DefenseLayer {
                         });
                     }
                 }
+            }
+        }
+    }
+
+    /// The audit accumulator is per-round (cleared on every
+    /// `begin_aggregate`), so only the tracker crosses rounds.
+    fn snapshot_state(&self, _round: usize) -> Option<LayerState> {
+        Some(LayerState::Defense {
+            tracker: self.tracker.as_ref().map(|t| TrackerState {
+                scores: t.scores().to_vec(),
+                quarantined: t.quarantined_mask().to_vec(),
+                quarantine_events: t.quarantine_events(),
+            }),
+        })
+    }
+
+    fn restore_state(&mut self, _round: usize, state: &LayerState) -> Result<(), String> {
+        let LayerState::Defense { tracker } = state else {
+            return Err(format!("defense layer handed {} state", state.layer_name()));
+        };
+        match (self.tracker.as_mut(), tracker) {
+            (Some(t), Some(s)) => t.restore_state(&s.scores, &s.quarantined, s.quarantine_events),
+            (None, None) => Ok(()),
+            (Some(_), None) => {
+                Err("snapshot has no suspicion tracker but the config enables one".to_string())
+            }
+            (None, Some(_)) => {
+                Err("snapshot carries a suspicion tracker but the config disables it".to_string())
             }
         }
     }

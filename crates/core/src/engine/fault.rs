@@ -6,6 +6,7 @@
 
 use hfl_faults::FaultInjector;
 use hfl_simnet::Hierarchy;
+use hfl_snapshot::LayerState;
 use hfl_telemetry::FaultRecord;
 
 use super::layer::{ClusterCtx, CollectorChoice, RoundCtx, RoundLayer};
@@ -263,5 +264,28 @@ impl RoundLayer for FaultLayer<'_> {
                 .filter(|&&m| !self.inj.crashed(m, round))
                 .count() as u64,
         )
+    }
+
+    /// Everything here re-derives from the compiled schedule each
+    /// round; the snapshot carries only the activation cursor so resume
+    /// can detect a schedule that drifted from the captured run.
+    fn snapshot_state(&self, round: usize) -> Option<LayerState> {
+        Some(LayerState::Fault {
+            activated: self.inj.events_before(round),
+        })
+    }
+
+    fn restore_state(&mut self, round: usize, state: &LayerState) -> Result<(), String> {
+        let LayerState::Fault { activated } = state else {
+            return Err(format!("fault layer handed {} state", state.layer_name()));
+        };
+        let want = self.inj.events_before(round);
+        if *activated != want {
+            return Err(format!(
+                "fault schedule cursor mismatch at round {round}: \
+                 snapshot saw {activated} activations, this plan has {want}"
+            ));
+        }
+        Ok(())
     }
 }

@@ -23,6 +23,7 @@
 
 use hfl_attacks::ModelAttack;
 use hfl_robust::evidence::Acceptance;
+use hfl_snapshot::LayerState;
 use hfl_telemetry::{FaultRecord, SuspicionRecord};
 
 use super::cost::CostCounters;
@@ -200,4 +201,24 @@ pub trait RoundLayer {
     /// the defense's convictions (via [`RoundCtx::convicted`]) are
     /// visible to the adversary's close.
     fn close_round(&mut self, ctx: &mut RoundCtx<'_>) {}
+
+    /// This layer's cross-round state at the top of `round` (that many
+    /// rounds completed, none in flight), for an engine checkpoint.
+    /// `None` means the layer is stateless across rounds and needs
+    /// nothing restored on resume.
+    fn snapshot_state(&self, round: usize) -> Option<LayerState> {
+        None
+    }
+
+    /// Restores the state captured by [`RoundLayer::snapshot_state`] at
+    /// the same `round`, onto a freshly built layer. The default
+    /// rejects: a layer that snapshots must also restore, and a
+    /// stateless layer must never be handed state.
+    fn restore_state(&mut self, round: usize, state: &LayerState) -> Result<(), String> {
+        Err(format!(
+            "layer '{}' has no restorable state (got {})",
+            self.name(),
+            state.layer_name()
+        ))
+    }
 }

@@ -142,6 +142,51 @@ impl<'e> RoundEngine<'e> {
         self.layers().find_map(RoundLayer::training_attack)
     }
 
+    /// Every stateful layer's cross-round state at the top of `round`,
+    /// in stack order — the `layers` section of an
+    /// [`hfl_snapshot::EngineSnapshot`].
+    pub fn snapshot_layers(&self, round: usize) -> Vec<hfl_snapshot::LayerState> {
+        self.layers()
+            .filter_map(|l| l.snapshot_state(round))
+            .collect()
+    }
+
+    /// Restores the state captured by [`Self::snapshot_layers`] onto a
+    /// freshly built stack. The states must pair with this engine's
+    /// stateful layers one-to-one in stack order — a count or variant
+    /// mismatch means the snapshot was captured under a different
+    /// config and is rejected.
+    pub fn restore_layers(
+        &mut self,
+        round: usize,
+        states: &[hfl_snapshot::LayerState],
+    ) -> Result<(), String> {
+        let stateful: Vec<&'static str> = self
+            .layers()
+            .filter(|l| l.snapshot_state(round).is_some())
+            .map(RoundLayer::name)
+            .collect();
+        if stateful.len() != states.len() {
+            return Err(format!(
+                "snapshot carries {} layer states but the engine stack [{}] has {} stateful layers",
+                states.len(),
+                stateful.join(", "),
+                stateful.len()
+            ));
+        }
+        let mut it = states.iter();
+        for layer in self.layers_mut() {
+            // Pair in stack order, skipping stateless layers the same
+            // way snapshot_layers' filter_map did.
+            if layer.snapshot_state(round).is_none() {
+                continue;
+            }
+            let state = it.next().expect("counted above");
+            layer.restore_state(round, state)?;
+        }
+        Ok(())
+    }
+
     /// Executes one full round: round-open hooks (scheduled faults),
     /// local training with the current crafted attack, then bottom-up
     /// aggregation. Returns the new global model.

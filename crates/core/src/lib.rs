@@ -59,8 +59,11 @@ pub mod vanilla;
 pub use config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, ModelCfg, TopologyCfg};
 pub use correction::CorrectionPolicy;
 pub use run::{Driver, RunOptions, RunOutput};
+pub use runner::{
+    base_config_hash, resume_prepared_with, run_prepared_snapshotting, InstrumentedRun,
+    ResumeError, RunResult,
+};
 #[allow(deprecated)]
 pub use runner::{run_abd_hfl, run_abd_hfl_with};
-pub use runner::{InstrumentedRun, RunResult};
 pub use scheme::Scheme;
 pub use vanilla::{run_vanilla, run_vanilla_with};

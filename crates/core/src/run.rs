@@ -18,11 +18,14 @@
 //! assert_eq!(out.manifest().final_accuracy, result.final_accuracy);
 //! ```
 
+use hfl_snapshot::EngineSnapshot;
 use hfl_telemetry::{RunManifest, Telemetry};
 
 use crate::config::{ConfigError, HflConfig};
 use crate::pipeline::{PipelineConfig, PipelineResult};
-use crate::runner::{run_prepared_with, Experiment, InstrumentedRun, RunResult};
+use crate::runner::{
+    resume_prepared_with, run_prepared_with, Experiment, InstrumentedRun, ResumeError, RunResult,
+};
 
 /// Which driver executes the run.
 #[derive(Clone, Debug, Default)]
@@ -180,6 +183,30 @@ pub fn run(cfg: &HflConfig) -> RunResult {
 /// panicking.
 pub fn try_run(cfg: &HflConfig) -> Result<RunResult, ConfigError> {
     Ok(RunOptions::new().try_run(cfg)?.into_sync().result)
+}
+
+/// Continues a checkpointed run through rounds
+/// `snapshot.round..cfg.rounds` on the synchronous driver,
+/// byte-identically to straight-through execution of `cfg`. The config
+/// must be a horizon-extension of the one the snapshot was captured
+/// under (same [`crate::runner::base_config_hash`]; only `rounds` and
+/// `eval_every` may differ).
+pub fn resume(snapshot: &EngineSnapshot, cfg: &HflConfig) -> Result<RunResult, ResumeError> {
+    Ok(resume_with(snapshot, cfg, &Telemetry::disabled())?.result)
+}
+
+/// [`resume`] with telemetry: the snapshot's metric accumulators are
+/// seeded into the (fresh) bundle's registry, so the final manifest
+/// matches a straight-through instrumented run.
+pub fn resume_with(
+    snapshot: &EngineSnapshot,
+    cfg: &HflConfig,
+    telem: &Telemetry,
+) -> Result<InstrumentedRun, ResumeError> {
+    let exp = Experiment::try_prepare(cfg).map_err(|e| ResumeError::ConfigMismatch {
+        detail: e.to_string(),
+    })?;
+    resume_prepared_with(&exp, telem, snapshot)
 }
 
 #[cfg(test)]

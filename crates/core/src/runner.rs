@@ -31,9 +31,10 @@ use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{Dataset, Model};
 use hfl_robust::{AggregatorKind, Krum};
 use hfl_simnet::Hierarchy;
+use hfl_snapshot::{CostSnapshot, EngineSnapshot, SNAPSHOT_VERSION};
 use hfl_telemetry::{
-    fnv1a_hex, ClientScore, Event, FaultRecord, RoundRecord, RunManifest, RunTotals,
-    SuspicionRecord, SuspicionSection, Telemetry,
+    fnv1a_hex, ClientScore, Event, FaultRecord, MetricSample, MetricValue, Registry, RoundRecord,
+    RunManifest, RunTotals, SuspicionRecord, SuspicionSection, Telemetry,
 };
 
 use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg};
@@ -421,15 +422,264 @@ pub fn run_prepared(exp: &Experiment) -> RunResult {
 /// pure function of the config — identical seeds give byte-identical
 /// `manifest.to_json()` output.
 pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun {
+    let (run, _) = run_loop(exp, telem, None, None).expect("a fresh run cannot fail to start");
+    run
+}
+
+/// Why a snapshot was refused by the resume entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The snapshot was written by a different codec version.
+    Version {
+        /// The version tag found in the snapshot.
+        found: u64,
+    },
+    /// The snapshot was captured under a config this one is not a
+    /// horizon-extension of (only `rounds` / `eval_every` may differ).
+    ConfigMismatch {
+        /// What differed.
+        detail: String,
+    },
+    /// The snapshot is internally inconsistent (truncated model,
+    /// mismatched prefix lengths, unrestorable metrics).
+    Corrupt {
+        /// What is broken.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Version { found } => write!(
+                f,
+                "cannot resume: snapshot version {found}, this build reads {SNAPSHOT_VERSION}"
+            ),
+            ResumeError::ConfigMismatch { detail } => {
+                write!(f, "cannot resume under this config: {detail}")
+            }
+            ResumeError::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Hash of `cfg` with the horizon fields (`rounds`, `eval_every`)
+/// normalized away — the compatibility key a snapshot embeds as
+/// `base_hash`. Resume accepts any config whose base hash matches the
+/// snapshot's, which is what lets a shrink candidate with a shorter
+/// horizon reuse its parent's checkpoints.
+pub fn base_config_hash(cfg: &HflConfig) -> String {
+    let mut c = cfg.clone();
+    c.rounds = 0;
+    c.eval_every = 1;
+    fnv1a_hex(format!("{c:?}").as_bytes())
+}
+
+/// [`run_prepared_with`] that also captures an [`EngineSnapshot`] after
+/// every `capture_every`-th completed round (never after the last — a
+/// finished run has nothing to resume). The run itself is unaffected:
+/// capture only reads state.
+///
+/// # Panics
+/// When `capture_every` is zero.
+pub fn run_prepared_snapshotting(
+    exp: &Experiment,
+    telem: &Telemetry,
+    capture_every: usize,
+) -> (InstrumentedRun, Vec<EngineSnapshot>) {
+    assert!(capture_every > 0, "capture_every must be positive");
+    run_loop(exp, telem, None, Some(capture_every)).expect("a fresh run cannot fail to start")
+}
+
+/// Continues a run from `snapshot` through rounds
+/// `snapshot.round..cfg.rounds`, byte-identically to the straight
+///-through execution of the same config: same model trajectory, same
+/// manifest JSON, same registry totals.
+///
+/// `exp` must be prepared from a config whose [`base_config_hash`]
+/// matches the snapshot's (the full hash may differ in the horizon
+/// fields only), and `telem` must be a fresh bundle — the snapshot's
+/// metric accumulators are seeded into its registry.
+pub fn resume_prepared_with(
+    exp: &Experiment,
+    telem: &Telemetry,
+    snapshot: &EngineSnapshot,
+) -> Result<InstrumentedRun, ResumeError> {
+    Ok(run_loop(exp, telem, Some(snapshot), None)?.0)
+}
+
+fn cost_to_snapshot(c: &CostCounters) -> CostSnapshot {
+    CostSnapshot {
+        messages: c.messages,
+        bytes: c.bytes,
+        excluded: c.excluded,
+        absent: c.absent,
+        faulted: c.faulted,
+        quarantined: c.quarantined,
+        withheld: c.withheld,
+    }
+}
+
+fn cost_from_snapshot(s: &CostSnapshot) -> CostCounters {
+    CostCounters {
+        messages: s.messages,
+        bytes: s.bytes,
+        excluded: s.excluded,
+        absent: s.absent,
+        faulted: s.faulted,
+        quarantined: s.quarantined,
+        withheld: s.withheld,
+    }
+}
+
+/// Seeds a fresh registry from a snapshot's metric samples. Counter and
+/// gauge names are interned back to the `&'static str` the engine
+/// registers them under; an unknown name (or a histogram, which cannot
+/// be reconstructed from its stats) rejects the snapshot rather than
+/// silently dropping totals.
+fn restore_registry(reg: &Registry, samples: &[MetricSample]) -> Result<(), String> {
+    const PLAIN_COUNTERS: &[&str] = &[
+        "hfl_messages_total",
+        "hfl_bytes_total",
+        "hfl_excluded_total",
+        "hfl_absent_total",
+        "hfl_faulted_total",
+        "hfl_quarantined_total",
+        "hfl_withheld_total",
+        "hfl_equivocations_total",
+    ];
+    const MECHANISM_COUNTERS: &[&str] = &[
+        "consensus_instances_total",
+        "consensus_excluded_total",
+        "consensus_rounds_total",
+        "consensus_messages_total",
+        "consensus_bytes_total",
+    ];
+    for s in samples {
+        match &s.value {
+            MetricValue::Counter(v) => {
+                if s.labels.is_empty() {
+                    let name = PLAIN_COUNTERS
+                        .iter()
+                        .copied()
+                        .find(|n| *n == s.name)
+                        .ok_or_else(|| format!("unknown counter '{}' in snapshot", s.name))?;
+                    reg.counter(name, &[]).inc(*v);
+                } else if s.labels.len() == 1 && s.labels[0].0 == "mechanism" {
+                    let name = MECHANISM_COUNTERS
+                        .iter()
+                        .copied()
+                        .find(|n| *n == s.name)
+                        .ok_or_else(|| {
+                            format!("unknown per-mechanism counter '{}' in snapshot", s.name)
+                        })?;
+                    reg.counter(name, &[("mechanism", &s.labels[0].1)]).inc(*v);
+                } else {
+                    return Err(format!(
+                        "counter '{}' carries labels this engine never writes",
+                        s.name
+                    ));
+                }
+            }
+            MetricValue::Gauge(v) => {
+                if s.name == "hfl_accuracy" && s.labels.is_empty() {
+                    reg.gauge("hfl_accuracy", &[]).set(*v);
+                } else {
+                    return Err(format!("unknown gauge '{}' in snapshot", s.name));
+                }
+            }
+            MetricValue::Histogram(_) => {
+                return Err(format!(
+                    "histogram '{}' cannot be restored into a registry",
+                    s.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The one synchronous-driver loop behind [`run_prepared_with`],
+/// [`run_prepared_snapshotting`] and [`resume_prepared_with`]: start
+/// state comes from round 0 or a snapshot, and checkpoints are captured
+/// on the way when asked.
+fn run_loop(
+    exp: &Experiment,
+    telem: &Telemetry,
+    start: Option<&EngineSnapshot>,
+    capture_every: Option<usize>,
+) -> Result<(InstrumentedRun, Vec<EngineSnapshot>), ResumeError> {
     let cfg = exp.config();
+    let config_hash = fnv1a_hex(format!("{cfg:?}").as_bytes());
+    let base_hash = base_config_hash(cfg);
     let mut global = exp.template.params().to_vec();
     let mut cost = CostCounters::default();
     let mut accuracy = Vec::new();
-    let mut manifest = RunManifest::new(
-        "abd-hfl",
-        cfg.seed,
-        fnv1a_hex(format!("{cfg:?}").as_bytes()),
-    );
+    let mut manifest = RunManifest::new("abd-hfl", cfg.seed, config_hash.clone());
+    let mut susp_records: Vec<SuspicionRecord> = Vec::new();
+    let mut snapshots: Vec<EngineSnapshot> = Vec::new();
+
+    // The round engine with the config's layer stack: faults when a
+    // plan is compiled, defense + adversary when the arms race is
+    // engaged, empty for plain configs.
+    let mut engine = RoundEngine::for_experiment(exp);
+
+    let first_round = match start {
+        None => 0,
+        Some(s) => {
+            if s.version != SNAPSHOT_VERSION {
+                return Err(ResumeError::Version { found: s.version });
+            }
+            if s.base_hash != base_hash {
+                return Err(ResumeError::ConfigMismatch {
+                    detail: format!(
+                        "snapshot base hash {} vs this config's {}",
+                        s.base_hash, base_hash
+                    ),
+                });
+            }
+            if s.round > cfg.rounds {
+                return Err(ResumeError::ConfigMismatch {
+                    detail: format!(
+                        "snapshot is at round {} but the config stops at {}",
+                        s.round, cfg.rounds
+                    ),
+                });
+            }
+            if s.model.len() != global.len() {
+                return Err(ResumeError::Corrupt {
+                    detail: format!(
+                        "snapshot model has {} parameters, the prepared model has {}",
+                        s.model.len(),
+                        global.len()
+                    ),
+                });
+            }
+            if s.rounds.len() != s.round {
+                return Err(ResumeError::Corrupt {
+                    detail: format!(
+                        "snapshot at round {} carries {} round records",
+                        s.round,
+                        s.rounds.len()
+                    ),
+                });
+            }
+            global.copy_from_slice(&s.model);
+            cost = cost_from_snapshot(&s.cost);
+            accuracy = s.accuracy.clone();
+            manifest.rounds = s.rounds.clone();
+            manifest.faults = s.faults.clone();
+            susp_records = s.susp_log.clone();
+            engine
+                .restore_layers(s.round, &s.layers)
+                .map_err(|detail| ResumeError::ConfigMismatch { detail })?;
+            restore_registry(telem.registry(), &s.metrics)
+                .map_err(|detail| ResumeError::Corrupt { detail })?;
+            s.round
+        }
+    };
 
     let messages_c = telem.registry().counter("hfl_messages_total", &[]);
     let bytes_c = telem.registry().counter("hfl_bytes_total", &[]);
@@ -439,12 +689,6 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     let quarantined_c = telem.registry().counter("hfl_quarantined_total", &[]);
     let withheld_c = telem.registry().counter("hfl_withheld_total", &[]);
     let accuracy_g = telem.registry().gauge("hfl_accuracy", &[]);
-
-    // The round engine with the config's layer stack: faults when a
-    // plan is compiled, defense + adversary when the arms race is
-    // engaged, empty for plain configs.
-    let mut engine = RoundEngine::for_experiment(exp);
-    let mut susp_records: Vec<SuspicionRecord> = Vec::new();
 
     // Outside strict mode, a Krum/Multi-Krum level whose smallest
     // cluster violates n ≥ 2f + 3 is allowed (the paper's own defaults
@@ -477,7 +721,7 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
         }
     }
 
-    for round in 0..cfg.rounds {
+    for round in first_round..cfg.rounds {
         if telem.enabled() {
             telem.emit(Event::RoundStarted { round });
         }
@@ -528,6 +772,30 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
             excluded: delta.excluded,
             absent: delta.absent,
         });
+
+        // Checkpoint the completed round (never the last: a finished
+        // run has nothing left to resume). Capture only reads state, so
+        // the run's own trajectory is unaffected.
+        let done = round + 1;
+        if let Some(every) = capture_every {
+            if done < cfg.rounds && done % every == 0 {
+                snapshots.push(EngineSnapshot {
+                    version: SNAPSHOT_VERSION,
+                    seed: cfg.seed,
+                    config_hash: config_hash.clone(),
+                    base_hash: base_hash.clone(),
+                    round: done,
+                    model: global.clone(),
+                    cost: cost_to_snapshot(&cost),
+                    accuracy: accuracy.clone(),
+                    rounds: manifest.rounds.clone(),
+                    faults: manifest.faults.clone(),
+                    susp_log: susp_records.clone(),
+                    layers: engine.snapshot_layers(done),
+                    metrics: telem.registry().snapshot(),
+                });
+            }
+        }
     }
     let final_accuracy = accuracy.last().map(|(_, a)| *a).unwrap_or(0.0);
     manifest.totals = RunTotals {
@@ -563,20 +831,23 @@ pub fn run_prepared_with(exp: &Experiment, telem: &Telemetry) -> InstrumentedRun
     }
     manifest.metrics = telem.registry().snapshot();
 
-    InstrumentedRun {
-        result: RunResult {
-            accuracy,
-            final_accuracy,
-            messages: cost.messages,
-            bytes: cost.bytes,
-            excluded_total: cost.excluded,
-            absent_total: cost.absent,
-            faulted_total: cost.faulted,
-            quarantined_total: cost.quarantined,
-            withheld_total: cost.withheld,
+    Ok((
+        InstrumentedRun {
+            result: RunResult {
+                accuracy,
+                final_accuracy,
+                messages: cost.messages,
+                bytes: cost.bytes,
+                excluded_total: cost.excluded,
+                absent_total: cost.absent,
+                faulted_total: cost.faulted,
+                quarantined_total: cost.quarantined,
+                withheld_total: cost.withheld,
+            },
+            manifest,
         },
-        manifest,
-    }
+        snapshots,
+    ))
 }
 
 /// Convenience for the repeated-runs protocol of the paper (5 runs,

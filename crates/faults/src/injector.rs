@@ -321,6 +321,17 @@ impl FaultInjector {
     pub fn faults_at(&self, round: usize) -> &[FaultEvent] {
         self.records.get(&round).map_or(&[], Vec::as_slice)
     }
+
+    /// Scheduled occurrences strictly before `round` — the schedule
+    /// cursor a checkpoint of a run paused at `round` carries, letting
+    /// resume validate it was handed the same fault plan.
+    pub fn events_before(&self, round: usize) -> u64 {
+        self.records
+            .iter()
+            .filter(|(&r, _)| r < round)
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +387,16 @@ mod tests {
         assert_eq!(inj.straggle_factor(1, 7), 2.0);
         assert_eq!(inj.straggle_factor(1, 10), 1.0);
         assert_eq!(inj.straggle_factor(0, 4), 1.0);
+    }
+
+    #[test]
+    fn events_before_counts_strictly_earlier_occurrences() {
+        let inj = compile(FaultPlan::new().crash_stop(2, 3).loss_burst(4, 0.5, 6));
+        assert_eq!(inj.events_before(0), 0);
+        assert_eq!(inj.events_before(2), 0);
+        assert_eq!(inj.events_before(3), 1); // crash at round 2
+        assert_eq!(inj.events_before(5), 2); // + burst onset at round 4
+        assert_eq!(inj.events_before(100), inj.events_before(7));
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub mod scenario;
 pub mod shrink;
 pub mod toml;
 
-pub use harness::{run_scenario, Mutation, Observations};
+pub use harness::{
+    check, check_cached, run_scenario, run_scenario_cached, Mutation, Observations, SnapshotCache,
+};
 pub use oracles::{check_all, Violation};
 pub use scenario::{ScenarioGen, ScenarioSpec};

@@ -138,6 +138,33 @@ impl SuspicionTracker {
             .collect()
     }
 
+    /// Per-client quarantine flags, indexed like [`Self::scores`].
+    pub fn quarantined_mask(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Overwrites the tracker's mutable state from a checkpoint
+    /// (scores, quarantine flags, transition count). Both slices must
+    /// match the tracked population size.
+    pub fn restore_state(
+        &mut self,
+        scores: &[f64],
+        quarantined: &[bool],
+        quarantine_events: u64,
+    ) -> Result<(), String> {
+        if scores.len() != self.scores.len() || quarantined.len() != self.quarantined.len() {
+            return Err(format!(
+                "suspicion state is for {} clients, tracker has {}",
+                scores.len(),
+                self.scores.len()
+            ));
+        }
+        self.scores.copy_from_slice(scores);
+        self.quarantined.copy_from_slice(quarantined);
+        self.quarantine_events = quarantine_events;
+        Ok(())
+    }
+
     /// Closes the round: thresholds are checked on the accumulated
     /// (pre-decay) scores, then every score decays. Returns the state
     /// transitions in ascending client order.

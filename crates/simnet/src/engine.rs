@@ -324,11 +324,14 @@ impl<P, A: Actor<P>> Simulation<P, A> {
                 }
             };
             let at = self.now + delay;
-            self.push(at, EventKind::Deliver {
-                src: node,
-                dst,
-                msg,
-            });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    src: node,
+                    dst,
+                    msg,
+                },
+            );
         }
         for (at, id) in timers {
             self.push(at, EventKind::Timer { node, id });
@@ -414,6 +417,30 @@ impl<P, A: Actor<P>> Simulation<P, A> {
     /// Accumulated statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// The engine's cross-event mutable state `(now, seq, stats)` — what
+    /// a checkpoint of a quiesced simulation must carry. The event queue
+    /// is intentionally absent: snapshots are only taken between rounds,
+    /// when the queue has drained.
+    pub fn snapshot_clock(&self) -> (SimTime, u64, NetStats) {
+        (self.now, self.seq, self.stats)
+    }
+
+    /// Restores `(now, seq, stats)` captured by [`Self::snapshot_clock`]
+    /// on a fresh simulation. Refuses when events are already queued —
+    /// in-flight messages cannot be reconstructed from a clock snapshot.
+    pub fn restore_clock(&mut self, now: SimTime, seq: u64, stats: NetStats) -> Result<(), String> {
+        if !self.queue.is_empty() {
+            return Err(format!(
+                "cannot restore clock with {} events in flight",
+                self.queue.len()
+            ));
+        }
+        self.now = now;
+        self.seq = seq;
+        self.stats = stats;
+        Ok(())
     }
 
     /// The recorded trace timeline.
@@ -566,12 +593,7 @@ mod tests {
                 ctx.send(0, ());
             }
         }
-        let mut sim = Simulation::new(
-            vec![Loopy],
-            DelayModel::Constant { micros: 1 },
-            0,
-            |_| 0,
-        );
+        let mut sim = Simulation::new(vec![Loopy], DelayModel::Constant { micros: 1 }, 0, |_| 0);
         sim.run(100);
     }
 
@@ -635,7 +657,11 @@ mod tests {
         let stats = sim.run(10_000);
         let delivered = sim.actors()[1].received as u64;
         assert_eq!(delivered + stats.dropped, 1000);
-        assert!(stats.dropped > 200 && stats.dropped < 400, "dropped {}", stats.dropped);
+        assert!(
+            stats.dropped > 200 && stats.dropped < 400,
+            "dropped {}",
+            stats.dropped
+        );
         assert_eq!(stats.messages, delivered);
     }
 
@@ -670,6 +696,38 @@ mod tests {
     }
 
     #[test]
+    fn clock_snapshot_round_trips_on_a_fresh_sim() {
+        let mut sim = pingpong_sim(9);
+        sim.run(10_000);
+        let (now, seq, stats) = sim.snapshot_clock();
+        assert!(now > SimTime::ZERO);
+
+        let mut fresh = pingpong_sim(9);
+        fresh.restore_clock(now, seq, stats).unwrap();
+        assert_eq!(fresh.now(), now);
+        assert_eq!(fresh.stats(), stats);
+        assert_eq!(fresh.snapshot_clock(), (now, seq, stats));
+    }
+
+    #[test]
+    fn clock_restore_refuses_in_flight_events() {
+        let mut sim = pingpong_sim(10);
+        sim.queue.push(Reverse(Scheduled {
+            at: SimTime::from_micros(5),
+            seq: 0,
+            kind: EventKind::Deliver {
+                src: 0,
+                dst: 1,
+                msg: 7,
+            },
+        }));
+        let err = sim
+            .restore_clock(SimTime::ZERO, 0, NetStats::default())
+            .unwrap_err();
+        assert!(err.contains("in flight"), "{err}");
+    }
+
+    #[test]
     fn set_loss_alias_still_works() {
         let mut sim = pingpong_sim(8);
         sim.set_loss(0.0);
@@ -696,7 +754,11 @@ mod tests {
             }
         }
         fn delay_factor(&mut self, src: NodeId, _now: SimTime) -> f64 {
-            if src == 4 { 10.0 } else { 1.0 }
+            if src == 4 {
+                10.0
+            } else {
+                1.0
+            }
         }
     }
 
@@ -779,12 +841,7 @@ mod tests {
             }
             fn on_message(&mut self, _ctx: &mut Ctx<()>, _src: NodeId, _msg: ()) {}
         }
-        let mut sim = Simulation::new(
-            vec![Tracer],
-            DelayModel::Constant { micros: 1 },
-            0,
-            |_| 0,
-        );
+        let mut sim = Simulation::new(vec![Tracer], DelayModel::Constant { micros: 1 }, 0, |_| 0);
         let rec = Arc::new(MemoryRecorder::new());
         sim.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
         sim.run(100);

@@ -1,0 +1,239 @@
+//! Divergence bisection: given two runs that should agree, find the
+//! first round where they stop agreeing.
+//!
+//! Works over [`RunManifest`]s (per-round records, fault log, suspicion
+//! log) with a binary search on the prefix predicate "the first `k`
+//! rounds already differ" — which is monotone under determinism: once
+//! two runs diverge, the derived RNG streams keep them diverged. The
+//! same [`bisect_first`] primitive drives the snapshot-probing mode of
+//! the `bisect_divergence` tool.
+
+use hfl_telemetry::RunManifest;
+
+/// The first point where two runs disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based engine round of the first disagreement. When the
+    /// per-round logs agree entirely (component `totals`, `metrics`,
+    /// `final_accuracy` or `header`), this is the round count.
+    pub round: usize,
+    /// Which part of the round log disagrees first:
+    /// `round_record` / `faults` / `suspicion` / `missing_round` for
+    /// in-round divergence, else `totals` / `final_accuracy` /
+    /// `metrics` / `header`.
+    pub component: &'static str,
+    /// Rendering of the disagreeing piece in run A.
+    pub a: String,
+    /// Rendering of the disagreeing piece in run B.
+    pub b: String,
+}
+
+/// First index in `0..len` where `diverged` holds, assuming the
+/// predicate is monotone (false…false true…true); `None` when it never
+/// holds. Probes O(log len) indices — callers can log each probe from
+/// inside the closure.
+pub fn bisect_first(len: usize, mut diverged: impl FnMut(usize) -> bool) -> Option<usize> {
+    if len == 0 || !diverged(len - 1) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, len - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if diverged(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Binary-searches two manifests for their first divergent round.
+///
+/// Returns `None` when the manifests describe byte-identical runs.
+/// `on_probe(round, diverged)` is called for every bisection probe, so
+/// tools can narrate the search.
+pub fn first_divergence(
+    a: &RunManifest,
+    b: &RunManifest,
+    mut on_probe: impl FnMut(usize, bool),
+) -> Option<Divergence> {
+    let rounds = a.rounds.len().max(b.rounds.len());
+    let first = bisect_first(rounds, |r| {
+        let differs = round_view(a, r) != round_view(b, r);
+        on_probe(r, differs);
+        differs
+    });
+    if let Some(round) = first {
+        let (va, vb) = (round_view(a, round), round_view(b, round));
+        for (component, ra, rb) in [
+            ("round_record", &va.record, &vb.record),
+            ("faults", &va.faults, &vb.faults),
+            ("suspicion", &va.suspicion, &vb.suspicion),
+        ] {
+            if ra != rb {
+                return Some(Divergence {
+                    round,
+                    component,
+                    a: ra.clone(),
+                    b: rb.clone(),
+                });
+            }
+        }
+        // Unreachable by construction, but keep the tool honest.
+        return Some(Divergence {
+            round,
+            component: "missing_round",
+            a: format!("{va:?}"),
+            b: format!("{vb:?}"),
+        });
+    }
+    let round = rounds;
+    let tail: [(&'static str, String, String); 4] = [
+        (
+            "totals",
+            format!("{:?}", a.totals),
+            format!("{:?}", b.totals),
+        ),
+        (
+            "final_accuracy",
+            format!("{:?}", a.final_accuracy.to_bits()),
+            format!("{:?}", b.final_accuracy.to_bits()),
+        ),
+        (
+            "metrics",
+            format!("{:?}", a.metrics),
+            format!("{:?}", b.metrics),
+        ),
+        (
+            "header",
+            format!(
+                "schema={} label={} seed={} config_hash={}",
+                a.schema, a.label, a.seed, a.config_hash
+            ),
+            format!(
+                "schema={} label={} seed={} config_hash={}",
+                b.schema, b.label, b.seed, b.config_hash
+            ),
+        ),
+    ];
+    for (component, ra, rb) in tail {
+        if ra != rb {
+            return Some(Divergence {
+                round,
+                component,
+                a: ra,
+                b: rb,
+            });
+        }
+    }
+    None
+}
+
+/// Everything one manifest says about engine round `r` (its 1-based
+/// record plus fault/suspicion entries), rendered for comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RoundView {
+    record: String,
+    faults: String,
+    suspicion: String,
+}
+
+fn round_view(m: &RunManifest, r: usize) -> RoundView {
+    RoundView {
+        record: m
+            .rounds
+            .iter()
+            .find(|rec| rec.round == r + 1)
+            .map_or_else(|| "<missing>".into(), |rec| format!("{rec:?}")),
+        faults: m
+            .faults
+            .iter()
+            .filter(|f| f.round == r)
+            .map(|f| format!("{f:?}\n"))
+            .collect(),
+        suspicion: m
+            .suspicion
+            .as_ref()
+            .map(|s| {
+                s.events
+                    .iter()
+                    .filter(|e| e.round == r)
+                    .map(|e| format!("{e:?}\n"))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_telemetry::{RoundRecord, RunManifest};
+
+    fn manifest(rounds: usize, skew_from: Option<usize>) -> RunManifest {
+        let mut m = RunManifest::new("test", 7, "cfg".to_string());
+        for r in 0..rounds {
+            let skew = skew_from.is_some_and(|s| r >= s) as u64;
+            m.rounds.push(RoundRecord {
+                round: r + 1,
+                accuracy: None,
+                messages: 100 + skew,
+                bytes: 1_000,
+                excluded: 0,
+                absent: 0,
+            });
+            m.totals.messages += 100 + skew;
+            m.totals.bytes += 1_000;
+        }
+        m
+    }
+
+    #[test]
+    fn identical_manifests_have_no_divergence() {
+        let a = manifest(8, None);
+        let b = manifest(8, None);
+        assert_eq!(first_divergence(&a, &b, |_, _| {}), None);
+    }
+
+    #[test]
+    fn finds_the_first_divergent_round_with_log_probes() {
+        let a = manifest(16, None);
+        let b = manifest(16, Some(5));
+        let mut probes = Vec::new();
+        let d = first_divergence(&a, &b, |r, diff| probes.push((r, diff))).unwrap();
+        assert_eq!(d.round, 5);
+        assert_eq!(d.component, "round_record");
+        assert!(probes.len() <= 6, "probed {} rounds of 16", probes.len());
+    }
+
+    #[test]
+    fn totals_only_divergence_is_reported_past_the_last_round() {
+        let a = manifest(4, None);
+        let mut b = manifest(4, None);
+        b.totals.messages += 17;
+        let d = first_divergence(&a, &b, |_, _| {}).unwrap();
+        assert_eq!((d.round, d.component), (4, "totals"));
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_missing_round() {
+        let a = manifest(6, None);
+        let b = manifest(4, None);
+        let d = first_divergence(&a, &b, |_, _| {}).unwrap();
+        assert_eq!(d.round, 4);
+        assert_eq!(d.component, "round_record");
+        assert_eq!(d.b, "<missing>");
+    }
+
+    #[test]
+    fn bisect_first_matches_linear_scan() {
+        for len in 0..20usize {
+            for flip in 0..=len {
+                let got = bisect_first(len, |i| i >= flip);
+                let want = (flip < len).then_some(flip);
+                assert_eq!(got, want, "len={len} flip={flip}");
+            }
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! # hfl-snapshot
+//!
+//! Versioned checkpoints of the round engine: everything the runner
+//! needs to continue a run **byte-identically** from round `k` instead
+//! of round 0.
+//!
+//! Because every RNG stream in the engine is derived statelessly from
+//! `(seed, round, …)`, no generator state needs to be captured — a
+//! snapshot is exactly the cross-round mutable state: the global model,
+//! the cost accounting totals, the manifest prefix (round / fault /
+//! suspicion records), each [`LayerState`] (suspicion scores +
+//! quarantine set, the adaptive adversary's bisection window, the fault
+//! schedule cursor), and the metrics-registry accumulators.
+//!
+//! Two codecs are provided, both hand-rolled in the same
+//! no-serialization-dependency discipline as the telemetry manifest:
+//!
+//! * [`EngineSnapshot::to_json`] / [`EngineSnapshot::from_json`] — one
+//!   compact JSON line, human-greppable, used by the CI gates;
+//! * [`EngineSnapshot::to_bytes`] / [`EngineSnapshot::from_bytes`] — a
+//!   length-prefixed little-endian binary form for bulk storage.
+//!
+//! Both round-trip bit-exactly: `f32`/`f64` payloads are carried as raw
+//! bit patterns, so NaN payloads and signed zeros survive.
+//!
+//! ## Versioning rules
+//!
+//! [`SNAPSHOT_VERSION`] is bumped whenever the meaning or layout of any
+//! field changes. Decoders reject other versions outright — a snapshot
+//! is a same-build artifact (it also embeds a config hash the resume
+//! path validates), never a long-term archival format.
+
+mod binary;
+mod bisect;
+mod json;
+
+pub use bisect::{bisect_first, first_divergence, Divergence};
+
+use std::fmt;
+
+use hfl_telemetry::{FaultRecord, MetricSample, RoundRecord, SuspicionRecord};
+
+/// Version tag embedded in every snapshot; decoders reject others.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Full engine state at the top of round [`EngineSnapshot::round`]
+/// (that many rounds completed, none in flight).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSnapshot {
+    /// Codec version ([`SNAPSHOT_VERSION`] at capture time).
+    pub version: u64,
+    /// The run seed (informational; the resume config re-supplies it).
+    pub seed: u64,
+    /// Hash of the full config the snapshot was captured under.
+    pub config_hash: String,
+    /// Hash of the config with the horizon fields (`rounds`,
+    /// `eval_every`) normalized away: resume accepts a config whose
+    /// base hash matches even when only the horizon differs, which is
+    /// what lets shrink candidates with halved `rounds` reuse a parent
+    /// snapshot.
+    pub base_hash: String,
+    /// Rounds completed; resume executes `round..cfg.rounds`.
+    pub round: usize,
+    /// The global model parameters (bit-exact).
+    pub model: Vec<f32>,
+    /// Cumulative cost accounting totals.
+    pub cost: CostSnapshot,
+    /// Accuracy series so far: `(round, accuracy)` per evaluation.
+    pub accuracy: Vec<(usize, f64)>,
+    /// Manifest prefix: one record per completed round.
+    pub rounds: Vec<RoundRecord>,
+    /// Manifest prefix: fault activations so far.
+    pub faults: Vec<FaultRecord>,
+    /// Manifest prefix: suspicion/quarantine events so far.
+    pub susp_log: Vec<SuspicionRecord>,
+    /// Per-layer cross-round state, in engine stack order
+    /// (faults → defense → adversary, present layers only).
+    pub layers: Vec<LayerState>,
+    /// Metrics-registry accumulators at capture time.
+    pub metrics: Vec<MetricSample>,
+}
+
+/// The seven cumulative [`CostCounters`] totals.
+///
+/// [`CostCounters`]: https://docs.rs/abd-hfl-core
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Model-bearing messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Proposals excluded by robust aggregation / consensus.
+    pub excluded: u64,
+    /// Client-round absences under churn.
+    pub absent: u64,
+    /// Uploads lost to injected faults.
+    pub faulted: u64,
+    /// Client-rounds spent quarantined.
+    pub quarantined: u64,
+    /// Updates withheld by the coalition.
+    pub withheld: u64,
+}
+
+/// One engine layer's cross-round state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerState {
+    /// The fault layer re-derives everything from the schedule each
+    /// round; the snapshot carries only a cursor (activations strictly
+    /// before the snapshot round) that resume validates against the
+    /// plan it was given.
+    Fault {
+        /// Scheduled fault activations strictly before the round.
+        activated: u64,
+    },
+    /// The defense layer: suspicion tracker contents when enabled.
+    Defense {
+        /// `None` when the config runs the layer without a tracker.
+        tracker: Option<TrackerState>,
+    },
+    /// The adversary layer: adaptive search window plus the coalition's
+    /// knowledge of which of its leaders have been convicted.
+    Adversary {
+        /// `None` for static (non-adaptive) attacks.
+        search: Option<SearchState>,
+        /// Per-client conviction flags (indexed like the population).
+        detected: Vec<bool>,
+    },
+}
+
+impl LayerState {
+    /// The engine layer this state belongs to.
+    pub fn layer_name(&self) -> &'static str {
+        match self {
+            LayerState::Fault { .. } => "faults",
+            LayerState::Defense { .. } => "defense",
+            LayerState::Adversary { .. } => "adversary",
+        }
+    }
+}
+
+/// Suspicion-tracker contents: strike scores and the quarantine set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrackerState {
+    /// Per-client strike scores.
+    pub scores: Vec<f64>,
+    /// Per-client quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Total quarantine entries so far.
+    pub quarantine_events: u64,
+}
+
+/// The adaptive adversary's magnitude-bisection window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchState {
+    /// Lower bound of the search window.
+    pub lo: f32,
+    /// Upper bound of the search window.
+    pub hi: f32,
+    /// Magnitude currently being probed.
+    pub current: f32,
+    /// `(round, magnitude, accepted)` probe history.
+    pub history: Vec<(usize, f32, bool)>,
+}
+
+/// A codec or validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// What went wrong, with enough context to locate the field.
+    pub detail: String,
+}
+
+impl SnapshotError {
+    pub(crate) fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl EngineSnapshot {
+    /// Serializes as one compact JSON line (deterministic key order).
+    pub fn to_json(&self) -> String {
+        json::to_json(self)
+    }
+
+    /// Parses a snapshot from [`Self::to_json`] output, rejecting other
+    /// [`SNAPSHOT_VERSION`]s.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        json::from_json(text)
+    }
+
+    /// Serializes as a length-prefixed little-endian binary blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        binary::to_bytes(self)
+    }
+
+    /// Parses a snapshot from [`Self::to_bytes`] output, rejecting
+    /// other [`SNAPSHOT_VERSION`]s and truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        binary::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_telemetry::{HistogramStats, MetricValue};
+    use proptest::prelude::*;
+
+    pub(crate) fn sample_snapshot() -> EngineSnapshot {
+        EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            seed: 42,
+            config_hash: "deadbeef01234567".into(),
+            base_hash: "cafef00dcafef00d".into(),
+            round: 3,
+            model: vec![0.5, -1.25, f32::NAN, 0.0, -0.0],
+            cost: CostSnapshot {
+                messages: 100,
+                bytes: 25_600,
+                excluded: 2,
+                absent: 1,
+                faulted: 3,
+                quarantined: 4,
+                withheld: 5,
+            },
+            accuracy: vec![(2, 0.75)],
+            rounds: vec![
+                RoundRecord {
+                    round: 1,
+                    accuracy: None,
+                    messages: 50,
+                    bytes: 12_800,
+                    excluded: 1,
+                    absent: 0,
+                },
+                RoundRecord {
+                    round: 2,
+                    accuracy: Some(0.75),
+                    messages: 50,
+                    bytes: 12_800,
+                    excluded: 1,
+                    absent: 1,
+                },
+            ],
+            faults: vec![FaultRecord {
+                round: 1,
+                kind: "crash_stop".into(),
+                detail: "node 2".into(),
+            }],
+            susp_log: vec![SuspicionRecord {
+                round: 2,
+                kind: "quarantined".into(),
+                client: 7,
+                score: 3.5,
+            }],
+            layers: vec![
+                LayerState::Fault { activated: 1 },
+                LayerState::Defense {
+                    tracker: Some(TrackerState {
+                        scores: vec![0.0, 3.5, -0.0],
+                        quarantined: vec![false, true, false],
+                        quarantine_events: 1,
+                    }),
+                },
+                LayerState::Adversary {
+                    search: Some(SearchState {
+                        lo: 0.0,
+                        hi: 4.0,
+                        current: 2.0,
+                        history: vec![(0, 1.3, true), (1, 2.0, false)],
+                    }),
+                    detected: vec![false, false, true],
+                },
+            ],
+            metrics: vec![
+                MetricSample {
+                    name: "hfl_accuracy".into(),
+                    labels: vec![],
+                    value: MetricValue::Gauge(0.75),
+                },
+                MetricSample {
+                    name: "hfl_messages_total".into(),
+                    labels: vec![("mechanism".into(), "vote".into())],
+                    value: MetricValue::Counter(100),
+                },
+                MetricSample {
+                    name: "span_ms".into(),
+                    labels: vec![],
+                    value: MetricValue::Histogram(HistogramStats {
+                        count: 4,
+                        sum: 10.0,
+                        min: 1.0,
+                        max: 4.0,
+                        p50: 2.0,
+                        p90: 4.0,
+                        p99: 4.0,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sample_round_trips_both_codecs() {
+        let snap = sample_snapshot();
+        let back = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_snap_eq(&snap, &back);
+        let back = EngineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_snap_eq(&snap, &back);
+    }
+
+    #[test]
+    fn json_is_stable_across_encodes() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.to_json(), snap.to_json());
+        assert_eq!(snap.to_bytes(), snap.to_bytes());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_by_both_codecs() {
+        let mut snap = sample_snapshot();
+        snap.version = SNAPSHOT_VERSION + 1;
+        let err = EngineSnapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(err.detail.contains("version"), "{err}");
+        let err = EngineSnapshot::from_bytes(&snap.to_bytes()).unwrap_err();
+        assert!(err.detail.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let bytes = sample_snapshot().to_bytes();
+        for cut in [0, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                EngineSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_json_is_rejected() {
+        assert!(EngineSnapshot::from_json("{").is_err());
+        assert!(EngineSnapshot::from_json("{\"version\":1}").is_err());
+        assert!(EngineSnapshot::from_json("[]").is_err());
+    }
+
+    /// Bit-exact equality: `PartialEq` on floats treats NaN ≠ NaN, so
+    /// compare through the codec-identity lens instead.
+    pub(crate) fn assert_snap_eq(a: &EngineSnapshot, b: &EngineSnapshot) {
+        assert_eq!(a.to_bytes(), b.to_bytes(), "snapshots differ bit-wise");
+    }
+
+    /// A string of `1..=len` chars drawn from `chars` (a plain charset
+    /// combinator keeps the strategies free of regex syntax).
+    fn arb_str(chars: &'static str, len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+        let pool: Vec<char> = chars.chars().collect();
+        proptest::collection::vec(0..pool.len(), len)
+            .prop_map(move |ix| ix.into_iter().map(|i| pool[i]).collect())
+    }
+
+    const NAME_CHARS: &str = "abcdefghijklmnopqrstuvwxyz_";
+    const HEX_CHARS: &str = "0123456789abcdef";
+    const DETAIL_CHARS: &str = "aZ0 _-\"\\/\n\t:{},[]\u{3c0}";
+
+    fn arb_f64() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            any::<f64>().prop_filter("finite", |f| f.is_finite()),
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+        ]
+    }
+
+    fn arb_f32() -> impl Strategy<Value = f32> {
+        any::<u32>().prop_map(f32::from_bits)
+    }
+
+    fn arb_layer() -> impl Strategy<Value = LayerState> {
+        prop_oneof![
+            any::<u64>().prop_map(|activated| LayerState::Fault { activated }),
+            proptest::option::of((
+                proptest::collection::vec(arb_f64(), 0..8),
+                proptest::collection::vec(any::<bool>(), 0..8),
+                any::<u64>(),
+            ))
+            .prop_map(|t| LayerState::Defense {
+                tracker: t.map(|(scores, quarantined, quarantine_events)| TrackerState {
+                    scores,
+                    quarantined,
+                    quarantine_events,
+                }),
+            }),
+            (
+                proptest::option::of((
+                    arb_f32(),
+                    arb_f32(),
+                    arb_f32(),
+                    proptest::collection::vec((any::<usize>(), arb_f32(), any::<bool>()), 0..6),
+                )),
+                proptest::collection::vec(any::<bool>(), 0..8),
+            )
+                .prop_map(|(s, detected)| LayerState::Adversary {
+                    search: s.map(|(lo, hi, current, history)| SearchState {
+                        lo,
+                        hi,
+                        current,
+                        history,
+                    }),
+                    detected,
+                }),
+        ]
+    }
+
+    fn arb_metric() -> impl Strategy<Value = MetricSample> {
+        (
+            arb_str(NAME_CHARS, 1..13),
+            proptest::collection::vec((arb_str(NAME_CHARS, 1..7), arb_str(HEX_CHARS, 0..7)), 0..3),
+            prop_oneof![
+                any::<u64>().prop_map(MetricValue::Counter),
+                arb_f64().prop_map(MetricValue::Gauge),
+                (any::<u64>(), arb_f64(), arb_f64(), arb_f64()).prop_map(|(c, a, b, d)| {
+                    MetricValue::Histogram(HistogramStats {
+                        count: c,
+                        sum: a,
+                        min: b,
+                        max: d,
+                        p50: a,
+                        p90: b,
+                        p99: d,
+                    })
+                }),
+            ],
+        )
+            .prop_map(|(name, labels, value)| MetricSample {
+                name,
+                labels,
+                value,
+            })
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = EngineSnapshot> {
+        (
+            (
+                any::<u64>(),
+                arb_str(HEX_CHARS, 0..17),
+                arb_str(HEX_CHARS, 0..17),
+                0usize..64,
+                proptest::collection::vec(arb_f32(), 0..32),
+                proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
+            ),
+            (
+                proptest::collection::vec((0usize..64, arb_f64()), 0..4),
+                proptest::collection::vec(
+                    (0usize..64, proptest::option::of(arb_f64()), any::<u64>()),
+                    0..4,
+                ),
+                proptest::collection::vec(
+                    (
+                        0usize..64,
+                        arb_str(NAME_CHARS, 1..9),
+                        arb_str(DETAIL_CHARS, 0..13),
+                    ),
+                    0..3,
+                ),
+                proptest::collection::vec(
+                    (
+                        0usize..64,
+                        arb_str(NAME_CHARS, 1..9),
+                        any::<usize>(),
+                        arb_f64(),
+                    ),
+                    0..3,
+                ),
+                proptest::collection::vec(arb_layer(), 0..4),
+                proptest::collection::vec(arb_metric(), 0..4),
+            ),
+        )
+            .prop_map(
+                |(
+                    (seed, config_hash, base_hash, round, model, costs),
+                    (accuracy, rounds, faults, susp, layers, metrics),
+                )| {
+                    EngineSnapshot {
+                        version: SNAPSHOT_VERSION,
+                        seed,
+                        config_hash,
+                        base_hash,
+                        round,
+                        model,
+                        cost: CostSnapshot {
+                            messages: costs.first().map_or(0, |c| c.0),
+                            bytes: costs.first().map_or(0, |c| c.1),
+                            excluded: costs.get(1).map_or(0, |c| c.0),
+                            absent: costs.get(1).map_or(0, |c| c.1),
+                            faulted: costs.get(2).map_or(0, |c| c.0),
+                            quarantined: costs.get(2).map_or(0, |c| c.1),
+                            withheld: costs.get(3).map_or(0, |c| c.0),
+                        },
+                        accuracy,
+                        rounds: rounds
+                            .into_iter()
+                            .map(|(round, accuracy, n)| RoundRecord {
+                                round,
+                                accuracy,
+                                messages: n,
+                                bytes: n.wrapping_mul(256),
+                                excluded: n % 7,
+                                absent: n % 3,
+                            })
+                            .collect(),
+                        faults: faults
+                            .into_iter()
+                            .map(|(round, kind, detail)| FaultRecord {
+                                round,
+                                kind,
+                                detail,
+                            })
+                            .collect(),
+                        susp_log: susp
+                            .into_iter()
+                            .map(|(round, kind, client, score)| SuspicionRecord {
+                                round,
+                                kind,
+                                client,
+                                score,
+                            })
+                            .collect(),
+                        layers,
+                        metrics,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_snapshots_round_trip_json(snap in arb_snapshot()) {
+            let back = EngineSnapshot::from_json(&snap.to_json())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(snap.to_bytes(), back.to_bytes());
+        }
+
+        #[test]
+        fn arbitrary_snapshots_round_trip_binary(snap in arb_snapshot()) {
+            let back = EngineSnapshot::from_bytes(&snap.to_bytes())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(snap.to_bytes(), back.to_bytes());
+        }
+    }
+}

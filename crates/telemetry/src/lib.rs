@@ -47,7 +47,7 @@ pub use manifest::{
     fnv1a_hex, BuildInfo, ClientScore, FaultRecord, RoundRecord, RunManifest, RunTotals,
     SuspicionRecord, SuspicionSection,
 };
-pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramStats, MetricSample, MetricValue, Registry};
 pub use span::SimSpan;
 #[cfg(feature = "wall-clock")]
 pub use span::WallSpan;

@@ -41,16 +41,47 @@ diff "$tmp/e/combined.manifests.jsonl" "$tmp/f/combined.manifests.jsonl" \
     || { echo "repro_combined manifests differ across same-seed runs"; exit 1; }
 echo "repro_combined determinism gate passed"
 
+# Snapshot-resume determinism gate: for every fixture class, 20 rounds
+# straight through must equal 10 rounds + resume(10 more) from the
+# round-10 snapshot, byte-for-byte at the manifest level (the binary
+# also pushes the snapshot through its byte codec, so the on-disk
+# format is what is proven). See DESIGN.md §11.
+for config in clean faulted armed withhold; do
+    cargo run --release -p hfl-bench --bin snapshot_resume -- \
+        --config "$config" --rounds 20 --at 10 --out "$tmp/snapshot" \
+        || { echo "snapshot resume diverged for '$config'"; exit 1; }
+    diff "$tmp/snapshot/$config.straight.manifest.json" \
+         "$tmp/snapshot/$config.resumed.manifest.json" \
+        || { echo "snapshot manifests differ for '$config'"; exit 1; }
+done
+echo "snapshot resume determinism gate passed"
+
+# Performance baseline: rounds/sec, kernel ns/op and bytes/round into
+# BENCH_6.json (the binary self-validates that nothing measured zero).
+cargo run --release -p hfl-bench --bin perf_baseline -- \
+    --quick --out "$tmp/perf" >/dev/null
+test -s "$tmp/perf/BENCH_6.json" \
+    || { echo "perf_baseline produced no BENCH_6.json"; exit 1; }
+echo "perf baseline gate passed"
+
 # Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the
 # iteration count with FUZZ_ITERS), then the three mutation self-checks
 # — deliberately corrupted observations must be caught by the matching
 # oracle and shrunk to a minimal repro (see DESIGN.md §10). Corpus
 # replay itself runs inside `cargo test` (tests/oracle_corpus.rs).
+# The fuzz pass runs with --snapshots (shrink candidates resume from
+# checkpoints); the mutation loop then proves cached and uncached
+# shrinking reach the *same* minimal TOML repro.
 cargo run --release -p hfl-bench --bin fuzz_oracle -- \
-    --iters "${FUZZ_ITERS:-200}" --seed 42
+    --iters "${FUZZ_ITERS:-200}" --seed 42 --snapshots
 for mutation in quorum conservation determinism; do
     cargo run --release -p hfl-bench --bin fuzz_oracle -- \
         --mutation "$mutation" --seed 42 --out "$tmp/oracle" >/dev/null \
         || { echo "oracle mutation check '$mutation' was not caught"; exit 1; }
+    cargo run --release -p hfl-bench --bin fuzz_oracle -- \
+        --mutation "$mutation" --seed 42 --snapshots --out "$tmp/oracle-snap" >/dev/null \
+        || { echo "oracle mutation check '$mutation' (snapshots) was not caught"; exit 1; }
+    diff "$tmp/oracle/mutation_$mutation.toml" "$tmp/oracle-snap/mutation_$mutation.toml" \
+        || { echo "snapshot-seeded shrink found a different '$mutation' repro"; exit 1; }
 done
 echo "oracle fuzz + mutation gates passed"

@@ -26,4 +26,17 @@ run repro_acsm --out "$OUT"
 run repro_faults --out "$OUT"
 run repro_adaptive --out "$OUT"
 run repro_combined --out "$OUT"
+run snapshot_resume --out "$OUT/snapshot"
+run perf_baseline --out "$OUT"
+# fuzz_oracle and bisect_divergence take no --quick flag; run them bare.
+echo "=== fuzz_oracle ==="
+iters=200; [ "$EXTRA" = "--quick" ] && iters=50
+"$BIN/fuzz_oracle" --iters "$iters" --seed 42 --snapshots \
+    > "$OUT/fuzz_oracle.md" 2> "$OUT/fuzz_oracle.log" || echo "FAILED: fuzz_oracle"
+echo "=== bisect_divergence ==="
+"$BIN/bisect_divergence" \
+    --manifest-a "$OUT/snapshot/clean.straight.manifest.json" \
+    --manifest-b "$OUT/snapshot/clean.resumed.manifest.json" \
+    > "$OUT/bisect_divergence.md" 2> "$OUT/bisect_divergence.log" \
+    || echo "FAILED: bisect_divergence"
 echo "all experiments done; markdown in $OUT/*.md, raw data in $OUT/*.csv"

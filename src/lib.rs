@@ -15,5 +15,6 @@ pub use hfl_oracle as oracle;
 pub use hfl_parallel as parallel;
 pub use hfl_robust as robust;
 pub use hfl_simnet as simnet;
+pub use hfl_snapshot as snapshot;
 pub use hfl_telemetry as telemetry;
 pub use hfl_tensor as tensor;

@@ -1,0 +1,216 @@
+//! Resume-at-round-k integration tests for the snapshot subsystem.
+//!
+//! For every fixture class of `tests/golden_manifests.rs` (clean,
+//! faulted, armed, withholding) the engine is run straight through,
+//! then re-run as capture-at-round-k + resume, and the two final
+//! manifests must be **byte-identical** — same RNG stream order, same
+//! cost accounting, same metric export. The snapshot also crosses the
+//! binary and JSON codecs on the way, so the persisted form is what is
+//! proven, and the error paths (`version`, `base_hash`, truncation)
+//! are pinned.
+
+use abd_hfl::attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
+use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl::core::run::{resume, resume_with};
+use abd_hfl::core::runner::{
+    base_config_hash, resume_prepared_with, run_prepared_snapshotting, run_prepared_with,
+    Experiment, ResumeError,
+};
+use abd_hfl::faults::FaultPlan;
+use abd_hfl::ml::synth::SynthConfig;
+use abd_hfl::robust::SuspicionConfig;
+use abd_hfl::snapshot::{EngineSnapshot, SNAPSHOT_VERSION};
+use abd_hfl::telemetry::Telemetry;
+
+/// The shared small task (mirrors the golden fixtures' base).
+fn base(attack: AttackCfg, seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(attack, seed);
+    cfg.rounds = 4;
+    cfg.eval_every = 2;
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 800,
+        ..SynthConfig::default()
+    };
+    cfg
+}
+
+fn clean_fixture() -> HflConfig {
+    let mut cfg = base(AttackCfg::None, 2024);
+    cfg.quorum = 0.75;
+    cfg.churn_leave_prob = 0.1;
+    cfg
+}
+
+fn faulted_fixture() -> HflConfig {
+    let mut cfg = base(AttackCfg::None, 2025);
+    cfg.quorum = 0.75;
+    let split: Vec<usize> = (0..24).collect();
+    let rest: Vec<usize> = (24..64).collect();
+    cfg.faults = Some(
+        FaultPlan::new()
+            .crash_stop(1, 2)
+            .kill_leader(1, 2, 1, None)
+            .partition(2, vec![split, rest], 3)
+            .straggler(1, 6, 8.0, None),
+    );
+    cfg
+}
+
+fn armed_fixture() -> HflConfig {
+    let mut cfg = base(
+        AttackCfg::Adaptive {
+            attack: AdaptiveAttack::alie_default(),
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        },
+        2026,
+    );
+    cfg.suspicion = Some(SuspicionConfig::default());
+    cfg.protocol_attack = Some(ProtocolAttack::Equivocate { flip_scale: 1.0 });
+    cfg
+}
+
+fn withhold_fixture() -> HflConfig {
+    let mut cfg = base(
+        AttackCfg::Model {
+            attack: ModelAttack::SignFlip { scale: 2.0 },
+            proportion: 0.25,
+            placement: Placement::Random,
+        },
+        2027,
+    );
+    cfg.quorum = 0.75;
+    cfg.levels[2] = LevelAgg::Cba(abd_hfl::consensus::ConsensusKind::VoteMajority);
+    cfg.suspicion = Some(SuspicionConfig::default());
+    cfg.protocol_attack = Some(ProtocolAttack::Withhold);
+    cfg
+}
+
+/// Straight-through run + the snapshot captured at round 2.
+fn run_and_capture(cfg: &HflConfig) -> (String, EngineSnapshot) {
+    let exp = Experiment::prepare(cfg);
+    let (telem, _rec) = Telemetry::recording();
+    let (straight, snapshots) = run_prepared_snapshotting(&exp, &telem, 2);
+    let snap = snapshots
+        .into_iter()
+        .find(|s| s.round == 2)
+        .expect("snapshot at round 2");
+    (straight.manifest.to_json(), snap)
+}
+
+/// Resumes `snap` under `cfg` (fresh preparation, fresh telemetry) and
+/// returns the final manifest JSON.
+fn resume_manifest(cfg: &HflConfig, snap: &EngineSnapshot) -> String {
+    let exp = Experiment::prepare(cfg);
+    let (telem, _rec) = Telemetry::recording();
+    let run = resume_prepared_with(&exp, &telem, snap).expect("resume must be accepted");
+    run.manifest.to_json()
+}
+
+fn assert_resume_identical(name: &str, cfg: &HflConfig) {
+    let (straight, snap) = run_and_capture(cfg);
+
+    // Through the binary codec (the on-disk format).
+    let snap = EngineSnapshot::from_bytes(&snap.to_bytes())
+        .unwrap_or_else(|e| panic!("{name}: binary round-trip failed: {e}"));
+    // And through the JSON codec for good measure.
+    let snap = EngineSnapshot::from_json(&snap.to_json())
+        .unwrap_or_else(|e| panic!("{name}: json round-trip failed: {e}"));
+
+    let resumed = resume_manifest(cfg, &snap);
+    assert_eq!(
+        straight, resumed,
+        "{name}: resume-at-round-2 manifest differs from straight-through"
+    );
+}
+
+#[test]
+fn clean_resume_is_byte_identical() {
+    assert_resume_identical("clean", &clean_fixture());
+}
+
+#[test]
+fn faulted_resume_is_byte_identical() {
+    assert_resume_identical("faulted", &faulted_fixture());
+}
+
+#[test]
+fn armed_resume_is_byte_identical() {
+    assert_resume_identical("armed", &armed_fixture());
+}
+
+#[test]
+fn withholding_resume_is_byte_identical() {
+    assert_resume_identical("withhold", &withhold_fixture());
+}
+
+/// The public `run::resume` entry continues a checkpoint under a
+/// horizon-*extended* config: only `rounds`/`eval_every` may differ
+/// from the capture config (same `base_config_hash`).
+#[test]
+fn resume_extends_the_horizon() {
+    let cfg = clean_fixture();
+    let (_, snap) = run_and_capture(&cfg);
+
+    let mut longer = cfg.clone();
+    longer.rounds = 6;
+    assert_eq!(base_config_hash(&cfg), base_config_hash(&longer));
+
+    let extended = resume(&snap, &longer).expect("horizon extension must resume");
+    let (telem, _rec) = Telemetry::recording();
+    let straight = run_prepared_with(&Experiment::prepare(&longer), &telem);
+    assert_eq!(
+        extended.final_accuracy, straight.result.final_accuracy,
+        "extended resume must land where the straight 6-round run lands"
+    );
+    assert_eq!(extended.messages, straight.result.messages);
+    assert_eq!(extended.bytes, straight.result.bytes);
+}
+
+#[test]
+fn resume_rejects_a_version_skew() {
+    let cfg = clean_fixture();
+    let (_, mut snap) = run_and_capture(&cfg);
+    snap.version = SNAPSHOT_VERSION + 1;
+    match resume(&snap, &cfg) {
+        Err(ResumeError::Version { found }) => assert_eq!(found, SNAPSHOT_VERSION + 1),
+        other => panic!("expected a version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_rejects_a_foreign_config() {
+    let cfg = clean_fixture();
+    let (_, snap) = run_and_capture(&cfg);
+    // A different seed is a different base config, not a horizon change.
+    let mut other = cfg.clone();
+    other.seed = 999;
+    assert!(matches!(
+        resume(&snap, &other),
+        Err(ResumeError::ConfigMismatch { .. })
+    ));
+}
+
+#[test]
+fn resume_rejects_a_truncated_model() {
+    let cfg = clean_fixture();
+    let (_, mut snap) = run_and_capture(&cfg);
+    snap.model.truncate(snap.model.len() / 2);
+    assert!(matches!(
+        resume(&snap, &cfg),
+        Err(ResumeError::Corrupt { .. })
+    ));
+}
+
+/// `resume_with` seeds the snapshot's metric accumulators into a fresh
+/// registry: the resumed manifest's metric rows equal the straight
+/// run's, not just the model/accounting fields.
+#[test]
+fn resumed_metrics_match_straight_through() {
+    let cfg = armed_fixture();
+    let (straight_json, snap) = run_and_capture(&cfg);
+    let (telem, _rec) = Telemetry::recording();
+    let run = resume_with(&snap, &cfg, &telem).expect("resume must be accepted");
+    assert_eq!(straight_json, run.manifest.to_json());
+}
