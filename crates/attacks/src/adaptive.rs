@@ -240,6 +240,15 @@ pub enum ProtocolAttack {
     /// aggregation of their slots while never being *observed* absent
     /// at a quorum decision. Only manifests at φ < 1.
     Withhold,
+    /// Malicious members stall their upload until *just inside* the
+    /// staleness bound τ of a deadline-driven collection buffer: they
+    /// never count toward the quorum (arriving after the close), can
+    /// force deadline closes, yet are always admitted — at the worst
+    /// staleness discount — so their poisoned updates keep entering
+    /// aggregation. Only meaningful under `async_rounds`; defended by
+    /// the staleness-discounted admission weight plus staleness
+    /// strikes in the acceptance evidence.
+    StalenessExploit,
 }
 
 impl ProtocolAttack {
@@ -248,6 +257,7 @@ impl ProtocolAttack {
         match self {
             ProtocolAttack::Equivocate { .. } => "equivocate",
             ProtocolAttack::Withhold => "withhold",
+            ProtocolAttack::StalenessExploit => "staleness_exploit",
         }
     }
 }
@@ -371,5 +381,6 @@ mod tests {
             "equivocate"
         );
         assert_eq!(ProtocolAttack::Withhold.name(), "withhold");
+        assert_eq!(ProtocolAttack::StalenessExploit.name(), "staleness_exploit");
     }
 }

@@ -1,7 +1,8 @@
 //! The scenario-fuzzer entry point: draws random-but-seeded scenarios,
-//! runs each through the round engine, and holds every run to the five
+//! runs each through the round engine, and holds every run to the seven
 //! `hfl-oracle` invariants (quorum safety, accounting conservation,
-//! determinism, Byzantine degradation bound, honest-quarantine bound).
+//! determinism, Byzantine degradation bound, honest-quarantine bound,
+//! deadline-buffer liveness, staleness safety).
 //!
 //! ```sh
 //! # CI budget (also the acceptance gate):
@@ -38,7 +39,7 @@ struct FuzzArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz_oracle [--iters N] [--seed S] \
-         [--mutation quorum|conservation|determinism] [--snapshots] \
+         [--mutation quorum|conservation|determinism|staleness] [--snapshots] \
          [--corpus-dir DIR] [--out DIR]"
     );
     std::process::exit(2);
@@ -193,7 +194,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "all {} scenarios upheld the five oracles (seed {})",
+        "all {} scenarios upheld the seven oracles (seed {})",
         args.iters, args.seed
     );
     report_rounds(&cache);

@@ -1,6 +1,7 @@
 //! Performance baseline: fixed-seed sweeps distilled into one
-//! machine-readable `BENCH_6.json` so CI can track end-to-end round
-//! throughput, aggregation-kernel latency and per-round traffic
+//! machine-readable `BENCH_7.json` so CI can track end-to-end round
+//! throughput (synchronous barriers *and* deadline-driven buffers,
+//! DESIGN.md §12), aggregation-kernel latency and per-round traffic
 //! across commits without a Criterion run.
 //!
 //! ```sh
@@ -12,10 +13,11 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "seed": 42,
 //!   "rounds": 20,
 //!   "rounds_per_sec": 12.3,
+//!   "async_rounds_per_sec": 11.9,
 //!   "bytes_per_round": 1234567,
 //!   "messages_per_round": 181,
 //!   "kernels": [{"name": "fedavg", "n": 16, "dim": 1024, "ns_per_op": 4567}, ...]
@@ -29,7 +31,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::config::{AsyncRoundCfg, AttackCfg, HflConfig};
 use abd_hfl_core::runner::{run_prepared_with, Experiment};
 use hfl_bench::Args;
 use hfl_robust::AggregatorKind;
@@ -91,6 +93,16 @@ fn main() {
     let bytes_per_round = run.manifest.totals.bytes / rounds as u64;
     let messages_per_round = run.manifest.totals.messages / rounds as u64;
 
+    // --- end-to-end again under deadline-driven buffers (same seed) ---
+    let mut async_cfg = cfg.clone();
+    async_cfg.async_rounds = Some(AsyncRoundCfg::lan());
+    let async_exp = Experiment::prepare(&async_cfg);
+    let async_ns = time_ns(reps, || {
+        let (telem, _rec) = Telemetry::recording();
+        run_prepared_with(&async_exp, &telem);
+    });
+    let async_rounds_per_sec = rounds as f64 / (async_ns as f64 / 1e9);
+
     // --- aggregation kernels over a fixed synthetic input ---
     let updates = synth_updates(kn, kdim);
     let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
@@ -133,26 +145,34 @@ fn main() {
     // Self-validate: a zero anywhere means the harness mis-measured,
     // and a silent zero would poison trend tracking.
     assert!(rounds_per_sec > 0.0, "non-positive round throughput");
+    assert!(
+        async_rounds_per_sec > 0.0,
+        "non-positive async round throughput"
+    );
     assert!(bytes_per_round > 0, "zero bytes per round");
     assert!(messages_per_round > 0, "zero messages per round");
 
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::UInt(1)),
+        ("schema".into(), Json::UInt(2)),
         ("seed".into(), Json::UInt(args.seed)),
         ("rounds".into(), Json::UInt(rounds as u64)),
         ("rounds_per_sec".into(), Json::Num(rounds_per_sec)),
+        (
+            "async_rounds_per_sec".into(),
+            Json::Num(async_rounds_per_sec),
+        ),
         ("bytes_per_round".into(), Json::UInt(bytes_per_round)),
         ("messages_per_round".into(), Json::UInt(messages_per_round)),
         ("kernels".into(), Json::Arr(kernel_rows)),
     ]);
     let dir = Path::new(&args.out_dir);
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-    let path = dir.join("BENCH_6.json");
+    let path = dir.join("BENCH_7.json");
     std::fs::write(&path, doc.to_string() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     println!(
-        "rounds/sec {rounds_per_sec:.2}, bytes/round {bytes_per_round}, \
-         messages/round {messages_per_round}"
+        "rounds/sec {rounds_per_sec:.2} (async {async_rounds_per_sec:.2}), \
+         bytes/round {bytes_per_round}, messages/round {messages_per_round}"
     );
     eprintln!("wrote {}", path.display());
 }

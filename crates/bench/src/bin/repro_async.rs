@@ -6,15 +6,37 @@
 //! 3. **Correction factor** — Eq. (1) ablation: merging the late global
 //!    model with the policy α vs ignoring it (α→α_min) vs adopting it
 //!    outright (α = α_max ceiling raised), measured by final accuracy.
+//! 4. **Deadline-driven buffers** (DESIGN.md §12) — the round engine's
+//!    quorum-or-deadline collection grid: deadline × staleness bound τ
+//!    × straggler severity, reporting close causes, τ-window admissions
+//!    and drops, and final accuracy. Two invocations with the same
+//!    `--seed` produce byte-identical manifest logs
+//!    (`async.manifests.jsonl`) — the determinism contract CI diffs.
 
-use abd_hfl_core::config::{AttackCfg, HflConfig};
+use abd_hfl_core::config::{AsyncRoundCfg, AttackCfg, HflConfig};
 use abd_hfl_core::correction::CorrectionPolicy;
 use abd_hfl_core::pipeline::PipelineConfig;
 use abd_hfl_core::run::RunOptions;
-use hfl_bench::report::{markdown_table, write_csv_or_exit};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
 use hfl_bench::Args;
+use hfl_faults::FaultPlan;
 use hfl_ml::synth::SynthConfig;
 use hfl_simnet::{DelayModel, SimTime};
+use hfl_telemetry::{MetricValue, RunManifest, Telemetry};
+
+/// Reads one counter out of a manifest's metric export (0 when the
+/// counter was never touched — the registry only exports live rows).
+fn counter(manifest: &RunManifest, name: &str) -> u64 {
+    manifest
+        .metrics
+        .iter()
+        .find_map(|s| match (&s.value, s.name.as_str()) {
+            (MetricValue::Counter(v), n) if n == name => Some(*v),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
 
 fn base_cfg(seed: u64) -> HflConfig {
     let mut cfg = HflConfig::paper_iid(AttackCfg::None, seed);
@@ -191,10 +213,80 @@ fn main() {
         );
     }
 
+    // ----- 4. Deadline-driven buffers (engine path, DESIGN.md §12) ----------
+    let mut manifests = Vec::new();
+    if args.matches("deadline") {
+        println!("\n## Deadline buffers — deadline × τ × straggler severity\n");
+        let engine_rounds = args.effective_rounds(12, 4);
+        let mut rows = Vec::new();
+        for (deadline_us, tau_us) in [(2_000u64, 1_000u64), (2_000, 4_000), (6_000, 4_000)] {
+            for factor in [1.0f64, 10.0, 100.0] {
+                let label = format!("deadline/d{deadline_us}/t{tau_us}/x{factor}");
+                if !args.matches(&label) {
+                    continue;
+                }
+                let mut cfg = HflConfig::quick(AttackCfg::None, args.seed + 3);
+                cfg.rounds = engine_rounds;
+                cfg.eval_every = engine_rounds;
+                cfg.async_rounds = Some(AsyncRoundCfg {
+                    deadline_us,
+                    staleness_bound_us: tau_us,
+                    link_delay: DelayModel::Uniform { lo: 500, hi: 5_000 },
+                    tier_deadlines: Vec::new(),
+                });
+                if factor > 1.0 {
+                    // One straggler per run: enough to age its cluster's
+                    // buffer toward the deadline without starving it.
+                    cfg.faults = Some(FaultPlan::new().straggler(0, 1, factor, None));
+                }
+                let exp = Experiment::prepare(&cfg);
+                let (telem, _rec) = Telemetry::recording();
+                let run = run_prepared_with(&exp, &telem);
+                let quorum_closes = counter(&run.manifest, "hfl_quorum_closes_total");
+                let deadline_closes = counter(&run.manifest, "hfl_deadline_closes_total");
+                let admitted = counter(&run.manifest, "hfl_stale_admitted_total");
+                let dropped = counter(&run.manifest, "hfl_stale_dropped_total");
+                eprintln!(
+                    "  {label}: acc {} closes {quorum_closes}q/{deadline_closes}d \
+                     stale {admitted}+/{dropped}-",
+                    pct(run.result.final_accuracy)
+                );
+                csv.push(format!(
+                    "deadline,{deadline_us}/{tau_us}/{factor},{quorum_closes},{:.4}",
+                    run.result.final_accuracy
+                ));
+                rows.push(vec![
+                    format!("{} ms", deadline_us as f64 / 1e3),
+                    format!("{} ms", tau_us as f64 / 1e3),
+                    format!("{factor}×"),
+                    pct(run.result.final_accuracy),
+                    format!("{quorum_closes} / {deadline_closes}"),
+                    format!("{admitted} / {dropped}"),
+                ]);
+                manifests.push(run.manifest);
+            }
+        }
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "deadline",
+                    "τ",
+                    "straggler",
+                    "final accuracy",
+                    "quorum / deadline closes",
+                    "stale admitted / dropped"
+                ],
+                &rows
+            )
+        );
+    }
+
     write_csv_or_exit(
         &args.out_dir,
         "async",
         "experiment,setting,period_or_zero,final_accuracy",
         &csv,
     );
+    write_manifests_or_exit(&args.out_dir, "async", &manifests);
 }

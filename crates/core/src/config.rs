@@ -11,7 +11,7 @@ use hfl_faults::{FaultPlan, FaultPlanError};
 use hfl_ml::synth::SynthConfig;
 use hfl_ml::{LinearSoftmax, Mlp, Model, SgdConfig};
 use hfl_robust::{AggregatorKind, Krum, SuspicionConfig};
-use hfl_simnet::Hierarchy;
+use hfl_simnet::{DelayModel, Hierarchy};
 
 use crate::correction::CorrectionPolicy;
 
@@ -166,6 +166,59 @@ impl AttackCfg {
     }
 }
 
+/// Deadline-driven asynchronous collection (DESIGN.md §12): every
+/// aggregation point opens a buffer, admits updates as they arrive,
+/// and closes on first-of `{quorum reached, deadline fires}`. Late
+/// arrivals within the staleness bound τ are admitted at a
+/// staleness-discounted weight; later ones are dropped with a
+/// `StaleUpdateDropped` event. All decisions are integer sim-time
+/// comparisons over seeded arrival draws, so runs stay
+/// bit-reproducible; `HflConfig::async_rounds = None` is the
+/// synchronous barrier (deadline = ∞), byte-identical to configs
+/// predating this field.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncRoundCfg {
+    /// Collection deadline per aggregation buffer, in simulated µs
+    /// from buffer open. The buffer closes at
+    /// `min(deadline, quorum arrival time)`.
+    pub deadline_us: u64,
+    /// Staleness bound τ, in µs past buffer close: a late update with
+    /// `lateness ≤ τ` is admitted at discounted weight, one with
+    /// `lateness > τ` is rejected.
+    pub staleness_bound_us: u64,
+    /// Link-delay distribution synthesizing each member's arrival
+    /// offset (scaled by its straggler factor when a fault plan is
+    /// active).
+    pub link_delay: DelayModel,
+    /// Per-tier deadline overrides as `(level, deadline_us)` pairs
+    /// (level 0 = top). Levels not listed use `deadline_us`.
+    #[serde(default)]
+    pub tier_deadlines: Vec<(usize, u64)>,
+}
+
+impl AsyncRoundCfg {
+    /// A moderate default: LAN-ish uniform link delays with a deadline
+    /// that a healthy quorum beats comfortably and τ of half a
+    /// deadline.
+    pub fn lan() -> Self {
+        Self {
+            deadline_us: 50_000,
+            staleness_bound_us: 25_000,
+            link_delay: DelayModel::Uniform { lo: 500, hi: 5_000 },
+            tier_deadlines: Vec::new(),
+        }
+    }
+
+    /// The effective deadline for an aggregation buffer at `level`.
+    pub fn deadline_for(&self, level: usize) -> u64 {
+        self.tier_deadlines
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, d)| *d)
+            .unwrap_or(self.deadline_us)
+    }
+}
+
 /// Per-level aggregation choice (Algorithm 3's `BRA` / `CBA` switch).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum LevelAgg {
@@ -251,6 +304,12 @@ pub struct HflConfig {
     /// instead.
     #[serde(default)]
     pub strict_guarantees: bool,
+    /// Deadline-driven asynchronous collection buffers (DESIGN.md §12).
+    /// `None` (the default) keeps the synchronous barrier — the
+    /// `deadline = ∞` special case — and the aggregation path
+    /// byte-identical to configs predating this field.
+    #[serde(default)]
+    pub async_rounds: Option<AsyncRoundCfg>,
 }
 
 impl HflConfig {
@@ -288,6 +347,7 @@ impl HflConfig {
             suspicion: None,
             protocol_attack: None,
             strict_guarantees: false,
+            async_rounds: None,
         }
     }
 
@@ -422,6 +482,50 @@ impl HflConfig {
         if let Some(plan) = &self.faults {
             plan.validate(hierarchy).map_err(ConfigError::Faults)?;
         }
+        if let Some(a) = &self.async_rounds {
+            if a.deadline_us == 0 {
+                return Err(ConfigError::AsyncOutOfRange {
+                    what: "deadline_us",
+                    value: 0.0,
+                });
+            }
+            for &(level, d) in &a.tier_deadlines {
+                if level >= hierarchy.num_levels() {
+                    return Err(ConfigError::AsyncTierOutOfRange {
+                        level,
+                        levels: hierarchy.num_levels(),
+                    });
+                }
+                if d == 0 {
+                    return Err(ConfigError::AsyncOutOfRange {
+                        what: "tier deadline",
+                        value: level as f64,
+                    });
+                }
+            }
+            if let DelayModel::Uniform { lo, hi } = &a.link_delay {
+                if lo > hi {
+                    return Err(ConfigError::AsyncOutOfRange {
+                        what: "link_delay bounds (lo > hi)",
+                        value: *lo as f64,
+                    });
+                }
+            }
+            if matches!(self.protocol_attack, Some(ProtocolAttack::StalenessExploit))
+                && a.staleness_bound_us == 0
+            {
+                // A staleness exploit stalls until *just inside* τ;
+                // with τ = 0 there is no inside and the attack
+                // degenerates to Withhold — reject the ambiguity.
+                return Err(ConfigError::AsyncOutOfRange {
+                    what: "staleness_bound_us under StalenessExploit",
+                    value: 0.0,
+                });
+            }
+        } else if matches!(self.protocol_attack, Some(ProtocolAttack::StalenessExploit)) {
+            // The exploit is defined relative to an async close time.
+            return Err(ConfigError::StalenessExploitNeedsAsync);
+        }
         Ok(())
     }
 
@@ -516,6 +620,24 @@ pub enum ConfigError {
         /// The offending flip scale.
         value: f64,
     },
+    /// An asynchronous-round parameter is unusable.
+    AsyncOutOfRange {
+        /// Which parameter is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-tier deadline override names a level the hierarchy lacks.
+    AsyncTierOutOfRange {
+        /// The offending level.
+        level: usize,
+        /// Hierarchy depth.
+        levels: usize,
+    },
+    /// `ProtocolAttack::StalenessExploit` without `async_rounds`: the
+    /// attack stalls relative to an async buffer close, which the
+    /// synchronous barrier does not have.
+    StalenessExploitNeedsAsync,
     /// With `strict_guarantees`, a Krum/Multi-Krum level whose smallest
     /// cluster violates `n ≥ 2f + 3`.
     KrumUnsound {
@@ -565,6 +687,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ProtocolAttackOutOfRange { value } => {
                 write!(f, "equivocation flip scale must be finite and positive, got {value}")
             }
+            ConfigError::AsyncOutOfRange { what, value } => {
+                write!(f, "async rounds {what} out of range ({value})")
+            }
+            ConfigError::AsyncTierOutOfRange { level, levels } => write!(
+                f,
+                "async tier deadline names level {level}, hierarchy has {levels} levels"
+            ),
+            ConfigError::StalenessExploitNeedsAsync => write!(
+                f,
+                "StalenessExploit requires async_rounds (it stalls relative to a buffer close)"
+            ),
             ConfigError::KrumUnsound { level, f: byz, n_min } => write!(
                 f,
                 "Krum guarantee n >= 2f + 3 violated at level {level}: f = {byz} needs clusters of at least {}, smallest has {n_min}",

@@ -54,11 +54,33 @@ impl CorrectionPolicy {
             (0.0..=1.0).contains(&flag_fraction),
             "flag_fraction must be a proportion"
         );
-        let latency_discount = (-staleness / self.latency_half_life * std::f64::consts::LN_2)
-            .exp();
+        let latency_discount = (-staleness / self.latency_half_life * std::f64::consts::LN_2).exp();
         let info_gain = 1.0 - flag_fraction;
         let a = self.alpha_max as f64 * latency_discount * info_gain;
         (a as f32).clamp(self.alpha_min, self.alpha_max)
+    }
+
+    /// Staleness-discounted admission weight for a late arrival in a
+    /// deadline-driven collection buffer (DESIGN.md §12): the same
+    /// half-life law as [`CorrectionPolicy::alpha`], with the staleness
+    /// bound τ as the half-life — an update arriving exactly τ late
+    /// weighs half an on-time one. Floored at `alpha_min` so an
+    /// admitted update is never weightless, capped at 1 (on-time
+    /// weight).
+    ///
+    /// Integer µs in, so two runs can never disagree on a weight from
+    /// float drift in the lateness measurement itself.
+    pub fn admission_weight(&self, lateness_us: u64, staleness_bound_us: u64) -> f32 {
+        if lateness_us == 0 {
+            return 1.0;
+        }
+        if staleness_bound_us == 0 {
+            // Degenerate τ: any lateness is maximally stale.
+            return self.alpha_min;
+        }
+        let halves = lateness_us as f64 / staleness_bound_us as f64;
+        let w = (-halves * std::f64::consts::LN_2).exp();
+        (w as f32).clamp(self.alpha_min, 1.0)
     }
 
     /// Applies Eq. (1) in place: `local = α·global + (1−α)·local`.
@@ -120,6 +142,33 @@ mod tests {
         let a0 = p.alpha(0.0, 0.0);
         let a10 = p.alpha(10.0, 0.0);
         assert!((a10 / a0 - 0.5).abs() < 1e-3, "ratio {}", a10 / a0);
+    }
+
+    #[test]
+    fn admission_weight_half_life_is_tau() {
+        let p = CorrectionPolicy {
+            alpha_min: 0.0001,
+            ..CorrectionPolicy::default()
+        };
+        assert_eq!(p.admission_weight(0, 10_000), 1.0);
+        let half = p.admission_weight(10_000, 10_000);
+        assert!((half - 0.5).abs() < 1e-3, "{half}");
+        let quarter = p.admission_weight(20_000, 10_000);
+        assert!((quarter - 0.25).abs() < 1e-3, "{quarter}");
+    }
+
+    #[test]
+    fn admission_weight_is_floored_and_monotone() {
+        let p = CorrectionPolicy::default();
+        let mut prev = 1.0f32;
+        for lateness in [0u64, 1, 100, 5_000, 10_000, 1_000_000] {
+            let w = p.admission_weight(lateness, 10_000);
+            assert!(w <= prev, "weight must not grow with lateness");
+            assert!(w >= p.alpha_min, "weight floored at alpha_min");
+            prev = w;
+        }
+        // τ = 0: any lateness is worst-case stale.
+        assert_eq!(p.admission_weight(1, 0), p.alpha_min);
     }
 
     #[test]

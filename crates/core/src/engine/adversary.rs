@@ -19,6 +19,9 @@ pub struct AdversaryLayer<'e> {
     equivocate: Option<f32>,
     /// Malicious members withhold pivotally.
     withhold: bool,
+    /// Malicious members stall uploads until just inside the staleness
+    /// bound of their cluster's deadline buffer.
+    staleness_exploit: bool,
     /// Equivocators convicted by the echo audit (by device id): they
     /// are repaired — behave honestly — from the round after detection.
     detected: Vec<bool>,
@@ -43,15 +46,17 @@ impl<'e> AdversaryLayer<'e> {
             AttackCfg::Adaptive { attack, .. } => Some(AdaptiveAdversary::new(attack.clone())),
             _ => None,
         };
-        let (equivocate, withhold) = match &cfg.protocol_attack {
-            Some(ProtocolAttack::Equivocate { flip_scale }) => (Some(*flip_scale), false),
-            Some(ProtocolAttack::Withhold) => (None, true),
-            None => (None, false),
+        let (equivocate, withhold, staleness_exploit) = match &cfg.protocol_attack {
+            Some(ProtocolAttack::Equivocate { flip_scale }) => (Some(*flip_scale), false, false),
+            Some(ProtocolAttack::Withhold) => (None, true, false),
+            Some(ProtocolAttack::StalenessExploit) => (None, false, true),
+            None => (None, false, false),
         };
         Some(Self {
             adversary,
             equivocate,
             withhold,
+            staleness_exploit,
             detected: vec![false; exp.hierarchy.num_clients()],
             feedback: AttackFeedback::default(),
             malicious: &exp.malicious,
@@ -119,6 +124,17 @@ impl RoundLayer for AdversaryLayer<'_> {
             }
             present.retain(|mi| !withholding.contains(mi));
         }
+    }
+
+    /// Staleness exploit: malicious bottom members (never the leader,
+    /// whose collection role would expose the stall immediately) time
+    /// their upload to land just inside the buffer's staleness bound τ
+    /// — the latest arrival the protocol still admits. They never help
+    /// form the quorum, every buffer they touch ages toward its
+    /// deadline, and their updates enter at the worst admitted
+    /// discount.
+    fn stalls_until_stale(&self, _round: usize, cl: &ClusterCtx<'_>, slot: usize) -> bool {
+        self.staleness_exploit && cl.at_bottom() && self.malicious[slot] && slot != cl.leader
     }
 
     /// Acceptance feedback: did the coalition's crafted updates make it

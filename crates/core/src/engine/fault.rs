@@ -158,6 +158,14 @@ impl RoundLayer for FaultLayer<'_> {
         }
     }
 
+    /// Under a deadline policy stragglers do not merely sort last —
+    /// their synthesized link delay stretches by the active
+    /// `StragglerWindow` factor, so a slow enough device genuinely
+    /// misses the close (and eventually the staleness bound).
+    fn arrival_delay_factor(&self, round: usize, slot: usize) -> Option<f64> {
+        Some(self.inj.straggle_factor(self.carrier[slot], round))
+    }
+
     /// Stragglers arrive last; the stable sort keeps the shuffled
     /// arrival order among equally-fast members.
     fn reorder_arrivals(&self, round: usize, cl: &ClusterCtx<'_>, order: &mut Vec<usize>) {

@@ -49,6 +49,14 @@ pub struct RoundCtx<'r> {
     /// written by the defense layer's audit, consumed by layers later
     /// in the stack (the adversary repairs convicted equivocators).
     pub convicted: Vec<usize>,
+    /// The round's base collection deadline, µs from buffer open —
+    /// `None` is the synchronous barrier (deadline = ∞). Per-tier
+    /// overrides refine this per cluster via
+    /// [`RoundLayer::collector_policy`] / the config fallback.
+    pub deadline_us: Option<u64>,
+    /// The round's staleness bound τ, µs past buffer close (0 when
+    /// synchronous).
+    pub staleness_bound_us: u64,
 }
 
 /// One cluster aggregation site, as the hooks see it.
@@ -79,6 +87,30 @@ impl ClusterCtx<'_> {
     pub fn at_bottom(&self) -> bool {
         self.level == self.bottom
     }
+}
+
+/// How an aggregation point collects its members' updates (DESIGN.md
+/// §12): the synchronous barrier, or a deadline-driven buffer closing
+/// on first-of `{quorum, deadline}` with a τ-bounded staleness window.
+/// Decided per cluster through the first-`Some`-wins
+/// [`RoundLayer::collector_policy`] hook; the engine's fallback derives
+/// from `HflConfig::async_rounds` (`None` ⇒ `WaitForQuorum`, the
+/// `deadline = ∞` special case).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectorPolicy {
+    /// Block until the quorum's updates are in — the synchronous
+    /// barrier every config predating async rounds runs.
+    WaitForQuorum,
+    /// Admit arrivals as they come; close at
+    /// `min(deadline, quorum arrival time)`. Arrivals within
+    /// `staleness_bound` µs after close are admitted at discounted
+    /// weight, later ones dropped.
+    Deadline {
+        /// Buffer deadline, µs from open.
+        deadline_us: u64,
+        /// Staleness bound τ, µs past close.
+        staleness_bound_us: u64,
+    },
 }
 
 /// A layer's answer to "who collects for this cluster?".
@@ -146,6 +178,28 @@ pub trait RoundLayer {
 
     /// Reorder the shuffled arrival order (stragglers arrive last).
     fn reorder_arrivals(&self, round: usize, cl: &ClusterCtx<'_>, order: &mut Vec<usize>) {}
+
+    /// How this cluster collects (first `Some` wins). `None` everywhere
+    /// falls back to the config's `async_rounds` policy.
+    fn collector_policy(&self, round: usize, cl: &ClusterCtx<'_>) -> Option<CollectorPolicy> {
+        None
+    }
+
+    /// Multiplier on a member slot's synthesized link delay under a
+    /// deadline policy (first `Some` wins; 1.0 otherwise). The fault
+    /// layer routes `StragglerWindow` factors through here so
+    /// stragglers actually risk missing deadlines.
+    fn arrival_delay_factor(&self, round: usize, slot: usize) -> Option<f64> {
+        None
+    }
+
+    /// True when this layer makes the member slot stall its upload
+    /// until *just inside* the staleness bound τ of the cluster's
+    /// buffer (the `StalenessExploit` adversary). Any layer answering
+    /// true stalls the slot.
+    fn stalls_until_stale(&self, round: usize, cl: &ClusterCtx<'_>, slot: usize) -> bool {
+        false
+    }
 
     /// How many members the leader's partial-broadcast reaches (BRA
     /// levels only). Default: the whole cluster.

@@ -39,7 +39,7 @@ pub use adversary::AdversaryLayer;
 pub use cost::CostCounters;
 pub use defense::DefenseLayer;
 pub use fault::FaultLayer;
-pub use layer::{ClusterCtx, CollectorChoice, RoundCtx, RoundLayer};
+pub use layer::{ClusterCtx, CollectorChoice, CollectorPolicy, RoundCtx, RoundLayer};
 pub use telemetry::TelemetryLayer;
 
 use rand::seq::SliceRandom;
@@ -50,10 +50,31 @@ use hfl_consensus::quorum_size;
 use hfl_ml::rng::rng_for_n;
 use hfl_robust::evidence::{self, Acceptance};
 use hfl_robust::SuspicionTracker;
+use hfl_simnet::DelayModel;
 use hfl_telemetry::{FaultRecord, SuspicionRecord, Telemetry};
 
 use crate::config::LevelAgg;
 use crate::runner::Experiment;
+
+/// RNG stream tag for async arrival synthesis. Distinct from the
+/// arrival-shuffle tag (`0xA221`) so the synchronous path consumes
+/// exactly its pre-async draw sequence: the `0xA57C` stream is opened
+/// only under a finite-deadline policy.
+const ARRIVAL_STREAM: u64 = 0xA57C;
+
+/// What a deadline-driven buffer admitted when it closed (DESIGN.md
+/// §12). Positions index the caller's arrival-candidate slice.
+struct BufferOutcome {
+    /// Admitted candidate positions, in arrival order.
+    admitted: Vec<usize>,
+    /// `weights[i]`: aggregation weight of `admitted[i]` (1.0 on-time,
+    /// staleness-discounted for τ-late arrivals).
+    weights: Vec<f32>,
+    /// `lateness_frac[i]`: lateness of `admitted[i]` as a fraction of
+    /// τ (0 for on-time arrivals) — staleness evidence for the
+    /// defense.
+    lateness_frac: Vec<f64>,
+}
 
 /// Executes canonical rounds for one experiment through a stack of
 /// [`RoundLayer`]s. The engine owns no RNG state of its own — every
@@ -200,6 +221,7 @@ impl<'e> RoundEngine<'e> {
         susp_log: &mut Vec<SuspicionRecord>,
     ) -> Vec<f32> {
         {
+            let acfg = self.exp.config().async_rounds.as_ref();
             let mut ctx = RoundCtx {
                 round,
                 model_bytes: (self.exp.template.param_len() * 4) as u64,
@@ -208,6 +230,8 @@ impl<'e> RoundEngine<'e> {
                 fault_log: &mut *fault_log,
                 susp_log: &mut *susp_log,
                 convicted: Vec::new(),
+                deadline_us: acfg.map(|a| a.deadline_us),
+                staleness_bound_us: acfg.map(|a| a.staleness_bound_us).unwrap_or(0),
             };
             for layer in self.layers_mut() {
                 layer.open_round(&mut ctx);
@@ -247,6 +271,12 @@ impl<'e> RoundEngine<'e> {
             fault_log,
             susp_log,
             convicted: Vec::new(),
+            deadline_us: cfg.async_rounds.as_ref().map(|a| a.deadline_us),
+            staleness_bound_us: cfg
+                .async_rounds
+                .as_ref()
+                .map(|a| a.staleness_bound_us)
+                .unwrap_or(0),
         };
         for layer in self.layers_mut() {
             layer.begin_aggregate(round);
@@ -312,7 +342,10 @@ impl<'e> RoundEngine<'e> {
                 }
 
                 // The quorum keeps the first ⌈φ·present⌉ of a seeded
-                // random arrival order (Algorithm 4's wait-until-quorum).
+                // random arrival order (Algorithm 4's wait-until-quorum)
+                // — or, under a deadline policy, whatever the collection
+                // buffer admitted by first-of {quorum, deadline} with
+                // its τ-bounded staleness window (DESIGN.md §12).
                 let mut order = present;
                 let mut rng = rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
                 order.shuffle(&mut rng);
@@ -320,11 +353,67 @@ impl<'e> RoundEngine<'e> {
                     layer.reorder_arrivals(round, &cl, &mut order);
                 }
                 let quorum = quorum_size(cfg.quorum, order.len());
-                let kept: Vec<usize> = {
-                    let mut k = order[..quorum.min(order.len())].to_vec();
-                    k.sort_unstable();
-                    k
-                };
+                let policy = self
+                    .layers()
+                    .find_map(|ly| ly.collector_policy(round, &cl))
+                    .unwrap_or_else(|| match &cfg.async_rounds {
+                        Some(a) => CollectorPolicy::Deadline {
+                            deadline_us: a.deadline_for(l),
+                            staleness_bound_us: a.staleness_bound_us,
+                        },
+                        None => CollectorPolicy::WaitForQuorum,
+                    });
+                let (kept, weights, lateness): (Vec<usize>, Option<Vec<f32>>, Option<Vec<f64>>) =
+                    match policy {
+                        CollectorPolicy::WaitForQuorum => {
+                            let mut k = order[..quorum.min(order.len())].to_vec();
+                            k.sort_unstable();
+                            (k, None, None)
+                        }
+                        CollectorPolicy::Deadline {
+                            deadline_us,
+                            staleness_bound_us,
+                        } => {
+                            let slots: Vec<usize> =
+                                order.iter().map(|&mi| cluster.members[mi]).collect();
+                            let buf = self.close_deadline_buffer(
+                                &mut ctx,
+                                &cl,
+                                &slots,
+                                quorum,
+                                deadline_us,
+                                staleness_bound_us,
+                            );
+                            // Canonical member-index order, with weights
+                            // and staleness evidence kept aligned.
+                            let mut triples: Vec<(usize, f32, f64)> = buf
+                                .admitted
+                                .iter()
+                                .zip(&buf.weights)
+                                .zip(&buf.lateness_frac)
+                                .map(|((&pos, &w), &f)| (order[pos], w, f))
+                                .collect();
+                            triples.sort_unstable_by_key(|t| t.0);
+                            let kept = triples.iter().map(|t| t.0).collect();
+                            let weights = triples.iter().map(|t| t.1).collect();
+                            let lateness = triples.iter().map(|t| t.2).collect();
+                            (kept, Some(weights), Some(lateness))
+                        }
+                    };
+                if kept.len() < quorum {
+                    // A deadline fired below quorum: sanctioned degraded
+                    // close, mirroring the fault layer's record shape.
+                    ctx.fault_log.push(FaultRecord {
+                        round,
+                        kind: "degraded_quorum".into(),
+                        detail: format!(
+                            "level {l} cluster {ci}: deadline closed with {alive} of quorum {quorum}",
+                            alive = kept.len()
+                        ),
+                    });
+                    ctx.telem
+                        .degraded_quorum(round, l, ci, kept.len(), cl.expected);
+                }
                 let inputs: Vec<&[f32]> = kept
                     .iter()
                     .map(|&mi| carried[cluster.members[mi]].as_slice())
@@ -332,17 +421,19 @@ impl<'e> RoundEngine<'e> {
                 let kept_devices: Vec<usize> = kept.iter().map(|&mi| cluster.members[mi]).collect();
                 let want_verdict = wants_verdicts && l == bottom;
 
-                let (partial, verdict) = match &cfg.levels[l] {
+                let (partial, mut verdict) = match &cfg.levels[l] {
                     LevelAgg::Bra(kind) => {
                         // Members upload to the collector; the partial
                         // broadcasts back as far as it can reach
-                        // (Algorithm 3).
+                        // (Algorithm 3). `kept` is exactly the quorum on
+                        // the synchronous path; a deadline buffer may
+                        // admit more (τ-late) or fewer (degraded close).
                         let reach = self
                             .layers()
                             .find_map(|ly| ly.broadcast_reach(round, &cl))
                             .unwrap_or(cluster.len() as u64);
-                        ctx.charge_transfers(l, quorum as u64 + reach);
-                        let partial = kind.build().aggregate(&inputs, None);
+                        ctx.charge_transfers(l, kept.len() as u64 + reach);
+                        let partial = kind.build().aggregate(&inputs, weights.as_deref());
                         let verdict = want_verdict.then(|| evidence::judge(kind, &inputs));
                         (partial, verdict)
                     }
@@ -372,6 +463,11 @@ impl<'e> RoundEngine<'e> {
                         (out.decided, verdict)
                     }
                 };
+                // Lateness is acceptance evidence too: τ-late inputs
+                // pick up staleness strikes on top of value strikes.
+                if let (Some(v), Some(frac)) = (verdict.as_mut(), lateness.as_ref()) {
+                    evidence::judge_staleness(v, frac);
+                }
                 if let Some(v) = &verdict {
                     for layer in self.layers_mut() {
                         layer.observe_verdict(&cl, &kept_devices, v);
@@ -417,7 +513,64 @@ impl<'e> RoundEngine<'e> {
             }
         }
         let final_slots = slots.unwrap_or_else(|| top.members.clone());
-        let proposals: Vec<&[f32]> = final_slots
+        // The global collector runs the same deadline buffer over the
+        // surviving top slots (Algorithm 6 under DESIGN.md §12); the
+        // synchronous path keeps every proposal, reported as its own
+        // quorum.
+        let top_policy = self
+            .layers()
+            .find_map(|ly| ly.collector_policy(round, &top_cl))
+            .unwrap_or_else(|| match &cfg.async_rounds {
+                Some(a) => CollectorPolicy::Deadline {
+                    deadline_us: a.deadline_for(0),
+                    staleness_bound_us: a.staleness_bound_us,
+                },
+                None => CollectorPolicy::WaitForQuorum,
+            });
+        let (final_kept, top_weights, top_quorum): (Vec<usize>, Option<Vec<f32>>, usize) =
+            match top_policy {
+                CollectorPolicy::WaitForQuorum => {
+                    let n = final_slots.len();
+                    (final_slots, None, n)
+                }
+                CollectorPolicy::Deadline {
+                    deadline_us,
+                    staleness_bound_us,
+                } => {
+                    let quorum = quorum_size(cfg.quorum, final_slots.len());
+                    let buf = self.close_deadline_buffer(
+                        &mut ctx,
+                        &top_cl,
+                        &final_slots,
+                        quorum,
+                        deadline_us,
+                        staleness_bound_us,
+                    );
+                    let mut pairs: Vec<(usize, f32)> = buf
+                        .admitted
+                        .iter()
+                        .zip(&buf.weights)
+                        .map(|(&pos, &w)| (final_slots[pos], w))
+                        .collect();
+                    pairs.sort_unstable_by_key(|p| p.0);
+                    if pairs.len() < quorum {
+                        ctx.fault_log.push(FaultRecord {
+                            round,
+                            kind: "degraded_quorum".into(),
+                            detail: format!(
+                                "level 0 cluster 0: deadline closed with {alive} of quorum {quorum}",
+                                alive = pairs.len()
+                            ),
+                        });
+                        ctx.telem
+                            .degraded_quorum(round, 0, 0, pairs.len(), top_cl.expected);
+                    }
+                    let kept = pairs.iter().map(|p| p.0).collect();
+                    let weights = pairs.iter().map(|p| p.1).collect();
+                    (kept, Some(weights), quorum)
+                }
+            };
+        let proposals: Vec<&[f32]> = final_kept
             .iter()
             .map(|&dev| carried[dev].as_slice())
             .collect();
@@ -425,13 +578,13 @@ impl<'e> RoundEngine<'e> {
         let global = match &cfg.levels[0] {
             LevelAgg::Bra(kind) => {
                 ctx.charge_transfers(0, (2 * proposals.len()) as u64);
-                kind.build().aggregate(&proposals, None)
+                kind.build().aggregate(&proposals, top_weights.as_deref())
             }
             LevelAgg::Cba(kind) => {
                 // Validation voting over the test shards (Appendix D.B).
                 let shards = exp.task.test.split_even(proposals.len().max(1));
                 let eval = AccuracyEvaluator::new(exp.template.clone_box(), shards);
-                let byz: Vec<bool> = final_slots
+                let byz: Vec<bool> = final_kept
                     .iter()
                     .map(|&dev| exp.protocol_byzantine(dev))
                     .collect();
@@ -442,7 +595,7 @@ impl<'e> RoundEngine<'e> {
             }
         };
         ctx.telem
-            .cluster_aggregated(round, 0, 0, proposals.len(), proposals.len());
+            .cluster_aggregated(round, 0, 0, proposals.len(), top_quorum);
 
         // Dissemination: the global model travels one model-transfer
         // per reachable node per level on its way down (Algorithm 5).
@@ -461,5 +614,146 @@ impl<'e> RoundEngine<'e> {
         }
 
         global
+    }
+
+    /// Closes one deadline-driven collection buffer (DESIGN.md §12).
+    ///
+    /// `slots` holds the global device ids of the arrival candidates in
+    /// draw order (the seeded shuffle); returned positions index that
+    /// slice. Arrival times come from the dedicated [`ARRIVAL_STREAM`]
+    /// RNG — exactly one draw per candidate regardless of stall state,
+    /// so adversary decisions never shift another candidate's sample —
+    /// scaled through [`RoundLayer::arrival_delay_factor`] (straggler
+    /// windows), all in integer µs.
+    /// [`RoundLayer::stalls_until_stale`] candidates are re-timed to
+    /// `close + τ`, just inside the staleness bound.
+    ///
+    /// The buffer closes at first-of `{quorum-th non-stalled arrival,
+    /// deadline}`. Liveness floor: a buffer with a candidate never
+    /// closes empty — when nobody stalls (stalled candidates are always
+    /// admitted) and every arrival lands beyond `close + τ`, the close
+    /// extends to the earliest arrival.
+    fn close_deadline_buffer(
+        &self,
+        ctx: &mut RoundCtx<'_>,
+        cl: &ClusterCtx<'_>,
+        slots: &[usize],
+        quorum: usize,
+        deadline_us: u64,
+        staleness_bound_us: u64,
+    ) -> BufferOutcome {
+        let cfg = self.exp.config();
+        let round = ctx.round;
+        let delay = cfg
+            .async_rounds
+            .as_ref()
+            .map(|a| a.link_delay.clone())
+            .unwrap_or(DelayModel::Constant { micros: 0 });
+        let tags: Vec<u64> = if cl.level == 0 {
+            vec![round as u64, 0x601, ARRIVAL_STREAM]
+        } else {
+            vec![
+                round as u64,
+                cl.level as u64,
+                cl.index as u64,
+                ARRIVAL_STREAM,
+            ]
+        };
+        let mut rng = rng_for_n(cfg.seed, &tags);
+        let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(slots.len());
+        let mut stalled = vec![false; slots.len()];
+        for (pos, &slot) in slots.iter().enumerate() {
+            let raw = delay.sample(&mut rng);
+            let factor = self
+                .layers()
+                .find_map(|ly| ly.arrival_delay_factor(round, slot))
+                .unwrap_or(1.0);
+            let t = raw.saturating_scale(factor).as_micros();
+            stalled[pos] = self
+                .layers()
+                .any(|ly| ly.stalls_until_stale(round, cl, slot));
+            arrivals.push((t, pos));
+        }
+
+        // Close time: the quorum-th non-stalled arrival if it beats the
+        // deadline, the deadline otherwise.
+        let mut non_stalled: Vec<u64> = arrivals
+            .iter()
+            .filter(|&&(_, pos)| !stalled[pos])
+            .map(|&(t, _)| t)
+            .collect();
+        non_stalled.sort_unstable();
+        let quorum_time =
+            (quorum > 0 && non_stalled.len() >= quorum).then(|| non_stalled[quorum - 1]);
+        let (mut close_us, deadline_fired) = match quorum_time {
+            Some(qt) if qt <= deadline_us => (qt, false),
+            _ => (deadline_us, true),
+        };
+        if !stalled.iter().any(|&s| s) {
+            if let Some(&first) = non_stalled.first() {
+                if first > close_us.saturating_add(staleness_bound_us) {
+                    close_us = first;
+                }
+            }
+        }
+        // Stalled uploads land just inside τ of whatever close the
+        // honest arrivals produced.
+        let stall_t = close_us.saturating_add(staleness_bound_us);
+        for a in arrivals.iter_mut() {
+            if stalled[a.1] {
+                a.0 = stall_t;
+            }
+        }
+        arrivals.sort_unstable();
+
+        let mut out = BufferOutcome {
+            admitted: Vec::new(),
+            weights: Vec::new(),
+            lateness_frac: Vec::new(),
+        };
+        let mut on_time = 0usize;
+        // (device, lateness, admitted weight / dropped) in arrival order.
+        let mut stale: Vec<(usize, u64, Option<f32>)> = Vec::new();
+        for &(t, pos) in &arrivals {
+            if t <= close_us {
+                out.admitted.push(pos);
+                out.weights.push(1.0);
+                out.lateness_frac.push(0.0);
+                on_time += 1;
+            } else {
+                let late = t - close_us;
+                if late <= staleness_bound_us {
+                    let w = cfg.correction.admission_weight(late, staleness_bound_us);
+                    out.admitted.push(pos);
+                    out.weights.push(w);
+                    out.lateness_frac
+                        .push(late as f64 / staleness_bound_us as f64);
+                    stale.push((slots[pos], late, Some(w)));
+                } else {
+                    stale.push((slots[pos], late, None));
+                }
+            }
+        }
+        ctx.telem.buffer_closed(
+            round,
+            cl.level,
+            cl.index,
+            deadline_fired,
+            close_us,
+            on_time,
+            slots.len(),
+        );
+        for (device, late, w) in stale {
+            match w {
+                Some(w) => {
+                    ctx.telem
+                        .stale_admitted(round, cl.level, cl.index, device, late, f64::from(w))
+                }
+                None => ctx
+                    .telem
+                    .stale_dropped(round, cl.level, cl.index, device, late),
+            }
+        }
+        out
     }
 }

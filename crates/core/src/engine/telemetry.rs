@@ -216,6 +216,95 @@ impl<'t> TelemetryLayer<'t> {
         }
     }
 
+    /// An async collection buffer closed. The per-cause close counters
+    /// and the buffer-occupancy gauge are kept even when event
+    /// recording is off; both are created lazily so synchronous runs
+    /// (which never get here) keep their exact metrics snapshot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn buffer_closed(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        deadline_fired: bool,
+        close_us: u64,
+        occupancy: usize,
+        expected: usize,
+    ) {
+        let cause = if deadline_fired { "deadline" } else { "quorum" };
+        let name = if deadline_fired {
+            "hfl_deadline_closes_total"
+        } else {
+            "hfl_quorum_closes_total"
+        };
+        self.telem.registry().counter(name, &[]).inc(1);
+        self.telem
+            .registry()
+            .gauge("hfl_buffer_occupancy", &[])
+            .set(occupancy as f64);
+        if self.telem.enabled() {
+            self.telem.emit(Event::BufferClosed {
+                round,
+                level,
+                cluster,
+                cause: cause.to_string(),
+                close_us,
+                occupancy,
+                expected,
+            });
+        }
+    }
+
+    /// A late update was admitted within τ at a discounted weight.
+    pub fn stale_admitted(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        device: usize,
+        lateness_us: u64,
+        weight: f64,
+    ) {
+        self.telem
+            .registry()
+            .counter("hfl_stale_admitted_total", &[])
+            .inc(1);
+        if self.telem.enabled() {
+            self.telem.emit(Event::StaleUpdateAdmitted {
+                round,
+                level,
+                cluster,
+                device,
+                lateness_us,
+                weight,
+            });
+        }
+    }
+
+    /// A late update beyond τ was rejected.
+    pub fn stale_dropped(
+        &self,
+        round: usize,
+        level: usize,
+        cluster: usize,
+        device: usize,
+        lateness_us: u64,
+    ) {
+        self.telem
+            .registry()
+            .counter("hfl_stale_dropped_total", &[])
+            .inc(1);
+        if self.telem.enabled() {
+            self.telem.emit(Event::StaleUpdateDropped {
+                round,
+                level,
+                cluster,
+                device,
+                lateness_us,
+            });
+        }
+    }
+
     /// The adaptive adversary closed its round.
     pub fn attack_adapted(&self, round: usize, magnitude: f64, submitted: u64, accepted: u64) {
         if self.telem.enabled() {

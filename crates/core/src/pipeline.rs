@@ -193,7 +193,14 @@ impl DeviceActor {
         }
         self.training_round = Some(round);
         self.train_started = ctx.now();
-        let dur = self.pcfg.train_delay.sample(&mut self.rng);
+        // A device inside an active StragglerWindow trains slower by the
+        // window's factor — the same signal the round engine's deadline
+        // buffers see — so stragglers miss collection timeouts here too
+        // instead of only sorting last.
+        let mut dur = self.pcfg.train_delay.sample(&mut self.rng);
+        if let Some(inj) = self.exp.injector() {
+            dur = dur.saturating_scale(inj.straggle_factor(self.id, round));
+        }
         ctx.set_timer(dur, pack_timer(TIMER_TRAIN, 0, round));
     }
 

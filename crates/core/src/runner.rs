@@ -549,6 +549,10 @@ fn restore_registry(reg: &Registry, samples: &[MetricSample]) -> Result<(), Stri
         "hfl_quarantined_total",
         "hfl_withheld_total",
         "hfl_equivocations_total",
+        "hfl_deadline_closes_total",
+        "hfl_quorum_closes_total",
+        "hfl_stale_admitted_total",
+        "hfl_stale_dropped_total",
     ];
     const MECHANISM_COUNTERS: &[&str] = &[
         "consensus_instances_total",
@@ -586,6 +590,8 @@ fn restore_registry(reg: &Registry, samples: &[MetricSample]) -> Result<(), Stri
             MetricValue::Gauge(v) => {
                 if s.name == "hfl_accuracy" && s.labels.is_empty() {
                     reg.gauge("hfl_accuracy", &[]).set(*v);
+                } else if s.name == "hfl_buffer_occupancy" && s.labels.is_empty() {
+                    reg.gauge("hfl_buffer_occupancy", &[]).set(*v);
                 } else {
                     return Err(format!("unknown gauge '{}' in snapshot", s.name));
                 }

@@ -59,10 +59,16 @@ pub struct Observations {
 
 impl Observations {
     /// True when nothing in the scenario removes contributors: the
-    /// strict quorum / closed-form accounting forms apply.
+    /// strict quorum / closed-form accounting forms apply. Deadline
+    /// buffers disqualify too — late admissions make the kept set
+    /// larger than the quorum.
     pub fn is_clean(&self) -> bool {
         let s = &self.spec;
-        s.faults.is_empty() && s.churn == 0.0 && !s.suspicion && s.protocol == ProtocolSpec::None
+        s.faults.is_empty()
+            && s.churn == 0.0
+            && !s.suspicion
+            && s.protocol == ProtocolSpec::None
+            && s.deadline_us.is_none()
     }
 }
 
@@ -79,6 +85,7 @@ fn byzantine_bound_eligible(spec: &ScenarioSpec, malicious_per_cluster: &[usize]
         && spec.faults.is_empty()
         && spec.churn == 0.0
         && spec.phi == 1.0
+        && spec.deadline_us.is_none()
         && worst >= 1
         && worst <= spec.agg.tolerance(spec.m)
         && spec.rounds >= 3
@@ -172,7 +179,7 @@ fn run_scenario_inner(
                 }
             }
         };
-        if let (Some(c), false) = (cache.as_deref_mut(), snaps.is_empty()) {
+        if let (Some(c), false) = (cache.as_mut(), snaps.is_empty()) {
             c.snapshots
                 .entry(SnapshotCache::base_key(spec))
                 .or_insert(snaps);
@@ -209,7 +216,7 @@ fn run_scenario_inner(
         }
     };
 
-    if let Some(c) = cache.as_deref_mut() {
+    if let Some(c) = cache.as_mut() {
         let executed = (spec.rounds - start_round) as u64;
         c.rounds_executed += 2 * executed;
         c.rounds_saved += 2 * start_round as u64;
@@ -238,7 +245,7 @@ fn run_scenario_inner(
             .and_then(|c| c.clean_accuracy.get(&clean_key).copied());
         match cached {
             Some(acc) => {
-                if let Some(c) = cache.as_deref_mut() {
+                if let Some(c) = cache.as_mut() {
                     c.rounds_saved += clean_spec.rounds as u64;
                 }
                 Some(acc)
@@ -247,7 +254,7 @@ fn run_scenario_inner(
                 let clean_cfg = clean_spec.to_config();
                 let clean_exp = Experiment::try_prepare(&clean_cfg)?;
                 let clean = run_prepared_with(&clean_exp, &Telemetry::disabled());
-                if let Some(c) = cache.as_deref_mut() {
+                if let Some(c) = cache.as_mut() {
                     c.rounds_executed += clean_spec.rounds as u64;
                     c.clean_accuracy
                         .insert(clean_key, clean.result.final_accuracy);
@@ -263,8 +270,12 @@ fn run_scenario_inner(
     Ok(Observations {
         // The closed form models only the base protocol: the arms race
         // (suspicion, protocol attacks, adaptive attacks) stacks the
-        // defense layer, whose echo audit ships extra digests.
-        expected_round_messages: if spec.faults.is_empty() && spec.churn == 0.0 && !cfg.arms_race()
+        // defense layer, whose echo audit ships extra digests, and
+        // deadline buffers change transfer counts via late admissions.
+        expected_round_messages: if spec.faults.is_empty()
+            && spec.churn == 0.0
+            && spec.deadline_us.is_none()
+            && !cfg.arms_race()
         {
             clean_round_messages(&cfg, h)
         } else {
@@ -298,6 +309,9 @@ pub enum Mutation {
     /// The same-seed rerun produces a different manifest byte stream
     /// (any nondeterminism: unseeded RNG, map-order iteration...).
     SkewRerun,
+    /// A buffer admits an update past its staleness bound τ (a broken
+    /// lateness comparison, a buffer leaking onto the sync path...).
+    OverdueAdmit,
 }
 
 impl Mutation {
@@ -307,6 +321,7 @@ impl Mutation {
             "quorum" => Some(Mutation::QuorumUndershoot),
             "conservation" => Some(Mutation::InflateMessages),
             "determinism" => Some(Mutation::SkewRerun),
+            "staleness" => Some(Mutation::OverdueAdmit),
             _ => None,
         }
     }
@@ -317,6 +332,7 @@ impl Mutation {
             Mutation::QuorumUndershoot => "quorum",
             Mutation::InflateMessages => "conservation",
             Mutation::SkewRerun => "determinism",
+            Mutation::OverdueAdmit => "staleness",
         }
     }
 
@@ -335,6 +351,20 @@ impl Mutation {
             }
             Mutation::SkewRerun => {
                 obs.rerun_manifest_json.push(' ');
+            }
+            Mutation::OverdueAdmit => {
+                // One admission past τ. On a sync spec the fabricated
+                // buffer event is itself the violation (no buffer may
+                // exist without a deadline), so the mutation trips the
+                // staleness-safety oracle on every scenario.
+                obs.events.push(Event::StaleUpdateAdmitted {
+                    round: 0,
+                    level: obs.spec.total_levels - 1,
+                    cluster: 0,
+                    device: 0,
+                    lateness_us: obs.spec.staleness_bound_us + 1,
+                    weight: 0.5,
+                });
             }
         }
     }

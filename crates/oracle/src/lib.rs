@@ -19,7 +19,7 @@
 //!   ([`abd_hfl_core::runner::run_prepared_with`], twice, plus a
 //!   same-seed clean twin when the Byzantine-bound oracle applies) and
 //!   collects [`harness::Observations`].
-//! * [`oracles`] — the five invariants checked on every run; see
+//! * [`oracles`] — the seven invariants checked on every run; see
 //!   [`oracles::check_all`].
 //! * [`harness::Mutation`] — deliberate observation-level corruptions
 //!   (e.g. a quorum undershoot) used to prove the oracles *can* fail;

@@ -1,4 +1,4 @@
-//! The five invariant oracles.
+//! The seven invariant oracles.
 //!
 //! Each oracle inspects [`Observations`] — manifests, structured
 //! events, registry metrics, hierarchy shape — and reports every
@@ -12,11 +12,14 @@
 //! | 3 | `determinism` | same seed ⇒ byte-identical manifests |
 //! | 4 | `byzantine_bound` | an in-tolerance static attack degrades accuracy by at most ε (Theorems 2–3) |
 //! | 5 | `honest_quarantine` | runs with no attack never quarantine anyone |
+//! | 6 | `liveness` | deadline-driven runs complete every round; no buffer closes past `max(deadline, slowest scaled link delay)` |
+//! | 7 | `staleness_safety` | admitted lateness `∈ (0, τ]` at a discounted weight, dropped lateness `> τ`; sync runs emit no buffer events |
 
 use hfl_consensus::quorum_size;
 use hfl_telemetry::{Event, MetricValue};
 
 use crate::harness::{Observations, BYZANTINE_EPSILON};
+use crate::scenario::{FaultEvent, ASYNC_LINK_HI};
 
 /// One oracle violation: which invariant broke and how.
 #[derive(Clone, Debug)]
@@ -34,7 +37,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Runs every oracle; the returned list is empty iff the scenario
-/// upheld all five invariants.
+/// upheld all seven invariants.
 pub fn check_all(obs: &Observations) -> Vec<Violation> {
     let mut out = Vec::new();
     quorum_safety(obs, &mut out);
@@ -42,6 +45,8 @@ pub fn check_all(obs: &Observations) -> Vec<Violation> {
     determinism(obs, &mut out);
     byzantine_bound(obs, &mut out);
     honest_quarantine(obs, &mut out);
+    liveness(obs, &mut out);
+    staleness_safety(obs, &mut out);
     out
 }
 
@@ -274,6 +279,181 @@ fn byzantine_bound(obs: &Observations, out: &mut Vec<Violation>) {
                 obs.spec.agg.tolerance(obs.spec.m),
             ),
         );
+    }
+}
+
+/// Oracle 6 — deadline-driven runs must stay live. A straggler plan
+/// may force deadline closes, but it must never stall the hierarchy:
+/// every scheduled round finishes, every buffer close is caused by
+/// `"quorum"` or `"deadline"`, and no close lands later than
+/// `max(deadline, slowest straggler factor × max link delay)` — the
+/// liveness floor only ever extends an empty buffer to its *first*
+/// synthesized arrival, itself bounded by the slowest scaled link.
+fn liveness(obs: &Observations, out: &mut Vec<Violation>) {
+    let Some(deadline) = obs.spec.deadline_us else {
+        return;
+    };
+    if obs.manifest.rounds.len() != obs.spec.rounds {
+        violation(
+            out,
+            "liveness",
+            format!(
+                "deadline-driven run finished {} of {} scheduled rounds",
+                obs.manifest.rounds.len(),
+                obs.spec.rounds
+            ),
+        );
+    }
+    let max_factor = obs
+        .spec
+        .faults
+        .iter()
+        .filter_map(|f| match f {
+            FaultEvent::Straggler { factor, .. } => Some(*factor),
+            _ => None,
+        })
+        .fold(1.0f64, f64::max);
+    let bound = deadline.max((ASYNC_LINK_HI as f64 * max_factor).ceil() as u64);
+    let mut closed_in_round = vec![false; obs.spec.rounds];
+    for ev in &obs.events {
+        let Event::BufferClosed {
+            round,
+            level,
+            cluster,
+            cause,
+            close_us,
+            occupancy,
+            expected,
+        } = ev
+        else {
+            continue;
+        };
+        if let Some(flag) = closed_in_round.get_mut(*round) {
+            *flag = true;
+        }
+        if cause != "quorum" && cause != "deadline" {
+            violation(
+                out,
+                "liveness",
+                format!(
+                    "round {round} level {level} cluster {cluster}: unknown close cause `{cause}`"
+                ),
+            );
+        }
+        if *close_us > bound {
+            violation(
+                out,
+                "liveness",
+                format!(
+                    "round {round} level {level} cluster {cluster}: buffer closed at \
+                     {close_us} µs, past the liveness bound {bound} µs \
+                     (deadline {deadline}, worst straggler ×{max_factor})"
+                ),
+            );
+        }
+        if occupancy > expected {
+            violation(
+                out,
+                "liveness",
+                format!(
+                    "round {round} level {level} cluster {cluster}: buffer closed with \
+                     {occupancy} on-time updates but only {expected} expected"
+                ),
+            );
+        }
+    }
+    for (round, closed) in closed_in_round.iter().enumerate() {
+        if !closed {
+            violation(
+                out,
+                "liveness",
+                format!("round {round} ran with a deadline but closed no buffer"),
+            );
+        }
+    }
+}
+
+/// Oracle 7 — the staleness bound is exact. Every admitted late update
+/// has lateness in `(0, τ]` and a discounted (sub-unit, positive)
+/// weight; every dropped update has lateness strictly beyond τ; and a
+/// synchronous scenario (no deadline) emits no buffer events at all.
+fn staleness_safety(obs: &Observations, out: &mut Vec<Violation>) {
+    let tau = obs.spec.staleness_bound_us;
+    let async_on = obs.spec.deadline_us.is_some();
+    for ev in &obs.events {
+        match ev {
+            Event::BufferClosed {
+                round,
+                level,
+                cluster,
+                ..
+            }
+            | Event::StaleUpdateAdmitted {
+                round,
+                level,
+                cluster,
+                ..
+            }
+            | Event::StaleUpdateDropped {
+                round,
+                level,
+                cluster,
+                ..
+            } if !async_on => {
+                violation(
+                    out,
+                    "staleness_safety",
+                    format!(
+                        "synchronous run emitted an async buffer event at \
+                         round {round} level {level} cluster {cluster}"
+                    ),
+                );
+            }
+            Event::StaleUpdateAdmitted {
+                round,
+                device,
+                lateness_us,
+                weight,
+                ..
+            } => {
+                if *lateness_us == 0 || *lateness_us > tau {
+                    violation(
+                        out,
+                        "staleness_safety",
+                        format!(
+                            "round {round}: device {device} admitted with lateness \
+                             {lateness_us} µs outside (0, τ = {tau}]"
+                        ),
+                    );
+                }
+                if !(*weight > 0.0 && *weight < 1.0) {
+                    violation(
+                        out,
+                        "staleness_safety",
+                        format!(
+                            "round {round}: late device {device} admitted at weight \
+                             {weight}, want a discounted weight in (0, 1)"
+                        ),
+                    );
+                }
+            }
+            Event::StaleUpdateDropped {
+                round,
+                device,
+                lateness_us,
+                ..
+            } if *lateness_us <= tau => {
+                violation(
+                    out,
+                    "staleness_safety",
+                    format!(
+                        "round {round}: device {device} dropped at lateness \
+                         {lateness_us} µs though τ = {tau} still admits it"
+                    ),
+                );
+            }
+            _ => {}
+        }
     }
 }
 

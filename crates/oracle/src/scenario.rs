@@ -5,13 +5,23 @@
 //! a dozen TOML lines ([`crate::toml`]), shrink by simple field edits
 //! ([`crate::shrink`]), and diff readably in a corpus directory.
 
-use abd_hfl_core::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, TopologyCfg};
+use abd_hfl_core::config::{
+    AsyncRoundCfg, AttackCfg, DataDistribution, HflConfig, LevelAgg, TopologyCfg,
+};
 use hfl_attacks::{AdaptiveAttack, DataAttack, ModelAttack, Placement};
 use hfl_faults::FaultPlan;
 use hfl_ml::synth::SynthConfig;
 use hfl_robust::{AggregatorKind, SuspicionConfig};
+use hfl_simnet::DelayModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Lower bound (µs) of the uniform link delay every async scenario
+/// lowers to. Shared with the liveness oracle, which must know the
+/// worst synthesized arrival.
+pub const ASYNC_LINK_LO: u64 = 500;
+/// Upper bound (µs) of the uniform link delay of async scenarios.
+pub const ASYNC_LINK_HI: u64 = 5_000;
 
 /// Aggregation rule used at every BRA level of the scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -161,6 +171,9 @@ pub enum ProtocolSpec {
     Equivocate,
     /// The coalition withholds pivotally.
     Withhold,
+    /// Malicious members stall uploads until just inside the staleness
+    /// bound τ (requires a deadline-driven scenario with τ > 0).
+    StalenessExploit,
 }
 
 /// One scheduled fault, flattened for TOML round-tripping.
@@ -240,6 +253,11 @@ pub struct ScenarioSpec {
     pub suspicion: bool,
     /// Protocol-level attack.
     pub protocol: ProtocolSpec,
+    /// Deadline (µs) of the deadline-driven collection buffers; `None`
+    /// keeps the synchronous barriers.
+    pub deadline_us: Option<u64>,
+    /// Staleness bound τ (µs past buffer close); 0 when synchronous.
+    pub staleness_bound_us: u64,
     /// Extreme non-IID partition (2 labels per client)?
     pub noniid: bool,
     /// Synthetic training-set size.
@@ -302,7 +320,19 @@ impl ScenarioSpec {
                 Some(hfl_attacks::ProtocolAttack::Equivocate { flip_scale: 1.0 })
             }
             ProtocolSpec::Withhold => Some(hfl_attacks::ProtocolAttack::Withhold),
+            ProtocolSpec::StalenessExploit => Some(hfl_attacks::ProtocolAttack::StalenessExploit),
         };
+        if let Some(deadline_us) = self.deadline_us {
+            cfg.async_rounds = Some(AsyncRoundCfg {
+                deadline_us,
+                staleness_bound_us: self.staleness_bound_us,
+                link_delay: DelayModel::Uniform {
+                    lo: ASYNC_LINK_LO,
+                    hi: ASYNC_LINK_HI,
+                },
+                tier_deadlines: Vec::new(),
+            });
+        }
         if !self.faults.is_empty() {
             let mut plan = FaultPlan::new();
             for ev in &self.faults {
@@ -386,12 +416,30 @@ impl ScenarioGen {
             [0.125, 0.25][rng.gen_range(0..2usize)]
         };
         let suspicion = rng.gen_bool(0.4);
+        // About a third of the stream runs deadline-driven: the
+        // liveness and staleness-safety oracles need real buffer
+        // traffic, while the remaining sync draws pin the "no buffer
+        // events without a deadline" half of staleness safety.
+        let deadline_us = rng
+            .gen_bool(1.0 / 3.0)
+            .then(|| [2_000u64, 4_000, 8_000][rng.gen_range(0..3usize)]);
+        let staleness_bound_us = match deadline_us {
+            Some(_) => [500u64, 1_000, 2_000][rng.gen_range(0..3usize)],
+            None => 0,
+        };
         let protocol = if attack.is_static() && rng.gen_bool(0.2) {
-            if rng.gen_bool(0.5) {
-                ProtocolSpec::Equivocate
+            // The staleness exploit is only defined relative to an
+            // async buffer close (τ > 0 holds for every async draw).
+            let choices: &[ProtocolSpec] = if deadline_us.is_some() {
+                &[
+                    ProtocolSpec::Equivocate,
+                    ProtocolSpec::Withhold,
+                    ProtocolSpec::StalenessExploit,
+                ]
             } else {
-                ProtocolSpec::Withhold
-            }
+                &[ProtocolSpec::Equivocate, ProtocolSpec::Withhold]
+            };
+            choices[rng.gen_range(0..choices.len())]
         } else {
             ProtocolSpec::None
         };
@@ -412,6 +460,8 @@ impl ScenarioGen {
             churn,
             suspicion,
             protocol,
+            deadline_us,
+            staleness_bound_us,
             noniid,
             train_samples: [600, 1_000, 1_600][rng.gen_range(0..3usize)],
             faults: Vec::new(),
@@ -470,6 +520,25 @@ mod tests {
                 h.level(h.bottom_level()).num_clusters(),
                 spec.num_bottom_clusters()
             );
+        }
+    }
+
+    #[test]
+    fn the_stream_mixes_sync_and_async_draws() {
+        let mut gen = ScenarioGen::new(9);
+        let specs: Vec<_> = (0..60).map(|_| gen.draw()).collect();
+        assert!(specs.iter().any(|s| s.deadline_us.is_some()));
+        assert!(specs.iter().any(|s| s.deadline_us.is_none()));
+        for s in &specs {
+            if s.protocol == ProtocolSpec::StalenessExploit {
+                assert!(
+                    s.deadline_us.is_some() && s.staleness_bound_us > 0,
+                    "the staleness exploit needs an async buffer: {s:?}"
+                );
+            }
+            if s.deadline_us.is_none() {
+                assert_eq!(s.staleness_bound_us, 0, "sync draws carry no τ: {s:?}");
+            }
         }
     }
 

@@ -59,6 +59,15 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     push(&|s| s.suspicion = false);
     push(&|s| s.protocol = ProtocolSpec::None);
     push(&|s| {
+        // Back to synchronous barriers. The staleness exploit is only
+        // valid relative to an async close, so it must fall with it.
+        s.deadline_us = None;
+        s.staleness_bound_us = 0;
+        if s.protocol == ProtocolSpec::StalenessExploit {
+            s.protocol = ProtocolSpec::None;
+        }
+    });
+    push(&|s| {
         s.attack = AttackSpec::None;
         s.proportion = 0.0;
     });
@@ -103,6 +112,8 @@ mod tests {
         spec.rounds = 5;
         spec.total_levels = 3;
         spec.m = 4;
+        spec.deadline_us = Some(4_000);
+        spec.staleness_bound_us = 1_000;
         // Failure depends only on φ < 1 (say): everything else must
         // shrink away.
         spec.phi = 0.5;
@@ -114,6 +125,8 @@ mod tests {
         assert_eq!(shrunk.n_top, 2);
         assert!(shrunk.faults.is_empty());
         assert!(!shrunk.suspicion);
+        assert_eq!(shrunk.deadline_us, None, "async must shrink away");
+        assert_eq!(shrunk.staleness_bound_us, 0);
         assert_eq!(shrunk.attack, AttackSpec::None);
         assert_eq!(shrunk.agg, AggSpec::FedAvg);
         assert_eq!(shrunk.phi, 0.5, "the failing ingredient must survive");

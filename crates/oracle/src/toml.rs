@@ -73,8 +73,17 @@ pub fn to_toml(spec: &ScenarioSpec) -> String {
         ProtocolSpec::None => "none",
         ProtocolSpec::Equivocate => "equivocate",
         ProtocolSpec::Withhold => "withhold",
+        ProtocolSpec::StalenessExploit => "staleness_exploit",
     };
     line("protocol", format!("\"{protocol}\""));
+    // Async keys are only written when set, so pre-async corpus files
+    // and synchronous cases keep their exact historical shape.
+    if let Some(deadline) = spec.deadline_us {
+        line("deadline_us", deadline.to_string());
+    }
+    if spec.staleness_bound_us != 0 {
+        line("staleness_bound_us", spec.staleness_bound_us.to_string());
+    }
     line("noniid", spec.noniid.to_string());
     line("train_samples", spec.train_samples.to_string());
     for fault in &spec.faults {
@@ -246,7 +255,16 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         "none" => ProtocolSpec::None,
         "equivocate" => ProtocolSpec::Equivocate,
         "withhold" => ProtocolSpec::Withhold,
+        "staleness_exploit" => ProtocolSpec::StalenessExploit,
         other => return Err(format!("unknown protocol `{other}`")),
+    };
+    let deadline_us = match root.get("deadline_us") {
+        Some(_) => Some(root.u64("deadline_us")?),
+        None => None,
+    };
+    let staleness_bound_us = match root.get("staleness_bound_us") {
+        Some(_) => root.u64("staleness_bound_us")?,
+        None => 0,
     };
     let mut fault_events = Vec::new();
     for table in &faults {
@@ -293,6 +311,8 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         churn: root.f64("churn")?,
         suspicion: root.bool("suspicion")?,
         protocol,
+        deadline_us,
+        staleness_bound_us,
         noniid: root.bool("noniid")?,
         train_samples: root.usize("train_samples")?,
         faults: fault_events,
@@ -313,6 +333,25 @@ mod tests {
             let back = from_toml(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
             assert_eq!(spec, back, "round-trip changed the spec:\n{text}");
         }
+    }
+
+    #[test]
+    fn pre_async_cases_parse_with_synchronous_defaults() {
+        let mut gen = ScenarioGen::new(8);
+        let mut spec = gen.draw();
+        spec.deadline_us = None;
+        spec.staleness_bound_us = 0;
+        if spec.protocol == ProtocolSpec::StalenessExploit {
+            spec.protocol = ProtocolSpec::None;
+        }
+        let text = to_toml(&spec);
+        assert!(
+            !text.contains("deadline_us"),
+            "sync cases must not grow async keys:\n{text}"
+        );
+        let back = from_toml(&text).unwrap();
+        assert_eq!(back.deadline_us, None);
+        assert_eq!(back.staleness_bound_us, 0);
     }
 
     #[test]

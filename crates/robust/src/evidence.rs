@@ -102,6 +102,34 @@ pub fn judge(kind: &AggregatorKind, updates: &[&[f32]]) -> Acceptance {
     }
 }
 
+/// Strike weight added per unit of staleness (lateness / τ): a
+/// maximally-late admitted input (lateness = τ) collects half a
+/// [`STRIKE_WORST`] each round it exploits the staleness window, so a
+/// coalition camping just inside τ accrues suspicion round after round
+/// even when its *values* pass the rule's outlier tests.
+pub const STALE_STRIKE_SCALE: f64 = 0.5;
+
+/// Staleness-aware admission evidence for deadline-driven buffers:
+/// folds each input's lateness fraction (`lateness / τ`, 0 for on-time
+/// arrivals, in `(0, 1]` for τ-late admissions) into an existing
+/// verdict. Late inputs accrue `STALE_STRIKE_SCALE · fraction` strikes
+/// on top of whatever the value-based evidence assigned — staleness is
+/// orthogonal evidence, not a replacement. Acceptance is untouched:
+/// a τ-late input *was* admitted (at discounted weight), and telling
+/// the adversary otherwise would corrupt its feedback signal.
+pub fn judge_staleness(acc: &mut Acceptance, lateness_frac: &[f64]) {
+    assert_eq!(
+        acc.strikes.len(),
+        lateness_frac.len(),
+        "one lateness per judged input"
+    );
+    for (s, &frac) in acc.strikes.iter_mut().zip(lateness_frac) {
+        if frac > 0.0 {
+            *s += STALE_STRIKE_SCALE * frac.min(1.0);
+        }
+    }
+}
+
 /// Shared rank logic: given per-input badness scores (higher = worse),
 /// accept the `keep` best and strike the worst (+ runner-up when n ≥ 4).
 fn judge_by_scores(scores: &[f64], keep: usize) -> Acceptance {
@@ -282,6 +310,35 @@ mod tests {
             "homogeneous rounds must not strike: {:?}",
             acc.strikes
         );
+    }
+
+    #[test]
+    fn staleness_strikes_stack_on_value_strikes() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.1, 6, &[50.0, 50.0], 1);
+        let kind = AggregatorKind::MultiKrum { f: 1, m: 6 };
+        let mut acc = judge(&kind, &refs(&updates));
+        let before = acc.strikes.clone();
+        // Input 2 arrived half a τ late, the outlier (6) a full τ late.
+        let mut lateness = vec![0.0; 7];
+        lateness[2] = 0.5;
+        lateness[6] = 1.0;
+        judge_staleness(&mut acc, &lateness);
+        assert_eq!(acc.strikes[2], before[2] + 0.5 * STALE_STRIKE_SCALE);
+        assert_eq!(acc.strikes[6], before[6] + STALE_STRIKE_SCALE);
+        assert_eq!(acc.strikes[0], before[0], "on-time inputs untouched");
+        // Acceptance is staleness-blind: admission already happened.
+        assert!(!acc.accepted[6]);
+    }
+
+    #[test]
+    fn staleness_fraction_is_capped_at_one() {
+        let mut acc = Acceptance {
+            accepted: vec![true; 2],
+            strikes: vec![0.0; 2],
+        };
+        judge_staleness(&mut acc, &[5.0, 0.0]);
+        assert_eq!(acc.strikes[0], STALE_STRIKE_SCALE);
+        assert_eq!(acc.strikes[1], 0.0);
     }
 
     #[test]

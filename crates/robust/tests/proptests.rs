@@ -114,7 +114,7 @@ proptest! {
     fn krum_selects_a_real_input((honest, n_bad, bad) in scenario()) {
         let refs = all_inputs(&honest, &bad, n_bad);
         let out = Krum::new(n_bad).aggregate(&refs, None);
-        prop_assert!(refs.iter().any(|r| *r == out.as_slice()));
+        prop_assert!(refs.contains(&out.as_slice()));
     }
 
     #[test]

@@ -92,6 +92,21 @@ impl DelayModel {
         }
     }
 
+    /// Upper bound on a single draw, in µs — `None` for models with an
+    /// unbounded tail. Liveness reasoning (DESIGN.md §12) needs this:
+    /// "every buffer closes within `deadline + max link delay`" is only
+    /// checkable against a bounded model.
+    pub fn max_micros(&self) -> Option<u64> {
+        match self {
+            DelayModel::Constant { micros } => Some(*micros),
+            DelayModel::Uniform { hi, .. } => Some(*hi),
+            DelayModel::Exponential { .. } | DelayModel::LogNormal { .. } => None,
+            DelayModel::Straggler { base, factor, .. } => base
+                .max_micros()
+                .map(|m| (m as f64 * factor.max(1.0)) as u64),
+        }
+    }
+
     /// A typical LAN-ish edge link: uniform 1–5 ms.
     pub fn lan() -> Self {
         DelayModel::Uniform {
@@ -124,7 +139,10 @@ mod tests {
 
     fn mean_of_samples(m: &DelayModel, n: usize) -> f64 {
         let mut rng = StdRng::seed_from_u64(42);
-        (0..n).map(|_| m.sample(&mut rng).as_micros() as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| m.sample(&mut rng).as_micros() as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

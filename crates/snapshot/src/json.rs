@@ -142,7 +142,7 @@ fn model_hex(model: &[f32]) -> String {
 }
 
 fn model_from_hex(hex: &str) -> Result<Vec<f32>, SnapshotError> {
-    if hex.len() % 8 != 0 {
+    if !hex.len().is_multiple_of(8) {
         return Err(SnapshotError::new(format!(
             "model hex length {} is not a multiple of 8",
             hex.len()

@@ -190,6 +190,55 @@ pub enum Event {
         /// The withholding client.
         client: usize,
     },
+    /// A deadline-driven collection buffer closed (async rounds,
+    /// DESIGN.md §12): first-of `{quorum reached, deadline fired}`.
+    BufferClosed {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// `"quorum"` when the ⌈φ·n⌉-th arrival closed the buffer,
+        /// `"deadline"` when the timer fired first.
+        cause: String,
+        /// Simulated close time, µs from buffer open.
+        close_us: u64,
+        /// Updates in the buffer at close (on-time arrivals).
+        occupancy: usize,
+        /// Members the buffer was waiting on.
+        expected: usize,
+    },
+    /// A late update arrived within the staleness bound τ of a closed
+    /// buffer and was admitted at a staleness-discounted weight.
+    StaleUpdateAdmitted {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The late device.
+        device: usize,
+        /// How far past the buffer close it arrived, µs (≤ τ).
+        lateness_us: u64,
+        /// The discounted aggregation weight it was admitted with.
+        weight: f64,
+    },
+    /// A late update arrived beyond the staleness bound τ of a closed
+    /// buffer and was rejected.
+    StaleUpdateDropped {
+        /// Round index (0-based).
+        round: usize,
+        /// Hierarchy level (0 = top).
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The too-late device.
+        device: usize,
+        /// How far past the buffer close it arrived, µs (> τ).
+        lateness_us: u64,
+    },
 }
 
 /// An event sink. Implementations must be cheap and thread-safe: events

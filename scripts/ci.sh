@@ -41,6 +41,18 @@ diff "$tmp/e/combined.manifests.jsonl" "$tmp/f/combined.manifests.jsonl" \
     || { echo "repro_combined manifests differ across same-seed runs"; exit 1; }
 echo "repro_combined determinism gate passed"
 
+# Deadline-buffer smoke + determinism gate: the async round engine's
+# quorum-or-deadline grid (DESIGN.md §12) synthesizes arrivals from a
+# dedicated RNG stream — two same-seed sweeps must still produce
+# byte-identical manifest logs.
+cargo run --release -p hfl-bench --bin repro_async -- \
+    --quick --seed 42 --filter deadline --out "$tmp/g" >/dev/null
+cargo run --release -p hfl-bench --bin repro_async -- \
+    --quick --seed 42 --filter deadline --out "$tmp/h" >/dev/null
+diff "$tmp/g/async.manifests.jsonl" "$tmp/h/async.manifests.jsonl" \
+    || { echo "repro_async manifests differ across same-seed runs"; exit 1; }
+echo "repro_async determinism gate passed"
+
 # Snapshot-resume determinism gate: for every fixture class, 20 rounds
 # straight through must equal 10 rounds + resume(10 more) from the
 # round-10 snapshot, byte-for-byte at the manifest level (the binary
@@ -56,16 +68,17 @@ for config in clean faulted armed withhold; do
 done
 echo "snapshot resume determinism gate passed"
 
-# Performance baseline: rounds/sec, kernel ns/op and bytes/round into
-# BENCH_6.json (the binary self-validates that nothing measured zero).
+# Performance baseline: sync + async rounds/sec, kernel ns/op and
+# bytes/round into BENCH_7.json (the binary self-validates that nothing
+# measured zero).
 cargo run --release -p hfl-bench --bin perf_baseline -- \
     --quick --out "$tmp/perf" >/dev/null
-test -s "$tmp/perf/BENCH_6.json" \
-    || { echo "perf_baseline produced no BENCH_6.json"; exit 1; }
+test -s "$tmp/perf/BENCH_7.json" \
+    || { echo "perf_baseline produced no BENCH_7.json"; exit 1; }
 echo "perf baseline gate passed"
 
 # Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the
-# iteration count with FUZZ_ITERS), then the three mutation self-checks
+# iteration count with FUZZ_ITERS), then the four mutation self-checks
 # — deliberately corrupted observations must be caught by the matching
 # oracle and shrunk to a minimal repro (see DESIGN.md §10). Corpus
 # replay itself runs inside `cargo test` (tests/oracle_corpus.rs).
@@ -74,7 +87,7 @@ echo "perf baseline gate passed"
 # shrinking reach the *same* minimal TOML repro.
 cargo run --release -p hfl-bench --bin fuzz_oracle -- \
     --iters "${FUZZ_ITERS:-200}" --seed 42 --snapshots
-for mutation in quorum conservation determinism; do
+for mutation in quorum conservation determinism staleness; do
     cargo run --release -p hfl-bench --bin fuzz_oracle -- \
         --mutation "$mutation" --seed 42 --out "$tmp/oracle" >/dev/null \
         || { echo "oracle mutation check '$mutation' was not caught"; exit 1; }

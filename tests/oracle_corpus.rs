@@ -1,4 +1,4 @@
-//! Replays every corpus case in `tests/corpus/` against all five
+//! Replays every corpus case in `tests/corpus/` against all seven
 //! oracles. Cases land here in two ways: seeded by hand as diverse
 //! regression anchors, or persisted automatically by `fuzz_oracle`
 //! when it shrinks a real violation — either way, once a case is in
@@ -8,7 +8,7 @@ use abd_hfl::oracle::harness::check;
 use abd_hfl::oracle::toml::from_toml;
 
 #[test]
-fn every_corpus_case_upholds_all_five_oracles() {
+fn every_corpus_case_upholds_all_seven_oracles() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read corpus dir {dir}: {e}"))
