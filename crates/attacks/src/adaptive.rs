@@ -39,6 +39,17 @@ pub enum AdaptiveAttack {
         /// Upper bound of the search interval.
         eps_max: f32,
     },
+    /// Tune the scaling / Fall-of-Empires reflection magnitude: at
+    /// magnitude `m` the coalition submits `−m · mean(honest)`
+    /// ([`ModelAttack::Scaling`] with `factor = −m`), so the search walks
+    /// the reflected boundary toward the largest blow-up the defense
+    /// still accepts.
+    Scaling {
+        /// Initial reflection magnitude before any feedback arrives.
+        factor_init: f32,
+        /// Upper bound of the search interval.
+        factor_max: f32,
+    },
 }
 
 impl AdaptiveAttack {
@@ -60,11 +71,24 @@ impl AdaptiveAttack {
         }
     }
 
+    /// The default adaptive scaling family: start at the pure reflection
+    /// m = 1 and allow the search up to m = 10.
+    pub fn scaling_default() -> Self {
+        AdaptiveAttack::Scaling {
+            factor_init: 1.0,
+            factor_max: 10.0,
+        }
+    }
+
     /// `(init, max)` of the tuned magnitude.
     pub fn bounds(&self) -> (f32, f32) {
         match *self {
             AdaptiveAttack::Alie { z_init, z_max } => (z_init, z_max),
             AdaptiveAttack::Ipm { eps_init, eps_max } => (eps_init, eps_max),
+            AdaptiveAttack::Scaling {
+                factor_init,
+                factor_max,
+            } => (factor_init, factor_max),
         }
     }
 
@@ -76,14 +100,20 @@ impl AdaptiveAttack {
             AdaptiveAttack::Ipm { .. } => ModelAttack::Ipm {
                 epsilon: magnitude.max(f32::EPSILON),
             },
+            AdaptiveAttack::Scaling { .. } => ModelAttack::Scaling {
+                // ModelAttack::Scaling asserts factor ≠ 0; keep the
+                // reflection strictly negative.
+                factor: -magnitude.max(f32::EPSILON),
+            },
         }
     }
 
-    /// Stable label for reports (`"alie"` / `"ipm"`).
+    /// Stable label for reports (`"alie"` / `"ipm"` / `"scaling"`).
     pub fn name(&self) -> &'static str {
         match self {
             AdaptiveAttack::Alie { .. } => "alie",
             AdaptiveAttack::Ipm { .. } => "ipm",
+            AdaptiveAttack::Scaling { .. } => "scaling",
         }
     }
 }
@@ -372,6 +402,29 @@ mod tests {
         // ModelAttack::Ipm asserts ε > 0; the family must clamp.
         let a = AdaptiveAttack::ipm_default().at_magnitude(0.0);
         assert!(matches!(a, ModelAttack::Ipm { epsilon } if epsilon > 0.0));
+    }
+
+    #[test]
+    fn scaling_magnitude_crafts_negative_reflection() {
+        let fam = AdaptiveAttack::scaling_default();
+        assert_eq!(fam.name(), "scaling");
+        assert_eq!(fam.bounds(), (1.0, 10.0));
+        let a = fam.at_magnitude(2.5);
+        assert!(matches!(a, ModelAttack::Scaling { factor } if factor == -2.5));
+        // ModelAttack::Scaling asserts factor ≠ 0; the family must clamp.
+        let a = fam.at_magnitude(0.0);
+        assert!(matches!(a, ModelAttack::Scaling { factor } if factor < 0.0));
+    }
+
+    #[test]
+    fn scaling_family_bisects_like_the_others() {
+        let mut adv = AdaptiveAdversary::new(AdaptiveAttack::scaling_default());
+        assert_eq!(adv.magnitude(), 1.0);
+        adv.observe(0, fb(3, 3));
+        assert!(adv.magnitude() > 1.0, "accepted must push up");
+        let high = adv.magnitude();
+        adv.observe(1, fb(3, 0));
+        assert!(adv.magnitude() < high, "rejected must pull down");
     }
 
     #[test]

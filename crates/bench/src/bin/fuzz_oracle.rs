@@ -24,8 +24,67 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hfl_oracle::harness::{check, check_cached, Mutation, SnapshotCache};
-use hfl_oracle::scenario::{ScenarioGen, ScenarioSpec};
+use hfl_oracle::scenario::{AggSpec, AttackSpec, PreAggSpec, ScenarioGen, ScenarioSpec};
 use hfl_oracle::{shrink, toml};
+
+/// Tallies which attack/defense families the stream exercised, so the
+/// fuzz log attests gallery coverage (a family the generator silently
+/// stopped drawing would show up as a zero here).
+#[derive(Default)]
+struct Coverage {
+    families: std::collections::BTreeMap<&'static str, usize>,
+}
+
+impl Coverage {
+    fn record(&mut self, spec: &ScenarioSpec) {
+        let attack = match &spec.attack {
+            AttackSpec::None => "attack:none",
+            AttackSpec::SignFlip { .. } => "attack:signflip",
+            AttackSpec::Alie { .. } => "attack:alie",
+            AttackSpec::Ipm { .. } => "attack:ipm",
+            AttackSpec::LabelFlip => "attack:labelflip",
+            AttackSpec::Mimic { .. } => "attack:mimic",
+            AttackSpec::Scaling { .. } => "attack:scaling",
+            AttackSpec::MinMax => "attack:minmax",
+            AttackSpec::MinSum => "attack:minsum",
+            AttackSpec::AdaptiveAlie => "attack:adaptive_alie",
+            AttackSpec::AdaptiveIpm => "attack:adaptive_ipm",
+            AttackSpec::AdaptiveScaling => "attack:adaptive_scaling",
+        };
+        let agg = match &spec.agg {
+            AggSpec::FedAvg => "agg:fedavg",
+            AggSpec::Krum { .. } => "agg:krum",
+            AggSpec::MultiKrum { .. } => "agg:multikrum",
+            AggSpec::Median => "agg:median",
+            AggSpec::TrimmedMean { .. } => "agg:trimmed_mean",
+            AggSpec::GeoMed => "agg:geomed",
+            AggSpec::CenteredClip { .. } => "agg:centered_clip",
+        };
+        let pre = match &spec.pre_agg {
+            PreAggSpec::None => "pre_agg:none",
+            PreAggSpec::Bucketing { .. } => "pre_agg:bucketing",
+            PreAggSpec::Nnm { .. } => "pre_agg:nnm",
+        };
+        for family in [attack, agg, pre] {
+            *self.families.entry(family).or_insert(0) += 1;
+        }
+        if spec.dirichlet_alpha.is_some() {
+            *self.families.entry("data:dirichlet").or_insert(0) += 1;
+        }
+        if spec.heterogeneity {
+            *self.families.entry("net:heterogeneity").or_insert(0) += 1;
+        }
+    }
+
+    fn report(&self) {
+        let line: Vec<String> = self
+            .families
+            .iter()
+            .map(|(family, n)| format!("{family}={n}"))
+            .collect();
+        println!("family coverage: {}", line.join(" "));
+    }
+}
 
 struct FuzzArgs {
     iters: usize,
@@ -39,8 +98,8 @@ struct FuzzArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz_oracle [--iters N] [--seed S] \
-         [--mutation quorum|conservation|determinism|staleness] [--snapshots] \
-         [--corpus-dir DIR] [--out DIR]"
+         [--mutation quorum|conservation|determinism|staleness|defense-bypass] \
+         [--snapshots] [--corpus-dir DIR] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -165,8 +224,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut coverage = Coverage::default();
     for i in 0..args.iters {
         let spec = gen.draw();
+        coverage.record(&spec);
         let (_, violations) =
             run_check(&spec, None, &mut cache).expect("generated spec must be valid");
         if violations.is_empty() {
@@ -197,6 +258,7 @@ fn main() -> ExitCode {
         "all {} scenarios upheld the seven oracles (seed {})",
         args.iters, args.seed
     );
+    coverage.report();
     report_rounds(&cache);
     ExitCode::SUCCESS
 }

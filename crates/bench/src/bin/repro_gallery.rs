@@ -1,0 +1,126 @@
+//! Attack–defense gallery: the full static-attack × composed-defense ×
+//! data-distribution accuracy grid (DESIGN.md §13).
+//!
+//! Rows pair every gallery attack family (mimic, scaling, min-max,
+//! min-sum, plus the clean baseline) with undefended averaging, the
+//! centered-clipping rule, and the two pre-aggregation compositions
+//! (bucketing → median, NNM → Krum), each under IID and Dirichlet-α
+//! partitions. Two invocations with the same `--seed` produce
+//! byte-identical manifest logs (`gallery.manifests.jsonl`) — the
+//! determinism contract CI diffs.
+
+use abd_hfl_core::config::{AttackCfg, DataDistribution, HflConfig, LevelAgg};
+use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_attacks::{ModelAttack, Placement};
+use hfl_bench::report::{markdown_table, pct, write_csv_or_exit, write_manifests_or_exit};
+use hfl_bench::Args;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+use hfl_telemetry::Telemetry;
+
+/// The Dirichlet concentration of the heterogeneous grid half.
+const ALPHA: f64 = 0.5;
+
+fn attacks() -> Vec<(&'static str, AttackCfg)> {
+    let model = |attack: ModelAttack| AttackCfg::Model {
+        attack,
+        proportion: 0.25,
+        placement: Placement::Prefix,
+    };
+    vec![
+        ("none", AttackCfg::None),
+        ("mimic", model(ModelAttack::Mimic { victim: 0 })),
+        ("scaling", model(ModelAttack::Scaling { factor: -10.0 })),
+        ("minmax", model(ModelAttack::MinMax)),
+        ("minsum", model(ModelAttack::MinSum)),
+    ]
+}
+
+fn defenses() -> Vec<(&'static str, AggregatorKind)> {
+    vec![
+        ("fedavg", AggregatorKind::FedAvg),
+        (
+            "centered_clip",
+            AggregatorKind::CenteredClip { tau: 2.0, iters: 3 },
+        ),
+        (
+            "bucket2+median",
+            AggregatorKind::Bucketing {
+                s: 2,
+                inner: Box::new(AggregatorKind::Median),
+            },
+        ),
+        (
+            "nnm3+krum",
+            AggregatorKind::Nnm {
+                k: 3,
+                inner: Box::new(AggregatorKind::Krum { f: 1 }),
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.effective_rounds(8, 3);
+    let mut csv = Vec::new();
+    let mut manifests = Vec::new();
+    let mut rows = Vec::new();
+
+    println!("## Attack–defense gallery — attack × defense × distribution\n");
+    for (dist_name, dist) in [
+        ("iid", DataDistribution::Iid),
+        ("dirichlet", DataDistribution::Dirichlet { alpha: ALPHA }),
+    ] {
+        for (attack_name, attack) in attacks() {
+            let mut row = vec![dist_name.to_string(), attack_name.to_string()];
+            for (defense_name, kind) in defenses() {
+                let label = format!("{attack_name}/{defense_name}/{dist_name}");
+                if !args.matches(&label) {
+                    row.push("-".into());
+                    continue;
+                }
+                let mut cfg = HflConfig::quick(attack.clone(), args.seed);
+                cfg.rounds = rounds;
+                cfg.eval_every = rounds;
+                cfg.data = SynthConfig {
+                    train_samples: 3_200,
+                    test_samples: 800,
+                    ..SynthConfig::default()
+                };
+                cfg.distribution = dist.clone();
+                // All-BRA levels: the paper's top-level consensus vote
+                // would exclude poisoned proposals outright and mask
+                // the aggregation-level arms race this grid measures.
+                cfg.levels = vec![LevelAgg::Bra(kind.clone()); 3];
+                let exp = Experiment::prepare(&cfg);
+                let (telem, _rec) = Telemetry::recording();
+                let run = run_prepared_with(&exp, &telem);
+                eprintln!("  {label}: acc {}", pct(run.result.final_accuracy));
+                csv.push(format!(
+                    "{attack_name},{defense_name},{dist_name},{:.4}",
+                    run.result.final_accuracy
+                ));
+                row.push(pct(run.result.final_accuracy));
+                manifests.push(run.manifest);
+            }
+            rows.push(row);
+        }
+    }
+
+    let headers: Vec<String> = ["distribution", "attack"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(defenses().iter().map(|(name, _)| name.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", markdown_table(&header_refs, &rows));
+
+    write_csv_or_exit(
+        &args.out_dir,
+        "gallery",
+        "attack,defense,distribution,final_accuracy",
+        &csv,
+    );
+    write_manifests_or_exit(&args.out_dir, "gallery", &manifests);
+}

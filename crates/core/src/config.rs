@@ -105,6 +105,43 @@ pub enum DataDistribution {
         /// Distinct labels per client (the paper uses 2).
         labels_per_client: usize,
     },
+    /// Dirichlet-α non-IID (Hsu et al.): per label, client shares drawn
+    /// from a symmetric `Dirichlet(alpha)` — the benchmark-suite
+    /// heterogeneity dial. Small α (0.1) concentrates labels on few
+    /// clients; large α approaches IID.
+    Dirichlet {
+        /// Concentration parameter, finite and positive.
+        alpha: f64,
+    },
+}
+
+/// Per-client compute/bandwidth heterogeneity profiles: every client
+/// draws a compute factor in `[1, compute_spread]` and a bandwidth
+/// factor in `[1, bandwidth_spread]` from a dedicated seeded stream at
+/// preparation time. Under deadline-driven collection
+/// ([`HflConfig::async_rounds`]) a member's synthesized arrival delay is
+/// stretched by the product of its two factors — slow compute delays
+/// upload readiness, thin bandwidth stretches the transfer — composing
+/// multiplicatively with fault-plan straggler windows. The synchronous
+/// barrier waits for everyone, so profiles change nothing there (and
+/// absent profiles change nothing anywhere).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneityCfg {
+    /// Largest compute slowdown, ≥ 1 (1 = homogeneous compute).
+    pub compute_spread: f64,
+    /// Largest bandwidth slowdown, ≥ 1 (1 = homogeneous links).
+    pub bandwidth_spread: f64,
+}
+
+impl HeterogeneityCfg {
+    /// A moderate mixed-device profile: up to 4× slower compute, up to
+    /// 2× thinner links.
+    pub fn mixed_devices() -> Self {
+        Self {
+            compute_spread: 4.0,
+            bandwidth_spread: 2.0,
+        }
+    }
 }
 
 /// Byzantine attack configuration.
@@ -310,6 +347,12 @@ pub struct HflConfig {
     /// byte-identical to configs predating this field.
     #[serde(default)]
     pub async_rounds: Option<AsyncRoundCfg>,
+    /// Per-client compute/bandwidth heterogeneity profiles feeding the
+    /// deadline-buffer arrival synthesis. `None` (the default) keeps
+    /// every client homogeneous and the run byte-identical to configs
+    /// predating this field.
+    #[serde(default)]
+    pub heterogeneity: Option<HeterogeneityCfg>,
 }
 
 impl HflConfig {
@@ -348,6 +391,7 @@ impl HflConfig {
             protocol_attack: None,
             strict_guarantees: false,
             async_rounds: None,
+            heterogeneity: None,
         }
     }
 
@@ -443,6 +487,31 @@ impl HflConfig {
                     what: "max magnitude",
                     value: f64::from(max),
                 });
+            }
+        }
+        if let AttackCfg::Model { attack, .. } = &self.attack {
+            if let Some((what, value)) = invalid_model_attack_param(attack) {
+                return Err(ConfigError::ModelAttackOutOfRange { what, value });
+            }
+        }
+        if let DataDistribution::Dirichlet { alpha } = self.distribution {
+            if !(alpha.is_finite() && alpha > 0.0) {
+                return Err(ConfigError::DirichletAlphaOutOfRange { alpha });
+            }
+        }
+        for (level, agg) in self.levels.iter().enumerate() {
+            if let LevelAgg::Bra(kind) = agg {
+                validate_aggregator(level, kind, false)?;
+            }
+        }
+        if let Some(het) = &self.heterogeneity {
+            for (what, value) in [
+                ("compute_spread", het.compute_spread),
+                ("bandwidth_spread", het.bandwidth_spread),
+            ] {
+                if !(value.is_finite() && value >= 1.0) {
+                    return Err(ConfigError::HeterogeneityOutOfRange { what, value });
+                }
             }
         }
         if let Some(s) = &self.suspicion {
@@ -553,6 +622,79 @@ impl HflConfig {
     }
 }
 
+/// Validation-time parameter check for static model attacks, mirroring
+/// the assertions `ModelAttack::craft` makes at run time so a bad knob
+/// fails a sweep cell instead of panicking mid-run.
+fn invalid_model_attack_param(attack: &ModelAttack) -> Option<(&'static str, f64)> {
+    match attack {
+        ModelAttack::SignFlip { scale } if !(scale.is_finite() && *scale > 0.0) => {
+            Some(("sign-flip scale", f64::from(*scale)))
+        }
+        ModelAttack::GaussianNoise { std } if !(std.is_finite() && *std >= 0.0) => {
+            Some(("noise std", f64::from(*std)))
+        }
+        ModelAttack::Alie { z } if !z.is_finite() => Some(("ALIE z", f64::from(*z))),
+        ModelAttack::Ipm { epsilon } if !(epsilon.is_finite() && *epsilon > 0.0) => {
+            Some(("IPM epsilon", f64::from(*epsilon)))
+        }
+        ModelAttack::Scaling { factor } if !(factor.is_finite() && *factor != 0.0) => {
+            Some(("scaling factor", f64::from(*factor)))
+        }
+        _ => None,
+    }
+}
+
+/// Validates one configured aggregation rule's parameters (the checks
+/// the rule constructors enforce by panicking, surfaced as
+/// [`ConfigError`]s), recursing one layer into pre-aggregation
+/// compositions. `nested` marks the recursive call: a pre-aggregation
+/// inside a pre-aggregation is rejected — the composition contract is
+/// single-layer (DESIGN.md §13).
+fn validate_aggregator(
+    level: usize,
+    kind: &AggregatorKind,
+    nested: bool,
+) -> Result<(), ConfigError> {
+    let bad = |what: &'static str, value: f64| {
+        Err(ConfigError::AggregatorOutOfRange { level, what, value })
+    };
+    match kind {
+        AggregatorKind::CenteredClip { tau, iters } => {
+            if !(tau.is_finite() && *tau > 0.0) {
+                return bad("centered-clip tau", *tau);
+            }
+            if *iters == 0 {
+                return bad("centered-clip iters", 0.0);
+            }
+        }
+        AggregatorKind::TrimmedMean { ratio }
+            if !(ratio.is_finite() && (0.0..0.5).contains(ratio)) =>
+        {
+            return bad("trimmed-mean ratio", *ratio);
+        }
+        AggregatorKind::Bucketing { s, inner } => {
+            if nested {
+                return Err(ConfigError::NestedPreAggregation { level });
+            }
+            if *s == 0 {
+                return bad("bucketing s", 0.0);
+            }
+            validate_aggregator(level, inner, true)?;
+        }
+        AggregatorKind::Nnm { k, inner } => {
+            if nested {
+                return Err(ConfigError::NestedPreAggregation { level });
+            }
+            if *k == 0 {
+                return bad("nnm k", 0.0);
+            }
+            validate_aggregator(level, inner, true)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Why an [`HflConfig`] is internally inconsistent. `Display` renders
 /// the exact invariant messages `validate` panics with.
 #[derive(Clone, Debug, PartialEq)]
@@ -638,6 +780,40 @@ pub enum ConfigError {
     /// attack stalls relative to an async buffer close, which the
     /// synchronous barrier does not have.
     StalenessExploitNeedsAsync,
+    /// A static model attack carries an unusable parameter.
+    ModelAttackOutOfRange {
+        /// Which parameter is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Dirichlet concentration must be finite and positive.
+    DirichletAlphaOutOfRange {
+        /// The offending alpha.
+        alpha: f64,
+    },
+    /// A configured aggregation rule carries an unusable parameter.
+    AggregatorOutOfRange {
+        /// The offending level.
+        level: usize,
+        /// Which parameter is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A pre-aggregation transform wraps another pre-aggregation — the
+    /// composition contract is single-layer.
+    NestedPreAggregation {
+        /// The offending level.
+        level: usize,
+    },
+    /// A heterogeneity spread is unusable (must be finite and ≥ 1).
+    HeterogeneityOutOfRange {
+        /// Which spread is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// With `strict_guarantees`, a Krum/Multi-Krum level whose smallest
     /// cluster violates `n ≥ 2f + 3`.
     KrumUnsound {
@@ -698,6 +874,23 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "StalenessExploit requires async_rounds (it stalls relative to a buffer close)"
             ),
+            ConfigError::ModelAttackOutOfRange { what, value } => {
+                write!(f, "model attack {what} out of range ({value})")
+            }
+            ConfigError::DirichletAlphaOutOfRange { alpha } => {
+                write!(f, "dirichlet alpha must be finite and positive, got {alpha}")
+            }
+            ConfigError::AggregatorOutOfRange { level, what, value } => {
+                write!(f, "aggregator {what} out of range at level {level} ({value})")
+            }
+            ConfigError::NestedPreAggregation { level } => write!(
+                f,
+                "pre-aggregation composition is single-layer: level {level} nests a \
+                 bucketing/nnm transform inside another"
+            ),
+            ConfigError::HeterogeneityOutOfRange { what, value } => {
+                write!(f, "heterogeneity {what} must be finite and >= 1, got {value}")
+            }
             ConfigError::KrumUnsound { level, f: byz, n_min } => write!(
                 f,
                 "Krum guarantee n >= 2f + 3 violated at level {level}: f = {byz} needs clusters of at least {}, smallest has {n_min}",
@@ -856,6 +1049,128 @@ mod tests {
         ));
         cfg.protocol_attack = Some(ProtocolAttack::Withhold);
         assert_eq!(cfg.try_validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn centered_clip_is_reachable_and_range_checked() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::CenteredClip { tau: 1.0, iters: 3 });
+        cfg.levels[2] = LevelAgg::Bra(AggregatorKind::CenteredClip { tau: 1.0, iters: 3 });
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::CenteredClip { tau: 0.0, iters: 3 });
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::AggregatorOutOfRange { level: 1, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("centered-clip tau"), "{err}");
+
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::CenteredClip { tau: 1.0, iters: 0 });
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(err.to_string().contains("centered-clip iters"), "{err}");
+    }
+
+    #[test]
+    fn pre_aggregation_is_validated_single_layer() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::Bucketing {
+            s: 2,
+            inner: Box::new(AggregatorKind::Median),
+        });
+        cfg.levels[2] = LevelAgg::Bra(AggregatorKind::Nnm {
+            k: 2,
+            inner: Box::new(AggregatorKind::Krum { f: 1 }),
+        });
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::Bucketing {
+            s: 0,
+            inner: Box::new(AggregatorKind::Median),
+        });
+        assert!(matches!(
+            cfg.try_validate(&h),
+            Err(ConfigError::AggregatorOutOfRange { level: 1, .. })
+        ));
+
+        cfg.levels[1] = LevelAgg::Bra(AggregatorKind::Nnm {
+            k: 2,
+            inner: Box::new(AggregatorKind::Bucketing {
+                s: 2,
+                inner: Box::new(AggregatorKind::Median),
+            }),
+        });
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NestedPreAggregation { level: 1 }
+        ));
+        assert!(err.to_string().contains("single-layer"), "{err}");
+    }
+
+    #[test]
+    fn dirichlet_and_heterogeneity_are_range_checked() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.distribution = DataDistribution::Dirichlet { alpha: 0.3 };
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.distribution = DataDistribution::Dirichlet { alpha: 0.0 };
+        assert!(matches!(
+            cfg.try_validate(&h),
+            Err(ConfigError::DirichletAlphaOutOfRange { .. })
+        ));
+        cfg.distribution = DataDistribution::Iid;
+
+        cfg.heterogeneity = Some(HeterogeneityCfg::mixed_devices());
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.heterogeneity = Some(HeterogeneityCfg {
+            compute_spread: 0.5,
+            bandwidth_spread: 2.0,
+        });
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::HeterogeneityOutOfRange {
+                    what: "compute_spread",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn static_model_attack_params_are_range_checked() {
+        let mut cfg = HflConfig::paper_iid(
+            AttackCfg::Model {
+                attack: ModelAttack::Scaling { factor: -1.5 },
+                proportion: 0.25,
+                placement: Placement::Prefix,
+            },
+            0,
+        );
+        let h = cfg.topology.build(0);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.attack = AttackCfg::Model {
+            attack: ModelAttack::Scaling { factor: 0.0 },
+            proportion: 0.25,
+            placement: Placement::Prefix,
+        };
+        let err = cfg.try_validate(&h).unwrap_err();
+        assert!(matches!(err, ConfigError::ModelAttackOutOfRange { .. }));
+        assert!(err.to_string().contains("scaling factor"), "{err}");
+        // The parameterless AGR attacks always validate.
+        for attack in [ModelAttack::MinMax, ModelAttack::MinSum] {
+            cfg.attack = AttackCfg::Model {
+                attack,
+                proportion: 0.25,
+                placement: Placement::Prefix,
+            };
+            assert_eq!(cfg.try_validate(&h), Ok(()));
+        }
     }
 
     #[test]

@@ -624,7 +624,8 @@ impl<'e> RoundEngine<'e> {
     /// RNG — exactly one draw per candidate regardless of stall state,
     /// so adversary decisions never shift another candidate's sample —
     /// scaled through [`RoundLayer::arrival_delay_factor`] (straggler
-    /// windows), all in integer µs.
+    /// windows) and the experiment's per-client heterogeneity profile,
+    /// all in integer µs.
     /// [`RoundLayer::stalls_until_stale`] candidates are re-timed to
     /// `close + τ`, just inside the staleness bound.
     ///
@@ -668,6 +669,9 @@ impl<'e> RoundEngine<'e> {
                 .layers()
                 .find_map(|ly| ly.arrival_delay_factor(round, slot))
                 .unwrap_or(1.0);
+            // Device heterogeneity stacks multiplicatively on top of any
+            // straggler window: a slow device is slow every round.
+            let factor = factor * self.exp.arrival_profile(slot);
             let t = raw.saturating_scale(factor).as_micros();
             stalled[pos] = self
                 .layers()

@@ -24,7 +24,7 @@
 
 use hfl_attacks::{malicious_mask, ModelAttack};
 use hfl_faults::FaultInjector;
-use hfl_ml::partition::{iid_partition, noniid_partition};
+use hfl_ml::partition::{dirichlet_partition, iid_partition, noniid_partition};
 use hfl_ml::rng::rng_for_n;
 use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
@@ -97,6 +97,9 @@ pub struct Experiment {
     config: HflConfig,
     /// Compiled fault schedule, when the config carries a `FaultPlan`.
     injector: Option<FaultInjector>,
+    /// Per-client arrival-delay multipliers (compute × bandwidth), drawn
+    /// once at prepare when the config carries a [`HeterogeneityCfg`].
+    arrival_profiles: Option<Vec<f64>>,
 }
 
 impl Experiment {
@@ -150,6 +153,9 @@ impl Experiment {
                 &malicious,
                 cfg.seed,
             ),
+            DataDistribution::Dirichlet { alpha } => {
+                dirichlet_partition(&task.train, n_clients, *alpha, &malicious, cfg.seed)
+            }
         };
 
         // Data poisoning happens once, up front: poisoned devices then
@@ -169,6 +175,23 @@ impl Experiment {
             hfl_ml::rng::derive_seed(cfg.seed, 0x0de1),
         );
 
+        // Device heterogeneity: each client draws a compute factor and a
+        // bandwidth factor uniformly from [1, spread]; their product
+        // stretches that client's synthesized arrival delay under async
+        // rounds. Drawn from a dedicated stream so enabling profiles
+        // perturbs nothing else.
+        let arrival_profiles = cfg.heterogeneity.as_ref().map(|het| {
+            use rand::Rng;
+            let mut rng = rng_for_n(cfg.seed, &[0x4E70]);
+            (0..n_clients)
+                .map(|_| {
+                    let compute = 1.0 + rng.gen::<f64>() * (het.compute_spread - 1.0);
+                    let bandwidth = 1.0 + rng.gen::<f64>() * (het.bandwidth_spread - 1.0);
+                    compute * bandwidth
+                })
+                .collect()
+        });
+
         Ok(Self {
             hierarchy,
             task,
@@ -177,6 +200,7 @@ impl Experiment {
             template,
             config: cfg.clone(),
             injector,
+            arrival_profiles,
         })
     }
 
@@ -188,6 +212,16 @@ impl Experiment {
     /// The compiled fault schedule, when the config carries one.
     pub fn injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    /// The arrival-delay multiplier for `client` — 1.0 unless the
+    /// config carries a [`crate::config::HeterogeneityCfg`], in which
+    /// case the client's compute × bandwidth slowdown product.
+    pub fn arrival_profile(&self, client: usize) -> f64 {
+        self.arrival_profiles
+            .as_ref()
+            .and_then(|p| p.get(client).copied())
+            .unwrap_or(1.0)
     }
 
     /// Trains every client for one round from `global`, in parallel.

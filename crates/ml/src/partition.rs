@@ -5,9 +5,13 @@
 //! * **Extreme non-IID**: equal-size shards, each client holds only
 //!   `labels_per_client` (= 2) labels, with the paper's special guarantee
 //!   that the *honest* clients as a whole cover all labels.
+//! * **Dirichlet-α**: the benchmark-suite heterogeneity dial — per label,
+//!   client proportions drawn from `Dirichlet(α)`; α → ∞ approaches IID,
+//!   small α concentrates each label on few clients.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rand::SeedableRng;
 
 use crate::dataset::Dataset;
@@ -136,6 +140,144 @@ pub fn noniid_partition(
         .collect()
 }
 
+/// RNG stream tag for the Dirichlet partitioner (distinct from the IID
+/// `0x11D` and non-IID `0x2012` streams; re-draw attempt `a` salts the
+/// tag so each attempt is an independent stream).
+const DIRICHLET_TAG: u64 = 0xD112;
+
+/// Re-draw budget for [`dirichlet_partition`] before giving up on a
+/// usable draw (all clients non-empty, honest clients covering all
+/// labels).
+const DIRICHLET_MAX_ATTEMPTS: u64 = 32;
+
+/// Dirichlet-α non-IID partition (Hsu et al.; the heterogeneity dial of
+/// the Blades / ByzFL benchmark suites).
+///
+/// For every label, client shares are drawn from a symmetric
+/// `Dirichlet(α)` and the label's shuffled samples are dealt by largest
+/// remainder. Small `α` (0.1) concentrates each label on a handful of
+/// clients; large `α` (100) approaches the IID deal.
+///
+/// A draw is **usable** when every client received at least one sample
+/// and the honest clients together cover all labels (the same guarantee
+/// [`noniid_partition`] enforces constructively). Unusable draws are
+/// re-drawn from a fresh attempt-salted RNG stream — the fallback
+/// re-draw — up to [`DIRICHLET_MAX_ATTEMPTS`] times; determinism is
+/// preserved because the attempt index is part of the stream seed.
+///
+/// # Panics
+/// If `alpha` is not finite-positive, the mask length mismatches, no
+/// honest client exists, the dataset is smaller than the client count,
+/// or no usable draw is found within the attempt budget (practically
+/// reachable only with adversarially tiny datasets).
+pub fn dirichlet_partition(
+    data: &Dataset,
+    n_clients: usize,
+    alpha: f64,
+    malicious: &[bool],
+    seed: u64,
+) -> Vec<Dataset> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+    assert_eq!(malicious.len(), n_clients, "malicious mask length mismatch");
+    assert!(!data.is_empty(), "cannot partition empty dataset");
+    assert!(
+        data.len() >= n_clients,
+        "fewer samples than clients ({} < {n_clients})",
+        data.len()
+    );
+    let k = data.num_classes();
+    let honest: Vec<usize> = (0..n_clients).filter(|c| !malicious[*c]).collect();
+    assert!(!honest.is_empty(), "need at least one honest client");
+
+    for attempt in 0..DIRICHLET_MAX_ATTEMPTS {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(seed, DIRICHLET_TAG.wrapping_add(attempt << 16)));
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+        for mut group in data.indices_by_label() {
+            group.shuffle(&mut rng);
+            let shares = dirichlet_shares(&mut rng, alpha, n_clients);
+            let counts = largest_remainder(&shares, group.len());
+            let mut start = 0;
+            for (client, &count) in counts.iter().enumerate() {
+                assignments[client].extend_from_slice(&group[start..start + count]);
+                start += count;
+            }
+        }
+        let parts: Vec<Dataset> = assignments.iter().map(|a| data.subset(a)).collect();
+        if parts.iter().all(|p| !p.is_empty()) && covers_all_labels(&parts, &honest, k) {
+            return parts;
+        }
+    }
+    panic!(
+        "no usable Dirichlet(α = {alpha}) draw in {DIRICHLET_MAX_ATTEMPTS} attempts \
+         (n_clients = {n_clients}, samples = {})",
+        data.len()
+    );
+}
+
+/// One symmetric `Dirichlet(α)` draw over `n` categories: normalized
+/// `Gamma(α, 1)` samples.
+fn dirichlet_shares(rng: &mut StdRng, alpha: f64, n: usize) -> Vec<f64> {
+    let mut shares: Vec<f64> = (0..n).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = shares.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Numerically degenerate draw (all gammas underflowed at tiny α):
+        // fall back to uniform; the caller's usability check still runs.
+        shares.iter_mut().for_each(|s| *s = 1.0 / n as f64);
+    } else {
+        shares.iter_mut().for_each(|s| *s /= sum);
+    }
+    shares
+}
+
+/// `Gamma(shape, 1)` via Marsaglia–Tsang squeeze (shape ≥ 1) with the
+/// `Gamma(shape+1) · U^{1/shape}` boost below 1. Hand-rolled because the
+/// vendored `rand` carries no distribution crate.
+fn gamma_sample(rng: &mut StdRng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal_f64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller in f64 (the tensor helper is f32).
+fn standard_normal_f64(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Integer apportionment of `total` by `shares` (largest remainder,
+/// index tie-break): deterministic, sums exactly to `total`.
+fn largest_remainder(shares: &[f64], total: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = shares.iter().map(|s| (s * total as f64) as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|a, b| {
+        let fa = shares[*a] * total as f64 - counts[*a] as f64;
+        let fb = shares[*b] * total as f64 - counts[*b] as f64;
+        fb.total_cmp(&fa).then(a.cmp(b))
+    });
+    for &i in order.iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
 /// True when the union of the given clients' datasets covers every class.
 pub fn covers_all_labels(shards: &[Dataset], clients: &[usize], num_classes: usize) -> bool {
     let mut seen = vec![false; num_classes];
@@ -246,5 +388,105 @@ mod tests {
         let mut malicious = vec![true; 64];
         malicious[0] = false; // one honest client, 2 labels < 10 classes
         noniid_partition(&t.train, 64, 2, &malicious, 1);
+    }
+
+    #[test]
+    fn dirichlet_conserves_samples_and_covers() {
+        let t = task();
+        let malicious = vec![false; 32];
+        let parts = dirichlet_partition(&t.train, 32, 0.3, &malicious, 11);
+        assert_eq!(parts.len(), 32);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, t.train.len());
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        let honest: Vec<usize> = (0..32).collect();
+        assert!(covers_all_labels(&parts, &honest, 10));
+    }
+
+    #[test]
+    fn dirichlet_deterministic_per_seed() {
+        let t = task();
+        let malicious = vec![false; 16];
+        let a = dirichlet_partition(&t.train, 16, 0.5, &malicious, 21);
+        let b = dirichlet_partition(&t.train, 16, 0.5, &malicious, 21);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+        let c = dirichlet_partition(&t.train, 16, 0.5, &malicious, 22);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.labels() != y.labels()),
+            "different seeds should shuffle differently"
+        );
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed_than_large_alpha() {
+        let t = task();
+        let malicious = vec![false; 16];
+        // Mean distinct-labels-per-client: concentration shrinks it.
+        let mean_labels = |alpha: f64| -> f64 {
+            let parts = dirichlet_partition(&t.train, 16, alpha, &malicious, 31);
+            parts
+                .iter()
+                .map(|p| p.present_labels().len() as f64)
+                .sum::<f64>()
+                / 16.0
+        };
+        let skewed = mean_labels(0.1);
+        let near_iid = mean_labels(100.0);
+        assert!(
+            skewed + 1.0 < near_iid,
+            "α=0.1 ({skewed}) should be visibly more skewed than α=100 ({near_iid})"
+        );
+        assert!(near_iid > 9.0, "α=100 approaches the IID deal");
+    }
+
+    #[test]
+    fn dirichlet_redraw_rescues_tight_draws() {
+        // 50 samples over 10 clients at a tiny α: single draws routinely
+        // leave a client empty, so success implies the re-draw loop ran
+        // (and stayed deterministic).
+        let t = SyntheticDigits::generate(&SynthConfig {
+            train_samples: 50,
+            test_samples: 10,
+            ..SynthConfig::tiny()
+        });
+        let malicious = vec![false; 10];
+        let a = dirichlet_partition(&t.train, 10, 0.05, &malicious, 3);
+        let b = dirichlet_partition(&t.train, 10, 0.05, &malicious, 3);
+        assert!(a.iter().all(|p| !p.is_empty()));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn dirichlet_rejects_bad_alpha() {
+        let t = task();
+        dirichlet_partition(&t.train, 8, 0.0, &[false; 8], 1);
+    }
+
+    #[test]
+    fn gamma_sampler_matches_moments() {
+        // E[Gamma(a,1)] = a, Var = a: check to ~5 % over 20k draws.
+        for a in [0.3f64, 1.0, 2.5, 8.0] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let n = 20_000;
+            let xs: Vec<f64> = (0..n).map(|_| gamma_sample(&mut rng, a)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            assert!((mean - a).abs() / a < 0.05, "Gamma({a}) mean off: {mean}");
+            assert!(xs.iter().all(|x| *x >= 0.0 && x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn largest_remainder_sums_exactly() {
+        let shares = [0.205, 0.205, 0.205, 0.205, 0.18];
+        let counts = largest_remainder(&shares, 997);
+        assert_eq!(counts.iter().sum::<usize>(), 997);
+        let uniform = largest_remainder(&[0.25; 4], 10);
+        assert_eq!(uniform.iter().sum::<usize>(), 10);
+        assert!(uniform.iter().all(|c| *c == 2 || *c == 3));
     }
 }

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use hfl_ml::loss::{argmax, softmax_in_place};
-use hfl_ml::partition::{covers_all_labels, iid_partition, noniid_partition};
+use hfl_ml::partition::{covers_all_labels, dirichlet_partition, iid_partition, noniid_partition};
 use hfl_ml::synth::{SynthConfig, SyntheticDigits};
 use hfl_ml::{LinearSoftmax, Mlp, Model};
 
@@ -71,6 +71,42 @@ proptest! {
         }
         let honest: Vec<usize> = (0..n).filter(|c| !malicious[*c]).collect();
         prop_assert!(covers_all_labels(&parts, &honest, 10));
+    }
+
+    #[test]
+    fn dirichlet_partition_conserves_and_covers(
+        alpha_i in 0usize..5,
+        bad_count in 0usize..16,
+        seed in 0u64..100,
+    ) {
+        let alpha = [0.1f64, 0.3, 1.0, 10.0, 100.0][alpha_i];
+        let task = small_task(3_200);
+        let n = 32usize;
+        let mut malicious = vec![false; n];
+        for m in malicious.iter_mut().take(bad_count) {
+            *m = true;
+        }
+        let parts = dirichlet_partition(&task.train, n, alpha, &malicious, seed);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, task.train.len());
+        prop_assert!(parts.iter().all(|p| !p.is_empty()));
+        let honest: Vec<usize> = (0..n).filter(|c| !malicious[*c]).collect();
+        prop_assert!(covers_all_labels(&parts, &honest, 10));
+    }
+
+    #[test]
+    fn dirichlet_partition_deterministic_per_seed(
+        alpha_i in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let alpha = [0.1f64, 0.5, 5.0][alpha_i];
+        let task = small_task(1_600);
+        let malicious = vec![false; 16];
+        let a = dirichlet_partition(&task.train, 16, alpha, &malicious, seed);
+        let b = dirichlet_partition(&task.train, 16, alpha, &malicious, seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.labels(), y.labels());
+        }
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl Observations {
 /// oracle: a static attack, full quorum (so the kept set is the whole
 /// cluster and per-cluster tolerance arithmetic holds), nothing else
 /// removing contributors, and every bottom cluster's malicious count
-/// within the aggregator's tolerance.
+/// within the *composed* (pre-aggregation + base rule) tolerance.
 fn byzantine_bound_eligible(spec: &ScenarioSpec, malicious_per_cluster: &[usize]) -> bool {
     let worst = malicious_per_cluster.iter().copied().max().unwrap_or(0);
     spec.attack.is_static()
@@ -87,7 +87,7 @@ fn byzantine_bound_eligible(spec: &ScenarioSpec, malicious_per_cluster: &[usize]
         && spec.phi == 1.0
         && spec.deadline_us.is_none()
         && worst >= 1
-        && worst <= spec.agg.tolerance(spec.m)
+        && worst <= spec.tolerance()
         && spec.rounds >= 3
 }
 
@@ -312,6 +312,10 @@ pub enum Mutation {
     /// A buffer admits an update past its staleness bound τ (a broken
     /// lateness comparison, a buffer leaking onto the sync path...).
     OverdueAdmit,
+    /// An in-tolerance attack sails through the defense and craters
+    /// accuracy (a pre-aggregation transform that drops honest mass, a
+    /// clipping radius that never clips...).
+    DefenseBypass,
 }
 
 impl Mutation {
@@ -322,6 +326,7 @@ impl Mutation {
             "conservation" => Some(Mutation::InflateMessages),
             "determinism" => Some(Mutation::SkewRerun),
             "staleness" => Some(Mutation::OverdueAdmit),
+            "defense-bypass" => Some(Mutation::DefenseBypass),
             _ => None,
         }
     }
@@ -333,6 +338,7 @@ impl Mutation {
             Mutation::InflateMessages => "conservation",
             Mutation::SkewRerun => "determinism",
             Mutation::OverdueAdmit => "staleness",
+            Mutation::DefenseBypass => "defense-bypass",
         }
     }
 
@@ -365,6 +371,16 @@ impl Mutation {
                     lateness_us: obs.spec.staleness_bound_us + 1,
                     weight: 0.5,
                 });
+            }
+            Mutation::DefenseBypass => {
+                // Fabricate the clean twin a bypassed defense would
+                // betray: the attacked run sits ε + slack below it. On
+                // attack-free scenarios (no real twin exists) this is
+                // exactly what a defense silently discarding honest
+                // updates looks like, so the mutation trips the
+                // Byzantine-degradation oracle on every scenario.
+                obs.clean_final_accuracy =
+                    Some(obs.result.final_accuracy + BYZANTINE_EPSILON + 0.1);
             }
         }
     }

@@ -276,7 +276,7 @@ fn byzantine_bound(obs: &Observations, out: &mut Vec<Violation>) {
                 obs.spec.attack,
                 obs.malicious_per_cluster.iter().max().unwrap_or(&0),
                 obs.spec.m,
-                obs.spec.agg.tolerance(obs.spec.m),
+                obs.spec.tolerance(),
             ),
         );
     }
@@ -312,7 +312,10 @@ fn liveness(obs: &Observations, out: &mut Vec<Violation>) {
             FaultEvent::Straggler { factor, .. } => Some(*factor),
             _ => None,
         })
-        .fold(1.0f64, f64::max);
+        .fold(1.0f64, f64::max)
+        // Device heterogeneity stacks multiplicatively on straggler
+        // windows, so the slowest possible arrival carries both.
+        * obs.spec.heterogeneity_stretch();
     let bound = deadline.max((ASYNC_LINK_HI as f64 * max_factor).ceil() as u64);
     let mut closed_in_round = vec![false; obs.spec.rounds];
     for ev in &obs.events {

@@ -6,7 +6,7 @@
 //! ([`crate::shrink`]), and diff readably in a corpus directory.
 
 use abd_hfl_core::config::{
-    AsyncRoundCfg, AttackCfg, DataDistribution, HflConfig, LevelAgg, TopologyCfg,
+    AsyncRoundCfg, AttackCfg, DataDistribution, HeterogeneityCfg, HflConfig, LevelAgg, TopologyCfg,
 };
 use hfl_attacks::{AdaptiveAttack, DataAttack, ModelAttack, Placement};
 use hfl_faults::FaultPlan;
@@ -49,6 +49,13 @@ pub enum AggSpec {
     },
     /// Geometric median (Weiszfeld).
     GeoMed,
+    /// Centered clipping with radius `tau` and `iters` refinements.
+    CenteredClip {
+        /// Clipping radius.
+        tau: f64,
+        /// Fixed-point iterations.
+        iters: usize,
+    },
 }
 
 impl AggSpec {
@@ -61,6 +68,10 @@ impl AggSpec {
             AggSpec::Median => AggregatorKind::Median,
             AggSpec::TrimmedMean { ratio } => AggregatorKind::TrimmedMean { ratio: *ratio },
             AggSpec::GeoMed => AggregatorKind::GeoMed,
+            AggSpec::CenteredClip { tau, iters } => AggregatorKind::CenteredClip {
+                tau: *tau,
+                iters: *iters,
+            },
         }
     }
 
@@ -76,6 +87,55 @@ impl AggSpec {
             }
             AggSpec::Median | AggSpec::GeoMed => (n.saturating_sub(1)) / 2,
             AggSpec::TrimmedMean { ratio } => ((n as f64) * ratio).floor() as usize,
+            // Centered clipping is robust to a sub-half minority; stay a
+            // notch under the breakdown point for eligibility.
+            AggSpec::CenteredClip { .. } => n.saturating_sub(1) / 3,
+        }
+    }
+}
+
+/// Optional pre-aggregation transform composed in front of the base
+/// rule (single-layer, mirroring the config's composition contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreAggSpec {
+    /// No transform — the base rule sees the raw inputs.
+    None,
+    /// Average consecutive buckets of `s` inputs.
+    Bucketing {
+        /// Bucket size.
+        s: usize,
+    },
+    /// Replace each input by the mean of its `k` nearest neighbours.
+    Nnm {
+        /// Neighbourhood size (self included).
+        k: usize,
+    },
+}
+
+impl PreAggSpec {
+    /// Wraps `base` in the concrete composed aggregator kind.
+    pub fn wrap(&self, base: AggregatorKind) -> AggregatorKind {
+        match self {
+            PreAggSpec::None => base,
+            PreAggSpec::Bucketing { s } => AggregatorKind::Bucketing {
+                s: *s,
+                inner: Box::new(base),
+            },
+            PreAggSpec::Nnm { k } => AggregatorKind::Nnm {
+                k: *k,
+                inner: Box::new(base),
+            },
+        }
+    }
+
+    /// Byzantine tolerance of the composed rule on a cluster of `n`:
+    /// bucketing hands the base rule `⌈n/s⌉` bucket means (each
+    /// malicious input can corrupt at most its own bucket), NNM keeps
+    /// the cohort size.
+    pub fn composed_tolerance(&self, base: &AggSpec, n: usize) -> usize {
+        match self {
+            PreAggSpec::None | PreAggSpec::Nnm { .. } => base.tolerance(n),
+            PreAggSpec::Bucketing { s } => base.tolerance(n.div_ceil(*s)),
         }
     }
 }
@@ -102,10 +162,26 @@ pub enum AttackSpec {
     },
     /// Data poisoning: all labels flipped to class 9.
     LabelFlip,
+    /// Static mimic: copy the `victim`-th honest update verbatim.
+    Mimic {
+        /// Honest index copied (modulo the honest count).
+        victim: usize,
+    },
+    /// Static scaled reflection of the honest mean by `factor`.
+    Scaling {
+        /// Scale factor (negative reflects).
+        factor: f64,
+    },
+    /// AGR-tailored min-max perturbation (deterministic bisection).
+    MinMax,
+    /// AGR-tailored min-sum perturbation (deterministic bisection).
+    MinSum,
     /// The adaptive ALIE adversary (bisecting magnitude).
     AdaptiveAlie,
     /// The adaptive IPM adversary.
     AdaptiveIpm,
+    /// The adaptive scaling adversary (bisecting reflection factor).
+    AdaptiveScaling,
 }
 
 impl AttackSpec {
@@ -118,6 +194,10 @@ impl AttackSpec {
                 | AttackSpec::Alie { .. }
                 | AttackSpec::Ipm { .. }
                 | AttackSpec::LabelFlip
+                | AttackSpec::Mimic { .. }
+                | AttackSpec::Scaling { .. }
+                | AttackSpec::MinMax
+                | AttackSpec::MinSum
         )
     }
 
@@ -148,6 +228,28 @@ impl AttackSpec {
                 proportion,
                 placement,
             },
+            AttackSpec::Mimic { victim } => AttackCfg::Model {
+                attack: ModelAttack::Mimic { victim: *victim },
+                proportion,
+                placement,
+            },
+            AttackSpec::Scaling { factor } => AttackCfg::Model {
+                attack: ModelAttack::Scaling {
+                    factor: *factor as f32,
+                },
+                proportion,
+                placement,
+            },
+            AttackSpec::MinMax => AttackCfg::Model {
+                attack: ModelAttack::MinMax,
+                proportion,
+                placement,
+            },
+            AttackSpec::MinSum => AttackCfg::Model {
+                attack: ModelAttack::MinSum,
+                proportion,
+                placement,
+            },
             AttackSpec::AdaptiveAlie => AttackCfg::Adaptive {
                 attack: AdaptiveAttack::alie_default(),
                 proportion,
@@ -155,6 +257,11 @@ impl AttackSpec {
             },
             AttackSpec::AdaptiveIpm => AttackCfg::Adaptive {
                 attack: AdaptiveAttack::ipm_default(),
+                proportion,
+                placement,
+            },
+            AttackSpec::AdaptiveScaling => AttackCfg::Adaptive {
+                attack: AdaptiveAttack::scaling_default(),
                 proportion,
                 placement,
             },
@@ -241,6 +348,8 @@ pub struct ScenarioSpec {
     pub phi: f64,
     /// Aggregation rule at every level.
     pub agg: AggSpec,
+    /// Pre-aggregation transform composed in front of `agg`.
+    pub pre_agg: PreAggSpec,
     /// Byzantine client behaviour.
     pub attack: AttackSpec,
     /// Malicious fraction (ignored for `AttackSpec::None`).
@@ -260,6 +369,11 @@ pub struct ScenarioSpec {
     pub staleness_bound_us: u64,
     /// Extreme non-IID partition (2 labels per client)?
     pub noniid: bool,
+    /// Dirichlet non-IID concentration; `None` keeps IID (or the
+    /// 2-label extreme when `noniid` is set — never both).
+    pub dirichlet_alpha: Option<f64>,
+    /// Mixed-device compute/bandwidth heterogeneity profiles on?
+    pub heterogeneity: bool,
     /// Synthetic training-set size.
     pub train_samples: usize,
     /// Scheduled faults.
@@ -267,6 +381,24 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
+    /// Byzantine tolerance of the composed (pre-agg + base) rule on a
+    /// bottom cluster — the Byzantine-degradation eligibility bound.
+    pub fn tolerance(&self) -> usize {
+        self.pre_agg.composed_tolerance(&self.agg, self.m)
+    }
+
+    /// Worst per-client arrival-delay multiplier the heterogeneity
+    /// profiles can draw (compute × bandwidth spread) — the liveness
+    /// oracle's stretch allowance; 1 when profiles are off.
+    pub fn heterogeneity_stretch(&self) -> f64 {
+        if self.heterogeneity {
+            let het = HeterogeneityCfg::mixed_devices();
+            het.compute_spread * het.bandwidth_spread
+        } else {
+            1.0
+        }
+    }
+
     /// Number of clients the spec's topology yields.
     pub fn num_clients(&self) -> usize {
         match self.total_levels {
@@ -294,7 +426,7 @@ impl ScenarioSpec {
             m: self.m,
             n_top: self.n_top,
         };
-        cfg.levels = vec![LevelAgg::Bra(self.agg.kind()); self.total_levels];
+        cfg.levels = vec![LevelAgg::Bra(self.pre_agg.wrap(self.agg.kind())); self.total_levels];
         cfg.flag_level = 1;
         cfg.rounds = self.rounds;
         cfg.eval_every = self.rounds;
@@ -305,9 +437,14 @@ impl ScenarioSpec {
             DataDistribution::NonIid {
                 labels_per_client: 2,
             }
+        } else if let Some(alpha) = self.dirichlet_alpha {
+            DataDistribution::Dirichlet { alpha }
         } else {
             DataDistribution::Iid
         };
+        if self.heterogeneity {
+            cfg.heterogeneity = Some(HeterogeneityCfg::mixed_devices());
+        }
         cfg.data = SynthConfig {
             train_samples: self.train_samples,
             test_samples: (self.train_samples / 4).max(200),
@@ -382,7 +519,7 @@ impl ScenarioGen {
         let phi = *[1.0, 1.0, 0.75, 0.5, 2.0 / 3.0]
             .get(rng.gen_range(0..5usize))
             .unwrap();
-        let agg = match rng.gen_range(0..6usize) {
+        let agg = match rng.gen_range(0..7usize) {
             0 => AggSpec::FedAvg,
             1 => AggSpec::Krum { f: 1 },
             2 => AggSpec::MultiKrum {
@@ -391,9 +528,17 @@ impl ScenarioGen {
             },
             3 => AggSpec::Median,
             4 => AggSpec::TrimmedMean { ratio: 0.2 },
-            _ => AggSpec::GeoMed,
+            5 => AggSpec::GeoMed,
+            _ => AggSpec::CenteredClip { tau: 2.0, iters: 3 },
         };
-        let attack = match rng.gen_range(0..8usize) {
+        // Roughly a third of draws compose a pre-aggregation transform
+        // in front of the base rule.
+        let pre_agg = match rng.gen_range(0..6usize) {
+            0 => PreAggSpec::Bucketing { s: 2 },
+            1 => PreAggSpec::Nnm { k: m - 1 },
+            _ => PreAggSpec::None,
+        };
+        let attack = match rng.gen_range(0..13usize) {
             0 | 1 => AttackSpec::None,
             2 => AttackSpec::SignFlip {
                 scale: [1.0, 2.0, 10.0][rng.gen_range(0..3usize)],
@@ -405,8 +550,17 @@ impl ScenarioGen {
                 epsilon: [0.1, 1.0][rng.gen_range(0..2usize)],
             },
             5 => AttackSpec::LabelFlip,
-            6 => AttackSpec::AdaptiveAlie,
-            _ => AttackSpec::AdaptiveIpm,
+            6 => AttackSpec::Mimic {
+                victim: rng.gen_range(0..m),
+            },
+            7 => AttackSpec::Scaling {
+                factor: [-1.5, -10.0][rng.gen_range(0..2usize)],
+            },
+            8 => AttackSpec::MinMax,
+            9 => AttackSpec::MinSum,
+            10 => AttackSpec::AdaptiveAlie,
+            11 => AttackSpec::AdaptiveIpm,
+            _ => AttackSpec::AdaptiveScaling,
         };
         let proportion = if matches!(attack, AttackSpec::None) {
             0.0
@@ -445,6 +599,12 @@ impl ScenarioGen {
         };
         let churn = if rng.gen_bool(0.25) { 0.15 } else { 0.0 };
         let noniid = total_levels == 3 && rng.gen_bool(0.3);
+        // Dirichlet heterogeneity rides on draws the 2-label extreme
+        // left IID; α stays ≥ 0.5 so the honest-coverage re-draw budget
+        // holds on the smallest fuzz tasks.
+        let dirichlet_alpha =
+            (!noniid && rng.gen_bool(0.25)).then(|| [0.5, 1.0, 10.0][rng.gen_range(0..3usize)]);
+        let heterogeneity = rng.gen_bool(0.25);
         let mut spec = ScenarioSpec {
             seed: rng.gen_range(0..1_000_000),
             total_levels,
@@ -454,6 +614,7 @@ impl ScenarioGen {
             local_iters: rng.gen_range(1..=2),
             phi,
             agg,
+            pre_agg,
             attack,
             proportion,
             random_placement: rng.gen_bool(0.3),
@@ -463,6 +624,8 @@ impl ScenarioGen {
             deadline_us,
             staleness_bound_us,
             noniid,
+            dirichlet_alpha,
+            heterogeneity,
             train_samples: [600, 1_000, 1_600][rng.gen_range(0..3usize)],
             faults: Vec::new(),
         };
@@ -558,5 +721,52 @@ mod tests {
         assert_eq!(AggSpec::Median.tolerance(4), 1);
         assert_eq!(AggSpec::FedAvg.tolerance(8), 0);
         assert_eq!(AggSpec::TrimmedMean { ratio: 0.2 }.tolerance(4), 0);
+        assert_eq!(AggSpec::CenteredClip { tau: 2.0, iters: 3 }.tolerance(4), 1);
+    }
+
+    #[test]
+    fn composed_tolerance_follows_the_preagg_contract() {
+        let base = AggSpec::Median;
+        assert_eq!(PreAggSpec::None.composed_tolerance(&base, 9), 4);
+        // NNM keeps the cohort size, bucketing shrinks it to ⌈n/s⌉.
+        assert_eq!(PreAggSpec::Nnm { k: 3 }.composed_tolerance(&base, 9), 4);
+        assert_eq!(
+            PreAggSpec::Bucketing { s: 2 }.composed_tolerance(&base, 9),
+            2
+        );
+        assert_eq!(
+            PreAggSpec::Bucketing { s: 2 }.composed_tolerance(&AggSpec::Krum { f: 1 }, 8),
+            0,
+            "4 buckets cannot carry the Krum n ≥ 2f + 3 guarantee"
+        );
+    }
+
+    #[test]
+    fn the_stream_draws_every_gallery_family() {
+        let mut gen = ScenarioGen::new(13);
+        let specs: Vec<_> = (0..400).map(|_| gen.draw()).collect();
+        let attack = |p: fn(&AttackSpec) -> bool| specs.iter().any(|s| p(&s.attack));
+        assert!(attack(|a| matches!(a, AttackSpec::Mimic { .. })));
+        assert!(attack(|a| matches!(a, AttackSpec::Scaling { .. })));
+        assert!(attack(|a| *a == AttackSpec::MinMax));
+        assert!(attack(|a| *a == AttackSpec::MinSum));
+        assert!(attack(|a| *a == AttackSpec::AdaptiveScaling));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.agg, AggSpec::CenteredClip { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.pre_agg, PreAggSpec::Bucketing { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.pre_agg, PreAggSpec::Nnm { .. })));
+        assert!(specs.iter().any(|s| s.dirichlet_alpha.is_some()));
+        assert!(specs.iter().any(|s| s.heterogeneity));
+        for s in &specs {
+            assert!(
+                !(s.noniid && s.dirichlet_alpha.is_some()),
+                "the 2-label extreme and Dirichlet are mutually exclusive: {s:?}"
+            );
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! predicate typically re-runs the full harness, so shrinking a failure
 //! costs a handful of (tiny) extra runs.
 
-use crate::scenario::{AggSpec, AttackSpec, ProtocolSpec, ScenarioSpec};
+use crate::scenario::{AggSpec, AttackSpec, PreAggSpec, ProtocolSpec, ScenarioSpec};
 
 /// Minimizes `spec` under `still_fails`. The input spec itself is
 /// assumed to fail (the caller just observed it fail); the returned
@@ -73,6 +73,9 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     });
     push(&|s| s.churn = 0.0);
     push(&|s| s.noniid = false);
+    push(&|s| s.dirichlet_alpha = None);
+    push(&|s| s.heterogeneity = false);
+    push(&|s| s.pre_agg = PreAggSpec::None);
     push(&|s| s.local_iters = 1);
     push(&|s| s.random_placement = false);
     push(&|s| {
@@ -129,6 +132,9 @@ mod tests {
         assert_eq!(shrunk.staleness_bound_us, 0);
         assert_eq!(shrunk.attack, AttackSpec::None);
         assert_eq!(shrunk.agg, AggSpec::FedAvg);
+        assert_eq!(shrunk.pre_agg, PreAggSpec::None);
+        assert_eq!(shrunk.dirichlet_alpha, None);
+        assert!(!shrunk.heterogeneity);
         assert_eq!(shrunk.phi, 0.5, "the failing ingredient must survive");
     }
 

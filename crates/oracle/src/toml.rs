@@ -7,7 +7,7 @@
 //! sections. Rust's `f64` `Display` is shortest-round-trip, so floats
 //! survive write → parse exactly.
 
-use crate::scenario::{AggSpec, AttackSpec, FaultEvent, ProtocolSpec, ScenarioSpec};
+use crate::scenario::{AggSpec, AttackSpec, FaultEvent, PreAggSpec, ProtocolSpec, ScenarioSpec};
 
 /// Corpus file schema version.
 pub const SCHEMA: u64 = 1;
@@ -46,6 +46,24 @@ pub fn to_toml(spec: &ScenarioSpec) -> String {
             line("agg_ratio", ratio.to_string());
         }
         AggSpec::GeoMed => line("agg", "\"geomed\"".into()),
+        AggSpec::CenteredClip { tau, iters } => {
+            line("agg", "\"centered_clip\"".into());
+            line("agg_tau", tau.to_string());
+            line("agg_iters", iters.to_string());
+        }
+    }
+    // Pre-aggregation keys are only written when a transform is
+    // composed, so pre-gallery corpus files keep their exact shape.
+    match &spec.pre_agg {
+        PreAggSpec::None => {}
+        PreAggSpec::Bucketing { s } => {
+            line("pre_agg", "\"bucketing\"".into());
+            line("pre_agg_s", s.to_string());
+        }
+        PreAggSpec::Nnm { k } => {
+            line("pre_agg", "\"nnm\"".into());
+            line("pre_agg_k", k.to_string());
+        }
     }
     match &spec.attack {
         AttackSpec::None => line("attack", "\"none\"".into()),
@@ -62,8 +80,19 @@ pub fn to_toml(spec: &ScenarioSpec) -> String {
             line("attack_param", epsilon.to_string());
         }
         AttackSpec::LabelFlip => line("attack", "\"labelflip\"".into()),
+        AttackSpec::Mimic { victim } => {
+            line("attack", "\"mimic\"".into());
+            line("attack_victim", victim.to_string());
+        }
+        AttackSpec::Scaling { factor } => {
+            line("attack", "\"scaling\"".into());
+            line("attack_param", factor.to_string());
+        }
+        AttackSpec::MinMax => line("attack", "\"minmax\"".into()),
+        AttackSpec::MinSum => line("attack", "\"minsum\"".into()),
         AttackSpec::AdaptiveAlie => line("attack", "\"adaptive_alie\"".into()),
         AttackSpec::AdaptiveIpm => line("attack", "\"adaptive_ipm\"".into()),
+        AttackSpec::AdaptiveScaling => line("attack", "\"adaptive_scaling\"".into()),
     }
     line("proportion", spec.proportion.to_string());
     line("random_placement", spec.random_placement.to_string());
@@ -85,6 +114,13 @@ pub fn to_toml(spec: &ScenarioSpec) -> String {
         line("staleness_bound_us", spec.staleness_bound_us.to_string());
     }
     line("noniid", spec.noniid.to_string());
+    // Heterogeneity keys are likewise conditional on a non-default.
+    if let Some(alpha) = spec.dirichlet_alpha {
+        line("dirichlet_alpha", alpha.to_string());
+    }
+    if spec.heterogeneity {
+        line("heterogeneity", "true".into());
+    }
     line("train_samples", spec.train_samples.to_string());
     for fault in &spec.faults {
         out.push_str("\n[[fault]]\n");
@@ -233,7 +269,23 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
             ratio: root.f64("agg_ratio")?,
         },
         "geomed" => AggSpec::GeoMed,
+        "centered_clip" => AggSpec::CenteredClip {
+            tau: root.f64("agg_tau")?,
+            iters: root.usize("agg_iters")?,
+        },
         other => return Err(format!("unknown agg `{other}`")),
+    };
+    let pre_agg = match root.get("pre_agg") {
+        None => PreAggSpec::None,
+        Some(_) => match root.string("pre_agg")?.as_str() {
+            "bucketing" => PreAggSpec::Bucketing {
+                s: root.usize("pre_agg_s")?,
+            },
+            "nnm" => PreAggSpec::Nnm {
+                k: root.usize("pre_agg_k")?,
+            },
+            other => return Err(format!("unknown pre_agg `{other}`")),
+        },
     };
     let attack = match root.string("attack")?.as_str() {
         "none" => AttackSpec::None,
@@ -247,8 +299,17 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
             epsilon: root.f64("attack_param")?,
         },
         "labelflip" => AttackSpec::LabelFlip,
+        "mimic" => AttackSpec::Mimic {
+            victim: root.usize("attack_victim")?,
+        },
+        "scaling" => AttackSpec::Scaling {
+            factor: root.f64("attack_param")?,
+        },
+        "minmax" => AttackSpec::MinMax,
+        "minsum" => AttackSpec::MinSum,
         "adaptive_alie" => AttackSpec::AdaptiveAlie,
         "adaptive_ipm" => AttackSpec::AdaptiveIpm,
+        "adaptive_scaling" => AttackSpec::AdaptiveScaling,
         other => return Err(format!("unknown attack `{other}`")),
     };
     let protocol = match root.string("protocol")?.as_str() {
@@ -296,6 +357,14 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         };
         fault_events.push(ev);
     }
+    let dirichlet_alpha = match root.get("dirichlet_alpha") {
+        Some(_) => Some(root.f64("dirichlet_alpha")?),
+        None => None,
+    };
+    let heterogeneity = match root.get("heterogeneity") {
+        Some(_) => root.bool("heterogeneity")?,
+        None => false,
+    };
     Ok(ScenarioSpec {
         seed: root.u64("seed")?,
         total_levels: root.usize("total_levels")?,
@@ -305,6 +374,7 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         local_iters: root.usize("local_iters")?,
         phi: root.f64("phi")?,
         agg,
+        pre_agg,
         attack,
         proportion: root.f64("proportion")?,
         random_placement: root.bool("random_placement")?,
@@ -314,6 +384,8 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         deadline_us,
         staleness_bound_us,
         noniid: root.bool("noniid")?,
+        dirichlet_alpha,
+        heterogeneity,
         train_samples: root.usize("train_samples")?,
         faults: fault_events,
     })
@@ -352,6 +424,26 @@ mod tests {
         let back = from_toml(&text).unwrap();
         assert_eq!(back.deadline_us, None);
         assert_eq!(back.staleness_bound_us, 0);
+    }
+
+    #[test]
+    fn pre_gallery_cases_parse_with_default_gallery_fields() {
+        let mut gen = ScenarioGen::new(8);
+        let mut spec = gen.draw();
+        spec.pre_agg = PreAggSpec::None;
+        spec.dirichlet_alpha = None;
+        spec.heterogeneity = false;
+        let text = to_toml(&spec);
+        for key in ["pre_agg", "dirichlet_alpha", "heterogeneity"] {
+            assert!(
+                !text.contains(key),
+                "default-shape cases must not grow `{key}`:\n{text}"
+            );
+        }
+        let back = from_toml(&text).unwrap();
+        assert_eq!(back.pre_agg, PreAggSpec::None);
+        assert_eq!(back.dirichlet_alpha, None);
+        assert!(!back.heterogeneity);
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
         let agm = AutoGm::default();
         let kept = agm.survivors(&refs);
-        assert!(kept.iter().all(|&i| i < 7), "kept adversarial index: {kept:?}");
+        assert!(
+            kept.iter().all(|&i| i < 7),
+            "kept adversarial index: {kept:?}"
+        );
         let out = agm.aggregate(&refs, None);
         assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.5);
     }

@@ -98,6 +98,30 @@ pub fn judge(kind: &AggregatorKind, updates: &[&[f32]]) -> Acceptance {
             acc
         }
         AggregatorKind::TrimmedMean { ratio } => judge_trimmed(updates, *ratio),
+        // NNM preserves index correspondence (mixed[i] derives from
+        // input i), so the base rule's own evidence runs on the mixed
+        // cohort and its verdicts map straight back to the inputs.
+        AggregatorKind::Nnm { k, inner } => {
+            let mixed = crate::PreAggregation::Nnm { k: *k }.transform(updates);
+            let refs: Vec<&[f32]> = mixed.iter().map(|v| v.as_slice()).collect();
+            let mut acc = judge(inner, &refs);
+            // Mixing compresses the cohort, so the inner rule's
+            // *relative* strike gates run on much smaller residuals and
+            // can nominate an honest straggler in a non-IID cluster
+            // (found by the honest-quarantine oracle). Keep a strike
+            // only when the input also separates in the unmixed cohort:
+            // a real outlier does, an honest client does not.
+            let raw = judge_by_residual(kind, updates);
+            for (s, r) in acc.strikes.iter_mut().zip(&raw.strikes) {
+                if *r == 0.0 {
+                    *s = 0.0;
+                }
+            }
+            acc
+        }
+        // Bucketing destroys index correspondence (n inputs → ⌈n/s⌉
+        // bucket means); fall back to residuals of the *original* inputs
+        // against the composed aggregate.
         _ => judge_by_residual(kind, updates),
     }
 }
@@ -339,6 +363,36 @@ mod tests {
         judge_staleness(&mut acc, &[5.0, 0.0]);
         assert_eq!(acc.strikes[0], STALE_STRIKE_SCALE);
         assert_eq!(acc.strikes[1], 0.0);
+    }
+
+    #[test]
+    fn nnm_evidence_maps_back_to_inputs() {
+        // NNM pulls the honest cohort together, so the outlier's mixed
+        // vector separates even more clearly for the base rule.
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.4, 6, &[50.0, 50.0], 1);
+        let kind = AggregatorKind::Nnm {
+            k: 3,
+            inner: Box::new(AggregatorKind::MultiKrum { f: 1, m: 5 }),
+        };
+        let acc = judge(&kind, &refs(&updates));
+        assert_eq!(acc.accepted.len(), 7, "verdicts index the original inputs");
+        assert!(!acc.accepted[6], "outlier must not be selected");
+        assert_eq!(acc.strikes[6], STRIKE_WORST);
+        assert!(acc.strikes[..6].iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn bucketing_evidence_uses_residuals_over_inputs() {
+        let updates = cluster_with_outliers(&[0.0, 2.0], 0.2, 7, &[-30.0, 30.0], 1);
+        let kind = AggregatorKind::Bucketing {
+            s: 2,
+            inner: Box::new(AggregatorKind::Median),
+        };
+        let acc = judge(&kind, &refs(&updates));
+        assert_eq!(acc.accepted.len(), 8, "verdicts index the original inputs");
+        assert!(!acc.accepted[7], "outlier residual must reject");
+        assert_eq!(acc.strikes[7], STRIKE_WORST);
+        assert!(acc.strikes[..7].iter().all(|s| *s == 0.0));
     }
 
     #[test]

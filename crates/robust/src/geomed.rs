@@ -93,7 +93,10 @@ mod tests {
         let updates = cluster_with_outliers(&[1.0, 1.0], 0.05, 7, &[1e4, 1e4], 3);
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
         let out = GeoMed::default().aggregate(&refs, None);
-        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.5, "got {out:?}");
+        assert!(
+            hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.5,
+            "got {out:?}"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod geomed;
 pub mod krum;
 pub mod mean;
 pub mod median;
+pub mod preagg;
 pub mod suspicion;
 pub mod trimmed_mean;
 
@@ -58,6 +59,7 @@ pub use geomed::GeoMed;
 pub use krum::{Krum, MultiKrum};
 pub use mean::FedAvg;
 pub use median::CoordMedian;
+pub use preagg::{PreAggregated, PreAggregation};
 pub use suspicion::{SuspicionChange, SuspicionConfig, SuspicionTracker};
 pub use trimmed_mean::TrimmedMean;
 
@@ -124,25 +126,66 @@ pub enum AggregatorKind {
         /// Outlier radius multiplier.
         kappa: f64,
     },
+    /// Pre-aggregation composition: bucket the inputs (groups of `s`
+    /// averaged) before running `inner` on the bucket means. See
+    /// [`preagg::PreAggregation::Bucketing`].
+    Bucketing {
+        /// Bucket size, ≥ 1.
+        s: usize,
+        /// The base rule aggregating the bucket means. Must not itself
+        /// be a pre-aggregation (composition is single-layer; config
+        /// validation enforces this).
+        inner: Box<AggregatorKind>,
+    },
+    /// Pre-aggregation composition: nearest-neighbour mixing (each input
+    /// replaced by the mean of its `k` nearest, itself included) before
+    /// running `inner`. See [`preagg::PreAggregation::Nnm`].
+    Nnm {
+        /// Neighbourhood size, ≥ 1.
+        k: usize,
+        /// The base rule aggregating the mixed updates. Must not itself
+        /// be a pre-aggregation.
+        inner: Box<AggregatorKind>,
+    },
 }
 
 impl AggregatorKind {
     /// Instantiates the rule.
     pub fn build(&self) -> Box<dyn Aggregator> {
-        match *self {
+        match self {
             AggregatorKind::FedAvg => Box::new(FedAvg),
-            AggregatorKind::Krum { f } => Box::new(Krum::new(f)),
-            AggregatorKind::MultiKrum { f, m } => Box::new(MultiKrum::new(f, m)),
+            AggregatorKind::Krum { f } => Box::new(Krum::new(*f)),
+            AggregatorKind::MultiKrum { f, m } => Box::new(MultiKrum::new(*f, *m)),
             AggregatorKind::Median => Box::new(CoordMedian),
-            AggregatorKind::TrimmedMean { ratio } => Box::new(TrimmedMean::new(ratio)),
+            AggregatorKind::TrimmedMean { ratio } => Box::new(TrimmedMean::new(*ratio)),
             AggregatorKind::GeoMed => Box::new(GeoMed::default()),
             AggregatorKind::CenteredClip { tau, iters } => {
-                Box::new(CenteredClip::new(tau, iters))
+                Box::new(CenteredClip::new(*tau, *iters))
             }
             AggregatorKind::CosineClustering { threshold } => {
-                Box::new(CosineClustering::new(threshold))
+                Box::new(CosineClustering::new(*threshold))
             }
-            AggregatorKind::AutoGm { kappa } => Box::new(AutoGm::new(kappa)),
+            AggregatorKind::AutoGm { kappa } => Box::new(AutoGm::new(*kappa)),
+            AggregatorKind::Bucketing { s, inner } => Box::new(PreAggregated::new(
+                PreAggregation::Bucketing { s: *s },
+                inner.build(),
+            )),
+            AggregatorKind::Nnm { k, inner } => Box::new(PreAggregated::new(
+                PreAggregation::Nnm { k: *k },
+                inner.build(),
+            )),
+        }
+    }
+
+    /// The pre-aggregation transform and base rule, when this kind is a
+    /// composition; `None` for plain rules.
+    pub fn pre_aggregation(&self) -> Option<(PreAggregation, &AggregatorKind)> {
+        match self {
+            AggregatorKind::Bucketing { s, inner } => {
+                Some((PreAggregation::Bucketing { s: *s }, inner))
+            }
+            AggregatorKind::Nnm { k, inner } => Some((PreAggregation::Nnm { k: *k }, inner)),
+            _ => None,
         }
     }
 }
@@ -206,7 +249,11 @@ mod tests {
             let agg = k.build();
             let out = agg.aggregate(&refs, None);
             assert_eq!(out.len(), 2, "{} wrong dim", agg.name());
-            assert!(out.iter().all(|x| x.is_finite()), "{} non-finite", agg.name());
+            assert!(
+                out.iter().all(|x| x.is_finite()),
+                "{} non-finite",
+                agg.name()
+            );
         }
     }
 }

@@ -90,7 +90,11 @@ mod tests {
     fn parallel_median_matches_sequential() {
         // Same result regardless of thread count and chunking.
         let rows: Vec<Vec<f32>> = (0..9)
-            .map(|i| (0..1000).map(|j| ((i * 31 + j * 7) % 17) as f32 - 8.0).collect())
+            .map(|i| {
+                (0..1000)
+                    .map(|j| ((i * 31 + j * 7) % 17) as f32 - 8.0)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let mut seq = vec![0.0f32; 1000];

@@ -53,6 +53,18 @@ diff "$tmp/g/async.manifests.jsonl" "$tmp/h/async.manifests.jsonl" \
     || { echo "repro_async manifests differ across same-seed runs"; exit 1; }
 echo "repro_async determinism gate passed"
 
+# Attack–defense gallery smoke + determinism gate: the full static
+# attack × composed defense × distribution grid (DESIGN.md §13) — two
+# same-seed sweeps must produce byte-identical manifest logs (the
+# Dirichlet partition re-draw loop and AGR bisections are seeded).
+cargo run --release -p hfl-bench --bin repro_gallery -- \
+    --quick --seed 42 --out "$tmp/i" >/dev/null
+cargo run --release -p hfl-bench --bin repro_gallery -- \
+    --quick --seed 42 --out "$tmp/j" >/dev/null
+diff "$tmp/i/gallery.manifests.jsonl" "$tmp/j/gallery.manifests.jsonl" \
+    || { echo "repro_gallery manifests differ across same-seed runs"; exit 1; }
+echo "repro_gallery determinism gate passed"
+
 # Snapshot-resume determinism gate: for every fixture class, 20 rounds
 # straight through must equal 10 rounds + resume(10 more) from the
 # round-10 snapshot, byte-for-byte at the manifest level (the binary
@@ -78,7 +90,7 @@ test -s "$tmp/perf/BENCH_7.json" \
 echo "perf baseline gate passed"
 
 # Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the
-# iteration count with FUZZ_ITERS), then the four mutation self-checks
+# iteration count with FUZZ_ITERS), then the five mutation self-checks
 # — deliberately corrupted observations must be caught by the matching
 # oracle and shrunk to a minimal repro (see DESIGN.md §10). Corpus
 # replay itself runs inside `cargo test` (tests/oracle_corpus.rs).
@@ -87,7 +99,7 @@ echo "perf baseline gate passed"
 # shrinking reach the *same* minimal TOML repro.
 cargo run --release -p hfl-bench --bin fuzz_oracle -- \
     --iters "${FUZZ_ITERS:-200}" --seed 42 --snapshots
-for mutation in quorum conservation determinism staleness; do
+for mutation in quorum conservation determinism staleness defense-bypass; do
     cargo run --release -p hfl-bench --bin fuzz_oracle -- \
         --mutation "$mutation" --seed 42 --out "$tmp/oracle" >/dev/null \
         || { echo "oracle mutation check '$mutation' was not caught"; exit 1; }

@@ -416,3 +416,45 @@ fn async_config_validation_rejects_nonsense() {
     let ok = with_async(base(AttackCfg::None, 5), 2_000, 1_000);
     assert!(ok.try_validate(&h(&ok)).is_ok());
 }
+
+#[test]
+fn heterogeneity_profiles_shift_async_arrivals_only() {
+    use abd_hfl::core::config::HeterogeneityCfg;
+
+    // Under async rounds, per-client compute/bandwidth profiles stretch
+    // arrival delays, so the event stream must differ from the
+    // homogeneous run of the same seed...
+    let plain = with_async(base(AttackCfg::None, 21), 2_000, 1_000);
+    let mut hetero = plain.clone();
+    hetero.heterogeneity = Some(HeterogeneityCfg::mixed_devices());
+    let (_, _, plain_events) = run_recording(&plain);
+    let (_, _, hetero_events) = run_recording(&hetero);
+    assert_ne!(
+        plain_events, hetero_events,
+        "mixed-device profiles must perturb async arrival timing"
+    );
+
+    // ...and deterministically: same seed + same profiles, same stream.
+    let (run_a, _, events_a) = run_recording(&hetero);
+    let (run_b, _, events_b) = run_recording(&hetero);
+    assert_eq!(events_a, events_b);
+    assert_eq!(run_a.manifest.to_json(), run_b.manifest.to_json());
+}
+
+#[test]
+fn heterogeneity_profiles_leave_the_sync_path_untouched() {
+    use abd_hfl::core::config::HeterogeneityCfg;
+
+    // Without async rounds there is no arrival synthesis, so profiles
+    // are inert: the run must be byte-identical to the homogeneous one.
+    let plain = base(AttackCfg::None, 22);
+    let mut hetero = plain.clone();
+    hetero.heterogeneity = Some(HeterogeneityCfg::mixed_devices());
+    let (run_p, _, events_p) = run_recording(&plain);
+    let (run_h, _, events_h) = run_recording(&hetero);
+    assert_eq!(events_p, events_h, "sync path must ignore profiles");
+    assert_eq!(
+        run_p.result.accuracy, run_h.result.accuracy,
+        "sync accuracy trace must be unchanged by inert profiles"
+    );
+}
