@@ -16,6 +16,10 @@ pub struct Args {
     pub filter: Option<String>,
     /// Base seed.
     pub seed: u64,
+    /// CI smoke mode for the scale sweep: one mid-size population
+    /// instead of the full n ∈ {10³..10⁶} sweep, plus a manifest log
+    /// for the same-seed determinism diff.
+    pub smoke: bool,
 }
 
 impl Default for Args {
@@ -27,6 +31,7 @@ impl Default for Args {
             out_dir: "results".to_string(),
             filter: None,
             seed: 42,
+            smoke: false,
         }
     }
 }
@@ -48,6 +53,7 @@ impl Args {
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--quick" => args.quick = true,
+                "--smoke" => args.smoke = true,
                 "--rounds" => {
                     args.rounds = Some(
                         it.next()
@@ -120,6 +126,12 @@ mod tests {
         let a = parse("--quick");
         assert_eq!(a.effective_rounds(200, 40), 40);
         assert_eq!(a.effective_reps(5, 2), 2);
+    }
+
+    #[test]
+    fn smoke_mode() {
+        assert!(parse("--smoke").smoke);
+        assert!(!parse("--quick").smoke, "smoke is independent of quick");
     }
 
     #[test]

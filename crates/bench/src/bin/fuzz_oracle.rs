@@ -74,6 +74,9 @@ impl Coverage {
         if spec.heterogeneity {
             *self.families.entry("net:heterogeneity").or_insert(0) += 1;
         }
+        if spec.sampling_population > 0 {
+            *self.families.entry("pop:sampled").or_insert(0) += 1;
+        }
     }
 
     fn report(&self) {

@@ -1,8 +1,10 @@
 //! Performance baseline: fixed-seed sweeps distilled into one
-//! machine-readable `BENCH_7.json` so CI can track end-to-end round
+//! machine-readable `BENCH_9.json` so CI can track end-to-end round
 //! throughput (synchronous barriers *and* deadline-driven buffers,
-//! DESIGN.md §12), aggregation-kernel latency and per-round traffic
-//! across commits without a Criterion run.
+//! DESIGN.md §12), per-round working-set peak, aggregation-kernel
+//! latency and per-round traffic across commits without a Criterion
+//! run. The population-scale sweep lives in `repro_scale`, which
+//! writes the same `BENCH_9.json` shape with `kind: "scale"`.
 //!
 //! ```sh
 //! cargo run --release -p hfl-bench --bin perf_baseline -- --out results
@@ -13,29 +15,36 @@
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
+//!   "kind": "baseline",
 //!   "seed": 42,
 //!   "rounds": 20,
 //!   "rounds_per_sec": 12.3,
+//!   "updates_per_sec": 787.2,
 //!   "async_rounds_per_sec": 11.9,
 //!   "bytes_per_round": 1234567,
 //!   "messages_per_round": 181,
+//!   "peak_round_bytes": 262144,
 //!   "kernels": [{"name": "fedavg", "n": 16, "dim": 1024, "ns_per_op": 4567}, ...]
 //! }
 //! ```
 //!
 //! Timings use `std::time::Instant` around otherwise fully
-//! deterministic work, so everything except the two timing fields is
-//! reproducible byte-for-byte.
+//! deterministic work, so everything except the timing and allocation
+//! fields is reproducible byte-for-byte.
 
 use std::path::Path;
 use std::time::Instant;
 
 use abd_hfl_core::config::{AsyncRoundCfg, AttackCfg, HflConfig};
 use abd_hfl_core::runner::{run_prepared_with, Experiment};
+use hfl_bench::memprobe::{self, CountingAlloc};
 use hfl_bench::Args;
 use hfl_robust::AggregatorKind;
 use hfl_telemetry::{Json, Telemetry};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Deterministic pseudo-updates for the kernel sweep: `n` vectors of
 /// dimension `dim`, values in roughly [-1, 1] from a splitmix-style
@@ -90,8 +99,13 @@ fn main() {
     });
     let run = last_run.expect("at least one timed rep ran");
     let rounds_per_sec = rounds as f64 / (e2e_ns as f64 / 1e9);
+    let updates_per_sec = rounds_per_sec * exp.hierarchy.num_clients() as f64;
     let bytes_per_round = run.manifest.totals.bytes / rounds as u64;
     let messages_per_round = run.manifest.totals.messages / rounds as u64;
+    // Per-round transient allocation peak, from a short manual loop
+    // (no eval) under the counting allocator — the same probe the
+    // scale sweep gates on.
+    let peak_round_bytes = memprobe::probe_rounds(&exp, rounds.min(3)).peak_round_bytes;
 
     // --- end-to-end again under deadline-driven buffers (same seed) ---
     let mut async_cfg = cfg.clone();
@@ -122,6 +136,20 @@ fn main() {
             AggregatorKind::CosineClustering { threshold: 0.0 },
         ),
         ("autogm", AggregatorKind::AutoGm { kappa: 3.0 }),
+        // Thresholds below n so the one-pass (non-exact) path is the
+        // one timed.
+        (
+            "streaming_median",
+            AggregatorKind::StreamingMedian { exact_threshold: 8 },
+        ),
+        (
+            "streaming_trimmed_mean",
+            AggregatorKind::StreamingTrimmedMean {
+                ratio: 0.2,
+                exact_threshold: 8,
+            },
+        ),
+        ("sampled_krum", AggregatorKind::SampledKrum { f: 2, m: 8 }),
     ];
     let mut kernel_rows = Vec::new();
     for (name, kind) in &kernels {
@@ -151,28 +179,34 @@ fn main() {
     );
     assert!(bytes_per_round > 0, "zero bytes per round");
     assert!(messages_per_round > 0, "zero messages per round");
+    assert!(updates_per_sec > 0.0, "non-positive update throughput");
+    assert!(peak_round_bytes > 0, "allocation probe saw nothing");
 
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::UInt(2)),
+        ("schema".into(), Json::UInt(3)),
+        ("kind".into(), Json::Str("baseline".into())),
         ("seed".into(), Json::UInt(args.seed)),
         ("rounds".into(), Json::UInt(rounds as u64)),
         ("rounds_per_sec".into(), Json::Num(rounds_per_sec)),
+        ("updates_per_sec".into(), Json::Num(updates_per_sec)),
         (
             "async_rounds_per_sec".into(),
             Json::Num(async_rounds_per_sec),
         ),
         ("bytes_per_round".into(), Json::UInt(bytes_per_round)),
         ("messages_per_round".into(), Json::UInt(messages_per_round)),
+        ("peak_round_bytes".into(), Json::UInt(peak_round_bytes)),
         ("kernels".into(), Json::Arr(kernel_rows)),
     ]);
     let dir = Path::new(&args.out_dir);
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-    let path = dir.join("BENCH_7.json");
+    let path = dir.join("BENCH_9.json");
     std::fs::write(&path, doc.to_string() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     println!(
         "rounds/sec {rounds_per_sec:.2} (async {async_rounds_per_sec:.2}), \
-         bytes/round {bytes_per_round}, messages/round {messages_per_round}"
+         updates/sec {updates_per_sec:.1}, bytes/round {bytes_per_round}, \
+         messages/round {messages_per_round}, peak {peak_round_bytes} B/round"
     );
     eprintln!("wrote {}", path.display());
 }

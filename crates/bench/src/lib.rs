@@ -22,6 +22,7 @@
 
 pub mod args;
 pub mod ci;
+pub mod memprobe;
 pub mod report;
 
 pub use args::Args;

@@ -144,6 +144,60 @@ impl HeterogeneityCfg {
     }
 }
 
+/// How a round's cohort is drawn from the client population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingScheme {
+    /// Uniform without replacement over the whole population.
+    Uniform,
+    /// One uniform pick per contiguous population stratum: slot `i`
+    /// draws from `[i·n/m, (i+1)·n/m)`, so every region of the client
+    /// id space is represented every round.
+    Stratified,
+}
+
+/// Per-round client sampling — the cross-device execution model
+/// (DESIGN.md §14). The hierarchy's bottom level describes the *cohort*:
+/// the `cohort_size` slots that actually train and aggregate in a round.
+/// Each round a dedicated seeded stream binds those slots, in ascending
+/// client order, to `cohort_size` distinct clients out of a population
+/// of `population ≥ cohort_size`. Identity-bound state (malicious
+/// flags, data shards, suspicion scores, detection flags, heterogeneity
+/// profiles) lives on *global* client ids and survives across rounds;
+/// everything topological (clusters, leaders, churn, fault schedules)
+/// stays on cohort slots. `None` (the default) binds slot `i` to client
+/// `i` every round and keeps runs byte-identical to configs predating
+/// this field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingCfg {
+    /// Total client population n, ≥ `cohort_size`.
+    pub population: usize,
+    /// Clients sampled per round m; must equal the hierarchy's
+    /// bottom-level client count (the hierarchy describes the cohort).
+    pub cohort_size: usize,
+    /// The draw scheme.
+    pub scheme: SamplingScheme,
+}
+
+impl SamplingCfg {
+    /// Uniform sampling of `cohort_size` from `population`.
+    pub fn uniform(population: usize, cohort_size: usize) -> Self {
+        Self {
+            population,
+            cohort_size,
+            scheme: SamplingScheme::Uniform,
+        }
+    }
+
+    /// Stratified sampling of `cohort_size` from `population`.
+    pub fn stratified(population: usize, cohort_size: usize) -> Self {
+        Self {
+            population,
+            cohort_size,
+            scheme: SamplingScheme::Stratified,
+        }
+    }
+}
+
 /// Byzantine attack configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AttackCfg {
@@ -353,6 +407,13 @@ pub struct HflConfig {
     /// predating this field.
     #[serde(default)]
     pub heterogeneity: Option<HeterogeneityCfg>,
+    /// Per-round client sampling over a population larger than the
+    /// hierarchy (DESIGN.md §14). `None` (the default) binds cohort slot
+    /// `i` to client `i` every round — the `population == cohort` special
+    /// case — and keeps the run byte-identical to configs predating this
+    /// field.
+    #[serde(default)]
+    pub sampling: Option<SamplingCfg>,
 }
 
 impl HflConfig {
@@ -392,6 +453,7 @@ impl HflConfig {
             strict_guarantees: false,
             async_rounds: None,
             heterogeneity: None,
+            sampling: None,
         }
     }
 
@@ -461,11 +523,39 @@ impl HflConfig {
                 proportion: self.attack.proportion(),
             });
         }
+        if let Some(s) = &self.sampling {
+            if s.cohort_size == 0 {
+                return Err(ConfigError::SamplingOutOfRange {
+                    what: "cohort_size",
+                    value: 0.0,
+                });
+            }
+            if s.population < s.cohort_size {
+                return Err(ConfigError::SamplingOutOfRange {
+                    what: "population (below cohort_size)",
+                    value: s.population as f64,
+                });
+            }
+            // The hierarchy's bottom level *is* the cohort: every slot
+            // must be bound to a sampled client each round.
+            if s.cohort_size != hierarchy.num_clients() {
+                return Err(ConfigError::SamplingCohortMismatch {
+                    cohort_size: s.cohort_size,
+                    clients: hierarchy.num_clients(),
+                });
+            }
+        }
         if let Some(mask) = &self.malicious_override {
-            if mask.len() != hierarchy.num_clients() {
+            // Malicious flags are identity-bound: under sampling the mask
+            // covers the whole population, not just one round's cohort.
+            let expected = self
+                .sampling
+                .as_ref()
+                .map_or(hierarchy.num_clients(), |s| s.population);
+            if mask.len() != expected {
                 return Err(ConfigError::MaliciousMaskLengthMismatch {
                     got: mask.len(),
-                    expected: hierarchy.num_clients(),
+                    expected,
                 });
             }
         }
@@ -528,9 +618,13 @@ impl HflConfig {
         }
         if self.strict_guarantees {
             for (level, agg) in self.levels.iter().enumerate() {
-                let f = match agg {
+                let (f, bucket_cap) = match agg {
                     LevelAgg::Bra(AggregatorKind::Krum { f })
-                    | LevelAgg::Bra(AggregatorKind::MultiKrum { f, .. }) => *f,
+                    | LevelAgg::Bra(AggregatorKind::MultiKrum { f, .. }) => (*f, usize::MAX),
+                    // SampledKrum runs Krum over at most `m` bucket
+                    // means, so `m` caps the effective input count the
+                    // guarantee sees.
+                    LevelAgg::Bra(AggregatorKind::SampledKrum { f, m }) => (*f, *m),
                     _ => continue,
                 };
                 // The inputs a level-l cluster aggregates come from its
@@ -542,7 +636,8 @@ impl HflConfig {
                     .iter()
                     .map(|c| c.len())
                     .min()
-                    .unwrap_or(0);
+                    .unwrap_or(0)
+                    .min(bucket_cap);
                 if !Krum::guarantee_holds(f, n_min) {
                     return Err(ConfigError::KrumUnsound { level, f, n_min });
                 }
@@ -690,6 +785,27 @@ fn validate_aggregator(
             }
             validate_aggregator(level, inner, true)?;
         }
+        AggregatorKind::StreamingMedian { exact_threshold } => {
+            if *exact_threshold == 0 {
+                return bad("streaming-median exact_threshold", 0.0);
+            }
+        }
+        AggregatorKind::StreamingTrimmedMean {
+            ratio,
+            exact_threshold,
+        } => {
+            if !(ratio.is_finite() && (0.0..0.5).contains(ratio)) {
+                return bad("streaming-trimmed-mean ratio", *ratio);
+            }
+            if *exact_threshold == 0 {
+                return bad("streaming-trimmed-mean exact_threshold", 0.0);
+            }
+        }
+        AggregatorKind::SampledKrum { m, .. } => {
+            if *m == 0 {
+                return bad("sampled-krum m", 0.0);
+            }
+        }
         _ => {}
     }
     Ok(())
@@ -814,6 +930,21 @@ pub enum ConfigError {
         /// The offending value.
         value: f64,
     },
+    /// A sampling parameter is unusable.
+    SamplingOutOfRange {
+        /// Which parameter is bad.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `sampling.cohort_size` differs from the hierarchy's client count —
+    /// the hierarchy's bottom level *is* the cohort.
+    SamplingCohortMismatch {
+        /// Configured cohort size.
+        cohort_size: usize,
+        /// Hierarchy client count.
+        clients: usize,
+    },
     /// With `strict_guarantees`, a Krum/Multi-Krum level whose smallest
     /// cluster violates `n ≥ 2f + 3`.
     KrumUnsound {
@@ -891,6 +1022,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::HeterogeneityOutOfRange { what, value } => {
                 write!(f, "heterogeneity {what} must be finite and >= 1, got {value}")
             }
+            ConfigError::SamplingOutOfRange { what, value } => {
+                write!(f, "sampling {what} out of range ({value})")
+            }
+            ConfigError::SamplingCohortMismatch { cohort_size, clients } => write!(
+                f,
+                "sampling cohort_size must equal the hierarchy's client count (cohort is {cohort_size}, hierarchy has {clients})"
+            ),
             ConfigError::KrumUnsound { level, f: byz, n_min } => write!(
                 f,
                 "Krum guarantee n >= 2f + 3 violated at level {level}: f = {byz} needs clusters of at least {}, smallest has {n_min}",
@@ -1002,6 +1140,108 @@ mod tests {
         };
         let h5 = cfg.topology.build(0);
         assert_eq!(cfg.try_validate(&h5), Ok(()));
+    }
+
+    #[test]
+    fn sampling_cfg_is_validated() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        // Well-formed: cohort matches the hierarchy, population above it.
+        cfg.sampling = Some(SamplingCfg::uniform(100_000, h.num_clients()));
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        cfg.sampling = Some(SamplingCfg::stratified(100_000, h.num_clients()));
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+        // Cohort must equal the hierarchy's client count.
+        cfg.sampling = Some(SamplingCfg::uniform(100_000, 32));
+        assert!(matches!(
+            cfg.try_validate(&h).unwrap_err(),
+            ConfigError::SamplingCohortMismatch {
+                cohort_size: 32,
+                clients: 64
+            }
+        ));
+        // Population below the cohort cannot fill a round.
+        cfg.sampling = Some(SamplingCfg::uniform(10, h.num_clients()));
+        assert!(matches!(
+            cfg.try_validate(&h).unwrap_err(),
+            ConfigError::SamplingOutOfRange { .. }
+        ));
+        // Empty cohort is rejected before the mismatch check.
+        cfg.sampling = Some(SamplingCfg::uniform(100, 0));
+        assert!(matches!(
+            cfg.try_validate(&h).unwrap_err(),
+            ConfigError::SamplingOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn malicious_mask_covers_the_population_under_sampling() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        cfg.sampling = Some(SamplingCfg::uniform(1_000, h.num_clients()));
+        // A cohort-sized mask is wrong once the population is larger...
+        cfg.malicious_override = Some(vec![false; h.num_clients()]);
+        assert!(matches!(
+            cfg.try_validate(&h).unwrap_err(),
+            ConfigError::MaliciousMaskLengthMismatch {
+                got: 64,
+                expected: 1_000
+            }
+        ));
+        // ...a population-sized mask is right.
+        cfg.malicious_override = Some(vec![false; 1_000]);
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn streaming_aggregator_params_are_range_checked() {
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        let h = cfg.topology.build(0);
+        for bad in [
+            AggregatorKind::StreamingMedian { exact_threshold: 0 },
+            AggregatorKind::StreamingTrimmedMean {
+                ratio: 0.5,
+                exact_threshold: 256,
+            },
+            AggregatorKind::StreamingTrimmedMean {
+                ratio: 0.2,
+                exact_threshold: 0,
+            },
+            AggregatorKind::SampledKrum { f: 1, m: 0 },
+        ] {
+            cfg.levels[2] = LevelAgg::Bra(bad);
+            assert!(matches!(
+                cfg.try_validate(&h).unwrap_err(),
+                ConfigError::AggregatorOutOfRange { level: 2, .. }
+            ));
+        }
+        cfg.levels[2] = LevelAgg::Bra(AggregatorKind::StreamingTrimmedMean {
+            ratio: 0.2,
+            exact_threshold: 256,
+        });
+        assert_eq!(cfg.try_validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn strict_guarantees_caps_sampled_krum_at_its_bucket_budget() {
+        // Clusters of 5 satisfy n >= 2f + 3 for f = 1, but SampledKrum
+        // with m = 4 buckets only ever feeds Krum 4 inputs — strict mode
+        // must judge the guarantee at min(cluster, m).
+        let mut cfg = HflConfig::paper_iid(AttackCfg::None, 0);
+        cfg.topology = TopologyCfg::Ecsm {
+            total_levels: 3,
+            m: 5,
+            n_top: 5,
+        };
+        cfg.levels[2] = LevelAgg::Bra(AggregatorKind::SampledKrum { f: 1, m: 4 });
+        cfg.strict_guarantees = true;
+        let h = cfg.topology.build(0);
+        assert!(matches!(
+            cfg.try_validate(&h).unwrap_err(),
+            ConfigError::KrumUnsound { f: 1, n_min: 4, .. }
+        ));
+        cfg.levels[2] = LevelAgg::Bra(AggregatorKind::SampledKrum { f: 1, m: 5 });
+        assert_eq!(cfg.try_validate(&h), Ok(()));
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub struct AdversaryLayer<'e> {
     /// Malicious members stall uploads until just inside the staleness
     /// bound of their cluster's deadline buffer.
     staleness_exploit: bool,
-    /// Equivocators convicted by the echo audit (by device id): they
-    /// are repaired — behave honestly — from the round after detection.
+    /// Equivocators convicted by the echo audit (by *global* client
+    /// id over the whole population): they are repaired — behave
+    /// honestly — from the round after detection, whatever cohort they
+    /// next land in.
     detected: Vec<bool>,
     /// Coalition feedback accumulated during the current round.
     feedback: AttackFeedback,
@@ -57,7 +59,7 @@ impl<'e> AdversaryLayer<'e> {
             equivocate,
             withhold,
             staleness_exploit,
-            detected: vec![false; exp.hierarchy.num_clients()],
+            detected: vec![false; exp.population_size()],
             feedback: AttackFeedback::default(),
             malicious: &exp.malicious,
             phi: cfg.quorum,
@@ -112,15 +114,18 @@ impl RoundLayer for AdversaryLayer<'_> {
             .iter()
             .copied()
             .filter(|&mi| {
-                let dev = cl.members[mi];
-                self.malicious[dev] && dev != cl.leader
+                let slot = cl.members[mi];
+                // Maliciousness is identity-bound; the leadership check
+                // is topological (the slot holding the collection role).
+                self.malicious[cl.global(slot)] && slot != cl.leader
             })
             .collect();
         let quorum_all = quorum_size(self.phi, present.len());
         if !withholding.is_empty() && present.len() - withholding.len() >= quorum_all {
             ctx.cost.withheld += withholding.len() as u64;
             for &mi in &withholding {
-                ctx.telem.update_withheld(ctx.round, cl.members[mi]);
+                ctx.telem
+                    .update_withheld(ctx.round, cl.global(cl.members[mi]));
             }
             present.retain(|mi| !withholding.contains(mi));
         }
@@ -134,7 +139,10 @@ impl RoundLayer for AdversaryLayer<'_> {
     /// deadline, and their updates enter at the worst admitted
     /// discount.
     fn stalls_until_stale(&self, _round: usize, cl: &ClusterCtx<'_>, slot: usize) -> bool {
-        self.staleness_exploit && cl.at_bottom() && self.malicious[slot] && slot != cl.leader
+        self.staleness_exploit
+            && cl.at_bottom()
+            && self.malicious[cl.global(slot)]
+            && slot != cl.leader
     }
 
     /// Acceptance feedback: did the coalition's crafted updates make it
@@ -157,8 +165,9 @@ impl RoundLayer for AdversaryLayer<'_> {
         if !cl.at_bottom() {
             return None;
         }
+        let leader = cl.global(cl.leader);
         match self.equivocate {
-            Some(flip) if self.malicious[cl.leader] && !self.detected[cl.leader] => {
+            Some(flip) if self.malicious[leader] && !self.detected[leader] => {
                 Some(partial.iter().map(|x| -flip * x).collect())
             }
             _ => None,

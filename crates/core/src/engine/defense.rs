@@ -15,8 +15,12 @@ use crate::runner::Experiment;
 
 /// Quarantine + evidence + echo-audit semantics for the round engine.
 pub struct DefenseLayer {
+    /// Suspicion over *global* client ids (the whole population under
+    /// sampling): scores survive across rounds whatever cohort a client
+    /// lands in.
     tracker: Option<SuspicionTracker>,
-    /// Echo audits collected this round: `(cluster, leader, report)`.
+    /// Echo audits collected this round: `(cluster, global leader id,
+    /// report)`.
     audits: Vec<(usize, usize, EchoReport)>,
     /// The hierarchy's bottom level (audited clusters live there).
     bottom: usize,
@@ -33,7 +37,7 @@ impl DefenseLayer {
         Some(Self {
             tracker: cfg
                 .suspicion
-                .map(|s| SuspicionTracker::new(exp.hierarchy.num_clients(), s)),
+                .map(|s| SuspicionTracker::new(exp.population_size(), s)),
             audits: Vec::new(),
             bottom: exp.hierarchy.bottom_level(),
         })
@@ -74,7 +78,7 @@ impl RoundLayer for DefenseLayer {
             let kept: Vec<usize> = present
                 .iter()
                 .copied()
-                .filter(|&mi| !tracker.is_quarantined(cl.members[mi]))
+                .filter(|&mi| !tracker.is_quarantined(cl.global(cl.members[mi])))
                 .collect();
             if !kept.is_empty() {
                 ctx.cost.quarantined += (present.len() - kept.len()) as u64;
@@ -116,7 +120,8 @@ impl RoundLayer for DefenseLayer {
         ctx.charge_echo(cl.members.len());
         self.audits.push((
             cl.index,
-            cl.leader,
+            // Convictions bind to the *identity* behind the leader slot.
+            cl.global(cl.leader),
             EchoReport {
                 up_digest: hash_update(up),
                 member_digests: vec![hash_update(partial); cl.members.len()],

@@ -79,6 +79,12 @@ pub struct ClusterCtx<'c> {
     /// Physical device collecting for this cluster (differs from
     /// `leader` after a failover).
     pub collector: usize,
+    /// The global client id bound to each cohort slot this round,
+    /// ascending (identity — `cohort[i] == i` — without sampling).
+    /// Topological state (members, leaders, churn, faults) lives on
+    /// slots; identity-bound state (malicious flags, suspicion,
+    /// convictions, heterogeneity) maps through [`ClusterCtx::global`].
+    pub cohort: &'c [usize],
 }
 
 impl ClusterCtx<'_> {
@@ -86,6 +92,11 @@ impl ClusterCtx<'_> {
     /// updates enter and most layers act.
     pub fn at_bottom(&self) -> bool {
         self.level == self.bottom
+    }
+
+    /// The global client id bound to cohort slot `slot` this round.
+    pub fn global(&self, slot: usize) -> usize {
+        self.cohort[slot]
     }
 }
 

@@ -262,6 +262,10 @@ impl<'e> RoundEngine<'e> {
         let bottom = h.bottom_level();
         let model_bytes = (updates[0].len() * 4) as u64;
         let active = exp.active_mask(round);
+        // Which global client each cohort slot is bound to this round
+        // (identity without sampling). All topological work below stays
+        // on slots; identity-bound lookups map through this binding.
+        let cohort = exp.cohort(round);
 
         let mut ctx = RoundCtx {
             round,
@@ -311,6 +315,7 @@ impl<'e> RoundEngine<'e> {
                     expected,
                     active: &active,
                     collector: leader,
+                    cohort: &cohort,
                 };
                 let mut choice = None;
                 for layer in self.layers_mut() {
@@ -418,7 +423,10 @@ impl<'e> RoundEngine<'e> {
                     .iter()
                     .map(|&mi| carried[cluster.members[mi]].as_slice())
                     .collect();
-                let kept_devices: Vec<usize> = kept.iter().map(|&mi| cluster.members[mi]).collect();
+                // Acceptance verdicts attach to *identities*: the global
+                // client ids behind the kept slots.
+                let kept_devices: Vec<usize> =
+                    kept.iter().map(|&mi| cohort[cluster.members[mi]]).collect();
                 let want_verdict = wants_verdicts && l == bottom;
 
                 let (partial, mut verdict) = match &cfg.levels[l] {
@@ -440,7 +448,7 @@ impl<'e> RoundEngine<'e> {
                     LevelAgg::Cba(kind) => {
                         let byz: Vec<bool> = kept
                             .iter()
-                            .map(|&mi| exp.protocol_byzantine(cluster.members[mi]))
+                            .map(|&mi| exp.protocol_byzantine(cohort[cluster.members[mi]]))
                             .collect();
                         let own: Vec<Vec<f32>> = inputs.iter().map(|i| i.to_vec()).collect();
                         let eval = hfl_consensus::DistanceEvaluator::new(&own);
@@ -504,6 +512,7 @@ impl<'e> RoundEngine<'e> {
             expected: top.len(),
             active: &active,
             collector: top.leader(),
+            cohort: &cohort,
         };
         let mut slots = None;
         for layer in self.layers_mut() {
@@ -586,7 +595,7 @@ impl<'e> RoundEngine<'e> {
                 let eval = AccuracyEvaluator::new(exp.template.clone_box(), shards);
                 let byz: Vec<bool> = final_kept
                     .iter()
-                    .map(|&dev| exp.protocol_byzantine(dev))
+                    .map(|&dev| exp.protocol_byzantine(cohort[dev]))
                     .collect();
                 let mech = kind.build();
                 let out = mech.decide(&proposals, &byz, &eval, &mut rng);
@@ -671,7 +680,9 @@ impl<'e> RoundEngine<'e> {
                 .unwrap_or(1.0);
             // Device heterogeneity stacks multiplicatively on top of any
             // straggler window: a slow device is slow every round.
-            let factor = factor * self.exp.arrival_profile(slot);
+            // Straggler windows are topological (slot); the profile is
+            // identity-bound (the global client behind the slot).
+            let factor = factor * self.exp.arrival_profile(cl.global(slot));
             let t = raw.saturating_scale(factor).as_micros();
             stalled[pos] = self
                 .layers()

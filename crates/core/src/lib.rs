@@ -56,7 +56,10 @@ pub mod scheme;
 pub mod theory;
 pub mod vanilla;
 
-pub use config::{AttackCfg, DataDistribution, HflConfig, LevelAgg, ModelCfg, TopologyCfg};
+pub use config::{
+    AttackCfg, DataDistribution, HflConfig, LevelAgg, ModelCfg, SamplingCfg, SamplingScheme,
+    TopologyCfg,
+};
 pub use correction::CorrectionPolicy;
 pub use run::{Driver, RunOptions, RunOutput};
 pub use runner::{

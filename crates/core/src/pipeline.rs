@@ -213,9 +213,12 @@ impl DeviceActor {
         let mut model = self.exp.template.clone_box();
         model.set_params(&self.params);
         let cfg = self.exp.config();
+        // The pipeline driver predates sampling and models the identity
+        // cohort: device id == global client id.
+        let shard = self.exp.client_shard(self.id);
         train_local(
             model.as_mut(),
-            &self.exp.client_data[self.id],
+            &shard,
             &cfg.sgd,
             cfg.local_iters,
             &mut self.rng,

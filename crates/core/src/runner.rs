@@ -24,11 +24,10 @@
 
 use hfl_attacks::{malicious_mask, ModelAttack};
 use hfl_faults::FaultInjector;
-use hfl_ml::partition::{dirichlet_partition, iid_partition, noniid_partition};
 use hfl_ml::rng::rng_for_n;
 use hfl_ml::sgd::train_local;
 use hfl_ml::synth::SyntheticDigits;
-use hfl_ml::{Dataset, Model};
+use hfl_ml::{ClientPopulation, Dataset, Model};
 use hfl_robust::{AggregatorKind, Krum};
 use hfl_simnet::Hierarchy;
 use hfl_snapshot::{CostSnapshot, EngineSnapshot, SNAPSHOT_VERSION};
@@ -37,7 +36,7 @@ use hfl_telemetry::{
     RunManifest, RunTotals, SuspicionRecord, SuspicionSection, Telemetry,
 };
 
-use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg};
+use crate::config::{AttackCfg, ConfigError, DataDistribution, HflConfig, LevelAgg, SamplingScheme};
 use crate::engine::RoundEngine;
 
 pub use crate::engine::CostCounters;
@@ -88,9 +87,14 @@ pub struct Experiment {
     pub hierarchy: Hierarchy,
     /// The synthetic task.
     pub task: SyntheticDigits,
-    /// Per-client training shards (post-poisoning).
-    pub client_data: Vec<Dataset>,
-    /// Which bottom clients are malicious.
+    /// The lazy per-client shard plan over the whole population: client
+    /// `i`'s partition is a pure function of `(seed, i, distribution)`,
+    /// derived on demand by [`Experiment::client_shard`]. O(dataset)
+    /// state regardless of the population size.
+    pub population: ClientPopulation,
+    /// Which clients are malicious — indexed by *global* client id over
+    /// the whole population (identity-bound state survives across
+    /// sampled cohorts).
     pub malicious: Vec<bool>,
     /// The model template (architecture + initial parameters).
     pub template: Box<dyn Model>,
@@ -98,8 +102,16 @@ pub struct Experiment {
     /// Compiled fault schedule, when the config carries a `FaultPlan`.
     injector: Option<FaultInjector>,
     /// Per-client arrival-delay multipliers (compute × bandwidth), drawn
-    /// once at prepare when the config carries a [`HeterogeneityCfg`].
+    /// once at prepare when the config carries a [`HeterogeneityCfg`]
+    /// and no sampling (the identity cohort); under sampling the profile
+    /// is derived lazily per global client instead.
     arrival_profiles: Option<Vec<f64>>,
+    /// Materialized post-poisoning shards in the identity-cohort case
+    /// (`sampling: None`) — the eager layout this refactor replaced,
+    /// kept so the dense small-n path pays no per-round derivation.
+    /// `None` under sampling: per-round cost then touches only the
+    /// cohort's shards.
+    shard_cache: Option<Vec<Dataset>>,
 }
 
 impl Experiment {
@@ -129,6 +141,9 @@ impl Experiment {
             _ => None,
         };
         let n_clients = hierarchy.num_clients();
+        // Without sampling the population *is* the hierarchy's bottom
+        // level; with it, identity-bound state spans the whole population.
+        let population_n = cfg.sampling.as_ref().map_or(n_clients, |s| s.population);
 
         let mut data_cfg = cfg.data.clone();
         data_cfg.seed = hfl_ml::rng::derive_seed(cfg.seed, 0xDA7A);
@@ -137,37 +152,30 @@ impl Experiment {
         let malicious = match &cfg.malicious_override {
             Some(mask) => mask.clone(),
             None => malicious_mask(
-                n_clients,
+                population_n,
                 cfg.attack.proportion(),
                 cfg.attack.placement(),
                 hfl_ml::rng::derive_seed(cfg.seed, 0xBAD),
             ),
         };
 
-        let mut client_data = match &cfg.distribution {
-            DataDistribution::Iid => iid_partition(&task.train, n_clients, cfg.seed),
-            DataDistribution::NonIid { labels_per_client } => noniid_partition(
+        // The lazy shard plan: O(dataset) state however large the
+        // population, consuming exactly the RNG streams the eager
+        // partition functions did (the equivalence the ml crate's
+        // proptests pin down).
+        let population = match &cfg.distribution {
+            DataDistribution::Iid => ClientPopulation::iid(&task.train, population_n, cfg.seed),
+            DataDistribution::NonIid { labels_per_client } => ClientPopulation::noniid(
                 &task.train,
-                n_clients,
+                population_n,
                 *labels_per_client,
                 &malicious,
                 cfg.seed,
             ),
             DataDistribution::Dirichlet { alpha } => {
-                dirichlet_partition(&task.train, n_clients, *alpha, &malicious, cfg.seed)
+                ClientPopulation::dirichlet(&task.train, population_n, *alpha, &malicious, cfg.seed)
             }
         };
-
-        // Data poisoning happens once, up front: poisoned devices then
-        // train "honestly" on poisoned data for the whole run.
-        if let AttackCfg::Data { attack, .. } = &cfg.attack {
-            for (c, is_bad) in malicious.iter().enumerate() {
-                if *is_bad {
-                    let mut rng = rng_for_n(cfg.seed, &[0x1207, c as u64]);
-                    attack.apply(&mut client_data[c], &mut rng);
-                }
-            }
-        }
 
         let template = cfg.model.build(
             task.train.dim(),
@@ -179,29 +187,45 @@ impl Experiment {
         // bandwidth factor uniformly from [1, spread]; their product
         // stretches that client's synthesized arrival delay under async
         // rounds. Drawn from a dedicated stream so enabling profiles
-        // perturbs nothing else.
-        let arrival_profiles = cfg.heterogeneity.as_ref().map(|het| {
-            use rand::Rng;
-            let mut rng = rng_for_n(cfg.seed, &[0x4E70]);
-            (0..n_clients)
-                .map(|_| {
-                    let compute = 1.0 + rng.gen::<f64>() * (het.compute_spread - 1.0);
-                    let bandwidth = 1.0 + rng.gen::<f64>() * (het.bandwidth_spread - 1.0);
-                    compute * bandwidth
-                })
-                .collect()
-        });
+        // perturbs nothing else. Under sampling the per-client draw
+        // moves to `arrival_profile` (a dedicated stream per global id)
+        // so the profile table never materializes at population scale.
+        let arrival_profiles = match (&cfg.heterogeneity, &cfg.sampling) {
+            (Some(het), None) => {
+                use rand::Rng;
+                let mut rng = rng_for_n(cfg.seed, &[0x4E70]);
+                Some(
+                    (0..n_clients)
+                        .map(|_| {
+                            let compute = 1.0 + rng.gen::<f64>() * (het.compute_spread - 1.0);
+                            let bandwidth = 1.0 + rng.gen::<f64>() * (het.bandwidth_spread - 1.0);
+                            compute * bandwidth
+                        })
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
 
-        Ok(Self {
+        let mut exp = Self {
             hierarchy,
             task,
-            client_data,
+            population,
             malicious,
             template,
             config: cfg.clone(),
             injector,
             arrival_profiles,
-        })
+            shard_cache: None,
+        };
+        // Identity cohort: materialize every shard once (the pre-refactor
+        // eager layout — data poisoning happens up front and poisoned
+        // devices then train "honestly" on poisoned data for the whole
+        // run). Sampled runs instead derive shards per round, cohort-only.
+        if cfg.sampling.is_none() {
+            exp.shard_cache = Some((0..population_n).map(|c| exp.derive_shard(c)).collect());
+        }
+        Ok(exp)
     }
 
     /// The configuration this experiment was prepared from.
@@ -214,19 +238,106 @@ impl Experiment {
         self.injector.as_ref()
     }
 
-    /// The arrival-delay multiplier for `client` — 1.0 unless the
-    /// config carries a [`crate::config::HeterogeneityCfg`], in which
-    /// case the client's compute × bandwidth slowdown product.
+    /// The arrival-delay multiplier for global client `client` — 1.0
+    /// unless the config carries a
+    /// [`crate::config::HeterogeneityCfg`], in which case the client's
+    /// compute × bandwidth slowdown product. Table-backed in the
+    /// identity-cohort case, derived from a per-client stream under
+    /// sampling (O(1) state at any population size).
     pub fn arrival_profile(&self, client: usize) -> f64 {
-        self.arrival_profiles
-            .as_ref()
-            .and_then(|p| p.get(client).copied())
-            .unwrap_or(1.0)
+        if let Some(p) = &self.arrival_profiles {
+            return p.get(client).copied().unwrap_or(1.0);
+        }
+        let Some(het) = &self.config.heterogeneity else {
+            return 1.0;
+        };
+        use rand::Rng;
+        let mut rng = rng_for_n(self.config.seed, &[0x4E70, client as u64]);
+        let compute = 1.0 + rng.gen::<f64>() * (het.compute_spread - 1.0);
+        let bandwidth = 1.0 + rng.gen::<f64>() * (het.bandwidth_spread - 1.0);
+        compute * bandwidth
     }
 
-    /// Trains every client for one round from `global`, in parallel.
-    /// Returns one update per client (crafted updates substituted for
-    /// model-poisoning attackers).
+    /// Total client population n — the hierarchy's client count unless
+    /// per-round sampling binds the cohort to a larger population.
+    pub fn population_size(&self) -> usize {
+        self.population.num_clients()
+    }
+
+    /// The global client ids bound to the cohort's slots this round, in
+    /// ascending order (one per bottom-level hierarchy position).
+    /// Identity — slot `i` is client `i` — without sampling; otherwise a
+    /// per-round draw from a dedicated RNG stream, so enabling sampling
+    /// perturbs no other stream.
+    pub fn cohort(&self, round: usize) -> Vec<usize> {
+        let m = self.hierarchy.num_clients();
+        let Some(s) = &self.config.sampling else {
+            return (0..m).collect();
+        };
+        let n = s.population;
+        let mut rng = rng_for_n(self.config.seed, &[round as u64, 0x5A3F]);
+        let draw = |rng: &mut rand::rngs::StdRng, bound: u64| -> usize {
+            (rand::Rng::gen::<u64>(rng) % bound) as usize
+        };
+        match s.scheme {
+            SamplingScheme::Uniform => {
+                // Floyd's algorithm: m distinct ids from 0..n in O(m)
+                // draws and O(m) memory, independent of n.
+                let mut chosen = std::collections::HashSet::with_capacity(m);
+                for j in (n - m)..n {
+                    let t = draw(&mut rng, j as u64 + 1);
+                    if !chosen.insert(t) {
+                        chosen.insert(j);
+                    }
+                }
+                let mut cohort: Vec<usize> = chosen.into_iter().collect();
+                cohort.sort_unstable();
+                cohort
+            }
+            SamplingScheme::Stratified => {
+                // One pick per contiguous stratum [i·n/m, (i+1)·n/m):
+                // n ≥ m keeps every stratum non-empty, and the picks are
+                // strictly increasing (hence distinct and sorted).
+                (0..m)
+                    .map(|i| {
+                        let lo = i * n / m;
+                        let hi = (i + 1) * n / m;
+                        lo + draw(&mut rng, (hi - lo) as u64)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Global client `client`'s training shard — derived on demand from
+    /// the lazy partition plan, with the client's data poisoning applied
+    /// (poisoned devices train "honestly" on poisoned data). A clone of
+    /// the materialized shard in the identity-cohort case.
+    pub fn client_shard(&self, client: usize) -> Dataset {
+        match &self.shard_cache {
+            Some(cache) => cache[client].clone(),
+            None => self.derive_shard(client),
+        }
+    }
+
+    /// Derives the post-poisoning shard of global client `client` from
+    /// scratch: a pure function of `(seed, client, distribution,
+    /// attack)`, byte-identical to the eager preparation it replaced.
+    fn derive_shard(&self, client: usize) -> Dataset {
+        let mut shard = self.population.shard(&self.task.train, client);
+        if self.malicious[client] && !shard.is_empty() {
+            if let AttackCfg::Data { attack, .. } = &self.config.attack {
+                let mut rng = rng_for_n(self.config.seed, &[0x1207, client as u64]);
+                attack.apply(&mut shard, &mut rng);
+            }
+        }
+        shard
+    }
+
+    /// Trains this round's cohort from `global`, in parallel. Returns
+    /// one update per cohort slot (crafted updates substituted for
+    /// model-poisoning attackers). Without sampling the cohort is every
+    /// client.
     pub fn train_round(&self, global: &[f32], round: usize) -> Vec<Vec<f32>> {
         self.train_round_with(global, round, None, &Telemetry::disabled())
     }
@@ -247,19 +358,37 @@ impl Experiment {
         telem: &Telemetry,
     ) -> Vec<Vec<f32>> {
         let cfg = &self.config;
-        let n = self.client_data.len();
+        let cohort = self.cohort(round);
+        let n = cohort.len();
         let threads = hfl_parallel::default_threads();
-        let mut updates = hfl_parallel::par_map_indexed(n, threads, |c| {
+        let mut updates = hfl_parallel::par_map_indexed(n, threads, |slot| {
+            let c = cohort[slot];
             let mut model = self.template.clone_box();
             model.set_params(global);
-            let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
-            train_local(
-                model.as_mut(),
-                &self.client_data[c],
-                &cfg.sgd.at_round(round),
-                cfg.local_iters,
-                &mut rng,
-            );
+            // Borrow the materialized shard when cached (identity
+            // cohort); derive just this client's otherwise — per-round
+            // work stays O(cohort), not O(population).
+            let derived;
+            let shard = match &self.shard_cache {
+                Some(cache) => &cache[c],
+                None => {
+                    derived = self.derive_shard(c);
+                    &derived
+                }
+            };
+            // Populations larger than the dataset leave tail clients
+            // with empty shards; they contribute the round's starting
+            // model unchanged (a no-op local step).
+            if !shard.is_empty() {
+                let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
+                train_local(
+                    model.as_mut(),
+                    shard,
+                    &cfg.sgd.at_round(round),
+                    cfg.local_iters,
+                    &mut rng,
+                );
+            }
             model.params().to_vec()
         });
 
@@ -270,8 +399,8 @@ impl Experiment {
         if let Some(attack) = crafting {
             let honest: Vec<&[f32]> = updates
                 .iter()
-                .zip(&self.malicious)
-                .filter(|(_, bad)| !**bad)
+                .zip(&cohort)
+                .filter(|(_, &c)| !self.malicious[c])
                 .map(|(u, _)| u.as_slice())
                 .collect();
             let mut rng = rng_for_n(cfg.seed, &[round as u64, 0xE71]);
@@ -290,8 +419,8 @@ impl Experiment {
                     global.to_vec()
                 }
             };
-            for (u, bad) in updates.iter_mut().zip(&self.malicious) {
-                if *bad {
+            for (u, &c) in updates.iter_mut().zip(&cohort) {
+                if self.malicious[c] {
                     u.copy_from_slice(&crafted);
                 }
             }
@@ -302,6 +431,8 @@ impl Experiment {
     /// True when this device misbehaves *inside* aggregation protocols
     /// (only model-poisoning adversaries — static or adaptive — do; data
     /// poisoners follow the protocol honestly — paper Appendix D).
+    /// `device` is a *global* client id (callers map cohort slots
+    /// through the round's cohort first).
     pub(crate) fn protocol_byzantine(&self, device: usize) -> bool {
         matches!(
             self.config.attack,
@@ -319,7 +450,9 @@ impl Experiment {
             .as_ref()
             .and_then(|inj| inj.churn_leave_prob(round))
             .unwrap_or(self.config.churn_leave_prob);
-        let n = self.client_data.len();
+        // Churn is topological: it empties cohort *slots* (hierarchy
+        // positions), whatever client a sampled round bound to them.
+        let n = self.hierarchy.num_clients();
         if p == 0.0 {
             return vec![true; n];
         }

@@ -44,7 +44,7 @@ pub fn run_vanilla_prepared_with(
 ) -> InstrumentedRun {
     let cfg = exp.config();
     let agg = aggregator.build();
-    let n = exp.client_data.len();
+    let n = exp.hierarchy.num_clients();
     let mut global = exp.template.params().to_vec();
     let d = global.len();
     let model_bytes = (d * 4) as u64;

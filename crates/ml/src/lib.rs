@@ -31,12 +31,14 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod partition;
+pub mod population;
 pub mod rng;
 pub mod sgd;
 pub mod synth;
 
 pub use dataset::Dataset;
 pub use linear::LinearSoftmax;
+pub use population::{ClientPopulation, ShardPlan};
 pub use mlp::Mlp;
 pub use model::Model;
 pub use sgd::SgdConfig;

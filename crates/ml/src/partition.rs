@@ -17,20 +17,32 @@ use rand::SeedableRng;
 use crate::dataset::Dataset;
 use crate::rng::derive_seed;
 
+/// The IID *deal order*: per-label shuffle, concatenated in cursor order.
+/// Client `c` of an `n`-client IID partition owns exactly the positions
+/// `p ≡ c (mod n)` of this sequence, so the deal order is a complete,
+/// client-count-independent description of every IID partition of `data`
+/// under `seed` — the lazy [`crate::population::ClientPopulation`] stores
+/// it once (O(dataset), not O(n·shard)) and derives any client's shard on
+/// demand.
+pub fn iid_deal_order(data: &Dataset, seed: u64) -> Vec<usize> {
+    assert!(!data.is_empty(), "cannot partition empty dataset");
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x11D));
+    let mut order = Vec::with_capacity(data.len());
+    for mut group in data.indices_by_label() {
+        group.shuffle(&mut rng);
+        order.extend(group);
+    }
+    order
+}
+
 /// IID partition: per-label shuffle, then round-robin deal to clients so
 /// each client receives a near-equal, label-balanced shard.
 pub fn iid_partition(data: &Dataset, n_clients: usize, seed: u64) -> Vec<Dataset> {
     assert!(n_clients > 0, "need at least one client");
-    assert!(!data.is_empty(), "cannot partition empty dataset");
-    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x11D));
+    let order = iid_deal_order(data, seed);
     let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
-    let mut cursor = 0usize;
-    for mut group in data.indices_by_label() {
-        group.shuffle(&mut rng);
-        for idx in group {
-            assignments[cursor % n_clients].push(idx);
-            cursor += 1;
-        }
+    for (cursor, idx) in order.into_iter().enumerate() {
+        assignments[cursor % n_clients].push(idx);
     }
     assignments.iter().map(|a| data.subset(a)).collect()
 }
@@ -59,6 +71,23 @@ pub fn noniid_partition(
     malicious: &[bool],
     seed: u64,
 ) -> Vec<Dataset> {
+    noniid_assignments(data, n_clients, labels_per_client, malicious, seed)
+        .iter()
+        .map(|a| data.subset(a))
+        .collect()
+}
+
+/// Index-level form of [`noniid_partition`]: each client's sample indices
+/// in materialization order (anchor shards first, then leftover pops).
+/// `noniid_partition` is exactly `subset` over these lists; the lazy
+/// population stores them in CSR form and derives shards on demand.
+pub fn noniid_assignments(
+    data: &Dataset,
+    n_clients: usize,
+    labels_per_client: usize,
+    malicious: &[bool],
+    seed: u64,
+) -> Vec<Vec<usize>> {
     assert!(n_clients > 0, "need at least one client");
     assert_eq!(malicious.len(), n_clients, "malicious mask length mismatch");
     assert!(labels_per_client > 0);
@@ -125,18 +154,12 @@ pub fn noniid_partition(
     }
     assert!(leftovers.is_empty(), "unassigned shards remain");
 
-    // Materialize datasets.
+    // Flatten each client's shards in assignment order; `subset` over the
+    // flat list gathers the same rows in the same order a per-shard push
+    // loop would.
     assigned
         .into_iter()
-        .map(|shards| {
-            let mut ds = Dataset::empty(data.dim(), k);
-            for shard in shards {
-                for i in shard {
-                    ds.push(data.x(i), data.y(i));
-                }
-            }
-            ds
-        })
+        .map(|shards| shards.into_iter().flatten().collect())
         .collect()
 }
 
@@ -177,6 +200,23 @@ pub fn dirichlet_partition(
     malicious: &[bool],
     seed: u64,
 ) -> Vec<Dataset> {
+    dirichlet_assignments(data, n_clients, alpha, malicious, seed)
+        .iter()
+        .map(|a| data.subset(a))
+        .collect()
+}
+
+/// Index-level form of [`dirichlet_partition`]: each client's sample
+/// indices in deal order. The usability check (all clients non-empty,
+/// honest label coverage) runs on the index lists, so the function is
+/// draw-for-draw identical to materializing and checking datasets.
+pub fn dirichlet_assignments(
+    data: &Dataset,
+    n_clients: usize,
+    alpha: f64,
+    malicious: &[bool],
+    seed: u64,
+) -> Vec<Vec<usize>> {
     assert!(n_clients > 0, "need at least one client");
     assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
     assert_eq!(malicious.len(), n_clients, "malicious mask length mismatch");
@@ -204,9 +244,17 @@ pub fn dirichlet_partition(
                 start += count;
             }
         }
-        let parts: Vec<Dataset> = assignments.iter().map(|a| data.subset(a)).collect();
-        if parts.iter().all(|p| !p.is_empty()) && covers_all_labels(&parts, &honest, k) {
-            return parts;
+        let usable = assignments.iter().all(|a| !a.is_empty()) && {
+            let mut seen = vec![false; k];
+            for &c in &honest {
+                for &i in &assignments[c] {
+                    seen[data.y(i) as usize] = true;
+                }
+            }
+            seen.iter().all(|s| *s)
+        };
+        if usable {
+            return assignments;
         }
     }
     panic!(

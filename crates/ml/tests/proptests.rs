@@ -8,7 +8,13 @@ use rand::SeedableRng;
 use hfl_ml::loss::{argmax, softmax_in_place};
 use hfl_ml::partition::{covers_all_labels, dirichlet_partition, iid_partition, noniid_partition};
 use hfl_ml::synth::{SynthConfig, SyntheticDigits};
-use hfl_ml::{LinearSoftmax, Mlp, Model};
+use hfl_ml::{ClientPopulation, Dataset, LinearSoftmax, Mlp, Model};
+
+fn datasets_equal(a: &Dataset, b: &Dataset) -> bool {
+    a.len() == b.len()
+        && a.labels() == b.labels()
+        && (0..a.len()).all(|i| a.x(i) == b.x(i))
+}
 
 fn small_task(train: usize) -> SyntheticDigits {
     SyntheticDigits::generate(&SynthConfig {
@@ -106,6 +112,51 @@ proptest! {
         let b = dirichlet_partition(&task.train, 16, alpha, &malicious, seed);
         for (x, y) in a.iter().zip(&b) {
             prop_assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    fn lazy_iid_shards_match_eager(n_clients in 1usize..=64, seed in 0u64..100) {
+        let task = small_task(1_000);
+        let eager = iid_partition(&task.train, n_clients, seed);
+        let pop = ClientPopulation::iid(&task.train, n_clients, seed);
+        for (c, e) in eager.iter().enumerate() {
+            prop_assert!(datasets_equal(e, &pop.shard(&task.train, c)), "client {c}");
+        }
+    }
+
+    #[test]
+    fn lazy_noniid_shards_match_eager(bad_count in 0usize..28, seed in 0u64..100) {
+        let task = small_task(3_200);
+        let n = 32usize;
+        let mut malicious = vec![false; n];
+        for m in malicious.iter_mut().take(bad_count) {
+            *m = true;
+        }
+        let eager = noniid_partition(&task.train, n, 2, &malicious, seed);
+        let pop = ClientPopulation::noniid(&task.train, n, 2, &malicious, seed);
+        for (c, e) in eager.iter().enumerate() {
+            prop_assert!(datasets_equal(e, &pop.shard(&task.train, c)), "client {c}");
+        }
+    }
+
+    #[test]
+    fn lazy_dirichlet_shards_match_eager(
+        alpha_i in 0usize..3,
+        bad_count in 0usize..16,
+        seed in 0u64..100,
+    ) {
+        let alpha = [0.1f64, 1.0, 100.0][alpha_i];
+        let task = small_task(3_200);
+        let n = 32usize;
+        let mut malicious = vec![false; n];
+        for m in malicious.iter_mut().take(bad_count) {
+            *m = true;
+        }
+        let eager = dirichlet_partition(&task.train, n, alpha, &malicious, seed);
+        let pop = ClientPopulation::dirichlet(&task.train, n, alpha, &malicious, seed);
+        for (c, e) in eager.iter().enumerate() {
+            prop_assert!(datasets_equal(e, &pop.shard(&task.train, c)), "client {c}");
         }
     }
 

@@ -77,9 +77,13 @@ impl Observations {
 /// cluster and per-cluster tolerance arithmetic holds), nothing else
 /// removing contributors, and every bottom cluster's malicious count
 /// within the *composed* (pre-aggregation + base rule) tolerance.
+/// Sampled populations re-bind cohort slots every round, so the
+/// per-cluster malicious arithmetic has no fixed placement to bound —
+/// those scenarios are ineligible.
 fn byzantine_bound_eligible(spec: &ScenarioSpec, malicious_per_cluster: &[usize]) -> bool {
     let worst = malicious_per_cluster.iter().copied().max().unwrap_or(0);
     spec.attack.is_static()
+        && spec.sampling_population == 0
         && spec.proportion > 0.0
         && spec.protocol == ProtocolSpec::None
         && spec.faults.is_empty()
@@ -449,6 +453,28 @@ mod tests {
             "resumed rerun must match too"
         );
         assert!(crate::oracles::check_all(&cached).is_empty());
+    }
+
+    /// A sampled population re-binds cohort slots every round, so the
+    /// Byzantine-bound eligibility must skip those scenarios — and the
+    /// rest of the oracle battery must still hold end to end on one.
+    #[test]
+    fn sampled_scenarios_skip_the_byzantine_bound_but_pass_every_oracle() {
+        let mut gen = ScenarioGen::new(21);
+        let mut spec = loop {
+            let s = gen.draw();
+            if s.sampling_population > 0 {
+                break s;
+            }
+        };
+        spec.rounds = spec.rounds.min(3);
+        let obs = run_scenario(&spec).expect("sampled spec must lower");
+        assert!(
+            obs.clean_final_accuracy.is_none(),
+            "sampled specs are Byzantine-bound ineligible: {spec:?}"
+        );
+        let violations = crate::oracles::check_all(&obs);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     /// Anything other than a rounds-only change is a different base

@@ -6,7 +6,8 @@
 //! ([`crate::shrink`]), and diff readably in a corpus directory.
 
 use abd_hfl_core::config::{
-    AsyncRoundCfg, AttackCfg, DataDistribution, HeterogeneityCfg, HflConfig, LevelAgg, TopologyCfg,
+    AsyncRoundCfg, AttackCfg, DataDistribution, HeterogeneityCfg, HflConfig, LevelAgg, SamplingCfg,
+    TopologyCfg,
 };
 use hfl_attacks::{AdaptiveAttack, DataAttack, ModelAttack, Placement};
 use hfl_faults::FaultPlan;
@@ -374,6 +375,11 @@ pub struct ScenarioSpec {
     pub dirichlet_alpha: Option<f64>,
     /// Mixed-device compute/bandwidth heterogeneity profiles on?
     pub heterogeneity: bool,
+    /// Cross-device population the run samples its cohort from each
+    /// round; 0 keeps sampling off (the cohort *is* the population).
+    pub sampling_population: usize,
+    /// Stratified (index-range) sampling instead of uniform?
+    pub sampling_stratified: bool,
     /// Synthetic training-set size.
     pub train_samples: usize,
     /// Scheduled faults.
@@ -444,6 +450,13 @@ impl ScenarioSpec {
         };
         if self.heterogeneity {
             cfg.heterogeneity = Some(HeterogeneityCfg::mixed_devices());
+        }
+        if self.sampling_population > 0 {
+            cfg.sampling = Some(if self.sampling_stratified {
+                SamplingCfg::stratified(self.sampling_population, self.num_clients())
+            } else {
+                SamplingCfg::uniform(self.sampling_population, self.num_clients())
+            });
         }
         cfg.data = SynthConfig {
             train_samples: self.train_samples,
@@ -626,6 +639,8 @@ impl ScenarioGen {
             noniid,
             dirichlet_alpha,
             heterogeneity,
+            sampling_population: 0,
+            sampling_stratified: false,
             train_samples: [600, 1_000, 1_600][rng.gen_range(0..3usize)],
             faults: Vec::new(),
         };
@@ -660,6 +675,15 @@ impl ScenarioGen {
                 },
             };
             spec.faults.push(ev);
+        }
+        // Cross-device sampling rides at the end of the stream so every
+        // earlier field keeps its historical draw position. Dirichlet
+        // draws skip it: the partition's usability check needs every
+        // population member non-empty, which a fuzz-sized task cannot
+        // give a population several times its cohort.
+        if rng.gen_bool(0.2) && spec.dirichlet_alpha.is_none() {
+            spec.sampling_population = spec.num_clients() * [2usize, 4][rng.gen_range(0..2usize)];
+            spec.sampling_stratified = rng.gen_bool(0.5);
         }
         spec
     }
@@ -739,6 +763,35 @@ mod tests {
             0,
             "4 buckets cannot carry the Krum n ≥ 2f + 3 guarantee"
         );
+    }
+
+    #[test]
+    fn sampled_draws_lower_to_sampling_configs() {
+        use abd_hfl_core::config::SamplingScheme;
+        let mut gen = ScenarioGen::new(17);
+        let specs: Vec<_> = (0..150).map(|_| gen.draw()).collect();
+        let sampled: Vec<_> = specs
+            .iter()
+            .filter(|s| s.sampling_population > 0)
+            .collect();
+        assert!(!sampled.is_empty(), "the stream must draw sampled runs");
+        assert!(specs.iter().any(|s| s.sampling_population == 0));
+        assert!(sampled.iter().any(|s| s.sampling_stratified));
+        assert!(sampled.iter().any(|s| !s.sampling_stratified));
+        for s in &sampled {
+            assert!(
+                s.dirichlet_alpha.is_none(),
+                "sampling never rides a Dirichlet draw: {s:?}"
+            );
+            let cfg = s.to_config();
+            let sampling = cfg.sampling.expect("sampled spec must set cfg.sampling");
+            assert_eq!(sampling.population, s.sampling_population);
+            assert_eq!(sampling.cohort_size, s.num_clients());
+            assert_eq!(
+                sampling.scheme == SamplingScheme::Stratified,
+                s.sampling_stratified
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,11 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     push(&|s| s.noniid = false);
     push(&|s| s.dirichlet_alpha = None);
     push(&|s| s.heterogeneity = false);
+    push(&|s| {
+        // Back to the cohort-is-the-population default.
+        s.sampling_population = 0;
+        s.sampling_stratified = false;
+    });
     push(&|s| s.pre_agg = PreAggSpec::None);
     push(&|s| s.local_iters = 1);
     push(&|s| s.random_placement = false);
@@ -117,6 +122,8 @@ mod tests {
         spec.m = 4;
         spec.deadline_us = Some(4_000);
         spec.staleness_bound_us = 1_000;
+        spec.sampling_population = spec.num_clients() * 4;
+        spec.sampling_stratified = true;
         // Failure depends only on φ < 1 (say): everything else must
         // shrink away.
         spec.phi = 0.5;
@@ -135,6 +142,8 @@ mod tests {
         assert_eq!(shrunk.pre_agg, PreAggSpec::None);
         assert_eq!(shrunk.dirichlet_alpha, None);
         assert!(!shrunk.heterogeneity);
+        assert_eq!(shrunk.sampling_population, 0, "sampling must shrink away");
+        assert!(!shrunk.sampling_stratified);
         assert_eq!(shrunk.phi, 0.5, "the failing ingredient must survive");
     }
 

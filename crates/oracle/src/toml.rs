@@ -121,6 +121,12 @@ pub fn to_toml(spec: &ScenarioSpec) -> String {
     if spec.heterogeneity {
         line("heterogeneity", "true".into());
     }
+    // Sampling keys ride only on cross-device draws, keeping
+    // pre-sampling corpus files byte-stable.
+    if spec.sampling_population > 0 {
+        line("sampling_population", spec.sampling_population.to_string());
+        line("sampling_stratified", spec.sampling_stratified.to_string());
+    }
     line("train_samples", spec.train_samples.to_string());
     for fault in &spec.faults {
         out.push_str("\n[[fault]]\n");
@@ -365,6 +371,14 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         Some(_) => root.bool("heterogeneity")?,
         None => false,
     };
+    let sampling_population = match root.get("sampling_population") {
+        Some(_) => root.usize("sampling_population")?,
+        None => 0,
+    };
+    let sampling_stratified = match root.get("sampling_stratified") {
+        Some(_) => root.bool("sampling_stratified")?,
+        None => false,
+    };
     Ok(ScenarioSpec {
         seed: root.u64("seed")?,
         total_levels: root.usize("total_levels")?,
@@ -386,6 +400,8 @@ pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
         noniid: root.bool("noniid")?,
         dirichlet_alpha,
         heterogeneity,
+        sampling_population,
+        sampling_stratified,
         train_samples: root.usize("train_samples")?,
         faults: fault_events,
     })
@@ -433,8 +449,10 @@ mod tests {
         spec.pre_agg = PreAggSpec::None;
         spec.dirichlet_alpha = None;
         spec.heterogeneity = false;
+        spec.sampling_population = 0;
+        spec.sampling_stratified = false;
         let text = to_toml(&spec);
-        for key in ["pre_agg", "dirichlet_alpha", "heterogeneity"] {
+        for key in ["pre_agg", "dirichlet_alpha", "heterogeneity", "sampling"] {
             assert!(
                 !text.contains(key),
                 "default-shape cases must not grow `{key}`:\n{text}"
@@ -444,6 +462,8 @@ mod tests {
         assert_eq!(back.pre_agg, PreAggSpec::None);
         assert_eq!(back.dirichlet_alpha, None);
         assert!(!back.heterogeneity);
+        assert_eq!(back.sampling_population, 0);
+        assert!(!back.sampling_stratified);
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
             let mut row: Vec<f64> = (0..n).filter(|j| *j != i).map(|j| dists[i][j]).collect();
-            row.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+            // total_cmp, not partial_cmp: an adversarial NaN update must
+            // not panic the aggregator. NaN distances order after every
+            // finite distance, so a NaN-poisoned row scores worst and the
+            // input is never selected.
+            row.sort_unstable_by(f64::total_cmp);
             row.iter().take(keep).sum()
         })
         .collect()
@@ -82,7 +86,7 @@ impl Aggregator for Krum {
         let best = scores
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN score"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty scores")
             .0;
         updates[best].to_vec()
@@ -124,7 +128,7 @@ impl MultiKrum {
     pub fn select(&self, updates: &[&[f32]]) -> Vec<usize> {
         let scores = krum_scores(updates, self.f);
         let mut idx: Vec<usize> = (0..updates.len()).collect();
-        idx.sort_by(|a, b| scores[*a].partial_cmp(&scores[*b]).expect("NaN score"));
+        idx.sort_by(|a, b| scores[*a].total_cmp(&scores[*b]));
         idx.truncate(self.m.min(updates.len()));
         idx
     }
@@ -238,6 +242,33 @@ mod tests {
         assert!((out[0] - 1.0).abs() < 0.5);
         assert!(!Krum::guarantee_holds(1, 4));
         assert!(Krum::guarantee_holds(1, 5));
+    }
+
+    #[test]
+    fn nan_adversarial_update_cannot_panic_or_win() {
+        // A Byzantine client can submit NaN coordinates; every pairwise
+        // distance involving it is NaN. The sort/min must not panic
+        // (total_cmp orders NaN after all finite scores), and the
+        // NaN-scored input must never be selected.
+        let mut updates = cluster_with_outliers(&[1.0, 1.0], 0.1, 6, &[0.0, 0.0], 0);
+        updates.push(vec![f32::NAN, f32::INFINITY]);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+
+        let out = Krum::new(1).aggregate(&refs, None);
+        assert!(out.iter().all(|x| x.is_finite()), "Krum picked NaN: {out:?}");
+        assert!(hfl_tensor::ops::dist(&out, &[1.0, 1.0]) < 0.5);
+
+        let mk = MultiKrum::new(1, 4);
+        let sel = mk.select(&refs);
+        assert!(sel.iter().all(|&i| i < 6), "NaN input selected: {sel:?}");
+        let out = mk.aggregate(&refs, None);
+        assert!(out.iter().all(|x| x.is_finite()));
+
+        let scores = krum_scores(&refs, 1);
+        assert!(
+            scores[..6].iter().all(|s| s.is_finite()),
+            "honest scores must exclude the NaN tail: {scores:?}"
+        );
     }
 
     #[test]

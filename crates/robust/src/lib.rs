@@ -46,6 +46,7 @@ pub mod krum;
 pub mod mean;
 pub mod median;
 pub mod preagg;
+pub mod streaming;
 pub mod suspicion;
 pub mod trimmed_mean;
 
@@ -60,6 +61,7 @@ pub use krum::{Krum, MultiKrum};
 pub use mean::FedAvg;
 pub use median::CoordMedian;
 pub use preagg::{PreAggregated, PreAggregation};
+pub use streaming::{SampledKrum, StreamingMedian, StreamingTrimmedMean, DEFAULT_EXACT_THRESHOLD};
 pub use suspicion::{SuspicionChange, SuspicionConfig, SuspicionTracker};
 pub use trimmed_mean::TrimmedMean;
 
@@ -147,6 +149,33 @@ pub enum AggregatorKind {
         /// be a pre-aggregation.
         inner: Box<AggregatorKind>,
     },
+    /// One-pass coordinate-wise median: exact below `exact_threshold`
+    /// inputs, P² quantile markers (O(d) state) above. See
+    /// [`streaming::StreamingMedian`].
+    StreamingMedian {
+        /// Input count below which the exact batch kernel runs.
+        exact_threshold: usize,
+    },
+    /// One-pass coordinate-wise trimmed mean: exact below
+    /// `exact_threshold` inputs, deterministic row reservoir (capacity
+    /// `exact_threshold`) plus exact trim above. See
+    /// [`streaming::StreamingTrimmedMean`].
+    StreamingTrimmedMean {
+        /// Fraction trimmed from each tail, in `[0, 0.5)`.
+        ratio: f64,
+        /// Input count below which the exact batch kernel runs (also the
+        /// reservoir capacity).
+        exact_threshold: usize,
+    },
+    /// Krum over `m` arrival-order bucket means, bounding the distance
+    /// matrix to O(m²·d); exact Krum at or below `m` inputs. See
+    /// [`streaming::SampledKrum`].
+    SampledKrum {
+        /// Assumed number of Byzantine inputs.
+        f: usize,
+        /// Bucket budget (the effective Krum input count at scale).
+        m: usize,
+    },
 }
 
 impl AggregatorKind {
@@ -174,6 +203,14 @@ impl AggregatorKind {
                 PreAggregation::Nnm { k: *k },
                 inner.build(),
             )),
+            AggregatorKind::StreamingMedian { exact_threshold } => {
+                Box::new(StreamingMedian::new(*exact_threshold))
+            }
+            AggregatorKind::StreamingTrimmedMean {
+                ratio,
+                exact_threshold,
+            } => Box::new(StreamingTrimmedMean::new(*ratio, *exact_threshold)),
+            AggregatorKind::SampledKrum { f, m } => Box::new(SampledKrum::new(*f, *m)),
         }
     }
 
@@ -242,6 +279,14 @@ mod tests {
             AggregatorKind::CenteredClip { tau: 1.0, iters: 3 },
             AggregatorKind::CosineClustering { threshold: 0.5 },
             AggregatorKind::AutoGm { kappa: 3.0 },
+            AggregatorKind::StreamingMedian {
+                exact_threshold: 256,
+            },
+            AggregatorKind::StreamingTrimmedMean {
+                ratio: 0.2,
+                exact_threshold: 256,
+            },
+            AggregatorKind::SampledKrum { f: 1, m: 4 },
         ];
         let updates = cluster_with_outliers(&[1.0, 1.0], 0.1, 6, &[-9.0, 9.0], 1);
         let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();

@@ -1,0 +1,515 @@
+//! One-pass streaming aggregation kernels for sampled-cohort rounds.
+//!
+//! The batch kernels in [`crate::median`] / [`crate::trimmed_mean`] /
+//! [`crate::krum`] hold every update simultaneously: O(n·d) memory for
+//! the coordinate rules and an O(n²·d) distance matrix for Krum. With
+//! per-round client sampling the collector sees updates *in arrival
+//! order* and the cohort can be large; these variants bound the working
+//! set independently of the input count:
+//!
+//! * [`StreamingMedian`] — P² quantile estimation (Jain & Chlamtac,
+//!   CACM 1985) per coordinate: five markers per coordinate, one pass,
+//!   O(d) state.
+//! * [`StreamingTrimmedMean`] — a deterministic reservoir of whole rows
+//!   (Algorithm R with a splitmix64-hashed replacement slot, so the same
+//!   arrival order always yields the same reservoir), then the exact
+//!   trimmed mean over the reservoir: O(R·d) state with R fixed.
+//! * [`SampledKrum`] — arrival-order bucketing to `m` bucket means, then
+//!   exact Krum over the means: the distance matrix shrinks from
+//!   O(n²·d) to O(m²·d).
+//!
+//! Every rule falls back to the exact batch kernel below a configurable
+//! input-count threshold, so small-cohort rounds — everything the paper's
+//! evaluation actually runs — are bit-identical to the batch rules; the
+//! approximations only engage past the threshold where the batch kernels
+//! would dominate memory. The equivalence proptests in
+//! `crates/robust/tests/proptests.rs` pin the fallback regime.
+
+use crate::{validate_updates, Aggregator, Krum};
+
+/// Default input-count threshold below which the streaming rules run the
+/// exact batch kernel. Chosen well above every cluster size the paper's
+/// topologies produce, so existing configs that opt into a streaming
+/// rule still aggregate exactly.
+pub const DEFAULT_EXACT_THRESHOLD: usize = 256;
+
+/// Single-quantile P² estimator (five markers). State is 15 `f64`s; one
+/// observation is O(1). The estimate is arrival-order dependent (it is
+/// an online approximation), but fully deterministic for a fixed order.
+#[derive(Clone, Debug)]
+struct P2Median {
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Observations seen so far; the first five are buffered in `q`.
+    count: usize,
+}
+
+impl P2Median {
+    fn new() -> Self {
+        Self {
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 2.0, 3.0, 4.0, 5.0],
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.q[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_unstable_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+        // Locate the cell and stretch the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = self.q[4].max(x);
+            3
+        } else {
+            let mut k = 0;
+            for i in 1..4 {
+                if x >= self.q[i] {
+                    k = i;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        // Desired positions for p = 0.5: increments (0, 1/4, 1/2, 3/4, 1).
+        self.np[1] += 0.25;
+        self.np[2] += 0.5;
+        self.np[3] += 0.75;
+        self.np[4] += 1.0;
+        // Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            // Exact median of the buffered prefix.
+            let mut buf = self.q[..self.count].to_vec();
+            buf.sort_unstable_by(f64::total_cmp);
+            let m = self.count;
+            return if m % 2 == 1 {
+                buf[m / 2]
+            } else {
+                0.5 * (buf[m / 2 - 1] + buf[m / 2])
+            };
+        }
+        self.q[2]
+    }
+}
+
+/// Coordinate-wise median with O(d) streaming state past
+/// [`exact_threshold`](Self::exact_threshold) inputs.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingMedian {
+    exact_threshold: usize,
+}
+
+impl StreamingMedian {
+    /// Streaming median that runs the exact batch kernel below
+    /// `exact_threshold` inputs and P² above.
+    pub fn new(exact_threshold: usize) -> Self {
+        Self {
+            exact_threshold: exact_threshold.max(1),
+        }
+    }
+
+    /// The exact-fallback threshold.
+    pub fn exact_threshold(&self) -> usize {
+        self.exact_threshold
+    }
+}
+
+impl Aggregator for StreamingMedian {
+    fn name(&self) -> &'static str {
+        "streaming-median"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        if updates.len() < self.exact_threshold {
+            let mut out = vec![0.0f32; d];
+            hfl_tensor::stats::coordinate_median(updates, &mut out);
+            return out;
+        }
+        let mut est: Vec<P2Median> = vec![P2Median::new(); d];
+        for row in updates {
+            for (e, &x) in est.iter_mut().zip(row.iter()) {
+                e.observe(x as f64);
+            }
+        }
+        est.iter().map(|e| e.estimate() as f32).collect()
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        // Same breakdown point as the batch median.
+        n.saturating_sub(1) / 2
+    }
+}
+
+/// splitmix64 finalizer: the deterministic "coin" for reservoir slots.
+/// Inlined rather than pulled from `hfl-ml` to keep this crate's
+/// dependency set unchanged.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Coordinate-wise trimmed mean over a deterministic row reservoir past
+/// [`exact_threshold`](Self::exact_threshold) inputs.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingTrimmedMean {
+    ratio: f64,
+    exact_threshold: usize,
+}
+
+impl StreamingTrimmedMean {
+    /// Streaming trimmed mean removing a `ratio` fraction from each tail,
+    /// exact below `exact_threshold` inputs and reservoir-based above
+    /// (the reservoir holds `exact_threshold` rows).
+    ///
+    /// # Panics
+    /// If `ratio` is outside `[0, 0.5)`.
+    pub fn new(ratio: f64, exact_threshold: usize) -> Self {
+        assert!(
+            (0.0..0.5).contains(&ratio),
+            "trim ratio {ratio} outside [0, 0.5)"
+        );
+        Self {
+            ratio,
+            exact_threshold: exact_threshold.max(1),
+        }
+    }
+
+    /// The exact-fallback threshold (also the reservoir capacity).
+    pub fn exact_threshold(&self) -> usize {
+        self.exact_threshold
+    }
+
+    fn trim_count(&self, n: usize) -> usize {
+        let t = (self.ratio * n as f64).floor() as usize;
+        if 2 * t >= n {
+            n.saturating_sub(1) / 2
+        } else {
+            t
+        }
+    }
+}
+
+impl Aggregator for StreamingTrimmedMean {
+    fn name(&self) -> &'static str {
+        "streaming-trimmed-mean"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        let mut out = vec![0.0f32; d];
+        if updates.len() < self.exact_threshold {
+            hfl_tensor::stats::coordinate_trimmed_mean(
+                updates,
+                self.trim_count(updates.len()),
+                &mut out,
+            );
+            return out;
+        }
+        // Algorithm R over whole rows with a hash-derived slot: arrival
+        // `i` replaces slot `splitmix64(i) mod (i + 1)` when that lands
+        // inside the reservoir. Same arrival order ⇒ same reservoir.
+        let cap = self.exact_threshold;
+        let mut reservoir: Vec<&[f32]> = Vec::with_capacity(cap);
+        for (i, row) in updates.iter().enumerate() {
+            if i < cap {
+                reservoir.push(row);
+            } else {
+                let j = (splitmix64(i as u64) % (i as u64 + 1)) as usize;
+                if j < cap {
+                    reservoir[j] = row;
+                }
+            }
+        }
+        let trim = self.trim_count(reservoir.len());
+        hfl_tensor::stats::coordinate_trimmed_mean(&reservoir, trim, &mut out);
+        out
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        // The trim budget is what the rule absorbs per coordinate; past
+        // the threshold it applies to the reservoir, which the adversary
+        // does not control the membership of.
+        self.trim_count(n.min(self.exact_threshold))
+    }
+}
+
+/// Krum over `m` arrival-order bucket means: bounds the pairwise
+/// distance matrix to O(m²·d) regardless of the input count. Exact Krum
+/// below `m` inputs.
+#[derive(Clone, Copy, Debug)]
+pub struct SampledKrum {
+    f: usize,
+    m: usize,
+}
+
+impl SampledKrum {
+    /// Sampled Krum assuming at most `f` Byzantine inputs, bucketing to
+    /// at most `m` bucket means.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    pub fn new(f: usize, m: usize) -> Self {
+        assert!(m > 0, "sampled Krum needs at least one bucket");
+        Self { f, m }
+    }
+
+    /// The assumed Byzantine count.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The bucket budget.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl Aggregator for SampledKrum {
+    fn name(&self) -> &'static str {
+        "sampled-krum"
+    }
+
+    fn aggregate(&self, updates: &[&[f32]], weights: Option<&[f32]>) -> Vec<f32> {
+        let d = validate_updates(updates);
+        let n = updates.len();
+        if n <= self.m {
+            return Krum::new(self.f).aggregate(updates, weights);
+        }
+        // Contiguous arrival-order buckets, near-equal sizes. One
+        // Byzantine input corrupts at most its own bucket mean, so `f`
+        // Byzantine inputs corrupt at most `f` of the `m` means and the
+        // usual Krum resilience argument applies at the bucket level.
+        let per = n / self.m;
+        let extra = n % self.m;
+        let mut means: Vec<Vec<f32>> = Vec::with_capacity(self.m);
+        let mut start = 0;
+        for b in 0..self.m {
+            let size = per + usize::from(b < extra);
+            let bucket = &updates[start..start + size];
+            let mut mean = vec![0.0f32; d];
+            hfl_tensor::ops::mean_of(bucket, &mut mean);
+            means.push(mean);
+            start += size;
+        }
+        let refs: Vec<&[f32]> = means.iter().map(|v| v.as_slice()).collect();
+        Krum::new(self.f).aggregate(&refs, None)
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        // Krum's bound evaluated at the effective input count (buckets
+        // past the cut, raw inputs below it).
+        self.m.min(n).saturating_sub(3) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::cluster_with_outliers;
+    use crate::{CoordMedian, TrimmedMean};
+
+    fn refs(v: &[Vec<f32>]) -> Vec<&[f32]> {
+        v.iter().map(|x| x.as_slice()).collect()
+    }
+
+    /// Deterministic pseudo-shuffle: a fixed-seed Fisher–Yates over the
+    /// splitmix64 stream.
+    fn shuffled<T: Clone>(xs: &[T], seed: u64) -> Vec<T> {
+        let mut v = xs.to_vec();
+        for i in (1..v.len()).rev() {
+            let j = (splitmix64(seed.wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn exact_fallback_matches_batch_median_any_order() {
+        let updates = cluster_with_outliers(&[1.0, -2.0, 0.5], 0.4, 9, &[40.0, -40.0, 0.0], 2);
+        let sm = StreamingMedian::new(DEFAULT_EXACT_THRESHOLD);
+        for seed in 0..5u64 {
+            let perm = shuffled(&updates, seed);
+            let got = sm.aggregate(&refs(&perm), None);
+            let want = CoordMedian.aggregate(&refs(&perm), None);
+            assert_eq!(got, want, "fallback must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn exact_fallback_matches_batch_trimmed_mean_any_order() {
+        let updates = cluster_with_outliers(&[2.0, 2.0], 0.3, 10, &[-25.0, 25.0], 2);
+        let st = StreamingTrimmedMean::new(0.2, DEFAULT_EXACT_THRESHOLD);
+        let bt = TrimmedMean::new(0.2);
+        for seed in 0..5u64 {
+            let perm = shuffled(&updates, seed);
+            let got = st.aggregate(&refs(&perm), None);
+            let want = bt.aggregate(&refs(&perm), None);
+            assert_eq!(got, want, "fallback must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn p2_path_approximates_the_median() {
+        // 1000 inputs, well past a threshold of 16: the P² estimate per
+        // coordinate must land near the true median.
+        let n = 1000;
+        let updates: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let x = (splitmix64(i as u64) % 2000) as f32 / 1000.0 - 1.0;
+                vec![x, 3.0 + x * 0.5]
+            })
+            .collect();
+        let out = StreamingMedian::new(16).aggregate(&refs(&updates), None);
+        let exact = CoordMedian.aggregate(&refs(&updates), None);
+        for (o, e) in out.iter().zip(&exact) {
+            assert!((o - e).abs() < 0.05, "P² estimate {o} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn p2_path_resists_minority_outliers() {
+        // Outliers interleaved with honest arrivals (the engine shuffles
+        // arrival order). P² is an approximation whose marker heights
+        // interpolate across the honest/outlier gap, so the contract is
+        // "stays with the honest cloud", not exact-median tightness:
+        // the estimate must end up orders of magnitude closer to the
+        // honest center than to the ±50 outliers, for every order.
+        for seed in 0..5u64 {
+            let updates = shuffled(
+                &cluster_with_outliers(&[1.0, 2.0], 0.1, 60, &[50.0, -50.0], 12),
+                seed,
+            );
+            let out = StreamingMedian::new(16).aggregate(&refs(&updates), None);
+            assert!(
+                hfl_tensor::ops::dist(&out, &[1.0, 2.0]) < 5.0,
+                "P² dragged by outliers at shuffle {seed}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_path_resists_minority_outliers() {
+        let updates = cluster_with_outliers(&[0.0, 1.0], 0.2, 500, &[1e5, -1e5], 50);
+        let st = StreamingTrimmedMean::new(0.2, 64);
+        for seed in 0..3u64 {
+            let perm = shuffled(&updates, seed);
+            let out = st.aggregate(&refs(&perm), None);
+            assert!(
+                hfl_tensor::ops::dist(&out, &[0.0, 1.0]) < 0.5,
+                "reservoir trim failed at shuffle {seed}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_arrival_order() {
+        let updates = cluster_with_outliers(&[5.0], 1.0, 300, &[9.0], 0);
+        let st = StreamingTrimmedMean::new(0.1, 32);
+        let a = st.aggregate(&refs(&updates), None);
+        let b = st.aggregate(&refs(&updates), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_krum_is_exact_below_the_cut() {
+        let updates = cluster_with_outliers(&[1.0, 1.0], 0.1, 6, &[80.0, 80.0], 1);
+        let got = SampledKrum::new(1, 16).aggregate(&refs(&updates), None);
+        let want = Krum::new(1).aggregate(&refs(&updates), None);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sampled_krum_buckets_resist_outliers() {
+        // 97 honest + 3 adversarial inputs, 10 buckets of 10: at most 3
+        // bucket means are corrupted, so clean buckets hold a strict
+        // majority and Krum over the means must pick one of them
+        // regardless of which buckets the shuffle poisons.
+        let updates = cluster_with_outliers(&[2.0, -2.0], 0.2, 97, &[500.0, -500.0], 3);
+        for seed in 0..3u64 {
+            let perm = shuffled(&updates, seed);
+            let out = SampledKrum::new(3, 10).aggregate(&refs(&perm), None);
+            assert!(
+                hfl_tensor::ops::dist(&out, &[2.0, -2.0]) < 5.0,
+                "corrupted bucket selected at shuffle {seed}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_krum_bounds_tolerance_by_buckets() {
+        let sk = SampledKrum::new(2, 11);
+        assert_eq!(sk.max_byzantine(1000), 4); // (11 − 3) / 2
+        assert_eq!(sk.max_byzantine(9), 3); // below the cut: (9 − 3) / 2
+    }
+
+    #[test]
+    fn streaming_thresholds_are_clamped_positive() {
+        let sm = StreamingMedian::new(0);
+        assert_eq!(sm.exact_threshold(), 1);
+        let st = StreamingTrimmedMean::new(0.0, 0);
+        assert_eq!(st.exact_threshold(), 1);
+    }
+
+    #[test]
+    fn p2_small_prefix_is_exact() {
+        // Fewer than five observations: the estimator reports the exact
+        // median of what it has seen.
+        let mut e = P2Median::new();
+        for x in [3.0, 1.0, 2.0] {
+            e.observe(x);
+        }
+        assert_eq!(e.estimate(), 2.0);
+    }
+}

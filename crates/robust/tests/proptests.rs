@@ -4,8 +4,26 @@
 use proptest::prelude::*;
 
 use hfl_robust::{
-    Aggregator, CenteredClip, CoordMedian, FedAvg, GeoMed, Krum, MultiKrum, TrimmedMean,
+    Aggregator, CenteredClip, CoordMedian, FedAvg, GeoMed, Krum, MultiKrum, SampledKrum,
+    StreamingMedian, StreamingTrimmedMean, TrimmedMean, DEFAULT_EXACT_THRESHOLD,
 };
+
+/// Max units-in-last-place gap between two f32 values (0 = bit-identical
+/// up to signed-zero equivalence).
+fn ulp_gap(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let to_ordered = |x: f32| {
+        let bits = x.to_bits() as i32;
+        if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    };
+    to_ordered(a).abs_diff(to_ordered(b))
+}
 
 /// Honest updates in a small box around `center`, plus `n_bad` copies of
 /// an arbitrary adversarial vector.
@@ -253,6 +271,59 @@ proptest! {
         for j in 0..out.len() {
             prop_assert!(out[j] >= lo[j] && out[j] <= hi[j]);
         }
+    }
+
+    // Streaming-kernel equivalence (ISSUE 9): below the exact-fallback
+    // threshold the streaming rules must reproduce the batch kernels on
+    // *any* arrival order, within 1 ulp.
+
+    #[test]
+    fn streaming_median_matches_exact_on_any_arrival_order(
+        (honest, n_bad, bad) in scenario(),
+        seed in 0u64..1000,
+    ) {
+        let mut refs = all_inputs(&honest, &bad, n_bad);
+        let n = refs.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            refs.swap(i, j);
+        }
+        let exact = CoordMedian.aggregate(&refs, None);
+        let streamed = StreamingMedian::new(DEFAULT_EXACT_THRESHOLD).aggregate(&refs, None);
+        for (j, (e, s)) in exact.iter().zip(&streamed).enumerate() {
+            prop_assert!(ulp_gap(*e, *s) <= 1, "coord {j}: exact {e} vs streamed {s}");
+        }
+    }
+
+    #[test]
+    fn streaming_trimmed_mean_matches_exact_on_any_arrival_order(
+        (honest, n_bad, bad) in scenario(),
+        ratio_pct in 0u32..50,
+        seed in 0u64..1000,
+    ) {
+        let ratio = ratio_pct as f64 / 100.0;
+        let mut refs = all_inputs(&honest, &bad, n_bad);
+        let n = refs.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(37).wrapping_add(i * 13)) % n;
+            refs.swap(i, j);
+        }
+        let exact = TrimmedMean::new(ratio).aggregate(&refs, None);
+        let streamed =
+            StreamingTrimmedMean::new(ratio, DEFAULT_EXACT_THRESHOLD).aggregate(&refs, None);
+        for (j, (e, s)) in exact.iter().zip(&streamed).enumerate() {
+            prop_assert!(ulp_gap(*e, *s) <= 1, "coord {j}: exact {e} vs streamed {s}");
+        }
+    }
+
+    #[test]
+    fn sampled_krum_is_exact_krum_below_the_bucket_cut(
+        (honest, n_bad, bad) in scenario(),
+    ) {
+        let refs = all_inputs(&honest, &bad, n_bad);
+        let exact = Krum::new(n_bad).aggregate(&refs, None);
+        let sampled = SampledKrum::new(n_bad, refs.len()).aggregate(&refs, None);
+        prop_assert_eq!(exact, sampled);
     }
 
     #[test]

@@ -80,13 +80,28 @@ for config in clean faulted armed withhold; do
 done
 echo "snapshot resume determinism gate passed"
 
-# Performance baseline: sync + async rounds/sec, kernel ns/op and
-# bytes/round into BENCH_7.json (the binary self-validates that nothing
-# measured zero).
+# Population-scale smoke + determinism gate: a 10⁴-client population
+# sampled down to a 64-slot cohort each round over the streaming
+# kernels (DESIGN.md §14) — two same-seed runs must produce
+# byte-identical manifest logs, proving the per-round sampling stream
+# and the lazy shard derivation are pure functions of the seed.
+cargo run --release -p hfl-bench --bin repro_scale -- \
+    --smoke --seed 42 --out "$tmp/k" >/dev/null
+cargo run --release -p hfl-bench --bin repro_scale -- \
+    --smoke --seed 42 --out "$tmp/l" >/dev/null
+diff "$tmp/k/scale.manifests.jsonl" "$tmp/l/scale.manifests.jsonl" \
+    || { echo "repro_scale manifests differ across same-seed runs"; exit 1; }
+test -s "$tmp/k/BENCH_9.json" \
+    || { echo "repro_scale produced no BENCH_9.json"; exit 1; }
+echo "repro_scale determinism gate passed"
+
+# Performance baseline: sync + async rounds/sec, updates/sec, kernel
+# ns/op, bytes/round and the per-round allocation peak into
+# BENCH_9.json (the binary self-validates that nothing measured zero).
 cargo run --release -p hfl-bench --bin perf_baseline -- \
     --quick --out "$tmp/perf" >/dev/null
-test -s "$tmp/perf/BENCH_7.json" \
-    || { echo "perf_baseline produced no BENCH_7.json"; exit 1; }
+test -s "$tmp/perf/BENCH_9.json" \
+    || { echo "perf_baseline produced no BENCH_9.json"; exit 1; }
 echo "perf baseline gate passed"
 
 # Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the

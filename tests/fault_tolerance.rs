@@ -2,10 +2,13 @@
 //! crashes, leader kills and partitions (ISSUE acceptance criteria for
 //! the `hfl-faults` subsystem).
 
-use abd_hfl::core::config::{AttackCfg, HflConfig};
+use abd_hfl::attacks::{ModelAttack, Placement};
+use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg, SamplingCfg};
+use abd_hfl::core::engine::cost::clean_round_messages;
 use abd_hfl::core::run::RunOptions;
 use abd_hfl::core::runner::{run_prepared_with, Experiment};
 use abd_hfl::faults::FaultPlan;
+use abd_hfl::robust::{AggregatorKind, SuspicionConfig};
 use abd_hfl::telemetry::Telemetry;
 
 fn run_abd_hfl_with(
@@ -196,4 +199,158 @@ fn recovering_crash_rejoins() {
         "recovery missing from the fault log"
     );
     assert!(run.result.final_accuracy > 0.75);
+}
+
+// ---- cross-device sampling × fault/churn/suspicion composition ------
+// (DESIGN.md §14: absence, quarantine and sampling must compose; a
+// sampled-out client is simply not there — never charged, never struck.)
+
+#[test]
+fn identity_sampling_is_byte_identical_to_no_sampling() {
+    // An m-of-m draw binds slot i to client i under both schemes, so
+    // turning sampling on without a larger population must not perturb
+    // a single stream — training, churn, eval or accounting.
+    let run = |sampling: Option<SamplingCfg>| {
+        let mut cfg = fast(206);
+        cfg.sampling = sampling;
+        let mut m = run_abd_hfl_with(&cfg, &Telemetry::disabled()).manifest;
+        // The config hash legitimately differs (the sampling key is in
+        // the hashed Debug rendering); everything the run *did* must not.
+        m.config_hash = String::new();
+        m.to_json()
+    };
+    let baseline = run(None);
+    assert_eq!(
+        baseline,
+        run(Some(SamplingCfg::uniform(64, 64))),
+        "uniform 64-of-64 sampling must match the unsampled run byte for byte"
+    );
+    assert_eq!(
+        baseline,
+        run(Some(SamplingCfg::stratified(64, 64))),
+        "stratified 64-of-64 sampling must match the unsampled run byte for byte"
+    );
+}
+
+#[test]
+fn sampled_out_clients_are_never_charged_messages() {
+    // 1024 clients, 64 sampled per round: the message ledger must stay
+    // exactly the cohort topology's closed form every round — the other
+    // 960 clients are not throttled or skipped, they simply do not
+    // exist on the wire.
+    let mut cfg = fast(207);
+    cfg.levels = vec![LevelAgg::Bra(AggregatorKind::FedAvg); 3];
+    cfg.sampling = Some(SamplingCfg::uniform(1024, 64));
+    let exp = Experiment::try_prepare(&cfg).expect("valid sampled config");
+    let expected = clean_round_messages(&cfg, &exp.hierarchy)
+        .expect("an all-BRA stack has a closed-form message count");
+    let run = run_prepared_with(&exp, &Telemetry::disabled());
+    for r in &run.manifest.rounds {
+        assert_eq!(
+            r.messages, expected,
+            "round {}: message count depends on the population, not the cohort",
+            r.round
+        );
+    }
+    assert_eq!(run.manifest.totals.messages, expected * cfg.rounds as u64);
+}
+
+#[test]
+fn suspicion_strikes_only_sampled_cohort_members() {
+    // A sign-flipping coalition of every 8th client in a 128-client
+    // population, half sampled each round — the sorted cohort maps ~8
+    // consecutive global ids onto each 4-slot cluster, so the spacing
+    // keeps clusters near the f = 1 the aggregator assumes. Strike
+    // evidence only exists for clients that aggregated this round, so
+    // every quarantine (and any equivocation conviction) must name a
+    // member of that round's cohort — and scores are identity-bound,
+    // so the quarantines track the coalition across re-sampled cohorts.
+    let mut cfg = fast(208);
+    cfg.attack = AttackCfg::Model {
+        attack: ModelAttack::SignFlip { scale: 10.0 },
+        proportion: 0.125,
+        placement: Placement::Prefix,
+    };
+    cfg.malicious_override = Some((0..128).map(|c| c % 8 == 1).collect());
+    let mk = AggregatorKind::MultiKrum { f: 1, m: 3 };
+    cfg.levels = vec![
+        LevelAgg::Bra(mk.clone()),
+        LevelAgg::Bra(mk.clone()),
+        LevelAgg::Bra(mk),
+    ];
+    // Sampled clients are only present (and thus only strikeable) about
+    // half the rounds, so a slower decay than the always-present
+    // arms-race setting is needed for intermittent strikes to accumulate.
+    cfg.suspicion = Some(SuspicionConfig {
+        decay: 0.95,
+        quarantine_threshold: 3.0,
+        release_threshold: 0.8,
+    });
+    cfg.sampling = Some(SamplingCfg::uniform(128, 64));
+    let exp = Experiment::try_prepare(&cfg).expect("valid sampled config");
+    let run = run_prepared_with(&exp, &Telemetry::disabled());
+    assert!(
+        run.result.quarantined_total > 0,
+        "the coalition must lose client-rounds to quarantine"
+    );
+    let suspicion = run
+        .manifest
+        .suspicion
+        .as_ref()
+        .expect("suspicion section must be in the manifest when the layer runs");
+    let strikes: Vec<_> = suspicion
+        .events
+        .iter()
+        .filter(|e| e.kind == "quarantined" || e.kind == "equivocation")
+        .collect();
+    assert!(!strikes.is_empty(), "the attack must produce quarantines");
+    for e in &strikes {
+        let cohort = exp.cohort(e.round);
+        assert!(
+            cohort.binary_search(&e.client).is_ok(),
+            "round {}: client {} was {} without being in the sampled cohort {:?}",
+            e.round,
+            e.client,
+            e.kind,
+            cohort
+        );
+    }
+    // Unlike the fixed-placement arms-race test, per-round sampling can
+    // hand a cluster a malicious majority, making its honest outlier
+    // collect strikes — so demand the coalition dominates the
+    // quarantine log rather than owning it outright.
+    let (malicious, honest): (Vec<usize>, Vec<usize>) = suspicion
+        .events
+        .iter()
+        .filter(|e| e.kind == "quarantined")
+        .map(|e| e.client)
+        .partition(|&c| exp.malicious[c]);
+    assert!(
+        malicious.len() > honest.len(),
+        "quarantines must concentrate on the coalition: malicious {malicious:?} vs honest {honest:?}"
+    );
+}
+
+#[test]
+fn churn_absence_is_bounded_by_the_cohort_not_the_population() {
+    // Churn rolls once per bound cohort slot, so even with a population
+    // four times the cohort no round can lose more clients than it
+    // sampled.
+    let mut cfg = fast(209);
+    cfg.sampling = Some(SamplingCfg::uniform(256, 64));
+    cfg.churn_leave_prob = 0.2;
+    let run = run_abd_hfl_with(&cfg, &Telemetry::disabled());
+    assert!(
+        run.manifest.totals.absent > 0,
+        "20% churn over 25 rounds must register absences"
+    );
+    for r in &run.manifest.rounds {
+        assert!(
+            r.absent <= 64,
+            "round {}: {} absences exceed the 64-slot cohort",
+            r.round,
+            r.absent
+        );
+    }
+    assert!(run.result.final_accuracy.is_finite());
 }
