@@ -1,0 +1,124 @@
+//! The no-regression gate between two bench documents: joins the
+//! `kernels` arrays of a *before* file (`BENCH_9.json`, hot kernels
+//! timed through the retained naive references) and an *after* file
+//! (`BENCH_10.json`, the optimized hot paths) on kernel name, and
+//! hard-fails when any shared kernel's `ns_per_op` regressed by more
+//! than 25% — or when the after file's `steady_allocs_per_round` is
+//! not exactly zero.
+//!
+//! ```sh
+//! bench_compare <before.json> <after.json>
+//! ```
+//!
+//! `scripts/ci.sh` runs this right after `perf_baseline --quick`. The
+//! 25% budget absorbs timer noise on loaded CI machines while still
+//! catching a real hot-path regression (the overhaul's speedups are
+//! multiples, not percents); a sub-1.5× Krum-family speedup is
+//! reported as a warning rather than a failure so machine load cannot
+//! flake the tier-1 gate.
+
+use std::process::ExitCode;
+
+use hfl_telemetry::Json;
+
+/// Extracts `(name, ns_per_op)` for every row of the document's
+/// `kernels` array.
+fn kernel_times(doc: &Json, path: &str) -> Vec<(String, u64)> {
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing kernels array"));
+    kernels
+        .iter()
+        .map(|row| {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{path}: kernel row without a name"))
+                .to_string();
+            let ns = row
+                .get("ns_per_op")
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{path}: kernel {name} without ns_per_op"));
+            assert!(ns > 0, "{path}: kernel {name} timed at zero");
+            (name, ns)
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let [before_path, after_path] = argv.as_slice() else {
+        eprintln!("usage: bench_compare <before.json> <after.json>");
+        return ExitCode::FAILURE;
+    };
+    let before_doc = load(before_path);
+    let after_doc = load(after_path);
+    let before = kernel_times(&before_doc, before_path);
+    let after = kernel_times(&after_doc, after_path);
+
+    let mut failures = Vec::new();
+    let mut shared = 0usize;
+    for (name, after_ns) in &after {
+        let Some((_, before_ns)) = before.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        shared += 1;
+        let ratio = *after_ns as f64 / *before_ns as f64;
+        println!(
+            "kernel {name}: before {before_ns} ns/op, after {after_ns} ns/op \
+             ({:.2}x speedup)",
+            1.0 / ratio
+        );
+        if ratio > 1.25 {
+            failures.push(format!(
+                "kernel {name} regressed {:.0}% (before {before_ns} ns/op, \
+                 after {after_ns} ns/op; budget is 25%)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        if name == "krum_scores" && ratio > 1.0 / 1.5 {
+            eprintln!(
+                "warning: Krum-family scoring speedup {:.2}x is below the \
+                 expected 1.5x (machine load?)",
+                1.0 / ratio
+            );
+        }
+    }
+    if shared == 0 {
+        failures.push(format!(
+            "no kernel names shared between {before_path} and {after_path} — \
+             the join is vacuous, nothing was compared"
+        ));
+    }
+
+    // The after file carries the steady-state allocation count; zero is
+    // a hard invariant of the workspace arena, not a perf number, so it
+    // gates unconditionally.
+    let steady = after_doc
+        .get("steady_allocs_per_round")
+        .and_then(Json::as_u64);
+    match steady {
+        Some(0) => println!("steady-state allocations per round: 0"),
+        Some(n) => failures.push(format!(
+            "steady_allocs_per_round is {n}, the workspace arena must absorb \
+             every steady-state round allocation"
+        )),
+        None => failures.push(format!("{after_path}: missing steady_allocs_per_round")),
+    }
+
+    if failures.is_empty() {
+        println!("bench_compare: {shared} shared kernels within the 25% budget");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_compare FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,33 +1,33 @@
-//! Performance baseline: fixed-seed sweeps distilled into one
-//! machine-readable `BENCH_9.json` so CI can track end-to-end round
+//! Performance baseline: fixed-seed sweeps distilled into two
+//! machine-readable documents so CI can track end-to-end round
 //! throughput (synchronous barriers *and* deadline-driven buffers,
 //! DESIGN.md §12), per-round working-set peak, aggregation-kernel
-//! latency and per-round traffic across commits without a Criterion
-//! run. The population-scale sweep lives in `repro_scale`, which
-//! writes the same `BENCH_9.json` shape with `kind: "scale"`.
+//! latency, per-round traffic and the hot-path overhaul's before/after
+//! numbers across commits without a Criterion run.
 //!
 //! ```sh
 //! cargo run --release -p hfl-bench --bin perf_baseline -- --out results
 //! cargo run --release -p hfl-bench --bin perf_baseline -- --quick   # CI
 //! ```
 //!
-//! Emitted shape (all numbers positive, self-validated before exit):
+//! One invocation writes both files:
 //!
-//! ```json
-//! {
-//!   "schema": 3,
-//!   "kind": "baseline",
-//!   "seed": 42,
-//!   "rounds": 20,
-//!   "rounds_per_sec": 12.3,
-//!   "updates_per_sec": 787.2,
-//!   "async_rounds_per_sec": 11.9,
-//!   "bytes_per_round": 1234567,
-//!   "messages_per_round": 181,
-//!   "peak_round_bytes": 262144,
-//!   "kernels": [{"name": "fedavg", "n": 16, "dim": 1024, "ns_per_op": 4567}, ...]
-//! }
-//! ```
+//! * `BENCH_9.json` (schema 3, `kind: "baseline"`) — the legacy
+//!   end-to-end and aggregator-sweep rows, **plus** the hot kernels
+//!   timed through their retained pre-overhaul reference
+//!   implementations (`hfl_tensor::ops::reference`,
+//!   `hfl_robust::krum::reference`). This is the *before* view. The
+//!   population-scale sweep in `repro_scale` writes the same shape
+//!   with `kind: "scale"`.
+//! * `BENCH_10.json` (schema 4, `kind: "hot_paths"`) — the same hot
+//!   kernels through the optimized blocked/fused paths, each row
+//!   carrying `ns_per_op` (after), `ns_per_op_naive` (before) and the
+//!   derived `speedup`, plus `steady_allocs_per_round` from driving
+//!   engine rounds under the counting allocator (self-validated to be
+//!   exactly 0 after warmup on the single-threaded BRA path).
+//!
+//! `scripts/ci.sh` joins the two files with `bench_compare` and
+//! hard-fails when any shared kernel regresses by more than 25%.
 //!
 //! Timings use `std::time::Instant` around otherwise fully
 //! deterministic work, so everything except the timing and allocation
@@ -36,12 +36,15 @@
 use std::path::Path;
 use std::time::Instant;
 
-use abd_hfl_core::config::{AsyncRoundCfg, AttackCfg, HflConfig};
+use abd_hfl_core::config::{AsyncRoundCfg, AttackCfg, HflConfig, LevelAgg};
 use abd_hfl_core::runner::{run_prepared_with, Experiment};
 use hfl_bench::memprobe::{self, CountingAlloc};
 use hfl_bench::Args;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::krum::{self, reference as krum_reference};
 use hfl_robust::AggregatorKind;
 use hfl_telemetry::{Json, Telemetry};
+use hfl_tensor::ops::{self, reference};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -75,6 +78,132 @@ fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// One hot kernel's before/after pair: the optimized path and its
+/// retained naive reference, timed over the same fixed input.
+struct HotRow {
+    name: &'static str,
+    ns_per_op: u64,
+    ns_per_op_naive: u64,
+}
+
+impl HotRow {
+    fn speedup(&self) -> f64 {
+        self.ns_per_op_naive as f64 / self.ns_per_op as f64
+    }
+}
+
+/// Times the overhauled hot kernels against their references:
+/// Krum-family scoring (blocked upper-triangle vs full-matrix),
+/// one-vs-many squared distances (tiled vs row-at-a-time), and the
+/// fused mean/weighted-mean reductions (single-pass vs
+/// zero/axpy/scale).
+fn time_hot_kernels(refs: &[&[f32]], kdim: usize, reps: usize, kiters: usize) -> Vec<HotRow> {
+    let probe = synth_updates(refs.len() + 1, kdim).pop().unwrap();
+    let weights: Vec<f32> = (0..refs.len()).map(|i| 1.0 + i as f32 * 0.25).collect();
+    let mut dists = vec![0.0f64; refs.len()];
+    let mut mean = vec![0.0f32; kdim];
+
+    let mut rows = Vec::new();
+    let mut push = |name: &'static str, opt_ns: u128, naive_ns: u128| {
+        let row = HotRow {
+            name,
+            ns_per_op: (opt_ns / kiters as u128).max(1) as u64,
+            ns_per_op_naive: (naive_ns / kiters as u128).max(1) as u64,
+        };
+        println!(
+            "hot kernel {}: {} ns/op optimized, {} ns/op naive ({:.2}x)",
+            row.name,
+            row.ns_per_op,
+            row.ns_per_op_naive,
+            row.speedup()
+        );
+        rows.push(row);
+    };
+
+    // Krum-family scoring: single-threaded so the comparison isolates
+    // the blocked-triangle + fused-kernel work, not thread scheduling.
+    let opt = time_ns(reps, || {
+        for _ in 0..kiters {
+            let s = krum::krum_scores_with_threads(refs, 2, 1);
+            assert_eq!(s.len(), refs.len());
+        }
+    });
+    let naive = time_ns(reps, || {
+        for _ in 0..kiters {
+            let s = krum_reference::krum_scores_naive(refs, 2, 1);
+            assert_eq!(s.len(), refs.len());
+        }
+    });
+    push("krum_scores", opt, naive);
+
+    let opt = time_ns(reps, || {
+        for _ in 0..kiters {
+            ops::dist_sq_block(&probe, refs, &mut dists);
+            assert!(dists[0] >= 0.0);
+        }
+    });
+    let naive = time_ns(reps, || {
+        for _ in 0..kiters {
+            reference::dist_sq_rows_naive(&probe, refs, &mut dists);
+            assert!(dists[0] >= 0.0);
+        }
+    });
+    push("dist_rows", opt, naive);
+
+    let opt = time_ns(reps, || {
+        for _ in 0..kiters {
+            ops::mean_of(refs, &mut mean);
+            assert!(mean[0].is_finite());
+        }
+    });
+    let naive = time_ns(reps, || {
+        for _ in 0..kiters {
+            reference::mean_of_naive(refs, &mut mean);
+            assert!(mean[0].is_finite());
+        }
+    });
+    push("mean_of", opt, naive);
+
+    let opt = time_ns(reps, || {
+        for _ in 0..kiters {
+            ops::weighted_mean_of(refs, &weights, &mut mean);
+            assert!(mean[0].is_finite());
+        }
+    });
+    let naive = time_ns(reps, || {
+        for _ in 0..kiters {
+            reference::weighted_mean_of_naive(refs, &weights, &mut mean);
+            assert!(mean[0].is_finite());
+        }
+    });
+    push("weighted_mean_of", opt, naive);
+
+    rows
+}
+
+/// Worst steady-state allocation-event count per round on the all-BRA
+/// fixture, threads pinned to 1 (the form the zero-allocation invariant
+/// is defined over — results are byte-identical at any thread count).
+fn steady_allocs_per_round(seed: u64) -> u64 {
+    const WARMUP: usize = 5;
+    const STEADY: usize = 10;
+    let mut cfg = HflConfig::quick(AttackCfg::None, seed);
+    cfg.rounds = WARMUP + STEADY;
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 800,
+        ..SynthConfig::default()
+    };
+    for level in cfg.levels.iter_mut() {
+        *level = LevelAgg::Bra(AggregatorKind::MultiKrum { f: 1, m: 3 });
+    }
+    let exp = Experiment::prepare(&cfg);
+    hfl_parallel::set_default_threads(1);
+    let probe = memprobe::probe_rounds_with_warmup(&exp, WARMUP, STEADY);
+    hfl_parallel::set_default_threads(0);
+    probe.max_round_allocs
 }
 
 fn main() {
@@ -170,6 +299,11 @@ fn main() {
         ]));
     }
 
+    // --- hot-path before/after + the steady-state allocation count ---
+    let hot = time_hot_kernels(&refs, kdim, reps, kiters);
+    let steady_allocs = steady_allocs_per_round(args.seed);
+    println!("steady-state allocations per round: {steady_allocs}");
+
     // Self-validate: a zero anywhere means the harness mis-measured,
     // and a silent zero would poison trend tracking.
     assert!(rounds_per_sec > 0.0, "non-positive round throughput");
@@ -181,8 +315,26 @@ fn main() {
     assert!(messages_per_round > 0, "zero messages per round");
     assert!(updates_per_sec > 0.0, "non-positive update throughput");
     assert!(peak_round_bytes > 0, "allocation probe saw nothing");
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state rounds must not allocate (workspace arena regressed)"
+    );
 
-    let doc = Json::Obj(vec![
+    let dir = Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+
+    // BENCH_9.json — the *before* view: legacy rows plus the hot
+    // kernels timed through their retained naive references.
+    let mut before_rows = kernel_rows.clone();
+    for row in &hot {
+        before_rows.push(Json::Obj(vec![
+            ("name".into(), Json::Str(row.name.to_string())),
+            ("n".into(), Json::UInt(kn as u64)),
+            ("dim".into(), Json::UInt(kdim as u64)),
+            ("ns_per_op".into(), Json::UInt(row.ns_per_op_naive)),
+        ]));
+    }
+    let before_doc = Json::Obj(vec![
         ("schema".into(), Json::UInt(3)),
         ("kind".into(), Json::Str("baseline".into())),
         ("seed".into(), Json::UInt(args.seed)),
@@ -196,17 +348,54 @@ fn main() {
         ("bytes_per_round".into(), Json::UInt(bytes_per_round)),
         ("messages_per_round".into(), Json::UInt(messages_per_round)),
         ("peak_round_bytes".into(), Json::UInt(peak_round_bytes)),
-        ("kernels".into(), Json::Arr(kernel_rows)),
+        ("kernels".into(), Json::Arr(before_rows)),
     ]);
-    let dir = Path::new(&args.out_dir);
-    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-    let path = dir.join("BENCH_9.json");
-    std::fs::write(&path, doc.to_string() + "\n")
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let before_path = dir.join("BENCH_9.json");
+    std::fs::write(&before_path, before_doc.to_string() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", before_path.display()));
+
+    // BENCH_10.json — the *after* view: optimized hot kernels with the
+    // before number and speedup embedded, plus the zero-allocation
+    // steady-state count.
+    let after_rows: Vec<Json> = hot
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(row.name.to_string())),
+                ("n".into(), Json::UInt(kn as u64)),
+                ("dim".into(), Json::UInt(kdim as u64)),
+                ("ns_per_op".into(), Json::UInt(row.ns_per_op)),
+                ("ns_per_op_naive".into(), Json::UInt(row.ns_per_op_naive)),
+                ("speedup".into(), Json::Num(row.speedup())),
+            ])
+        })
+        .collect();
+    let after_doc = Json::Obj(vec![
+        ("schema".into(), Json::UInt(4)),
+        ("kind".into(), Json::Str("hot_paths".into())),
+        ("seed".into(), Json::UInt(args.seed)),
+        ("rounds".into(), Json::UInt(rounds as u64)),
+        ("rounds_per_sec".into(), Json::Num(rounds_per_sec)),
+        ("updates_per_sec".into(), Json::Num(updates_per_sec)),
+        (
+            "async_rounds_per_sec".into(),
+            Json::Num(async_rounds_per_sec),
+        ),
+        ("bytes_per_round".into(), Json::UInt(bytes_per_round)),
+        ("messages_per_round".into(), Json::UInt(messages_per_round)),
+        ("peak_round_bytes".into(), Json::UInt(peak_round_bytes)),
+        ("steady_allocs_per_round".into(), Json::UInt(steady_allocs)),
+        ("kernels".into(), Json::Arr(after_rows)),
+    ]);
+    let after_path = dir.join("BENCH_10.json");
+    std::fs::write(&after_path, after_doc.to_string() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", after_path.display()));
+
     println!(
         "rounds/sec {rounds_per_sec:.2} (async {async_rounds_per_sec:.2}), \
          updates/sec {updates_per_sec:.1}, bytes/round {bytes_per_round}, \
          messages/round {messages_per_round}, peak {peak_round_bytes} B/round"
     );
-    eprintln!("wrote {}", path.display());
+    eprintln!("wrote {}", before_path.display());
+    eprintln!("wrote {}", after_path.display());
 }

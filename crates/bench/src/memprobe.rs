@@ -28,6 +28,10 @@ use hfl_telemetry::Telemetry;
 static LIVE: AtomicU64 = AtomicU64::new(0);
 /// High-water mark of [`LIVE`] since the last [`reset_peak`].
 static PEAK: AtomicU64 = AtomicU64::new(0);
+/// Allocation *events* since process start (a `realloc` that may move
+/// counts as one). The engine's steady-state gate asserts this stays
+/// flat across a round, which is strictly stronger than flat bytes.
+static COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// A [`System`] allocator that keeps live/peak byte counters. Zero
 /// branches beyond the null check; the two relaxed atomics cost a few
@@ -36,6 +40,7 @@ static PEAK: AtomicU64 = AtomicU64::new(0);
 pub struct CountingAlloc;
 
 fn on_alloc(size: usize) {
+    COUNT.fetch_add(1, Ordering::Relaxed);
     let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
     PEAK.fetch_max(live, Ordering::Relaxed);
 }
@@ -95,6 +100,15 @@ pub fn peak_since(baseline: u64) -> u64 {
     PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
 }
 
+/// Allocation events since process start (0 unless the binary installed
+/// [`CountingAlloc`]). Bracket a region with two reads and subtract to
+/// count its allocations — the steady-state gate in
+/// `crates/bench/tests/alloc_regression.rs` does exactly that around
+/// one engine round.
+pub fn alloc_count() -> u64 {
+    COUNT.load(Ordering::Relaxed)
+}
+
 /// What [`probe_rounds`] measured over one manual round loop.
 pub struct RoundProbe {
     /// Worst over the probed rounds of (heap high-water mark during the
@@ -105,6 +119,10 @@ pub struct RoundProbe {
     pub elapsed_secs: f64,
     /// Messages charged by the probed rounds.
     pub messages: u64,
+    /// Worst over the probed rounds of the round's allocation-event
+    /// count (0 for every steady-state round on the single-threaded
+    /// synchronous BRA path once the workspace arena has warmed up).
+    pub max_round_allocs: u64,
 }
 
 /// Drives `rounds` engine rounds by hand (no eval, telemetry disabled)
@@ -112,31 +130,50 @@ pub struct RoundProbe {
 /// meaningful when the binary installs [`CountingAlloc`]; the timing is
 /// meaningful regardless.
 pub fn probe_rounds(exp: &Experiment, rounds: usize) -> RoundProbe {
+    probe_rounds_with_warmup(exp, 0, rounds)
+}
+
+/// [`probe_rounds`] preceded by `warmup` unrecorded rounds: the peaks
+/// and allocation counts cover only rounds `warmup..warmup + rounds`,
+/// after the engine's workspace arena has reached its high-water
+/// capacity. The steady-state zero-allocation gate measures through
+/// here.
+pub fn probe_rounds_with_warmup(exp: &Experiment, warmup: usize, rounds: usize) -> RoundProbe {
     assert!(rounds > 0, "cannot probe zero rounds");
     let telem = Telemetry::disabled();
     let mut engine = RoundEngine::for_experiment(exp);
     let mut global = exp.template.params().to_vec();
+    let mut next_global = Vec::with_capacity(global.len());
     let mut cost = CostCounters::default();
     let mut fault_log = Vec::new();
     let mut susp_log = Vec::new();
     let mut peak_round_bytes = 0u64;
+    let mut max_round_allocs = 0u64;
     let start = Instant::now();
-    for round in 0..rounds {
+    for round in 0..warmup + rounds {
+        fault_log.clear();
         let baseline = reset_peak();
-        global = engine.run_round(
+        let allocs_before = alloc_count();
+        engine.run_round_into(
             &global,
             round,
             &mut cost,
             &telem,
             &mut fault_log,
             &mut susp_log,
+            &mut next_global,
         );
-        peak_round_bytes = peak_round_bytes.max(peak_since(baseline));
+        std::mem::swap(&mut global, &mut next_global);
+        if round >= warmup {
+            peak_round_bytes = peak_round_bytes.max(peak_since(baseline));
+            max_round_allocs = max_round_allocs.max(alloc_count() - allocs_before);
+        }
     }
     RoundProbe {
         peak_round_bytes,
         elapsed_secs: start.elapsed().as_secs_f64(),
         messages: cost.messages,
+        max_round_allocs,
     }
 }
 

@@ -1,0 +1,118 @@
+//! The steady-state allocation gate: after a short warmup, a
+//! synchronous BRA round performs **zero heap allocations** — the
+//! engine's workspace arena, the aggregator scratch, and the training
+//! loop's reusable model/SGD buffers absorb every per-round need.
+//!
+//! The gate drives [`RoundEngine::run_round_into`] directly (the
+//! harness loop in `run_prepared` allocates for manifests and metrics
+//! by design) under the counting allocator, on two fixtures:
+//!
+//! * **clean** — the fault-free synchronous path;
+//! * **faulted** — a crash (with recovery), a leader kill, a healing
+//!   partition and a bounded straggler window, all confined to the
+//!   warmup rounds. Steady-state rounds then run the fault layer's
+//!   queries (crash masks, partition checks, straggle factors) without
+//!   any fault *activity*, which must stay allocation-free too.
+//!
+//! Threads are pinned to 1: spawning workers allocates stacks, so the
+//! zero-allocation invariant is a property of the sequential execution
+//! form (results are byte-identical at any thread count — the
+//! work-stealing determinism contract, DESIGN.md §15).
+//!
+//! Both fixtures run inside ONE `#[test]`: the allocation counter is
+//! process-global, so a concurrently running test would bleed its
+//! allocations into the steady-state window.
+
+use abd_hfl_core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl_core::engine::cost::CostCounters;
+use abd_hfl_core::engine::RoundEngine;
+use abd_hfl_core::runner::Experiment;
+use hfl_bench::memprobe::{alloc_count, CountingAlloc};
+use hfl_faults::FaultPlan;
+use hfl_ml::synth::SynthConfig;
+use hfl_robust::AggregatorKind;
+use hfl_telemetry::Telemetry;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARMUP: usize = 5;
+const STEADY: usize = 20;
+
+/// A small all-BRA fixture. The CBA vote path builds its consensus
+/// mechanism per decision by design, so the zero-allocation invariant
+/// is pinned on the Byzantine-robust averaging path — the hot loop the
+/// paper's experiments spend their time in.
+fn bra_fixture(seed: u64) -> HflConfig {
+    let mut cfg = HflConfig::quick(AttackCfg::None, seed);
+    cfg.rounds = WARMUP + STEADY;
+    cfg.data = SynthConfig {
+        train_samples: 3_200,
+        test_samples: 800,
+        ..SynthConfig::default()
+    };
+    for level in cfg.levels.iter_mut() {
+        *level = LevelAgg::Bra(AggregatorKind::MultiKrum { f: 1, m: 3 });
+    }
+    cfg
+}
+
+/// The clean fixture plus a fault schedule whose every window opens
+/// *and heals* inside warmup, leaving steady-state rounds with a quiet
+/// (but active and querying) fault layer.
+fn faulted_fixture(seed: u64) -> HflConfig {
+    let mut cfg = bra_fixture(seed);
+    let split: Vec<usize> = (0..24).collect();
+    let rest: Vec<usize> = (24..64).collect();
+    cfg.faults = Some(
+        FaultPlan::new()
+            .crash_recover(1, 3, 4)
+            .kill_leader(2, 2, 1, Some(4))
+            .partition(1, vec![split, rest], 3)
+            .straggler(1, 6, 8.0, Some(4)),
+    );
+    cfg
+}
+
+/// Runs the fixture round by round and asserts every post-warmup round
+/// allocates exactly zero times.
+fn assert_steady_rounds_alloc_free(name: &str, cfg: &HflConfig) {
+    let exp = Experiment::prepare(cfg);
+    let telem = Telemetry::disabled();
+    let mut engine = RoundEngine::for_experiment(&exp);
+    let mut global = exp.template.params().to_vec();
+    let mut next_global = Vec::with_capacity(global.len());
+    let mut cost = CostCounters::default();
+    let mut fault_log = Vec::new();
+    let mut susp_log = Vec::new();
+    for round in 0..cfg.rounds {
+        fault_log.clear();
+        let before = alloc_count();
+        engine.run_round_into(
+            &global,
+            round,
+            &mut cost,
+            &telem,
+            &mut fault_log,
+            &mut susp_log,
+            &mut next_global,
+        );
+        std::mem::swap(&mut global, &mut next_global);
+        let allocs = alloc_count() - before;
+        if round >= WARMUP {
+            assert_eq!(
+                allocs, 0,
+                "{name}: steady-state round {round} performed {allocs} heap \
+                 allocations (warmup = {WARMUP} rounds)"
+            );
+        }
+    }
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    hfl_parallel::set_default_threads(1);
+    assert_steady_rounds_alloc_free("clean", &bra_fixture(11));
+    assert_steady_rounds_alloc_free("faulted", &faulted_fixture(12));
+    hfl_parallel::set_default_threads(0);
+}

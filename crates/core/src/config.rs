@@ -785,10 +785,8 @@ fn validate_aggregator(
             }
             validate_aggregator(level, inner, true)?;
         }
-        AggregatorKind::StreamingMedian { exact_threshold } => {
-            if *exact_threshold == 0 {
-                return bad("streaming-median exact_threshold", 0.0);
-            }
+        AggregatorKind::StreamingMedian { exact_threshold } if *exact_threshold == 0 => {
+            return bad("streaming-median exact_threshold", 0.0);
         }
         AggregatorKind::StreamingTrimmedMean {
             ratio,
@@ -801,10 +799,8 @@ fn validate_aggregator(
                 return bad("streaming-trimmed-mean exact_threshold", 0.0);
             }
         }
-        AggregatorKind::SampledKrum { m, .. } => {
-            if *m == 0 {
-                return bad("sampled-krum m", 0.0);
-            }
+        AggregatorKind::SampledKrum { m, .. } if *m == 0 => {
+            return bad("sampled-krum m", 0.0);
         }
         _ => {}
     }

@@ -57,8 +57,11 @@ impl RoundLayer for FaultLayer<'_> {
 
     fn begin_aggregate(&mut self, round: usize) {
         let n = self.hierarchy.num_clients();
-        self.produced = (0..n).map(|dev| !self.inj.crashed(dev, round)).collect();
-        self.carrier = (0..n).collect();
+        self.produced.clear();
+        self.produced
+            .extend((0..n).map(|dev| !self.inj.crashed(dev, round)));
+        self.carrier.clear();
+        self.carrier.extend(0..n);
     }
 
     /// Failover: the collector is the first member whose physical
@@ -199,17 +202,17 @@ impl RoundLayer for FaultLayer<'_> {
     /// and can reach the top collector; with nothing produced anywhere
     /// the engine falls back to the stale carried values rather than
     /// crash — the run records the anomaly and continues.
-    fn select_top(&mut self, ctx: &mut RoundCtx<'_>, top: &ClusterCtx<'_>) -> Option<Vec<usize>> {
+    fn select_top(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        top: &ClusterCtx<'_>,
+        out: &mut Vec<usize>,
+    ) -> bool {
         let round = ctx.round;
-        let alive_slots: Vec<usize> = top
-            .members
-            .iter()
-            .copied()
-            .filter(|&m| self.produced[m])
-            .collect();
+        out.extend(top.members.iter().copied().filter(|&m| self.produced[m]));
         let expected = top.members.len();
-        let final_slots = match alive_slots.first() {
-            Some(&first) => {
+        match out.first().copied() {
+            Some(first) => {
                 let coll = self.carrier[first];
                 if first != top.leader {
                     ctx.fault_log.push(FaultRecord {
@@ -222,15 +225,15 @@ impl RoundLayer for FaultLayer<'_> {
                     });
                     ctx.telem.leader_failover(round, 0, 0, top.leader, coll);
                 }
-                alive_slots
-                    .into_iter()
-                    .filter(|&m| {
-                        let phys = self.carrier[m];
-                        phys == coll
-                            || (!self.inj.partitioned(phys, coll, round)
-                                && !self.inj.drop_upload(round, 0, 0, m))
-                    })
-                    .collect()
+                // Same elements in the same order as the pre-workspace
+                // filter/collect (the first slot trivially survives:
+                // its carrier is the collector).
+                out.retain(|&m| {
+                    let phys = self.carrier[m];
+                    phys == coll
+                        || (!self.inj.partitioned(phys, coll, round)
+                            && !self.inj.drop_upload(round, 0, 0, m))
+                });
             }
             None => {
                 ctx.fault_log.push(FaultRecord {
@@ -242,22 +245,21 @@ impl RoundLayer for FaultLayer<'_> {
                     "global_aggregation_stalled",
                     format!("round {round}: no fresh partials reached the top"),
                 );
-                top.members.to_vec()
+                out.extend_from_slice(top.members);
             }
-        };
-        if final_slots.len() < expected {
-            ctx.telem
-                .degraded_quorum(round, 0, 0, final_slots.len(), expected);
+        }
+        if out.len() < expected {
+            ctx.telem.degraded_quorum(round, 0, 0, out.len(), expected);
             ctx.fault_log.push(FaultRecord {
                 round,
                 kind: "degraded_quorum".into(),
                 detail: format!(
                     "level 0 cluster 0: {alive} of {expected} contributed",
-                    alive = final_slots.len()
+                    alive = out.len()
                 ),
             });
         }
-        Some(final_slots)
+        true
     }
 
     /// Dissemination reaches every device that is up (crashed nodes

@@ -5,12 +5,14 @@
 //! no-op, so a layer only implements the phases it cares about. Hooks
 //! come in two flavours:
 //!
-//! * **Decision hooks** return `Option<T>`: the first layer in stack
-//!   order with an opinion wins ([`RoundLayer::select_collector`],
-//!   [`RoundLayer::broadcast_reach`], [`RoundLayer::upward_value`],
-//!   [`RoundLayer::select_top`], [`RoundLayer::dissemination_reach`],
-//!   [`RoundLayer::training_attack`]). `None` everywhere falls back to
-//!   the engine's fault-free default.
+//! * **Decision hooks** are first-claim-wins in stack order
+//!   ([`RoundLayer::select_collector`], [`RoundLayer::broadcast_reach`],
+//!   [`RoundLayer::upward_value`], [`RoundLayer::select_top`],
+//!   [`RoundLayer::dissemination_reach`],
+//!   [`RoundLayer::training_attack`]). Most return `Option<T>`;
+//!   `select_top` fills a caller buffer and claims with `true`.
+//!   Declining everywhere falls back to the engine's fault-free
+//!   default.
 //! * **Filter/observer hooks** run for *every* layer in stack order
 //!   ([`RoundLayer::filter_members`], [`RoundLayer::observe_verdict`],
 //!   [`RoundLayer::audit_cluster`], [`RoundLayer::close_round`], ...):
@@ -250,9 +252,19 @@ pub trait RoundLayer {
     fn cluster_skipped(&mut self, ctx: &mut RoundCtx<'_>, cl: &ClusterCtx<'_>) {}
 
     /// Choose which top-cluster slots propose to the global
-    /// aggregation. Default: all of them.
-    fn select_top(&mut self, ctx: &mut RoundCtx<'_>, top: &ClusterCtx<'_>) -> Option<Vec<usize>> {
-        None
+    /// aggregation by filling `out` (handed in empty) and returning
+    /// `true` to claim the decision; the first claiming layer in stack
+    /// order wins. Declining everywhere (`false`, the default) keeps
+    /// every top slot. The fill-a-buffer shape (rather than returning
+    /// `Option<Vec<usize>>`) lets the engine reuse one workspace buffer
+    /// across rounds on the zero-allocation hot path.
+    fn select_top(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        top: &ClusterCtx<'_>,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        false
     }
 
     /// How many level-`level` nodes the dissemination broadcast

@@ -33,6 +33,7 @@ pub mod cost;
 pub mod defense;
 pub mod fault;
 pub mod layer;
+pub mod pool;
 pub mod telemetry;
 
 pub use adversary::AdversaryLayer;
@@ -40,6 +41,7 @@ pub use cost::CostCounters;
 pub use defense::DefenseLayer;
 pub use fault::FaultLayer;
 pub use layer::{ClusterCtx, CollectorChoice, CollectorPolicy, RoundCtx, RoundLayer};
+pub use pool::{BufferPool, RoundWorkspace};
 pub use telemetry::TelemetryLayer;
 
 use rand::seq::SliceRandom;
@@ -85,6 +87,11 @@ pub struct RoundEngine<'e> {
     fault: Option<FaultLayer<'e>>,
     defense: Option<DefenseLayer>,
     adversary: Option<AdversaryLayer<'e>>,
+    /// Round-scoped buffer arena ([`pool`]): carried/next model rows,
+    /// index scratch, prebuilt BRA aggregators, training buffers. Taken
+    /// out for the duration of each aggregation and restored at its
+    /// exit, so steady-state rounds allocate nothing.
+    workspace: RoundWorkspace,
 }
 
 impl<'e> RoundEngine<'e> {
@@ -98,6 +105,7 @@ impl<'e> RoundEngine<'e> {
             fault: FaultLayer::for_experiment(exp),
             defense: DefenseLayer::for_experiment(exp),
             adversary: AdversaryLayer::for_experiment(exp),
+            workspace: RoundWorkspace::default(),
         }
     }
 
@@ -109,6 +117,7 @@ impl<'e> RoundEngine<'e> {
             fault: FaultLayer::for_experiment(exp),
             defense: None,
             adversary: None,
+            workspace: RoundWorkspace::default(),
         }
     }
 
@@ -220,6 +229,27 @@ impl<'e> RoundEngine<'e> {
         fault_log: &mut Vec<FaultRecord>,
         susp_log: &mut Vec<SuspicionRecord>,
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.run_round_into(global, round, cost, telem, fault_log, susp_log, &mut out);
+        out
+    }
+
+    /// [`Self::run_round`] writing the new global model into a
+    /// caller-owned buffer. Training and aggregation both draw every
+    /// buffer they need from the engine's [`RoundWorkspace`]; with one
+    /// worker thread a steady-state round performs zero heap allocation
+    /// (the invariant `crates/bench/tests/alloc_regression.rs` pins).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_round_into(
+        &mut self,
+        global: &[f32],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+        susp_log: &mut Vec<SuspicionRecord>,
+        out: &mut Vec<f32>,
+    ) {
         {
             let acfg = self.exp.config().async_rounds.as_ref();
             let mut ctx = RoundCtx {
@@ -238,10 +268,16 @@ impl<'e> RoundEngine<'e> {
             }
         }
         let attack = self.training_attack();
-        let updates = self
-            .exp
-            .train_round_with(global, round, attack.as_ref(), telem);
-        self.aggregate_round(&updates, round, cost, telem, fault_log, susp_log)
+        let exp = self.exp;
+        // The training buffers leave the workspace for the duration of
+        // the round: `updates` must outlive the aggregation call, and
+        // the borrow of `self` must stay free for it.
+        let mut updates = std::mem::take(&mut self.workspace.updates);
+        let mut train = std::mem::take(&mut self.workspace.train);
+        exp.train_round_into(global, round, attack.as_ref(), telem, &mut updates, &mut train);
+        self.workspace.train = train;
+        self.aggregate_round_into(&updates, round, cost, telem, fault_log, susp_log, out);
+        self.workspace.updates = updates;
     }
 
     /// Phases 3–5: one round of bottom-up aggregation over per-client
@@ -256,16 +292,44 @@ impl<'e> RoundEngine<'e> {
         fault_log: &mut Vec<FaultRecord>,
         susp_log: &mut Vec<SuspicionRecord>,
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.aggregate_round_into(updates, round, cost, telem, fault_log, susp_log, &mut out);
+        out
+    }
+
+    /// [`Self::aggregate_round`] writing the new global model into a
+    /// caller-owned buffer. Byte-identical to the allocating path: same
+    /// RNG stream order, same cost accounting, same event sequence —
+    /// the only difference is that every intermediate buffer (carried
+    /// rows, member-index scratch, aggregation inputs, the per-rule
+    /// scratch) comes from the engine's [`RoundWorkspace`] arena.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate_round_into(
+        &mut self,
+        updates: &[Vec<f32>],
+        round: usize,
+        cost: &mut CostCounters,
+        telem: &Telemetry,
+        fault_log: &mut Vec<FaultRecord>,
+        susp_log: &mut Vec<SuspicionRecord>,
+        out: &mut Vec<f32>,
+    ) {
         let exp = self.exp;
         let cfg = exp.config();
         let h = &exp.hierarchy;
         let bottom = h.bottom_level();
         let model_bytes = (updates[0].len() * 4) as u64;
-        let active = exp.active_mask(round);
+        // The workspace leaves the engine for the duration of the round
+        // so layer hooks can borrow `self` freely; restored at the
+        // single exit below. Disjoint-field borrows of `ws` (carried vs
+        // next vs scratch) coexist because it is a local.
+        let mut ws = std::mem::take(&mut self.workspace);
+        ws.ensure_aggregators(cfg);
+        exp.active_mask_into(round, &mut ws.active);
         // Which global client each cohort slot is bound to this round
         // (identity without sampling). All topological work below stays
         // on slots; identity-bound lookups map through this binding.
-        let cohort = exp.cohort(round);
+        exp.cohort_into(round, &mut ws.cohort);
 
         let mut ctx = RoundCtx {
             round,
@@ -285,24 +349,31 @@ impl<'e> RoundEngine<'e> {
         for layer in self.layers_mut() {
             layer.begin_aggregate(round);
         }
-        ctx.cost.absent += active.iter().filter(|a| !**a).count() as u64;
-        ctx.telem.churn_absences(round, &active);
+        ctx.cost.absent += ws.active.iter().filter(|a| !**a).count() as u64;
+        ctx.telem.churn_absences(round, &ws.active);
 
         let wants_verdicts = self.layers().any(RoundLayer::wants_verdicts);
 
         // carried[slot] = the model this node carries upward: its local
         // update at the bottom, the partial aggregate of the cluster it
         // leads above.
-        let mut carried: Vec<Vec<f32>> = updates.to_vec();
+        ws.carried.resize_with(updates.len(), Vec::new);
+        for (c, u) in ws.carried.iter_mut().zip(updates) {
+            c.clear();
+            c.extend_from_slice(u);
+        }
 
         // Partial aggregation: levels L down to 1.
         for l in (1..=bottom).rev() {
             let level = h.level(l);
-            let mut next: Vec<Vec<f32>> = carried.clone();
+            // `next` starts as this level's copy of `carried`;
+            // `clone_from` reuses the outer and per-row capacity.
+            ws.next.clone_from(&ws.carried);
+            let mut inputs = ws.refs.take();
             for (ci, cluster) in level.clusters.iter().enumerate() {
                 let leader = cluster.leader();
                 let expected = if l == bottom {
-                    cluster.members.iter().filter(|&&m| active[m]).count()
+                    cluster.members.iter().filter(|&&m| ws.active[m]).count()
                 } else {
                     cluster.len()
                 };
@@ -313,9 +384,9 @@ impl<'e> RoundEngine<'e> {
                     members: &cluster.members,
                     leader,
                     expected,
-                    active: &active,
+                    active: &ws.active,
                     collector: leader,
-                    cohort: &cohort,
+                    cohort: &ws.cohort,
                 };
                 let mut choice = None;
                 for layer in self.layers_mut() {
@@ -333,13 +404,15 @@ impl<'e> RoundEngine<'e> {
                 // Churn removes absent bottom members; the layers then
                 // take out whatever crashed, partitioned, quarantined
                 // or withholding members remain.
-                let mut present: Vec<usize> = (0..cluster.len())
-                    .filter(|&mi| l != bottom || active[cluster.members[mi]])
-                    .collect();
+                ws.order.clear();
+                ws.order.extend(
+                    (0..cluster.len())
+                        .filter(|&mi| l != bottom || ws.active[cluster.members[mi]]),
+                );
                 for layer in self.layers_mut() {
-                    layer.filter_members(&mut ctx, &cl, &mut present);
+                    layer.filter_members(&mut ctx, &cl, &mut ws.order);
                 }
-                if present.is_empty() {
+                if ws.order.is_empty() {
                     for layer in self.layers_mut() {
                         layer.cluster_skipped(&mut ctx, &cl);
                     }
@@ -351,13 +424,12 @@ impl<'e> RoundEngine<'e> {
                 // — or, under a deadline policy, whatever the collection
                 // buffer admitted by first-of {quorum, deadline} with
                 // its τ-bounded staleness window (DESIGN.md §12).
-                let mut order = present;
                 let mut rng = rng_for_n(cfg.seed, &[round as u64, l as u64, ci as u64, 0xA221]);
-                order.shuffle(&mut rng);
+                ws.order.shuffle(&mut rng);
                 for layer in self.layers() {
-                    layer.reorder_arrivals(round, &cl, &mut order);
+                    layer.reorder_arrivals(round, &cl, &mut ws.order);
                 }
-                let quorum = quorum_size(cfg.quorum, order.len());
+                let quorum = quorum_size(cfg.quorum, ws.order.len());
                 let policy = self
                     .layers()
                     .find_map(|ly| ly.collector_policy(round, &cl))
@@ -368,44 +440,45 @@ impl<'e> RoundEngine<'e> {
                         },
                         None => CollectorPolicy::WaitForQuorum,
                     });
-                let (kept, weights, lateness): (Vec<usize>, Option<Vec<f32>>, Option<Vec<f64>>) =
-                    match policy {
-                        CollectorPolicy::WaitForQuorum => {
-                            let mut k = order[..quorum.min(order.len())].to_vec();
-                            k.sort_unstable();
-                            (k, None, None)
-                        }
-                        CollectorPolicy::Deadline {
+                ws.kept.clear();
+                let (weights, lateness): (Option<Vec<f32>>, Option<Vec<f64>>) = match policy {
+                    CollectorPolicy::WaitForQuorum => {
+                        ws.kept
+                            .extend_from_slice(&ws.order[..quorum.min(ws.order.len())]);
+                        ws.kept.sort_unstable();
+                        (None, None)
+                    }
+                    CollectorPolicy::Deadline {
+                        deadline_us,
+                        staleness_bound_us,
+                    } => {
+                        let slots: Vec<usize> =
+                            ws.order.iter().map(|&mi| cluster.members[mi]).collect();
+                        let buf = self.close_deadline_buffer(
+                            &mut ctx,
+                            &cl,
+                            &slots,
+                            quorum,
                             deadline_us,
                             staleness_bound_us,
-                        } => {
-                            let slots: Vec<usize> =
-                                order.iter().map(|&mi| cluster.members[mi]).collect();
-                            let buf = self.close_deadline_buffer(
-                                &mut ctx,
-                                &cl,
-                                &slots,
-                                quorum,
-                                deadline_us,
-                                staleness_bound_us,
-                            );
-                            // Canonical member-index order, with weights
-                            // and staleness evidence kept aligned.
-                            let mut triples: Vec<(usize, f32, f64)> = buf
-                                .admitted
-                                .iter()
-                                .zip(&buf.weights)
-                                .zip(&buf.lateness_frac)
-                                .map(|((&pos, &w), &f)| (order[pos], w, f))
-                                .collect();
-                            triples.sort_unstable_by_key(|t| t.0);
-                            let kept = triples.iter().map(|t| t.0).collect();
-                            let weights = triples.iter().map(|t| t.1).collect();
-                            let lateness = triples.iter().map(|t| t.2).collect();
-                            (kept, Some(weights), Some(lateness))
-                        }
-                    };
-                if kept.len() < quorum {
+                        );
+                        // Canonical member-index order, with weights
+                        // and staleness evidence kept aligned.
+                        let mut triples: Vec<(usize, f32, f64)> = buf
+                            .admitted
+                            .iter()
+                            .zip(&buf.weights)
+                            .zip(&buf.lateness_frac)
+                            .map(|((&pos, &w), &f)| (ws.order[pos], w, f))
+                            .collect();
+                        triples.sort_unstable_by_key(|t| t.0);
+                        ws.kept.extend(triples.iter().map(|t| t.0));
+                        let weights = triples.iter().map(|t| t.1).collect();
+                        let lateness = triples.iter().map(|t| t.2).collect();
+                        (Some(weights), Some(lateness))
+                    }
+                };
+                if ws.kept.len() < quorum {
                     // A deadline fired below quorum: sanctioned degraded
                     // close, mirroring the fault layer's record shape.
                     ctx.fault_log.push(FaultRecord {
@@ -413,23 +486,32 @@ impl<'e> RoundEngine<'e> {
                         kind: "degraded_quorum".into(),
                         detail: format!(
                             "level {l} cluster {ci}: deadline closed with {alive} of quorum {quorum}",
-                            alive = kept.len()
+                            alive = ws.kept.len()
                         ),
                     });
                     ctx.telem
-                        .degraded_quorum(round, l, ci, kept.len(), cl.expected);
+                        .degraded_quorum(round, l, ci, ws.kept.len(), cl.expected);
                 }
-                let inputs: Vec<&[f32]> = kept
-                    .iter()
-                    .map(|&mi| carried[cluster.members[mi]].as_slice())
-                    .collect();
+                inputs.clear();
+                inputs.extend(
+                    ws.kept
+                        .iter()
+                        .map(|&mi| ws.carried[cluster.members[mi]].as_slice()),
+                );
                 // Acceptance verdicts attach to *identities*: the global
                 // client ids behind the kept slots.
-                let kept_devices: Vec<usize> =
-                    kept.iter().map(|&mi| cohort[cluster.members[mi]]).collect();
+                ws.kept_devices.clear();
+                ws.kept_devices.extend(
+                    ws.kept
+                        .iter()
+                        .map(|&mi| ws.cohort[cluster.members[mi]]),
+                );
                 let want_verdict = wants_verdicts && l == bottom;
 
-                let (partial, mut verdict) = match &cfg.levels[l] {
+                // The partial lands directly in `next[leader]` — the
+                // BRA arm aggregates into it, the CBA arm swaps the
+                // decided vector in (recycling the displaced buffer).
+                let mut verdict = match &cfg.levels[l] {
                     LevelAgg::Bra(kind) => {
                         // Members upload to the collector; the partial
                         // broadcasts back as far as it can reach
@@ -440,35 +522,45 @@ impl<'e> RoundEngine<'e> {
                             .layers()
                             .find_map(|ly| ly.broadcast_reach(round, &cl))
                             .unwrap_or(cluster.len() as u64);
-                        ctx.charge_transfers(l, kept.len() as u64 + reach);
-                        let partial = kind.build().aggregate(&inputs, weights.as_deref());
-                        let verdict = want_verdict.then(|| evidence::judge(kind, &inputs));
-                        (partial, verdict)
+                        ctx.charge_transfers(l, ws.kept.len() as u64 + reach);
+                        ws.level_aggs[l]
+                            .as_deref()
+                            .expect("BRA level has a prebuilt aggregator")
+                            .aggregate_into(
+                                &inputs,
+                                weights.as_deref(),
+                                &mut ws.next[leader],
+                                &mut ws.agg,
+                            );
+                        want_verdict.then(|| evidence::judge(kind, &inputs))
                     }
                     LevelAgg::Cba(kind) => {
-                        let byz: Vec<bool> = kept
+                        let byz: Vec<bool> = ws
+                            .kept
                             .iter()
-                            .map(|&mi| exp.protocol_byzantine(cohort[cluster.members[mi]]))
+                            .map(|&mi| exp.protocol_byzantine(ws.cohort[cluster.members[mi]]))
                             .collect();
                         let own: Vec<Vec<f32>> = inputs.iter().map(|i| i.to_vec()).collect();
                         let eval = hfl_consensus::DistanceEvaluator::new(&own);
                         let mech = kind.build();
-                        let out = mech.decide(&inputs, &byz, &eval, &mut rng);
-                        ctx.charge_consensus(l, ci, mech.name(), &out);
+                        let decision = mech.decide(&inputs, &byz, &eval, &mut rng);
+                        ctx.charge_consensus(l, ci, mech.name(), &decision);
                         // Consensus exclusion is the CBA acceptance
                         // verdict: excluded inputs are struck worst.
                         let verdict = want_verdict.then(|| {
                             let mut acc = Acceptance {
-                                accepted: vec![true; kept.len()],
-                                strikes: vec![0.0; kept.len()],
+                                accepted: vec![true; ws.kept.len()],
+                                strikes: vec![0.0; ws.kept.len()],
                             };
-                            for &p in &out.excluded {
+                            for &p in &decision.excluded {
                                 acc.accepted[p] = false;
                                 acc.strikes[p] = evidence::STRIKE_WORST;
                             }
                             acc
                         });
-                        (out.decided, verdict)
+                        ws.pool
+                            .put(std::mem::replace(&mut ws.next[leader], decision.decided));
+                        verdict
                     }
                 };
                 // Lateness is acceptance evidence too: τ-late inputs
@@ -478,27 +570,32 @@ impl<'e> RoundEngine<'e> {
                 }
                 if let Some(v) = &verdict {
                     for layer in self.layers_mut() {
-                        layer.observe_verdict(&cl, &kept_devices, v);
+                        layer.observe_verdict(&cl, &ws.kept_devices, v);
                     }
                 }
                 ctx.telem
-                    .cluster_aggregated(round, l, ci, kept_devices.len(), quorum);
+                    .cluster_aggregated(round, l, ci, ws.kept_devices.len(), quorum);
 
                 // What goes upward may differ from what the members saw
                 // (equivocation); the audit sees both sides.
-                let up = self.layers().find_map(|ly| ly.upward_value(&cl, &partial));
+                let up = self
+                    .layers()
+                    .find_map(|ly| ly.upward_value(&cl, &ws.next[leader]));
                 {
-                    let up_ref: &[f32] = up.as_deref().unwrap_or(&partial);
+                    let up_ref: &[f32] = up.as_deref().unwrap_or(&ws.next[leader]);
                     for layer in self.layers_mut() {
-                        layer.audit_cluster(&mut ctx, &cl, &partial, up_ref);
+                        layer.audit_cluster(&mut ctx, &cl, &ws.next[leader], up_ref);
                     }
                 }
-                next[leader] = up.unwrap_or(partial);
+                if let Some(u) = up {
+                    ws.pool.put(std::mem::replace(&mut ws.next[leader], u));
+                }
                 for layer in self.layers_mut() {
                     layer.after_cluster(&mut ctx, &cl);
                 }
             }
-            carried = next;
+            ws.refs.put(inputs);
+            std::mem::swap(&mut ws.carried, &mut ws.next);
         }
 
         // Global aggregation at the top cluster (Algorithm 6).
@@ -510,18 +607,21 @@ impl<'e> RoundEngine<'e> {
             members: &top.members,
             leader: top.leader(),
             expected: top.len(),
-            active: &active,
+            active: &ws.active,
             collector: top.leader(),
-            cohort: &cohort,
+            cohort: &ws.cohort,
         };
-        let mut slots = None;
+        ws.final_slots.clear();
+        let mut top_decided = false;
         for layer in self.layers_mut() {
-            if let Some(s) = layer.select_top(&mut ctx, &top_cl) {
-                slots = Some(s);
+            if layer.select_top(&mut ctx, &top_cl, &mut ws.final_slots) {
+                top_decided = true;
                 break;
             }
         }
-        let final_slots = slots.unwrap_or_else(|| top.members.clone());
+        if !top_decided {
+            ws.final_slots.extend_from_slice(&top.members);
+        }
         // The global collector runs the same deadline buffer over the
         // surviving top slots (Algorithm 6 under DESIGN.md §12); the
         // synchronous path keeps every proposal, reported as its own
@@ -536,75 +636,81 @@ impl<'e> RoundEngine<'e> {
                 },
                 None => CollectorPolicy::WaitForQuorum,
             });
-        let (final_kept, top_weights, top_quorum): (Vec<usize>, Option<Vec<f32>>, usize) =
-            match top_policy {
-                CollectorPolicy::WaitForQuorum => {
-                    let n = final_slots.len();
-                    (final_slots, None, n)
-                }
-                CollectorPolicy::Deadline {
+        let (top_weights, top_quorum): (Option<Vec<f32>>, usize) = match top_policy {
+            CollectorPolicy::WaitForQuorum => (None, ws.final_slots.len()),
+            CollectorPolicy::Deadline {
+                deadline_us,
+                staleness_bound_us,
+            } => {
+                let quorum = quorum_size(cfg.quorum, ws.final_slots.len());
+                let buf = self.close_deadline_buffer(
+                    &mut ctx,
+                    &top_cl,
+                    &ws.final_slots,
+                    quorum,
                     deadline_us,
                     staleness_bound_us,
-                } => {
-                    let quorum = quorum_size(cfg.quorum, final_slots.len());
-                    let buf = self.close_deadline_buffer(
-                        &mut ctx,
-                        &top_cl,
-                        &final_slots,
-                        quorum,
-                        deadline_us,
-                        staleness_bound_us,
-                    );
-                    let mut pairs: Vec<(usize, f32)> = buf
-                        .admitted
-                        .iter()
-                        .zip(&buf.weights)
-                        .map(|(&pos, &w)| (final_slots[pos], w))
-                        .collect();
-                    pairs.sort_unstable_by_key(|p| p.0);
-                    if pairs.len() < quorum {
-                        ctx.fault_log.push(FaultRecord {
-                            round,
-                            kind: "degraded_quorum".into(),
-                            detail: format!(
-                                "level 0 cluster 0: deadline closed with {alive} of quorum {quorum}",
-                                alive = pairs.len()
-                            ),
-                        });
-                        ctx.telem
-                            .degraded_quorum(round, 0, 0, pairs.len(), top_cl.expected);
-                    }
-                    let kept = pairs.iter().map(|p| p.0).collect();
-                    let weights = pairs.iter().map(|p| p.1).collect();
-                    (kept, Some(weights), quorum)
+                );
+                let mut pairs: Vec<(usize, f32)> = buf
+                    .admitted
+                    .iter()
+                    .zip(&buf.weights)
+                    .map(|(&pos, &w)| (ws.final_slots[pos], w))
+                    .collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                if pairs.len() < quorum {
+                    ctx.fault_log.push(FaultRecord {
+                        round,
+                        kind: "degraded_quorum".into(),
+                        detail: format!(
+                            "level 0 cluster 0: deadline closed with {alive} of quorum {quorum}",
+                            alive = pairs.len()
+                        ),
+                    });
+                    ctx.telem
+                        .degraded_quorum(round, 0, 0, pairs.len(), top_cl.expected);
                 }
-            };
-        let proposals: Vec<&[f32]> = final_kept
-            .iter()
-            .map(|&dev| carried[dev].as_slice())
-            .collect();
+                ws.final_slots.clear();
+                ws.final_slots.extend(pairs.iter().map(|p| p.0));
+                (Some(pairs.iter().map(|p| p.1).collect()), quorum)
+            }
+        };
+        let mut proposals = ws.refs.take();
+        proposals.extend(
+            ws.final_slots
+                .iter()
+                .map(|&dev| ws.carried[dev].as_slice()),
+        );
+        let n_proposals = proposals.len();
         let mut rng = rng_for_n(cfg.seed, &[round as u64, 0x601, 0xA221]);
-        let global = match &cfg.levels[0] {
-            LevelAgg::Bra(kind) => {
-                ctx.charge_transfers(0, (2 * proposals.len()) as u64);
-                kind.build().aggregate(&proposals, top_weights.as_deref())
+        match &cfg.levels[0] {
+            LevelAgg::Bra(_) => {
+                ctx.charge_transfers(0, (2 * n_proposals) as u64);
+                ws.level_aggs[0]
+                    .as_deref()
+                    .expect("BRA level has a prebuilt aggregator")
+                    .aggregate_into(&proposals, top_weights.as_deref(), out, &mut ws.agg);
             }
             LevelAgg::Cba(kind) => {
                 // Validation voting over the test shards (Appendix D.B).
-                let shards = exp.task.test.split_even(proposals.len().max(1));
+                let shards = exp.task.test.split_even(n_proposals.max(1));
                 let eval = AccuracyEvaluator::new(exp.template.clone_box(), shards);
-                let byz: Vec<bool> = final_kept
+                let byz: Vec<bool> = ws
+                    .final_slots
                     .iter()
-                    .map(|&dev| exp.protocol_byzantine(cohort[dev]))
+                    .map(|&dev| exp.protocol_byzantine(ws.cohort[dev]))
                     .collect();
                 let mech = kind.build();
-                let out = mech.decide(&proposals, &byz, &eval, &mut rng);
-                ctx.charge_consensus(0, 0, mech.name(), &out);
-                out.decided
+                let decision = mech.decide(&proposals, &byz, &eval, &mut rng);
+                ctx.charge_consensus(0, 0, mech.name(), &decision);
+                out.clear();
+                out.extend_from_slice(&decision.decided);
+                ws.pool.put(decision.decided);
             }
-        };
+        }
+        ws.refs.put(proposals);
         ctx.telem
-            .cluster_aggregated(round, 0, 0, proposals.len(), top_quorum);
+            .cluster_aggregated(round, 0, 0, n_proposals, top_quorum);
 
         // Dissemination: the global model travels one model-transfer
         // per reachable node per level on its way down (Algorithm 5).
@@ -622,7 +728,7 @@ impl<'e> RoundEngine<'e> {
             layer.close_round(&mut ctx);
         }
 
-        global
+        self.workspace = ws;
     }
 
     /// Closes one deadline-driven collection buffer (DESIGN.md §12).

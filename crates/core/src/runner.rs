@@ -25,7 +25,7 @@
 use hfl_attacks::{malicious_mask, ModelAttack};
 use hfl_faults::FaultInjector;
 use hfl_ml::rng::rng_for_n;
-use hfl_ml::sgd::train_local;
+use hfl_ml::sgd::{train_local, train_local_scratch, TrainScratch};
 use hfl_ml::synth::SyntheticDigits;
 use hfl_ml::{ClientPopulation, Dataset, Model};
 use hfl_robust::{AggregatorKind, Krum};
@@ -66,6 +66,22 @@ pub struct RunResult {
     /// Total client-round updates a withholding coalition kept back.
     /// Zero without the `Withhold` protocol attack.
     pub withheld_total: u64,
+}
+
+/// Reusable buffers for the per-round training step, owned by the
+/// engine's round workspace. On the single-threaded hot path one model
+/// instance and one SGD scratch serve every cohort slot in turn
+/// (`set_params` overwrites all parameters, so reuse is
+/// indistinguishable from a fresh `clone_box`), making steady-state
+/// training allocation-free.
+#[derive(Default)]
+pub struct TrainWorkspace {
+    /// This round's cohort binding (global client per slot).
+    cohort: Vec<usize>,
+    /// The reusable trainee model (lazily cloned from the template).
+    model: Option<Box<dyn Model>>,
+    /// SGD gradient/index/staging buffers.
+    scratch: TrainScratch,
 }
 
 /// A run's result plus its [`RunManifest`] — what the instrumented entry
@@ -270,9 +286,21 @@ impl Experiment {
     /// per-round draw from a dedicated RNG stream, so enabling sampling
     /// perturbs no other stream.
     pub fn cohort(&self, round: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.cohort_into(round, &mut out);
+        out
+    }
+
+    /// [`Self::cohort`] into a caller-owned buffer — the identity
+    /// cohort (no sampling) fills it without allocating, which keeps
+    /// the engine's steady-state rounds heap-free. Sampled draws reuse
+    /// the buffer but still pay their own working memory.
+    pub fn cohort_into(&self, round: usize, out: &mut Vec<usize>) {
+        out.clear();
         let m = self.hierarchy.num_clients();
         let Some(s) = &self.config.sampling else {
-            return (0..m).collect();
+            out.extend(0..m);
+            return;
         };
         let n = s.population;
         let mut rng = rng_for_n(self.config.seed, &[round as u64, 0x5A3F]);
@@ -290,21 +318,18 @@ impl Experiment {
                         chosen.insert(j);
                     }
                 }
-                let mut cohort: Vec<usize> = chosen.into_iter().collect();
-                cohort.sort_unstable();
-                cohort
+                out.extend(chosen);
+                out.sort_unstable();
             }
             SamplingScheme::Stratified => {
                 // One pick per contiguous stratum [i·n/m, (i+1)·n/m):
                 // n ≥ m keeps every stratum non-empty, and the picks are
                 // strictly increasing (hence distinct and sorted).
-                (0..m)
-                    .map(|i| {
-                        let lo = i * n / m;
-                        let hi = (i + 1) * n / m;
-                        lo + draw(&mut rng, (hi - lo) as u64)
-                    })
-                    .collect()
+                out.extend((0..m).map(|i| {
+                    let lo = i * n / m;
+                    let hi = (i + 1) * n / m;
+                    lo + draw(&mut rng, (hi - lo) as u64)
+                }));
             }
         }
     }
@@ -357,40 +382,101 @@ impl Experiment {
         adaptive: Option<&ModelAttack>,
         telem: &Telemetry,
     ) -> Vec<Vec<f32>> {
+        let mut updates = Vec::new();
+        let mut ws = TrainWorkspace::default();
+        self.train_round_into(global, round, adaptive, telem, &mut updates, &mut ws);
+        updates
+    }
+
+    /// [`Self::train_round_with`] into caller-owned buffers. Numerically
+    /// identical (same RNG streams, same arithmetic); with one worker
+    /// thread the reusable model + SGD scratch in `ws` make the whole
+    /// training step allocation-free once capacities have grown.
+    pub fn train_round_into(
+        &self,
+        global: &[f32],
+        round: usize,
+        adaptive: Option<&ModelAttack>,
+        telem: &Telemetry,
+        updates: &mut Vec<Vec<f32>>,
+        ws: &mut TrainWorkspace,
+    ) {
         let cfg = &self.config;
-        let cohort = self.cohort(round);
+        self.cohort_into(round, &mut ws.cohort);
+        let TrainWorkspace {
+            cohort,
+            model: trainee,
+            scratch,
+        } = ws;
         let n = cohort.len();
         let threads = hfl_parallel::default_threads();
-        let mut updates = hfl_parallel::par_map_indexed(n, threads, |slot| {
-            let c = cohort[slot];
-            let mut model = self.template.clone_box();
-            model.set_params(global);
-            // Borrow the materialized shard when cached (identity
-            // cohort); derive just this client's otherwise — per-round
-            // work stays O(cohort), not O(population).
-            let derived;
-            let shard = match &self.shard_cache {
-                Some(cache) => &cache[c],
-                None => {
-                    derived = self.derive_shard(c);
-                    &derived
+        updates.resize_with(n, Vec::new);
+        if threads == 1 {
+            // Sequential hot path: one reusable model instance serves
+            // every slot in turn (`set_params` overwrites all
+            // parameters, so reuse equals a fresh clone), and the SGD
+            // scratch recycles its gradient/index/staging buffers.
+            let model = trainee.get_or_insert_with(|| self.template.clone_box());
+            for slot in 0..n {
+                let c = cohort[slot];
+                model.set_params(global);
+                // Borrow the materialized shard when cached (identity
+                // cohort); derive just this client's otherwise —
+                // per-round work stays O(cohort), not O(population).
+                let derived;
+                let shard = match &self.shard_cache {
+                    Some(cache) => &cache[c],
+                    None => {
+                        derived = self.derive_shard(c);
+                        &derived
+                    }
+                };
+                // Populations larger than the dataset leave tail
+                // clients with empty shards; they contribute the
+                // round's starting model unchanged.
+                if !shard.is_empty() {
+                    let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
+                    train_local_scratch(
+                        model.as_mut(),
+                        shard,
+                        &cfg.sgd.at_round(round),
+                        cfg.local_iters,
+                        &mut rng,
+                        scratch,
+                    );
                 }
-            };
-            // Populations larger than the dataset leave tail clients
-            // with empty shards; they contribute the round's starting
-            // model unchanged (a no-op local step).
-            if !shard.is_empty() {
-                let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
-                train_local(
-                    model.as_mut(),
-                    shard,
-                    &cfg.sgd.at_round(round),
-                    cfg.local_iters,
-                    &mut rng,
-                );
+                updates[slot].clear();
+                updates[slot].extend_from_slice(model.params());
             }
-            model.params().to_vec()
-        });
+        } else {
+            let computed = hfl_parallel::par_map_indexed(n, threads, |slot| {
+                let c = cohort[slot];
+                let mut model = self.template.clone_box();
+                model.set_params(global);
+                let derived;
+                let shard = match &self.shard_cache {
+                    Some(cache) => &cache[c],
+                    None => {
+                        derived = self.derive_shard(c);
+                        &derived
+                    }
+                };
+                if !shard.is_empty() {
+                    let mut rng = rng_for_n(cfg.seed, &[round as u64, c as u64, 0x7247]);
+                    train_local(
+                        model.as_mut(),
+                        shard,
+                        &cfg.sgd.at_round(round),
+                        cfg.local_iters,
+                        &mut rng,
+                    );
+                }
+                model.params().to_vec()
+            });
+            for (dst, src) in updates.iter_mut().zip(computed) {
+                *dst = src;
+            }
+        }
 
         let crafting = adaptive.or(match &cfg.attack {
             AttackCfg::Model { attack, .. } => Some(attack),
@@ -399,7 +485,7 @@ impl Experiment {
         if let Some(attack) = crafting {
             let honest: Vec<&[f32]> = updates
                 .iter()
-                .zip(&cohort)
+                .zip(cohort.iter())
                 .filter(|(_, &c)| !self.malicious[c])
                 .map(|(u, _)| u.as_slice())
                 .collect();
@@ -419,13 +505,12 @@ impl Experiment {
                     global.to_vec()
                 }
             };
-            for (u, &c) in updates.iter_mut().zip(&cohort) {
+            for (u, &c) in updates.iter_mut().zip(cohort.iter()) {
                 if self.malicious[c] {
                     u.copy_from_slice(&crafted);
                 }
             }
         }
-        updates
     }
 
     /// True when this device misbehaves *inside* aggregation protocols
@@ -445,6 +530,15 @@ impl Experiment {
     /// `churn_leave_prob` (or a fault plan's churn override while one is
     /// active). All-present when churn is disabled.
     pub fn active_mask(&self, round: usize) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.active_mask_into(round, &mut out);
+        out
+    }
+
+    /// [`Self::active_mask`] into a caller-owned buffer — allocation-free
+    /// when churn is disabled (the all-present fast path the engine's
+    /// steady-state rounds take).
+    pub fn active_mask_into(&self, round: usize, out: &mut Vec<bool>) {
         let p = self
             .injector
             .as_ref()
@@ -453,8 +547,10 @@ impl Experiment {
         // Churn is topological: it empties cohort *slots* (hierarchy
         // positions), whatever client a sampled round bound to them.
         let n = self.hierarchy.num_clients();
+        out.clear();
         if p == 0.0 {
-            return vec![true; n];
+            out.resize(n, true);
+            return;
         }
         let bottom = self.hierarchy.bottom_level();
         let mut rng = rng_for_n(self.config.seed, &[round as u64, 0xC842]);
@@ -465,9 +561,7 @@ impl Experiment {
             .iter()
             .map(|c| c.leader())
             .collect();
-        (0..n)
-            .map(|c| leaders.contains(&c) || !rand::Rng::gen_bool(&mut rng, p))
-            .collect()
+        out.extend((0..n).map(|c| leaders.contains(&c) || !rand::Rng::gen_bool(&mut rng, p)));
     }
 
     /// Runs one round of bottom-up aggregation given per-client updates;
@@ -894,20 +988,30 @@ fn run_loop(
         }
     }
 
+    // Round-persistent buffers: the engine writes each round's global
+    // into `next_global`, then the two swap — no per-round model
+    // allocation. The fault log keeps its high-water capacity too.
+    let mut next_global: Vec<f32> = Vec::with_capacity(global.len());
+    let mut fault_log: Vec<FaultRecord> = Vec::new();
+    manifest
+        .rounds
+        .reserve(cfg.rounds.saturating_sub(first_round));
     for round in first_round..cfg.rounds {
         if telem.enabled() {
             telem.emit(Event::RoundStarted { round });
         }
         let before = cost;
-        let mut fault_log: Vec<FaultRecord> = Vec::new();
-        global = engine.run_round(
+        fault_log.clear();
+        engine.run_round_into(
             &global,
             round,
             &mut cost,
             telem,
             &mut fault_log,
             &mut susp_records,
+            &mut next_global,
         );
+        std::mem::swap(&mut global, &mut next_global);
         let delta = cost.since(&before);
         messages_c.inc(delta.messages);
         bytes_c.inc(delta.bytes);
@@ -916,7 +1020,7 @@ fn run_loop(
         faulted_c.inc(delta.faulted);
         quarantined_c.inc(delta.quarantined);
         withheld_c.inc(delta.withheld);
-        manifest.faults.extend(fault_log);
+        manifest.faults.append(&mut fault_log);
 
         let mut round_accuracy = None;
         if (round + 1) % cfg.eval_every == 0 || round + 1 == cfg.rounds {

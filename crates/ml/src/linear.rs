@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::loss::{argmax, ce_grad_in_place, cross_entropy, softmax_in_place};
-use crate::model::Model;
+use crate::model::{BatchScratch, Model};
 
 /// Softmax regression with weights `W (k×d)` and bias `b (k)`, stored
 /// flat as `[W row 0, W row 1, ..., b]`.
@@ -81,19 +81,31 @@ impl Model for LinearSoftmax {
     }
 
     fn loss_grad_batch(&self, data: &Dataset, indices: &[usize], grad: &mut [f32]) -> f64 {
+        self.loss_grad_batch_with(data, indices, grad, &mut BatchScratch::default())
+    }
+
+    fn loss_grad_batch_with(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        grad: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) -> f64 {
         assert_eq!(grad.len(), self.theta.len(), "gradient buffer mismatch");
         assert!(!indices.is_empty(), "empty batch");
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         let inv_n = 1.0 / indices.len() as f32;
         let bias_off = self.classes * self.dim;
-        let mut probs = vec![0.0f32; self.classes];
+        let probs = &mut scratch.probs;
+        probs.clear();
+        probs.resize(self.classes, 0.0);
         let mut loss = 0.0f64;
         for &i in indices {
             let x = data.x(i);
             let y = data.y(i);
-            self.forward(x, &mut probs);
-            loss += cross_entropy(&probs, y);
-            ce_grad_in_place(&mut probs, y);
+            self.forward(x, probs);
+            loss += cross_entropy(probs, y);
+            ce_grad_in_place(probs, y);
             // dL/dW_c = err_c * x ; dL/db_c = err_c
             for (c, err) in probs.iter().enumerate() {
                 let coeff = inv_n * *err;

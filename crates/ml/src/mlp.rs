@@ -8,7 +8,7 @@ use hfl_tensor::init;
 
 use crate::dataset::Dataset;
 use crate::loss::{argmax, ce_grad_in_place, cross_entropy, softmax_in_place};
-use crate::model::Model;
+use crate::model::{BatchScratch, Model};
 
 /// MLP `dim → hidden (ReLU) → classes (softmax)`.
 ///
@@ -109,40 +109,55 @@ impl Model for Mlp {
     }
 
     fn loss_grad_batch(&self, data: &Dataset, indices: &[usize], grad: &mut [f32]) -> f64 {
+        self.loss_grad_batch_with(data, indices, grad, &mut BatchScratch::default())
+    }
+
+    fn loss_grad_batch_with(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        grad: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) -> f64 {
         assert_eq!(grad.len(), self.theta.len(), "gradient buffer mismatch");
         assert!(!indices.is_empty(), "empty batch");
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         let inv_n = 1.0 / indices.len() as f32;
         let (off_b1, off_w2, off_b2) = (self.off_b1(), self.off_w2(), self.off_b2());
-        let mut h = vec![0.0f32; self.hidden];
-        let mut probs = vec![0.0f32; self.classes];
-        let mut dh = vec![0.0f32; self.hidden];
+        let BatchScratch { probs, hidden, dhidden } = scratch;
+        let (h, dh) = (hidden, dhidden);
+        h.clear();
+        h.resize(self.hidden, 0.0);
+        probs.clear();
+        probs.resize(self.classes, 0.0);
+        dh.clear();
+        dh.resize(self.hidden, 0.0);
         let mut loss = 0.0f64;
         for &i in indices {
             let x = data.x(i);
             let y = data.y(i);
-            self.forward_into(x, &mut h, &mut probs);
-            loss += cross_entropy(&probs, y);
-            ce_grad_in_place(&mut probs, y); // probs now holds dL/dlogits
+            self.forward_into(x, h, probs);
+            loss += cross_entropy(probs, y);
+            ce_grad_in_place(probs, y); // probs now holds dL/dlogits
 
             // dL/dW2_c = err_c ⊗ h ; dL/db2_c = err_c
             for (c, err) in probs.iter().enumerate() {
                 let coeff = inv_n * *err;
                 hfl_tensor::ops::axpy(
                     coeff,
-                    &h,
+                    h,
                     &mut grad[off_w2 + c * self.hidden..off_w2 + (c + 1) * self.hidden],
                 );
                 grad[off_b2 + c] += coeff;
             }
             // dh = W2ᵀ err, gated by ReLU
-            hfl_tensor::ops::zero(&mut dh);
+            hfl_tensor::ops::zero(dh);
             for (c, err) in probs.iter().enumerate() {
                 let row =
                     &self.theta[off_w2 + c * self.hidden..off_w2 + (c + 1) * self.hidden];
-                hfl_tensor::ops::axpy(*err, row, &mut dh);
+                hfl_tensor::ops::axpy(*err, row, dh);
             }
-            for (dj, hj) in dh.iter_mut().zip(&h) {
+            for (dj, hj) in dh.iter_mut().zip(h.iter()) {
                 if *hj <= 0.0 {
                     *dj = 0.0;
                 }

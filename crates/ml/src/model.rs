@@ -4,6 +4,19 @@ use rand::rngs::StdRng;
 
 use crate::dataset::Dataset;
 
+/// Reusable per-batch forward/backward buffers, so steady-state training
+/// rounds perform no heap allocation. Implementations resize what they
+/// need (`clear` + `resize`), which is free once capacity has grown.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    /// Class-probability / logit buffer (`classes` long).
+    pub probs: Vec<f32>,
+    /// Hidden activations (MLP only).
+    pub hidden: Vec<f32>,
+    /// Hidden-layer gradient (MLP only).
+    pub dhidden: Vec<f32>,
+}
+
 /// A classification model whose parameters live in one contiguous buffer.
 ///
 /// Federated learning, Byzantine-robust aggregation and consensus all
@@ -29,6 +42,21 @@ pub trait Model: Send + Sync {
     /// `data` and *accumulates* the mean gradient into `grad` (callers
     /// zero `grad` first). Returns the mean loss.
     fn loss_grad_batch(&self, data: &Dataset, indices: &[usize], grad: &mut [f32]) -> f64;
+
+    /// [`Model::loss_grad_batch`] with caller-owned scratch buffers —
+    /// the allocation-free entry point the hot training loop uses.
+    /// Numerically identical to `loss_grad_batch`; the default ignores
+    /// the scratch and delegates.
+    fn loss_grad_batch_with(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        grad: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) -> f64 {
+        let _ = scratch;
+        self.loss_grad_batch(data, indices, grad)
+    }
 
     /// Re-initializes the parameters from an RNG (fresh model, same
     /// architecture).

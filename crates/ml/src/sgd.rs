@@ -5,7 +5,18 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::model::Model;
+use crate::model::{BatchScratch, Model};
+
+/// Reusable buffers for the local training loop. One per worker lane is
+/// enough: capacity grows to the largest model trained through it and is
+/// then reused, so steady-state rounds allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct TrainScratch {
+    grad: Vec<f32>,
+    indices: Vec<usize>,
+    theta: Vec<f32>,
+    batch: BatchScratch,
+}
 
 /// Learning-rate schedule across global rounds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -86,25 +97,49 @@ pub fn train_local(
     iters: usize,
     rng: &mut StdRng,
 ) -> f64 {
+    train_local_scratch(model, data, cfg, iters, rng, &mut TrainScratch::default())
+}
+
+/// [`train_local`] with caller-owned scratch — the allocation-free entry
+/// point the round runner uses. Numerically identical to `train_local`
+/// (same RNG draws, same arithmetic); the scratch only recycles the
+/// gradient, index, staging, and forward/backward buffers.
+pub fn train_local_scratch(
+    model: &mut dyn Model,
+    data: &Dataset,
+    cfg: &SgdConfig,
+    iters: usize,
+    rng: &mut StdRng,
+    scratch: &mut TrainScratch,
+) -> f64 {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     assert!(cfg.lr > 0.0, "learning rate must be positive");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     let batch = cfg.batch_size.min(data.len());
-    let mut grad = vec![0.0f32; model.param_len()];
-    let mut indices = vec![0usize; batch];
+    let TrainScratch {
+        grad,
+        indices,
+        theta,
+        batch: batch_scratch,
+    } = scratch;
+    grad.clear();
+    grad.resize(model.param_len(), 0.0);
+    indices.clear();
+    indices.resize(batch, 0);
     let mut total_loss = 0.0;
     for _ in 0..iters {
         for slot in indices.iter_mut() {
             *slot = rng.gen_range(0..data.len());
         }
-        hfl_tensor::ops::zero(&mut grad);
-        total_loss += model.loss_grad_batch(data, &indices, &mut grad);
+        hfl_tensor::ops::zero(grad);
+        total_loss += model.loss_grad_batch_with(data, indices, grad, batch_scratch);
         // θ ← θ − η ∇ℓ. Models expose params only as slices, so stage the
-        // update through a copy; parameter vectors here are small (≤ tens
-        // of KiB) and this keeps the Model trait minimal and safe.
-        let mut theta = model.params().to_vec();
-        hfl_tensor::ops::axpy(-cfg.lr, &grad, &mut theta);
-        model.set_params(&theta);
+        // update through a reusable copy; this keeps the Model trait
+        // minimal and safe while staying allocation-free in steady state.
+        theta.clear();
+        theta.extend_from_slice(model.params());
+        hfl_tensor::ops::axpy(-cfg.lr, grad, theta);
+        model.set_params(theta);
     }
     if iters == 0 {
         0.0

@@ -1,39 +1,93 @@
 //! # hfl-parallel
 //!
-//! Minimal, safe fork-join parallelism for the ABD-HFL reproduction.
+//! Minimal, safe-to-call fork-join parallelism for the ABD-HFL
+//! reproduction.
 //!
-//! The workloads we parallelize are coarse and regular: train 64 clients'
-//! local models, fill an O(n²) pairwise-distance matrix for Krum, run
-//! Weiszfeld iterations over row chunks. Rayon-style work stealing would be
-//! overkill; scoped threads with static chunking (à la `par_chunks`) give
-//! the same data-race-freedom guarantee — if it compiles, the splits are
-//! disjoint — with no dependency beyond `crossbeam`.
+//! The workloads we parallelize are coarse but *skewed*: train 64
+//! clients' local models (shard sizes and iteration counts differ per
+//! client under heterogeneity profiles), fill an O(n²) pairwise-distance
+//! matrix for Krum (row `i` has `n − i − 1` pairs under symmetry
+//! halving), run Weiszfeld iterations over row chunks. Static chunking
+//! starves under that skew — one worker draws the heavy rows while the
+//! rest idle — so every entry point here schedules **work-stealing
+//! blocks**: workers claim fixed-size index blocks off a shared atomic
+//! cursor and write results only into the output slots of the blocks
+//! they claimed.
 //!
-//! All entry points degrade gracefully to sequential execution when the
-//! requested thread count is 1 or the input is tiny, so unit tests and
-//! single-core CI behave identically to parallel runs (the kernels are
-//! deterministic; only scheduling order differs, and no entry point here
-//! exposes scheduling order).
-
-pub mod pool;
+//! ## Determinism contract (DESIGN.md §15)
+//!
+//! *Which worker* executes a block is scheduling-dependent and varies
+//! run to run; *what gets written where* is not:
+//!
+//! * **Output-slot ownership** — block `b` covers a fixed index range
+//!   `[b·B, min((b+1)·B, n))` determined by integer arithmetic alone.
+//!   The worker that claims `b` (one `fetch_add` winner) writes exactly
+//!   those output slots and no others, so the final output is a pure
+//!   function of the per-index closure, independent of the claim order.
+//! * **No wall-clock ordering** — nothing here reads time, and no entry
+//!   point exposes claim order, worker identity, or completion order to
+//!   the caller. Reductions combine partials in index order.
+//!
+//! All entry points degrade to sequential execution when the requested
+//! thread count is 1 or the input is tiny, so unit tests and single-core
+//! CI behave identically to parallel runs — and the sequential paths
+//! perform no heap allocation beyond the output the caller asked for.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide override for `default_threads()`; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces `default_threads()` to return `n` process-wide; pass 0 to
+/// restore autodetection. Intended for harnesses that must pin the
+/// execution mode — e.g. the allocation-regression gate pins 1 thread
+/// so every hot path takes its allocation-free sequential form (thread
+/// spawning itself allocates). Results are byte-identical at any
+/// thread count (see the determinism contract above); only the
+/// execution strategy changes.
+pub fn set_default_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
 
 /// Number of worker threads to use by default: the available parallelism,
 /// capped at 16 (our largest fan-out, a 64-client round, saturates well
-/// before that and oversubscription only adds noise to benchmarks).
+/// before that and oversubscription only adds noise to benchmarks), or
+/// the value pinned via [`set_default_threads`].
 pub fn default_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .min(16)
 }
 
+/// Blocks handed out per worker on average. More blocks per worker means
+/// finer-grained stealing (better load balance under skew) at the price
+/// of more cursor traffic; 4 is a comfortable middle for our fan-outs.
+const STEAL_GRAIN: usize = 4;
+
+/// Work-stealing block size for `n` items across `threads` workers.
+fn block_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * STEAL_GRAIN).max(1)
+}
+
+/// A raw pointer that may cross thread boundaries. Safety is argued at
+/// each use site: workers write through it only at indices inside blocks
+/// they claimed, and blocks partition the index range disjointly.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
 /// Runs `f` on `0..n` in parallel, collecting results in index order.
 ///
-/// `f` is called exactly once per index. Results arrive in input order
-/// regardless of scheduling, so callers can rely on positional mapping
-/// (client `i` → result `i`).
+/// `f` is called exactly once per index. Scheduling is work-stealing
+/// (workers claim blocks of indices off an atomic cursor), but results
+/// land in input order regardless of which worker computed them, so
+/// callers can rely on positional mapping (client `i` → result `i`).
 pub fn par_map_indexed<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -43,15 +97,30 @@ where
     if threads == 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    let block = block_size(n, threads);
+    let blocks = n.div_ceil(block);
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
+    let cursor = AtomicUsize::new(0);
+    let slots = SendPtr(out.as_mut_ptr());
     crossbeam::thread::scope(|s| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+        for _ in 0..threads.min(blocks) {
             let f = &f;
-            s.spawn(move |_| {
-                let base = t * chunk;
-                for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
+            let cursor = &cursor;
+            let slots = &slots;
+            s.spawn(move |_| loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    return;
+                }
+                let lo = b * block;
+                let hi = (lo + block).min(n);
+                for i in lo..hi {
+                    let v = f(i);
+                    // SAFETY: this worker won block `b` via the
+                    // fetch_add above, blocks partition `0..n`
+                    // disjointly, and `out` outlives the scope — so
+                    // slot `i` is written exactly once, by this thread.
+                    unsafe { *slots.0.add(i) = Some(v) };
                 }
             });
         }
@@ -74,6 +143,11 @@ where
 
 /// Applies `f` to disjoint mutable chunks of `data` in parallel. Each call
 /// receives the chunk and the index of its first element.
+///
+/// Chunks are claimed off a shared atomic cursor (work stealing at chunk
+/// granularity), so long chunks don't serialize behind one worker; each
+/// chunk is still processed exactly once and writes stay inside it. The
+/// sequential path (threads = 1, or a single chunk) allocates nothing.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
 where
     T: Send,
@@ -87,32 +161,29 @@ where
         }
         return;
     }
-    // Hand chunks out over a shared atomic cursor so long chunks don't
-    // serialize behind one worker. Declared outside the scope so borrows
-    // outlive the spawned workers.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let chunk_list: Vec<Option<(usize, &mut [T])>> = data
-        .chunks_mut(chunk_len)
-        .enumerate()
-        .map(|(i, c)| Some((i * chunk_len, c)))
-        .collect();
-    let chunks = parking_lot::Mutex::new(chunk_list);
+    let n = data.len();
+    let chunks = n.div_ceil(chunk_len);
+    let cursor = AtomicUsize::new(0);
+    let base_ptr = SendPtr(data.as_mut_ptr());
     crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(chunks) {
             let f = &f;
-            let next = &next;
-            let chunks = &chunks;
+            let cursor = &cursor;
+            let base_ptr = &base_ptr;
             s.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let job = {
-                    let mut guard = chunks.lock();
-                    if i >= guard.len() {
-                        return;
-                    }
-                    guard[i].take()
-                };
-                let Some((base, chunk)) = job else { return };
-                f(base, chunk);
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let lo = c * chunk_len;
+                let hi = (lo + chunk_len).min(n);
+                // SAFETY: chunk `c` was claimed by exactly this worker,
+                // chunk ranges partition `0..n` disjointly, and `data`
+                // outlives the scope — the reborrow below aliases no
+                // other worker's slice.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base_ptr.0.add(lo), hi - lo) };
+                f(lo, chunk);
             });
         }
     })
@@ -122,8 +193,9 @@ where
 /// Parallel fold-then-reduce: maps every index through `f`, then combines
 /// results with `combine`. Returns `identity()` for `n == 0`.
 ///
-/// `combine` must be associative and commute with the identity; the
-/// reduction tree shape is unspecified.
+/// `combine` must be associative and commute with the identity; partials
+/// are folded in index order, so the reduction value is independent of
+/// scheduling even for non-commutative-in-floating-point combines.
 pub fn par_reduce<U, F, C, I>(n: usize, threads: usize, identity: I, f: F, combine: C) -> U
 where
     U: Send,
@@ -194,6 +266,31 @@ mod tests {
     }
 
     #[test]
+    fn skewed_workloads_still_place_deterministically() {
+        // A triangular workload (index i costs ~i work) is the Krum
+        // upper-triangle shape that starves static chunking; under
+        // work stealing the result must still be position-exact for
+        // every thread count.
+        let cost = |i: usize| -> u64 { (0..(i % 97) * 50).map(|k| k as u64).sum::<u64>() ^ i as u64 };
+        let expected: Vec<u64> = (0..500).map(cost).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = par_map_indexed(500, threads, cost);
+            assert_eq!(got, expected, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn block_size_is_positive_and_covers() {
+        for n in [1usize, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 5, 16] {
+                let b = block_size(n, threads);
+                assert!(b >= 1);
+                assert!(n.div_ceil(b) * b >= n, "blocks must cover 0..n");
+            }
+        }
+    }
+
+    #[test]
     fn par_chunks_mut_touches_everything() {
         let mut data = vec![0u32; 1003];
         par_chunks_mut(&mut data, 64, 4, |base, chunk| {
@@ -204,6 +301,18 @@ mod tests {
         for (i, x) in data.iter().enumerate() {
             assert_eq!(*x, i as u32);
         }
+    }
+
+    #[test]
+    fn par_chunks_mut_ragged_tail_has_right_length() {
+        let mut data = vec![0usize; 130];
+        par_chunks_mut(&mut data, 32, 4, |base, chunk| {
+            for x in chunk.iter_mut() {
+                *x = base + 1;
+            }
+        });
+        // The last chunk starts at 128 and has 2 elements.
+        assert!(data[128..].iter().all(|&x| x == 129));
     }
 
     #[test]

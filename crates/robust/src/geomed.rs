@@ -5,7 +5,7 @@
 //! with weights `1/dist`; each iteration is O(n·d) and parallelizes over
 //! inputs.
 
-use crate::{validate_updates, Aggregator};
+use crate::{validate_updates, AggScratch, Aggregator};
 
 /// Geometric-median aggregation.
 #[derive(Clone, Copy, Debug)]
@@ -29,30 +29,66 @@ impl GeoMed {
     /// Runs Weiszfeld from the coordinate-wise mean. Returns the estimate
     /// and the number of iterations used.
     pub fn compute(&self, updates: &[&[f32]]) -> (Vec<f32>, usize) {
+        let mut est = Vec::new();
+        let iters = self.compute_into(
+            updates,
+            hfl_parallel::default_threads(),
+            &mut est,
+            &mut AggScratch::default(),
+        );
+        (est, iters)
+    }
+
+    /// Allocation-free Weiszfeld core: writes the estimate into `est`,
+    /// reusing `scratch` buffers (distance row, weight row, next-estimate
+    /// temporary) across iterations *and* across calls. Returns the
+    /// iteration count. Values are identical to [`GeoMed::compute`] —
+    /// per-input distances and the fused weighted mean are computed the
+    /// same way, only buffer lifetimes change.
+    pub fn compute_into(
+        &self,
+        updates: &[&[f32]],
+        threads: usize,
+        est: &mut Vec<f32>,
+        scratch: &mut AggScratch,
+    ) -> usize {
         let d = validate_updates(updates);
-        let mut est = vec![0.0f32; d];
-        hfl_tensor::ops::mean_of(updates, &mut est);
+        est.clear();
+        est.resize(d, 0.0);
+        hfl_tensor::ops::mean_of(updates, est);
         if updates.len() == 1 {
-            return (est, 0);
+            return 0;
         }
-        let threads = hfl_parallel::default_threads();
-        let mut next = vec![0.0f32; d];
+        let n = updates.len();
+        let AggScratch { row, col, tmp, .. } = scratch;
+        let (dists, weights, next) = (row, col, tmp);
+        dists.clear();
+        dists.resize(n, 0.0);
+        next.clear();
+        next.resize(d, 0.0);
+        let chunk = n.div_ceil(threads.max(1)).max(1);
         for it in 0..self.max_iters {
             // Weights 1/max(dist, eps); a point sitting exactly on an
             // input gets a huge weight, effectively snapping to it —
-            // the standard Weiszfeld regularization.
-            let dists: Vec<f64> = hfl_parallel::par_map(updates, threads, |u| {
-                hfl_tensor::ops::dist(&est, u).max(1e-12)
+            // the standard Weiszfeld regularization. The fill is
+            // work-stealing over row chunks but placement is by index,
+            // so the row is identical at any thread count.
+            let est_ro = &est[..];
+            hfl_parallel::par_chunks_mut(dists, chunk, threads, |base, slice| {
+                for (off, o) in slice.iter_mut().enumerate() {
+                    *o = hfl_tensor::ops::dist(est_ro, updates[base + off]).max(1e-12);
+                }
             });
-            let weights: Vec<f32> = dists.iter().map(|d| (1.0 / d) as f32).collect();
-            hfl_tensor::ops::weighted_mean_of(updates, &weights, &mut next);
-            let step = hfl_tensor::ops::dist(&est, &next);
-            est.copy_from_slice(&next);
+            weights.clear();
+            weights.extend(dists.iter().map(|d| (1.0 / d) as f32));
+            hfl_tensor::ops::weighted_mean_of(updates, weights, next);
+            let step = hfl_tensor::ops::dist(est, next);
+            est.copy_from_slice(next);
             if step < self.tol {
-                return (est, it + 1);
+                return it + 1;
             }
         }
-        (est, self.max_iters)
+        self.max_iters
     }
 }
 
@@ -63,6 +99,16 @@ impl Aggregator for GeoMed {
 
     fn aggregate(&self, updates: &[&[f32]], _weights: Option<&[f32]>) -> Vec<f32> {
         self.compute(updates).0
+    }
+
+    fn aggregate_into(
+        &self,
+        updates: &[&[f32]],
+        _weights: Option<&[f32]>,
+        out: &mut Vec<f32>,
+        scratch: &mut AggScratch,
+    ) {
+        self.compute_into(updates, hfl_parallel::default_threads(), out, scratch);
     }
 
     fn max_byzantine(&self, n: usize) -> usize {
@@ -113,6 +159,22 @@ mod tests {
         let (out, iters) = GeoMed::default().compute(&[&u]);
         assert_eq!(out, vec![5.0, -3.0]);
         assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn compute_into_bitwise_matches_compute_across_threads() {
+        let updates = cluster_with_outliers(&[1.0, 1.0, -0.5], 0.3, 9, &[50.0, -50.0, 2.0], 2);
+        let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+        let (baseline, base_iters) = GeoMed::default().compute(&refs);
+        let mut scratch = AggScratch::default();
+        let mut est = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let iters = GeoMed::default().compute_into(&refs, threads, &mut est, &mut scratch);
+            assert_eq!(iters, base_iters, "threads={threads}");
+            for (a, b) in est.iter().zip(&baseline) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,30 @@ pub use streaming::{SampledKrum, StreamingMedian, StreamingTrimmedMean, DEFAULT_
 pub use suspicion::{SuspicionChange, SuspicionConfig, SuspicionTracker};
 pub use trimmed_mean::TrimmedMean;
 
+/// Reusable scratch buffers for allocation-free aggregation through
+/// [`Aggregator::aggregate_into`].
+///
+/// One instance lives in the engine's round workspace; every buffer
+/// grows to its high-water mark on first use and is reused afterwards,
+/// so steady-state rounds perform no heap allocation. The fields are
+/// deliberately rule-agnostic (a flat `f64` matrix, a few rows) so one
+/// scratch serves every rule in the registry.
+#[derive(Debug, Default)]
+pub struct AggScratch {
+    /// Flat n×n squared-distance matrix (Krum family).
+    pub dists: Vec<f64>,
+    /// Per-update `f64` row (Krum score rows, Weiszfeld distances).
+    pub row: Vec<f64>,
+    /// Per-update scores.
+    pub scores: Vec<f64>,
+    /// Selection index buffer (Multi-Krum).
+    pub idx: Vec<usize>,
+    /// Per-update `f32` buffer (Weiszfeld weights, coordinate columns).
+    pub col: Vec<f32>,
+    /// Dimension-sized `f32` temporary (Weiszfeld next estimate).
+    pub tmp: Vec<f32>,
+}
+
 /// A Byzantine-robust aggregation rule over flat parameter vectors.
 pub trait Aggregator: Send + Sync {
     /// Human-readable rule name (used in experiment reports).
@@ -77,6 +101,24 @@ pub trait Aggregator: Send + Sync {
     /// panic on an empty input — aggregating nothing is a protocol bug
     /// upstream, not a recoverable condition.
     fn aggregate(&self, updates: &[&[f32]], weights: Option<&[f32]>) -> Vec<f32>;
+
+    /// Aggregates into a caller-owned buffer, reusing `scratch` so that
+    /// rules overriding this method perform no heap allocation once the
+    /// buffers reach their high-water mark. Must produce bytes identical
+    /// to [`Aggregator::aggregate`] — the differential kernel suite pins
+    /// this. The default delegates to the allocating path.
+    fn aggregate_into(
+        &self,
+        updates: &[&[f32]],
+        weights: Option<&[f32]>,
+        out: &mut Vec<f32>,
+        scratch: &mut AggScratch,
+    ) {
+        let _ = scratch;
+        let res = self.aggregate(updates, weights);
+        out.clear();
+        out.extend_from_slice(&res);
+    }
 
     /// The largest number of Byzantine inputs among `n` this rule is
     /// designed to tolerate (`0` for plain averaging).

@@ -4,7 +4,7 @@
 //! Byzantine worker; it is included as the vanilla-FL baseline and as the
 //! final combining step inside Multi-Krum / clustering.
 
-use crate::{validate_updates, Aggregator};
+use crate::{validate_updates, AggScratch, Aggregator};
 
 /// Plain or dataset-size-weighted averaging.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,6 +23,22 @@ impl Aggregator for FedAvg {
             None => hfl_tensor::ops::mean_of(updates, &mut out),
         }
         out
+    }
+
+    fn aggregate_into(
+        &self,
+        updates: &[&[f32]],
+        weights: Option<&[f32]>,
+        out: &mut Vec<f32>,
+        _scratch: &mut AggScratch,
+    ) {
+        let d = validate_updates(updates);
+        out.clear();
+        out.resize(d, 0.0);
+        match weights {
+            Some(w) => hfl_tensor::ops::weighted_mean_of(updates, w, out),
+            None => hfl_tensor::ops::mean_of(updates, out),
+        }
     }
 
     fn max_byzantine(&self, _n: usize) -> usize {

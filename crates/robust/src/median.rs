@@ -1,7 +1,7 @@
 //! Coordinate-wise median (Yin et al., ICML 2018) — the paper's non-IID
 //! partial-aggregation rule.
 
-use crate::{validate_updates, Aggregator};
+use crate::{validate_updates, AggScratch, Aggregator};
 
 /// Dimension above which the coordinate loop is split across threads.
 /// Below this, thread-spawn overhead exceeds the selection work.
@@ -49,6 +49,23 @@ impl Aggregator for CoordMedian {
             hfl_tensor::stats::coordinate_median(updates, &mut out);
         }
         out
+    }
+
+    fn aggregate_into(
+        &self,
+        updates: &[&[f32]],
+        _weights: Option<&[f32]>,
+        out: &mut Vec<f32>,
+        scratch: &mut AggScratch,
+    ) {
+        let d = validate_updates(updates);
+        out.clear();
+        out.resize(d, 0.0);
+        if d >= PARALLEL_THRESHOLD {
+            coordinate_median_parallel(updates, out, hfl_parallel::default_threads());
+        } else {
+            hfl_tensor::stats::coordinate_median_into(updates, out, &mut scratch.col);
+        }
     }
 
     fn max_byzantine(&self, n: usize) -> usize {

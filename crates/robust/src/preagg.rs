@@ -75,22 +75,23 @@ impl PreAggregation {
                 let n = updates.len();
                 let k = k.min(n);
                 let mut out = Vec::with_capacity(n);
+                let mut dvals = vec![0.0f64; n];
                 let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n);
+                let mut idx: Vec<usize> = Vec::with_capacity(k);
                 for u in updates {
+                    // One blocked pass fills the whole distance row;
+                    // each value is bitwise-equal to the per-pair
+                    // `dist_sq` the original scan computed.
+                    hfl_tensor::ops::dist_sq_block(u, updates, &mut dvals);
                     dists.clear();
-                    dists.extend(
-                        updates
-                            .iter()
-                            .enumerate()
-                            .map(|(j, v)| (hfl_tensor::ops::dist_sq(u, v), j)),
-                    );
+                    dists.extend(dvals.iter().copied().enumerate().map(|(j, dv)| (dv, j)));
                     // Ties (equal distances) resolve by index — total
                     // order, deterministic across platforms.
                     dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                    let neighbours: Vec<&[f32]> =
-                        dists.iter().take(k).map(|&(_, j)| updates[j]).collect();
+                    idx.clear();
+                    idx.extend(dists.iter().take(k).map(|&(_, j)| j));
                     let mut mean = vec![0.0f32; d];
-                    hfl_tensor::ops::mean_of(&neighbours, &mut mean);
+                    hfl_tensor::ops::mean_of_indexed(updates, &idx, &mut mean);
                     out.push(mean);
                 }
                 out

@@ -82,6 +82,14 @@ pub fn norm(a: &[f32]) -> f64 {
 
 /// Squared Euclidean distance between two vectors — the kernel of Krum's
 /// pairwise score matrix.
+///
+/// A NaN result (adversarial NaN coordinates, or same-signed infinities
+/// cancelling) is canonicalized to the positive quiet NaN: IEEE leaves
+/// NaN sign/payload propagation unspecified and compilers exploit that,
+/// but Krum sorts distances with `total_cmp`, where a negative NaN would
+/// order *before* every finite value and let a poisoned row win.
+/// Canonicalizing pins the contract — NaN distances always sort last —
+/// and makes the blocked kernel bitwise-reproducible against this one.
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
     check_same_len(a, b);
@@ -89,6 +97,9 @@ pub fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
     for (x, y) in a.iter().zip(b) {
         let d = (*x - *y) as f64;
         acc += d * d;
+    }
+    if acc.is_nan() {
+        return f64::NAN;
     }
     acc
 }
@@ -133,19 +144,140 @@ pub fn zero(x: &mut [f32]) {
     }
 }
 
+/// Rows processed per coordinate pass by the blocked kernels below.
+///
+/// Four f64 accumulators fit comfortably in registers; larger blocks
+/// spill without improving the memory-traffic picture (the shared
+/// operand `a` is the reuse win, and it is already read once per pass).
+const BLOCK_ROWS: usize = 4;
+
+/// Blocked squared-distance kernel: `out[k] = dist_sq(a, rows[k])`.
+///
+/// Rows are processed in register blocks of [`BLOCK_ROWS`], so `a` is
+/// streamed once per block instead of once per row — the cache-blocking
+/// half of the Krum distance-matrix optimization. Byte-stability: every
+/// pair keeps its *own* `f64` accumulator and visits coordinates in
+/// index order, so each `out[k]` is bitwise-equal to `dist_sq(a,
+/// rows[k])` (the naive reference retained in [`reference`]).
+pub fn dist_sq_block(a: &[f32], rows: &[&[f32]], out: &mut [f64]) {
+    assert_eq!(rows.len(), out.len(), "rows/out length mismatch");
+    let d = a.len();
+    let mut k = 0;
+    while k + BLOCK_ROWS <= rows.len() {
+        let (r0, r1, r2, r3) = (rows[k], rows[k + 1], rows[k + 2], rows[k + 3]);
+        check_same_len(a, r0);
+        check_same_len(a, r1);
+        check_same_len(a, r2);
+        check_same_len(a, r3);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for c in 0..d {
+            let x = a[c];
+            let d0 = (x - r0[c]) as f64;
+            a0 += d0 * d0;
+            let d1 = (x - r1[c]) as f64;
+            a1 += d1 * d1;
+            let d2 = (x - r2[c]) as f64;
+            a2 += d2 * d2;
+            let d3 = (x - r3[c]) as f64;
+            a3 += d3 * d3;
+        }
+        // NaN canonicalization, matching `dist_sq` (see its docs).
+        out[k] = if a0.is_nan() { f64::NAN } else { a0 };
+        out[k + 1] = if a1.is_nan() { f64::NAN } else { a1 };
+        out[k + 2] = if a2.is_nan() { f64::NAN } else { a2 };
+        out[k + 3] = if a3.is_nan() { f64::NAN } else { a3 };
+        k += BLOCK_ROWS;
+    }
+    while k < rows.len() {
+        out[k] = dist_sq(a, rows[k]);
+        k += 1;
+    }
+}
+
+/// Fused multi-row accumulate: `out += r₀ + r₁ + …` in row order.
+///
+/// Equivalent to calling [`add_assign`] once per row, but rows are
+/// fused in blocks of [`BLOCK_ROWS`] so `out` is read and written once
+/// per block instead of once per row. Byte-stability: for every
+/// coordinate the partial sums are added in exactly the row order the
+/// sequential `add_assign` chain would produce (`((out+r₀)+r₁)+…`,
+/// left-associated), so the result is bitwise identical.
+pub fn add_rows(rows: &[&[f32]], out: &mut [f32]) {
+    let mut k = 0;
+    while k + BLOCK_ROWS <= rows.len() {
+        let (r0, r1, r2, r3) = (rows[k], rows[k + 1], rows[k + 2], rows[k + 3]);
+        check_same_len(r0, out);
+        check_same_len(r1, out);
+        check_same_len(r2, out);
+        check_same_len(r3, out);
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = *o;
+            acc += r0[c];
+            acc += r1[c];
+            acc += r2[c];
+            acc += r3[c];
+            *o = acc;
+        }
+        k += BLOCK_ROWS;
+    }
+    while k < rows.len() {
+        add_assign(rows[k], out);
+        k += 1;
+    }
+}
+
+/// Fused multi-row axpy: `out += w₀·r₀ + w₁·r₁ + …` in row order, with
+/// the same left-associated per-coordinate add chain a sequence of
+/// [`axpy`] calls would produce — bitwise identical, one pass over
+/// `out` per block of [`BLOCK_ROWS`] rows.
+pub fn axpy_rows(weights: &[f32], rows: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+    let mut k = 0;
+    while k + BLOCK_ROWS <= rows.len() {
+        let (r0, r1, r2, r3) = (rows[k], rows[k + 1], rows[k + 2], rows[k + 3]);
+        let (w0, w1, w2, w3) = (
+            weights[k],
+            weights[k + 1],
+            weights[k + 2],
+            weights[k + 3],
+        );
+        check_same_len(r0, out);
+        check_same_len(r1, out);
+        check_same_len(r2, out);
+        check_same_len(r3, out);
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = *o;
+            acc += w0 * r0[c];
+            acc += w1 * r1[c];
+            acc += w2 * r2[c];
+            acc += w3 * r3[c];
+            *o = acc;
+        }
+        k += BLOCK_ROWS;
+    }
+    while k < rows.len() {
+        axpy(weights[k], rows[k], out);
+        k += 1;
+    }
+}
+
 /// `out = mean of rows` where `rows` all share the same length.
 /// Panics on an empty input (the mean of nothing is undefined).
+///
+/// Uses the fused [`add_rows`] kernel; bitwise identical to the naive
+/// per-row loop retained in [`reference::mean_of_naive`].
 pub fn mean_of(rows: &[&[f32]], out: &mut [f32]) {
     assert!(!rows.is_empty(), "mean_of: empty input");
     zero(out);
-    for r in rows {
-        add_assign(r, out);
-    }
+    add_rows(rows, out);
     scale(1.0 / rows.len() as f32, out);
 }
 
 /// Weighted mean: `out = Σ wᵢ·rowᵢ / Σ wᵢ`. Weights must be non-negative
 /// and not all zero.
+///
+/// Uses the fused [`axpy_rows`] kernel; bitwise identical to the naive
+/// per-row loop retained in [`reference::weighted_mean_of_naive`].
 pub fn weighted_mean_of(rows: &[&[f32]], weights: &[f32], out: &mut [f32]) {
     assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
     assert!(!rows.is_empty(), "weighted_mean_of: empty input");
@@ -155,10 +287,87 @@ pub fn weighted_mean_of(rows: &[&[f32]], weights: &[f32], out: &mut [f32]) {
         "weights must be non-negative with positive sum"
     );
     zero(out);
-    for (r, w) in rows.iter().zip(weights) {
-        axpy(*w, r, out);
-    }
+    axpy_rows(weights, rows, out);
     scale((1.0 / total) as f32, out);
+}
+
+/// `out = mean of rows[idx[0]], rows[idx[1]], …` — a selection mean
+/// (Multi-Krum) without materializing a selected-refs vector. Bitwise
+/// identical to [`mean_of`] over the gathered rows: same block
+/// structure, same left-associated per-coordinate add order.
+pub fn mean_of_indexed(rows: &[&[f32]], idx: &[usize], out: &mut [f32]) {
+    assert!(!idx.is_empty(), "mean_of: empty input");
+    zero(out);
+    let mut k = 0;
+    while k + BLOCK_ROWS <= idx.len() {
+        let (r0, r1, r2, r3) = (
+            rows[idx[k]],
+            rows[idx[k + 1]],
+            rows[idx[k + 2]],
+            rows[idx[k + 3]],
+        );
+        check_same_len(r0, out);
+        check_same_len(r1, out);
+        check_same_len(r2, out);
+        check_same_len(r3, out);
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = *o;
+            acc += r0[c];
+            acc += r1[c];
+            acc += r2[c];
+            acc += r3[c];
+            *o = acc;
+        }
+        k += BLOCK_ROWS;
+    }
+    while k < idx.len() {
+        add_assign(rows[idx[k]], out);
+        k += 1;
+    }
+    scale(1.0 / idx.len() as f32, out);
+}
+
+/// Naive reference kernels, retained verbatim so differential tests
+/// (`tests/kernel_equivalence.rs`) and `perf_baseline --naive` can pin
+/// the fused/blocked kernels above bitwise against the original loops.
+/// Not part of the supported API.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Original `mean_of` body: one `add_assign` pass per row.
+    pub fn mean_of_naive(rows: &[&[f32]], out: &mut [f32]) {
+        assert!(!rows.is_empty(), "mean_of: empty input");
+        zero(out);
+        for r in rows {
+            add_assign(r, out);
+        }
+        scale(1.0 / rows.len() as f32, out);
+    }
+
+    /// Original `weighted_mean_of` body: one `axpy` pass per row.
+    pub fn weighted_mean_of_naive(rows: &[&[f32]], weights: &[f32], out: &mut [f32]) {
+        assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+        assert!(!rows.is_empty(), "weighted_mean_of: empty input");
+        let total: f64 = weights.iter().map(|w| *w as f64).sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative with positive sum"
+        );
+        zero(out);
+        for (r, w) in rows.iter().zip(weights) {
+            axpy(*w, r, out);
+        }
+        scale((1.0 / total) as f32, out);
+    }
+
+    /// Unblocked distance row: one full `dist_sq` pass per row.
+    pub fn dist_sq_rows_naive(a: &[f32], rows: &[&[f32]], out: &mut [f64]) {
+        assert_eq!(rows.len(), out.len(), "rows/out length mismatch");
+        for (o, r) in out.iter_mut().zip(rows) {
+            *o = dist_sq(a, r);
+        }
+    }
 }
 
 /// True when every coordinate of `a` and `b` differs by at most `tol`.
@@ -263,5 +472,86 @@ mod tests {
     fn mean_of_empty_panics() {
         let mut out = [0.0f32; 1];
         mean_of(&[], &mut out);
+    }
+
+    /// Deterministic pseudo-random rows, including adversarial values.
+    fn synth_rows(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let mut x = ((i as u64) << 32) | j as u64;
+                        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        x ^= x >> 31;
+                        match x % 97 {
+                            0 => f32::NAN,
+                            1 => f32::INFINITY,
+                            2 => f32::NEG_INFINITY,
+                            3 => f32::MIN_POSITIVE / 2.0, // denormal
+                            _ => ((x % 2_000) as f32 / 300.0) - 3.0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dist_sq_block_bitwise_matches_naive() {
+        for (n, d) in [(1usize, 5usize), (4, 7), (7, 33), (13, 129)] {
+            let rows = synth_rows(n + 1, d);
+            let a = rows[0].as_slice();
+            let refs: Vec<&[f32]> = rows[1..].iter().map(|r| r.as_slice()).collect();
+            let mut blocked = vec![0.0f64; n];
+            let mut naive = vec![0.0f64; n];
+            dist_sq_block(a, &refs, &mut blocked);
+            reference::dist_sq_rows_naive(a, &refs, &mut naive);
+            for (b, v) in blocked.iter().zip(&naive) {
+                assert_eq!(b.to_bits(), v.to_bits(), "n={n} d={d}");
+            }
+        }
+    }
+
+    /// Bitwise equality, except that any two NaNs compare equal: IEEE
+    /// leaves NaN sign/payload propagation unspecified, so two formally
+    /// identical add chains may yield differently-signed quiet NaNs.
+    /// (The f64 distance kernels canonicalize and stay strictly bitwise.)
+    fn bits_eq_f32(a: f32, b: f32) -> bool {
+        a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+    }
+
+    #[test]
+    fn fused_means_bitwise_match_naive() {
+        for (n, d) in [(1usize, 3usize), (4, 16), (5, 17), (11, 64)] {
+            let rows = synth_rows(n, d);
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            let mut fused = vec![0.0f32; d];
+            let mut naive = vec![0.0f32; d];
+            mean_of(&refs, &mut fused);
+            reference::mean_of_naive(&refs, &mut naive);
+            for (a, b) in fused.iter().zip(&naive) {
+                assert!(bits_eq_f32(*a, *b), "mean n={n} d={d}: {a:?} vs {b:?}");
+            }
+
+            let weights: Vec<f32> = (0..n).map(|i| 0.25 + (i % 5) as f32).collect();
+            weighted_mean_of(&refs, &weights, &mut fused);
+            reference::weighted_mean_of_naive(&refs, &weights, &mut naive);
+            for (a, b) in fused.iter().zip(&naive) {
+                assert!(bits_eq_f32(*a, *b), "wmean n={n} d={d}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_sq_is_bitwise_symmetric() {
+        // The symmetry-halved Krum matrix relies on dist_sq(a, b) being
+        // bitwise-equal to dist_sq(b, a): (x−y) = −(y−x) exactly in IEEE
+        // arithmetic, so the squared terms — and their sum — agree.
+        let rows = synth_rows(6, 41);
+        for a in &rows {
+            for b in &rows {
+                assert_eq!(dist_sq(a, b).to_bits(), dist_sq(b, a).to_bits());
+            }
+        }
     }
 }

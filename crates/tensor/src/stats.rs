@@ -43,35 +43,56 @@ pub fn trimmed_mean_in_place(buf: &mut [f32], trim: usize) -> f32 {
 /// Coordinate-wise median over `rows` (each of length `d`), written into
 /// `out`. Allocation-free apart from one scratch column buffer.
 pub fn coordinate_median(rows: &[&[f32]], out: &mut [f32]) {
+    let mut col = Vec::new();
+    coordinate_median_into(rows, out, &mut col);
+}
+
+/// [`coordinate_median`] with a caller-owned column buffer — fully
+/// allocation-free once `col` reaches the row count.
+pub fn coordinate_median_into(rows: &[&[f32]], out: &mut [f32], col: &mut Vec<f32>) {
     let d = out.len();
     assert!(!rows.is_empty(), "coordinate_median: empty input");
     assert!(
         rows.iter().all(|r| r.len() == d),
         "coordinate_median: row length mismatch"
     );
-    let mut col = vec![0.0f32; rows.len()];
-    for j in 0..d {
+    col.clear();
+    col.resize(rows.len(), 0.0);
+    for (j, o) in out.iter_mut().enumerate() {
         for (c, r) in col.iter_mut().zip(rows) {
             *c = r[j];
         }
-        out[j] = median_in_place(&mut col);
+        *o = median_in_place(col);
     }
 }
 
 /// Coordinate-wise `trim`-trimmed mean over `rows`, written into `out`.
 pub fn coordinate_trimmed_mean(rows: &[&[f32]], trim: usize, out: &mut [f32]) {
+    let mut col = Vec::new();
+    coordinate_trimmed_mean_into(rows, trim, out, &mut col);
+}
+
+/// [`coordinate_trimmed_mean`] with a caller-owned column buffer — fully
+/// allocation-free once `col` reaches the row count.
+pub fn coordinate_trimmed_mean_into(
+    rows: &[&[f32]],
+    trim: usize,
+    out: &mut [f32],
+    col: &mut Vec<f32>,
+) {
     let d = out.len();
     assert!(!rows.is_empty(), "coordinate_trimmed_mean: empty input");
     assert!(
         rows.iter().all(|r| r.len() == d),
         "coordinate_trimmed_mean: row length mismatch"
     );
-    let mut col = vec![0.0f32; rows.len()];
-    for j in 0..d {
+    col.clear();
+    col.resize(rows.len(), 0.0);
+    for (j, o) in out.iter_mut().enumerate() {
         for (c, r) in col.iter_mut().zip(rows) {
             *c = r[j];
         }
-        out[j] = trimmed_mean_in_place(&mut col, trim);
+        *o = trimmed_mean_in_place(col, trim);
     }
 }
 

@@ -7,6 +7,22 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 
+# Kernel-equivalence gate: every optimized hot kernel (blocked
+# distances, fused reductions, work-stealing parallel paths) must be
+# byte-identical to its retained naive reference across thread counts
+# 1/2/4/8 and adversarial values. Runs inside `cargo test -q` too; the
+# explicit invocation keeps the gate visible and independently
+# runnable.
+cargo test -q -p abd-hfl --test kernel_equivalence
+echo "kernel equivalence gate passed"
+
+# Allocation-regression gate: after a 5-round warmup, synchronous BRA
+# rounds perform exactly zero heap allocations on both the clean and
+# the faulted fixture (the workspace arena absorbs every per-round
+# need). A single new Vec on the round path fails this.
+cargo test -q -p hfl-bench --test alloc_regression
+echo "allocation regression gate passed"
+
 # Fault-injection smoke + determinism gate: two same-seed sweeps must
 # produce byte-identical manifest logs.
 tmp="$(mktemp -d)"
@@ -96,13 +112,23 @@ test -s "$tmp/k/BENCH_9.json" \
 echo "repro_scale determinism gate passed"
 
 # Performance baseline: sync + async rounds/sec, updates/sec, kernel
-# ns/op, bytes/round and the per-round allocation peak into
-# BENCH_9.json (the binary self-validates that nothing measured zero).
+# ns/op, bytes/round and the per-round allocation peak. One run writes
+# BENCH_9.json (the *before* view — hot kernels timed through their
+# retained naive references) and BENCH_10.json (the *after* view —
+# optimized hot paths with embedded speedups and the steady-state
+# allocation count, self-validated to be exactly zero). bench_compare
+# joins the two and hard-fails on a >25% regression of any shared
+# kernel.
 cargo run --release -p hfl-bench --bin perf_baseline -- \
     --quick --out "$tmp/perf" >/dev/null
 test -s "$tmp/perf/BENCH_9.json" \
     || { echo "perf_baseline produced no BENCH_9.json"; exit 1; }
-echo "perf baseline gate passed"
+test -s "$tmp/perf/BENCH_10.json" \
+    || { echo "perf_baseline produced no BENCH_10.json"; exit 1; }
+cargo run --release -p hfl-bench --bin bench_compare -- \
+    "$tmp/perf/BENCH_9.json" "$tmp/perf/BENCH_10.json" \
+    || { echo "hot-path kernels regressed past the 25% budget"; exit 1; }
+echo "perf baseline + hot-path no-regression gate passed"
 
 # Oracle fuzz gate: a fixed-seed scenario-fuzzing budget (override the
 # iteration count with FUZZ_ITERS), then the five mutation self-checks

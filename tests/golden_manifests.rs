@@ -16,20 +16,23 @@
 //!
 //! The fixtures are a function of the `rand` implementation the
 //! workspace was built against (seeded streams feed SGD, shuffles and
-//! consensus votes). `rng_fingerprint.txt` records the stream identity
-//! the goldens were generated under; when a different `rand` build is
-//! detected the byte-comparison is skipped (two in-process runs are
+//! consensus votes). Each fixture's goldens carry the stream identity
+//! they were generated under — `<name>.fingerprint.txt` per fixture,
+//! with the legacy shared `rng_fingerprint.txt` as the fallback for the
+//! original four; when a fixture's recorded build differs from the
+//! current one its byte-comparison is skipped (two in-process runs are
 //! still compared, so determinism itself stays asserted).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use abd_hfl::attacks::{AdaptiveAttack, ModelAttack, Placement, ProtocolAttack};
-use abd_hfl::core::config::{AttackCfg, HflConfig, LevelAgg};
+use abd_hfl::core::config::{AsyncRoundCfg, AttackCfg, HflConfig, LevelAgg, SamplingCfg};
 use abd_hfl::core::runner::{run_prepared_with, Experiment, InstrumentedRun};
 use abd_hfl::faults::FaultPlan;
 use abd_hfl::ml::synth::SynthConfig;
 use abd_hfl::robust::SuspicionConfig;
+use abd_hfl::simnet::DelayModel;
 use abd_hfl::telemetry::Telemetry;
 
 fn golden_dir() -> PathBuf {
@@ -51,14 +54,28 @@ fn rng_fingerprint() -> String {
     )
 }
 
-/// True when the committed goldens were generated under this build's
-/// RNG streams (always true in update mode, which rewrites them).
-fn fingerprint_matches() -> bool {
-    let path = golden_dir().join("rng_fingerprint.txt");
-    match fs::read_to_string(&path) {
-        Ok(s) => s.trim() == rng_fingerprint(),
-        Err(_) => false,
-    }
+/// The fingerprint `name`'s committed goldens were generated under: a
+/// per-fixture `<name>.fingerprint.txt` when present (fixtures promoted
+/// to golden coverage after the original four), falling back to the
+/// shared legacy `rng_fingerprint.txt`. Per-fixture records let goldens
+/// generated under different `rand` builds coexist — each fixture's
+/// byte-comparison arms exactly where its own generator build runs.
+fn recorded_fingerprint(name: &str) -> Option<String> {
+    let dir = golden_dir();
+    let per_fixture = dir.join(format!("{name}.fingerprint.txt"));
+    let path = if per_fixture.exists() {
+        per_fixture
+    } else {
+        dir.join("rng_fingerprint.txt")
+    };
+    fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+/// True when `name`'s committed goldens were generated under this
+/// build's RNG streams (always true in update mode, which rewrites
+/// them).
+fn fingerprint_matches(name: &str) -> bool {
+    recorded_fingerprint(name).as_deref() == Some(&rng_fingerprint())
 }
 
 fn update_mode() -> bool {
@@ -139,6 +156,40 @@ fn withhold_fixture() -> HflConfig {
     cfg
 }
 
+/// The deadline-driven path promoted to golden coverage: link delays
+/// straddling the buffer deadline under φ = 0.75, so deadline closes,
+/// discounted late admissions and lateness bookkeeping all land in the
+/// frozen stream.
+fn async_fixture() -> HflConfig {
+    let mut cfg = base(AttackCfg::None, 2028);
+    cfg.quorum = 0.75;
+    cfg.async_rounds = Some(AsyncRoundCfg {
+        deadline_us: 3_000,
+        staleness_bound_us: 2_000,
+        link_delay: DelayModel::Uniform { lo: 500, hi: 5_000 },
+        tier_deadlines: Vec::new(),
+    });
+    cfg
+}
+
+/// The cross-device path promoted to golden coverage: a 64-slot cohort
+/// sampled uniformly from a 128-client population each round, with an
+/// identity-bound sign-flip coalition so the malicious mask exercises
+/// the cohort→global mapping.
+fn sampled_fixture() -> HflConfig {
+    let mut cfg = base(
+        AttackCfg::Model {
+            attack: ModelAttack::SignFlip { scale: 2.0 },
+            proportion: 0.25,
+            placement: Placement::Random,
+        },
+        2029,
+    );
+    cfg.quorum = 0.75;
+    cfg.sampling = Some(SamplingCfg::uniform(128, 64));
+    cfg
+}
+
 /// Runs a fixture with a recording telemetry bundle, returning the run
 /// plus the rendered event stream (one debug-formatted event per line).
 fn run_fixture(cfg: &HflConfig) -> (InstrumentedRun, String) {
@@ -171,12 +222,16 @@ fn check_golden(name: &str, cfg: &HflConfig) {
     let events_path = dir.join(format!("{name}.events.txt"));
     if update_mode() {
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("rng_fingerprint.txt"), rng_fingerprint() + "\n").unwrap();
+        fs::write(
+            dir.join(format!("{name}.fingerprint.txt")),
+            rng_fingerprint() + "\n",
+        )
+        .unwrap();
         fs::write(&manifest_path, manifest + "\n").unwrap();
         fs::write(&events_path, events).unwrap();
         return;
     }
-    if !fingerprint_matches() {
+    if !fingerprint_matches(name) {
         eprintln!(
             "{name}: goldens were generated under a different rand build \
              (rng fingerprint mismatch); skipping the byte comparison"
@@ -216,4 +271,14 @@ fn armed_round_path_matches_golden() {
 #[test]
 fn withholding_round_path_matches_golden() {
     check_golden("withhold", &withhold_fixture());
+}
+
+#[test]
+fn async_round_path_matches_golden() {
+    check_golden("async", &async_fixture());
+}
+
+#[test]
+fn sampled_round_path_matches_golden() {
+    check_golden("sampled", &sampled_fixture());
 }

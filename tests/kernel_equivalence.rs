@@ -1,0 +1,266 @@
+//! Differential kernel-equivalence suite — the hot-path overhaul's
+//! safety net. Every optimized kernel (blocked/tiled pairwise
+//! distances, fused axpy/mean reductions, work-stealing parallel
+//! aggregation paths) is pinned **byte-identical** to a retained naive
+//! reference over random shapes, thread counts ∈ {1, 2, 4, 8}, and
+//! adversarial values (NaN, ±∞, subnormals, signed zeros).
+//!
+//! "Byte-identical" is literal. f64 distances compare on `to_bits`
+//! even for NaN: `dist_sq`/`dist_sq_block` canonicalize any NaN
+//! accumulator to the positive quiet NaN, so payloads match exactly.
+//! f32 mean kernels compare exact bits for non-NaN and accept
+//! any-NaN-vs-any-NaN (the fused and naive summation trees can reach
+//! differently-signed NaN payloads through `inf − inf`, which no
+//! downstream consumer distinguishes).
+//!
+//! Thread-count invariance is the work-stealing determinism contract
+//! (DESIGN.md §15): stealing only moves *which worker* computes a
+//! chunk, never what is computed or where it lands.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+use abd_hfl::robust::geomed::GeoMed;
+use abd_hfl::robust::krum::{self, reference as krum_reference};
+use abd_hfl::robust::{median, trimmed_mean, AggScratch};
+use abd_hfl::tensor::ops::{self, reference};
+use abd_hfl::tensor::stats;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bits_eq_f32(a: f32, b: f32) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+/// Full adversarial value domain, NaN included.
+fn adversarial_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -100.0f32..100.0,
+        -1.0e30f32..1.0e30,
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(1.0e-40f32),
+        Just(-4.7e-42f32),
+        Just(f32::MIN_POSITIVE),
+    ]
+}
+
+/// Adversarial minus NaN, for kernels whose sort comparators reject
+/// unordered values by contract (`median_in_place`,
+/// `trimmed_mean_in_place`).
+fn ordered_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -100.0f32..100.0,
+        -1.0e30f32..1.0e30,
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(1.0e-40f32),
+        Just(-4.7e-42f32),
+    ]
+}
+
+/// `n` rows of dimension `d`, both random, values from `elem`.
+fn rows_of(
+    elem: fn() -> BoxedStrategy<f32>,
+    max_n: usize,
+    max_d: usize,
+) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1usize..=max_n, 1usize..=max_d).prop_flat_map(move |(n, d)| pvec(pvec(elem(), d), n))
+}
+
+fn adv_elem() -> BoxedStrategy<f32> {
+    adversarial_f32().boxed()
+}
+
+fn ord_elem() -> BoxedStrategy<f32> {
+    ordered_f32().boxed()
+}
+
+fn as_refs(rows: &[Vec<f32>]) -> Vec<&[f32]> {
+    rows.iter().map(|r| r.as_slice()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Tiled distance rows == one naive `dist_sq` per row, exact f64
+    /// bits (NaN canonicalization makes even NaN payloads equal).
+    #[test]
+    fn dist_sq_block_matches_naive(rows in rows_of(adv_elem, 12, 48), a in pvec(adversarial_f32(), 48)) {
+        let d = rows[0].len();
+        let a = &a[..d];
+        let refs = as_refs(&rows);
+        let mut blocked = vec![0.0f64; refs.len()];
+        let mut naive = vec![0.0f64; refs.len()];
+        ops::dist_sq_block(a, &refs, &mut blocked);
+        reference::dist_sq_rows_naive(a, &refs, &mut naive);
+        for (i, (b, n)) in blocked.iter().zip(&naive).enumerate() {
+            prop_assert_eq!(
+                b.to_bits(), n.to_bits(),
+                "row {}: blocked {} vs naive {}", i, b, n
+            );
+        }
+    }
+
+    /// Krum scoring through the blocked upper-triangle matrix, at every
+    /// thread count, == the retained pre-overhaul full-matrix scorer.
+    #[test]
+    fn krum_scores_match_naive_at_all_thread_counts(
+        rows in rows_of(adv_elem, 12, 32),
+        f in 0usize..4,
+    ) {
+        let refs = as_refs(&rows);
+        let naive = krum_reference::krum_scores_naive(&refs, f, 1);
+        for &t in &THREADS {
+            let fast = krum::krum_scores_with_threads(&refs, f, t);
+            prop_assert_eq!(fast.len(), naive.len());
+            for (i, (a, b)) in fast.iter().zip(&naive).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "score {} at {} threads: {} vs naive {}", i, t, a, b
+                );
+            }
+        }
+    }
+
+    /// Fused single-pass mean == zero/add/scale naive mean.
+    #[test]
+    fn mean_of_matches_naive(rows in rows_of(adv_elem, 12, 48)) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let mut fused = vec![0.0f32; d];
+        let mut naive = vec![0.0f32; d];
+        ops::mean_of(&refs, &mut fused);
+        reference::mean_of_naive(&refs, &mut naive);
+        for (i, (a, b)) in fused.iter().zip(&naive).enumerate() {
+            prop_assert!(bits_eq_f32(*a, *b), "coord {}: fused {} vs naive {}", i, a, b);
+        }
+    }
+
+    /// Fused weighted mean == per-row axpy naive weighted mean.
+    #[test]
+    fn weighted_mean_of_matches_naive(
+        rows in rows_of(adv_elem, 12, 48),
+        raw_w in pvec(0.01f32..10.0, 12),
+    ) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let w = &raw_w[..refs.len()];
+        let mut fused = vec![0.0f32; d];
+        let mut naive = vec![0.0f32; d];
+        ops::weighted_mean_of(&refs, w, &mut fused);
+        reference::weighted_mean_of_naive(&refs, w, &mut naive);
+        for (i, (a, b)) in fused.iter().zip(&naive).enumerate() {
+            prop_assert!(bits_eq_f32(*a, *b), "coord {}: fused {} vs naive {}", i, a, b);
+        }
+    }
+
+    /// Indexed (gather) mean == naive mean over the gathered subset.
+    #[test]
+    fn mean_of_indexed_matches_naive_on_subset(
+        rows in rows_of(adv_elem, 12, 48),
+        picks in pvec(0usize..12, 1..12),
+    ) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let idx: Vec<usize> = picks.iter().map(|p| p % refs.len()).collect();
+        let subset: Vec<&[f32]> = idx.iter().map(|&i| refs[i]).collect();
+        let mut fused = vec![0.0f32; d];
+        let mut naive = vec![0.0f32; d];
+        ops::mean_of_indexed(&refs, &idx, &mut fused);
+        reference::mean_of_naive(&subset, &mut naive);
+        for (i, (a, b)) in fused.iter().zip(&naive).enumerate() {
+            prop_assert!(bits_eq_f32(*a, *b), "coord {}: indexed {} vs naive {}", i, a, b);
+        }
+    }
+
+    /// Fused multi-row axpy == one scalar axpy per row.
+    #[test]
+    fn axpy_rows_matches_per_row_axpy(
+        rows in rows_of(adv_elem, 12, 48),
+        raw_w in pvec(-10.0f32..10.0, 12),
+    ) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let w = &raw_w[..refs.len()];
+        let mut fused = vec![0.0f32; d];
+        let mut naive = vec![0.0f32; d];
+        ops::axpy_rows(w, &refs, &mut fused);
+        for (r, &wi) in refs.iter().zip(w) {
+            ops::axpy(wi, r, &mut naive);
+        }
+        for (i, (a, b)) in fused.iter().zip(&naive).enumerate() {
+            prop_assert!(bits_eq_f32(*a, *b), "coord {}: fused {} vs naive {}", i, a, b);
+        }
+    }
+
+    /// Work-stealing coordinate median, at every thread count, == the
+    /// sequential per-coordinate kernel.
+    #[test]
+    fn coordinate_median_parallel_matches_sequential(rows in rows_of(ord_elem, 9, 40)) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let mut seq = vec![0.0f32; d];
+        stats::coordinate_median(&refs, &mut seq);
+        for &t in &THREADS {
+            let mut par = vec![0.0f32; d];
+            median::coordinate_median_parallel(&refs, &mut par, t);
+            for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+                prop_assert!(
+                    bits_eq_f32(*a, *b),
+                    "coord {} at {} threads: {} vs sequential {}", i, t, a, b
+                );
+            }
+        }
+    }
+
+    /// Work-stealing coordinate trimmed mean, at every thread count, ==
+    /// the sequential per-coordinate kernel.
+    #[test]
+    fn coordinate_trimmed_mean_parallel_matches_sequential(
+        rows in rows_of(ord_elem, 9, 40),
+        trim_pick in 0usize..4,
+    ) {
+        let d = rows[0].len();
+        let refs = as_refs(&rows);
+        let trim = trim_pick.min((refs.len() - 1) / 2);
+        let mut seq = vec![0.0f32; d];
+        stats::coordinate_trimmed_mean(&refs, trim, &mut seq);
+        for &t in &THREADS {
+            let mut par = vec![0.0f32; d];
+            trimmed_mean::coordinate_trimmed_mean_parallel(&refs, trim, &mut par, t);
+            for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+                prop_assert!(
+                    bits_eq_f32(*a, *b),
+                    "coord {} at {} threads (trim {}): {} vs sequential {}", i, t, trim, a, b
+                );
+            }
+        }
+    }
+
+    /// The Weiszfeld loop's work-stealing distance fill at every thread
+    /// count == its single-threaded run, iteration count included.
+    #[test]
+    fn geomed_identical_at_all_thread_counts(rows in rows_of(adv_elem, 9, 32)) {
+        let refs = as_refs(&rows);
+        let gm = GeoMed::default();
+        let mut base = Vec::new();
+        let base_iters = gm.compute_into(&refs, 1, &mut base, &mut AggScratch::default());
+        for &t in &THREADS[1..] {
+            let mut est = Vec::new();
+            let iters = gm.compute_into(&refs, t, &mut est, &mut AggScratch::default());
+            prop_assert_eq!(iters, base_iters, "iteration count diverged at {} threads", t);
+            for (i, (a, b)) in est.iter().zip(&base).enumerate() {
+                prop_assert!(
+                    bits_eq_f32(*a, *b),
+                    "coord {} at {} threads: {} vs single-threaded {}", i, t, a, b
+                );
+            }
+        }
+    }
+}
